@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every bench reproduces one table, figure or analysis of the paper,
+prints the paper-vs-measured comparison, asserts the *shape* criteria
+from DESIGN.md, and registers its headline numbers as pytest-benchmark
+``extra_info`` so they land in the benchmark report.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    MODULATOR_CLOCK,
+    MODULATOR_FULL_SCALE,
+    SIGNAL_BANDWIDTH,
+    delay_line_cell_config,
+    paper_cell_config,
+)
+
+#: FFT length used by the full-fidelity benches (the paper's 64K).
+FULL_FFT = 1 << 16
+
+#: FFT length for the sweep benches, trading a little resolution for
+#: runtime (the DR fit only needs the in-band floor).
+SWEEP_FFT = 1 << 15
+
+
+@pytest.fixture
+def modulator_config():
+    """Calibrated cell configuration at the modulator clock."""
+    return paper_cell_config(sample_rate=MODULATOR_CLOCK)
+
+
+@pytest.fixture
+def delay_config():
+    """Calibrated delay-line cell configuration."""
+    return delay_line_cell_config()
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations, so a single round is
+    representative and keeps the harness fast.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

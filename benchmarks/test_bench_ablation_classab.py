@@ -1,0 +1,101 @@
+"""Ablation A: class-A versus class-AB power and signal range.
+
+The paper's core power argument: "The class AB configuration as shown
+in Fig. 1 allows more power efficient realization of SI circuits,
+because the input current can be larger than the quiescent current in
+the memory transistor that can be designed to be small."
+
+Two measurements:
+
+* **power** -- supply current of equivalent class-A and class-AB cells
+  across modulation index (class A must bias for the peak);
+* **signal range** -- the class-A cell clips at its bias current while
+  the class-AB cell passes signals several times its quiescent
+  current with low distortion.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.config import DELAY_LINE_CLOCK, SUPPLY_VOLTAGE, paper_cell_config
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.si.memory_cell import ClassABMemoryCell, ClassAMemoryCell
+from repro.si.power import ClassKind, PowerModel
+
+
+def test_bench_ablation_classab(benchmark):
+    def experiment():
+        model = PowerModel(
+            supply_voltage=SUPPLY_VOLTAGE,
+            quiescent_current=2e-6,
+            gga_bias_current=20e-6,
+        )
+        modulation = [0.5, 1.0, 2.0, 4.0, 8.0]
+        ratios = [model.power_ratio_a_over_ab(m) for m in modulation]
+
+        # Signal-range comparison at 4x the quiescent current.
+        config = paper_cell_config(sample_rate=DELAY_LINE_CLOCK).noiseless()
+        n = 1 << 13
+        t = np.arange(n)
+        x = 8e-6 * np.sin(2.0 * np.pi * 13 * t / n)
+        f0 = 13 * DELAY_LINE_CLOCK / n
+
+        def thd_of(cell):
+            y = cell.run(x)
+            spectrum = compute_spectrum(y[2:], DELAY_LINE_CLOCK)
+            return measure_tone(spectrum, fundamental_frequency=f0).thd_db
+
+        thd_ab = thd_of(ClassABMemoryCell(config))
+        thd_a = thd_of(ClassAMemoryCell(config))
+        return modulation, ratios, thd_ab, thd_a
+
+    modulation, ratios, thd_ab, thd_a = run_once(benchmark, experiment)
+
+    table = Table(
+        "Ablation A: class-A power / class-AB power vs modulation index",
+        ("m_i", "P_A / P_AB"),
+    )
+    for m, ratio in zip(modulation, ratios):
+        table.add_row(f"{m:.1f}", f"{ratio:.2f}x")
+    print()
+    print(table.render())
+    print(f"THD at 4x quiescent signal: class AB {thd_ab:.1f} dB, class A {thd_a:.1f} dB")
+
+    comparison = PaperComparison()
+    comparison.add(
+        "Ablation A",
+        "class AB cheaper at every modulation index",
+        "ratio > 1",
+        f"min ratio {min(ratios):.2f}x",
+        min(ratios) > 1.0,
+    )
+    comparison.add(
+        "Ablation A",
+        "advantage grows with modulation",
+        "monotone increase",
+        f"{ratios[0]:.2f}x -> {ratios[-1]:.2f}x",
+        all(ratios[i] < ratios[i + 1] for i in range(len(ratios) - 1)),
+    )
+    comparison.add(
+        "Ablation A",
+        "class AB passes signal > quiescent cleanly",
+        "low distortion at m_i = 4",
+        f"THD {thd_ab:.1f} dB",
+        thd_ab < -40.0,
+    )
+    comparison.add(
+        "Ablation A",
+        "class A clips at its bias",
+        "gross distortion at m_i = 4",
+        f"THD {thd_a:.1f} dB",
+        thd_a > -20.0,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["power_ratio_at_mi4"] = ratios[3]
+    benchmark.extra_info["class_ab_thd_db"] = thd_ab
+    benchmark.extra_info["class_a_thd_db"] = thd_a
+    assert comparison.all_shapes_hold

@@ -1,0 +1,63 @@
+"""Extension: static linearity of the complete converter.
+
+The paper's evaluation is dynamic (spectra, SNDR, DR); a converter
+user also cares about INL/DNL.  The bench runs a sine-wave histogram
+(code-density) test on the full ADC (modulator + sinc^3 decimator) and
+checks that the 1-bit architecture delivers the inherent linearity the
+oversampling literature promises -- no missing codes, sub-LSB INL at a
+10-bit grid -- even with all the SI cell nonidealities enabled.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.linearity import code_density_test
+from repro.config import MODULATOR_CLOCK, MODULATOR_FULL_SCALE, paper_cell_config
+from repro.reporting.records import PaperComparison
+from repro.systems.adc import AdcKind, OversamplingAdc
+
+#: Analysis resolution: near the converter's own ~10-bit dynamic range.
+N_BITS = 7
+
+
+def test_bench_adc_linearity(benchmark):
+    def experiment():
+        adc = OversamplingAdc(
+            kind=AdcKind.CONVENTIONAL,
+            cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK),
+            oversampling_ratio=64,
+        )
+        # Long irrational-frequency sine at 95 % of full scale; the
+        # output-rate record must fill a 2^N_BITS histogram.
+        n = 1 << 20
+        t = np.arange(n)
+        frequency = (np.sqrt(2.0) - 1.0) * adc.output_rate / 8.0
+        x = 0.95 * MODULATOR_FULL_SCALE * np.sin(
+            2.0 * np.pi * frequency * t / adc.sample_rate
+        )
+        digital = adc.convert(x)
+        return code_density_test(digital[8:], n_bits=N_BITS, full_scale=1.0)
+
+    result = run_once(benchmark, experiment)
+
+    comparison = PaperComparison()
+    comparison.add(
+        "ADC linearity",
+        "no missing codes",
+        "1-bit inherent linearity",
+        f"peak DNL {result.peak_dnl:.2f} LSB over {result.n_codes} codes",
+        result.peak_dnl < 0.9,
+    )
+    comparison.add(
+        "ADC linearity",
+        "integral linearity",
+        "sub-LSB INL",
+        f"peak INL {result.peak_inl:.2f} LSB at {N_BITS} bits",
+        result.peak_inl < 1.0,
+    )
+    print()
+    print(comparison.render("Code-density test of the complete SI ADC"))
+
+    benchmark.extra_info["peak_dnl_lsb"] = result.peak_dnl
+    benchmark.extra_info["peak_inl_lsb"] = result.peak_inl
+    assert comparison.all_shapes_hold

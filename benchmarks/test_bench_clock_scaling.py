@@ -1,0 +1,96 @@
+"""Extension: clock-rate scaling -- "video frequencies and beyond".
+
+The delay line runs at 5 MHz on the chip; the authors' companion
+report [14] claims SI converters reach video rates.  The bench re-times
+the calibrated cell across clock frequencies (the physical settling
+time constant stays fixed while the phase time shrinks) and measures
+the delay-line THD at the Table 1 signal level, locating the knee where
+settling failure takes over.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.config import delay_line_cell_config, paper_cell_config
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.si.delay_line import DelayLine
+from repro.si.settling_study import config_at_clock, max_clock_for_accuracy
+
+CLOCKS = [2.5e6, 5e6, 10e6, 20e6, 40e6, 80e6]
+
+
+def _thd_at(base, clock, amplitude=8e-6, n=1 << 13, cycles=13):
+    config = config_at_clock(base, clock)
+    line = DelayLine(config, n_cells=2)
+    t = np.arange(n)
+    x = amplitude * np.sin(2.0 * np.pi * cycles * t / n)
+    y = line.run(x)
+    spectrum = compute_spectrum(y[2:], clock)
+    metrics = measure_tone(spectrum, fundamental_frequency=cycles * clock / n)
+    return metrics.thd_db, metrics.signal_amplitude
+
+
+def test_bench_clock_scaling(benchmark):
+    def experiment():
+        # The on-die test structure (small GGA bias, calibrated to the
+        # Table 1 THD).
+        test_structure = delay_line_cell_config(sample_rate=5e6).noiseless()
+        rows = []
+        for clock in CLOCKS:
+            thd, amplitude = _thd_at(test_structure, clock)
+            rows.append((clock, thd, amplitude))
+        f_knee = max_clock_for_accuracy(test_structure, target_error=0.01)
+        # A video-grade cell: the modulator-class GGA bias (the [14]
+        # design direction -- spend bias current to buy clock rate).
+        video_cell = paper_cell_config(sample_rate=5e6).noiseless()
+        video_thd, _ = _thd_at(video_cell, 20e6)
+        return rows, f_knee, video_thd
+
+    rows, f_video, video_thd = run_once(benchmark, experiment)
+
+    table = Table(
+        "Delay-line THD vs clock frequency (8 uA input, fixed device tau)",
+        ("clock", "THD", "amplitude"),
+    )
+    for clock, thd, amplitude in rows:
+        marker = "  <-- chip" if clock == 5e6 else ""
+        table.add_row(
+            f"{clock / 1e6:.1f} MHz",
+            f"{thd:.1f} dB{marker}",
+            f"{amplitude * 1e6:.2f} uA",
+        )
+    print()
+    print(table.render())
+    print(f"analytic 1%-settling clock limit: {f_video / 1e6:.1f} MHz")
+
+    thd_by_clock = {clock: thd for clock, thd, _ in rows}
+    comparison = PaperComparison()
+    comparison.add(
+        "Clock scaling",
+        "chip's 5 MHz point is comfortable",
+        "-50 dB-class THD",
+        f"{thd_by_clock[5e6]:.1f} dB",
+        thd_by_clock[5e6] < -40.0,
+    )
+    comparison.add(
+        "Clock scaling",
+        "video rates reachable with larger GGA bias ([14])",
+        "> 10 MHz usable",
+        f"modulator-grade cell at 20 MHz: THD {video_thd:.1f} dB",
+        video_thd < -35.0,
+    )
+    comparison.add(
+        "Clock scaling",
+        "settling knee exists",
+        "THD collapses at extreme clocks",
+        f"THD at 80 MHz {thd_by_clock[80e6]:.1f} dB",
+        thd_by_clock[80e6] > thd_by_clock[5e6] + 15.0,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["thd_5mhz"] = thd_by_clock[5e6]
+    benchmark.extra_info["thd_80mhz"] = thd_by_clock[80e6]
+    assert comparison.all_shapes_hold

@@ -1,0 +1,130 @@
+"""Experiment: Fig. 7 + Table 2 dynamic-range rows.
+
+"In Fig. 7 we show the measured signal/(noise+THD) versus the input
+current.  The signal was a 2-kHz sinusoidal, the clock frequency was
+2.45 MHz, and the oversampling ratio (OSR) was 128.  The measured
+dynamic range for both modulators was about 10.5 bits. ... It is also
+seen from Fig. 7 that the chopper stabilized SI modulator did not offer
+the performance superiority."
+
+The bench sweeps the input level for both modulators, plots the SNDR
+curves, extracts the dynamic range by the linear fit, and asserts:
+
+* both modulators land around 10 bits (far below the >13-bit
+  quantisation-limited ideal -- the thermal-noise limit);
+* the two curves coincide within a couple of dB everywhere (the
+  chopper's non-advantage).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SWEEP_FFT, run_once
+from repro.analysis.fitting import dynamic_range_from_sweep
+from repro.analysis.sweeps import run_amplitude_sweep
+from repro.config import (
+    MODULATOR_CLOCK,
+    MODULATOR_FULL_SCALE,
+    SIGNAL_BANDWIDTH,
+    paper_cell_config,
+)
+from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.reporting.figures import ascii_plot
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.systems.stimulus import coherent_frequency
+
+LEVELS_DB = [-60.0, -50.0, -40.0, -30.0, -25.0, -20.0, -15.0, -10.0, -6.0, -3.0, 0.0]
+
+
+def test_bench_fig7(benchmark):
+    def experiment():
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        frequency = coherent_frequency(2e3, MODULATOR_CLOCK, SWEEP_FFT)
+        sweeps = {}
+        for name, modulator in (
+            ("non-chopper", SIModulator2(cell_config=config)),
+            ("chopper", ChopperStabilizedSIModulator(cell_config=config)),
+        ):
+            sweeps[name] = run_amplitude_sweep(
+                modulator,
+                levels_db=LEVELS_DB,
+                full_scale=MODULATOR_FULL_SCALE,
+                signal_frequency=frequency,
+                sample_rate=MODULATOR_CLOCK,
+                n_samples=SWEEP_FFT,
+                bandwidth=SIGNAL_BANDWIDTH,
+                settle_samples=256,
+            )
+        return sweeps
+
+    sweeps = run_once(benchmark, experiment)
+
+    table = Table(
+        "Fig. 7: Signal/(Noise+THD) vs input level (0 dB = 6 uA)",
+        ("level", "non-chopper", "chopper"),
+    )
+    for index, level in enumerate(LEVELS_DB):
+        table.add_row(
+            f"{level:.0f} dB",
+            f"{sweeps['non-chopper'].sndr_db[index]:.1f} dB",
+            f"{sweeps['chopper'].sndr_db[index]:.1f} dB",
+        )
+    print()
+    print(table.render())
+    print(
+        ascii_plot(
+            np.array(LEVELS_DB),
+            sweeps["non-chopper"].sndr_db,
+            title="Fig. 7 (non-chopper): SNDR [dB] vs input level [dB]",
+            height=14,
+        )
+    )
+
+    dr = {
+        name: dynamic_range_from_sweep(sweep, max_level_db=-10.0)
+        for name, sweep in sweeps.items()
+    }
+    bits = {name: (value - 1.76) / 6.02 for name, value in dr.items()}
+    worst_gap = float(
+        np.max(np.abs(sweeps["non-chopper"].sndr_db - sweeps["chopper"].sndr_db))
+    )
+
+    comparison = PaperComparison()
+    for name in ("non-chopper", "chopper"):
+        comparison.add(
+            "Fig. 7 / Table 2",
+            f"dynamic range ({name})",
+            "63 dB / about 10.5 bits",
+            f"{dr[name]:.1f} dB / {bits[name]:.1f} bits",
+            9.0 < bits[name] < 11.5,
+        )
+    comparison.add(
+        "Fig. 7",
+        "chopper offers no superiority",
+        "curves coincide",
+        f"largest SNDR gap {worst_gap:.1f} dB",
+        worst_gap < 4.0,
+    )
+    comparison.add(
+        "Fig. 7",
+        "far below quantisation limit",
+        "ideal > 13 bits",
+        f"measured {bits['non-chopper']:.1f} bits",
+        bits["non-chopper"] < 12.0,
+    )
+    comparison.add(
+        "Fig. 7",
+        "noise-limited slope at low levels",
+        "1 dB per dB",
+        f"{(sweeps['non-chopper'].sndr_db[3] - sweeps['non-chopper'].sndr_db[1]) / 20.0:.2f} dB/dB",
+        0.8
+        < (sweeps["non-chopper"].sndr_db[3] - sweeps["non-chopper"].sndr_db[1]) / 20.0
+        < 1.2,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["dr_db_non_chopper"] = dr["non-chopper"]
+    benchmark.extra_info["dr_db_chopper"] = dr["chopper"]
+    benchmark.extra_info["dr_bits_non_chopper"] = bits["non-chopper"]
+    assert comparison.all_shapes_hold

@@ -1,0 +1,77 @@
+"""Experiment: Eqs. (1)-(2) -- minimum supply voltage.
+
+"From Eqs. (1) and (2) it is seen that the use of low power supply
+voltage, say 3.3 V, is possible, given the threshold voltages around
+1 V, even with large input currents."
+
+The bench sweeps the modulation index, prints the two constraints, and
+asserts the feasibility claim -- plus the converse: at 1 V thresholds a
+2.5 V supply is NOT enough at high modulation, which is what makes the
+analysis non-trivial.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.devices.process import CMOS_08UM
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.si.headroom import HeadroomAnalysis
+
+
+def test_bench_headroom(benchmark):
+    def experiment():
+        analysis = HeadroomAnalysis(process=CMOS_08UM)
+        modulation_indices = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0]
+        budgets = [analysis.evaluate(m) for m in modulation_indices]
+        max_mi_at_3v3 = analysis.max_modulation_index(3.3)
+        max_mi_at_2v5 = analysis.max_modulation_index(2.5)
+        return budgets, max_mi_at_3v3, max_mi_at_2v5
+
+    budgets, max_mi_3v3, max_mi_2v5 = run_once(benchmark, experiment)
+
+    table = Table(
+        "Eqs. (1)-(2): minimum supply voltage vs. modulation index",
+        ("m_i", "Eq.1 (GGA branch)", "Eq.2 (memory branch)", "V_dd,min", "3.3 V ok"),
+    )
+    for budget in budgets:
+        table.add_row(
+            f"{budget.modulation_index:.1f}",
+            f"{budget.vdd_min_gga_branch:.2f} V",
+            f"{budget.vdd_min_memory_branch:.2f} V",
+            f"{budget.vdd_min:.2f} V",
+            "yes" if budget.feasible_at(3.3) else "NO",
+        )
+    print()
+    print(table.render())
+    print(f"largest feasible m_i at 3.3 V: {max_mi_3v3:.1f}")
+    print(f"largest feasible m_i at 2.5 V: {max_mi_2v5:.1f}")
+
+    comparison = PaperComparison()
+    comparison.add(
+        "Eqs. 1-2",
+        "3.3 V feasible at m_i = 4 (large input)",
+        "feasible",
+        f"V_dd,min = {budgets[4].vdd_min:.2f} V",
+        budgets[4].feasible_at(3.3),
+    )
+    comparison.add(
+        "Eqs. 1-2",
+        "headroom grows with modulation index",
+        "monotone",
+        "monotone" if all(
+            budgets[i].vdd_min <= budgets[i + 1].vdd_min for i in range(len(budgets) - 1)
+        ) else "NON-MONOTONE",
+        all(budgets[i].vdd_min <= budgets[i + 1].vdd_min for i in range(len(budgets) - 1)),
+    )
+    comparison.add(
+        "Eqs. 1-2",
+        "analysis is non-trivial (2.5 V more restrictive)",
+        "m_i(2.5 V) < m_i(3.3 V)",
+        f"{max_mi_2v5:.1f} < {max_mi_3v3:.1f}",
+        max_mi_2v5 < max_mi_3v3,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["max_modulation_index_at_3v3"] = max_mi_3v3
+    assert comparison.all_shapes_hold

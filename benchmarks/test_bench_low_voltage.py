@@ -1,0 +1,79 @@
+"""Extension: the low-voltage design space (the authors' refs [14]-[15]).
+
+The paper's framing is that SI enables low-voltage analog on digital
+CMOS; the authors' follow-up [15] demonstrates a 1.2 V, 0.8 mW SI
+converter.  The bench drives the library's headroom + power models
+across the (supply, threshold) plane and recovers that trajectory:
+
+* 3.3 V closes comfortably at ~1 V thresholds (this paper);
+* 1.2 V cannot close at 1 V thresholds;
+* 1.2 V closes sub-milliwatt at ~0.35 V thresholds with scaled
+  overdrives ([15]'s design point).
+"""
+
+from benchmarks.conftest import run_once
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.systems.low_voltage import LowVoltageDesigner
+
+
+def test_bench_low_voltage(benchmark):
+    def experiment():
+        standard = LowVoltageDesigner()
+        scaled = LowVoltageDesigner(vdsat_scale=0.6)
+        grid = []
+        for supply in (3.3, 2.5, 1.8, 1.2):
+            for vt, designer in ((1.0, standard), (0.7, standard), (0.35, scaled)):
+                grid.append(designer.evaluate(supply, vt))
+        return grid
+
+    grid = run_once(benchmark, experiment)
+
+    table = Table(
+        "Low-voltage design space: feasibility and power",
+        ("V_dd", "V_T", "max m_i", "power", "feasible"),
+    )
+    for design in grid:
+        table.add_row(
+            f"{design.supply_voltage:.1f} V",
+            f"{design.threshold_voltage:.2f} V",
+            f"{design.max_modulation_index:.1f}",
+            f"{design.power * 1e3:.2f} mW" if design.feasible else "-",
+            "yes" if design.feasible else "NO",
+        )
+    print()
+    print(table.render())
+
+    by_point = {
+        (round(d.supply_voltage, 1), round(d.threshold_voltage, 2)): d for d in grid
+    }
+    comparison = PaperComparison()
+    comparison.add(
+        "Low voltage",
+        "this paper's point closes",
+        "3.3 V at V_T ~ 1 V",
+        f"max m_i {by_point[(3.3, 1.0)].max_modulation_index:.1f}",
+        by_point[(3.3, 1.0)].feasible
+        and by_point[(3.3, 1.0)].max_modulation_index > 1.0,
+    )
+    comparison.add(
+        "Low voltage",
+        "1.2 V impossible at 1 V thresholds",
+        "infeasible",
+        "infeasible" if not by_point[(1.2, 1.0)].feasible else "FEASIBLE",
+        not by_point[(1.2, 1.0)].feasible,
+    )
+    point_15 = by_point[(1.2, 0.35)]
+    comparison.add(
+        "Low voltage",
+        "[15]'s 1.2 V design point closes",
+        "1.2 V, sub-mW (0.8 mW reported)",
+        f"feasible, {point_15.power * 1e3:.2f} mW"
+        if point_15.feasible
+        else "infeasible",
+        point_15.feasible and point_15.power < 1.5e-3,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["power_1v2_mw"] = point_15.power * 1e3
+    assert comparison.all_shapes_hold

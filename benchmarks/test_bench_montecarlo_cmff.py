@@ -1,0 +1,82 @@
+"""Extension: Monte-Carlo sizing of the CMFF mirrors.
+
+The Fig. 2 technique's accuracy is set entirely by mirror matching.
+The bench runs Pelgrom-mismatch Monte Carlo across device area and
+reports the residual common-mode gain statistics -- the sizing table a
+designer adopting CMFF actually needs -- and checks the Pelgrom
+1/sqrt(area) scaling.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.devices.mismatch import PelgromMismatch
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.systems.montecarlo import CmffMonteCarlo
+
+AREAS_UM2 = [4.0, 16.0, 64.0, 256.0]
+
+
+def test_bench_montecarlo_cmff(benchmark):
+    def experiment():
+        study = CmffMonteCarlo(
+            mismatch=PelgromMismatch(rng=np.random.default_rng(42)),
+            n_trials=400,
+        )
+        return study.area_sweep(AREAS_UM2)
+
+    results = run_once(benchmark, experiment)
+
+    table = Table(
+        "CMFF residual common-mode gain vs mirror device area (400 trials)",
+        ("area", "median", "p90", "p99"),
+    )
+    for area, summary in results:
+        table.add_row(
+            f"{area:.0f} um^2",
+            f"{summary.median * 100:.3f} %",
+            f"{summary.p90 * 100:.3f} %",
+            f"{summary.p99 * 100:.3f} %",
+        )
+    print()
+    print(table.render())
+
+    medians = [summary.median for _, summary in results]
+    # Pelgrom: each 4x area step should halve the spread (allow slack
+    # for Monte-Carlo noise).
+    scaling_ratio = medians[0] / medians[-1]
+    expected_ratio = math.sqrt(AREAS_UM2[-1] / AREAS_UM2[0])
+
+    comparison = PaperComparison()
+    comparison.add(
+        "CMFF Monte Carlo",
+        "rejection improves with area",
+        "monotone",
+        "monotone"
+        if all(medians[i] > medians[i + 1] for i in range(len(medians) - 1))
+        else "NON-MONOTONE",
+        all(medians[i] > medians[i + 1] for i in range(len(medians) - 1)),
+    )
+    comparison.add(
+        "CMFF Monte Carlo",
+        "Pelgrom 1/sqrt(area) scaling",
+        f"~{expected_ratio:.0f}x over the sweep",
+        f"{scaling_ratio:.1f}x",
+        0.4 * expected_ratio < scaling_ratio < 2.5 * expected_ratio,
+    )
+    largest = results[-1][1]
+    comparison.add(
+        "CMFF Monte Carlo",
+        "practical sizing reaches sub-percent residue",
+        "median < 0.5 % at large area",
+        f"median {largest.median * 100:.3f} %, p90 {largest.p90 * 100:.3f} % "
+        f"at {AREAS_UM2[-1]:.0f} um^2",
+        largest.median < 0.005 and largest.p90 < 0.015,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["median_residue_64um2"] = results[2][1].median
+    assert comparison.all_shapes_hold

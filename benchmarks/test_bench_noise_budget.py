@@ -1,0 +1,145 @@
+"""Experiment: Section V noise-budget arithmetic.
+
+The paper's analysis chain, reproduced number for number:
+
+* delay line: "The calculated rms noise current in this design was
+  about 33 nA.  With an input current of 16 uA, the delay line would
+  deliver a SNR about 54 dB.  The measured SNR was about 50 dB."
+* modulators: "with a peak input current 6 uA, the modulators would
+  achieve a dynamic range of 45 dB.  Oversampling by a factor of 128
+  increased the dynamic range by 21 dB.  Therefore, the modulators
+  could achieve a dynamic range of 66 dB.  The measured value was about
+  63 dB. ... Therefore it is confirmed that the dynamic range was
+  mainly limited by the noise in the SI circuits not by the
+  quantization noise."
+
+The bench evaluates the analytic budget, cross-checks it against the
+simulated noise floors, and asserts the dominance conclusion.
+"""
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.config import (
+    MODULATOR_FULL_SCALE,
+    OVERSAMPLING_RATIO,
+    THERMAL_NOISE_RMS,
+    delay_line_cell_config,
+    paper_cell_config,
+)
+from repro.deltasigma.predictions import (
+    expected_dynamic_range_db,
+    oversampling_gain_db,
+    thermal_limited_dynamic_range_db,
+)
+from repro.noise.quantization import QuantizationNoiseModel
+from repro.noise.thermal import MemoryCellThermalNoise
+from repro.reporting.records import PaperComparison
+from repro.si.delay_line import DelayLine
+
+
+def test_bench_noise_budget(benchmark):
+    def experiment():
+        # Physics: 33 nA from plausible 0.8 um parameters.
+        physics = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15)
+
+        # Paper arithmetic.
+        base_dr = thermal_limited_dynamic_range_db(
+            MODULATOR_FULL_SCALE, THERMAL_NOISE_RMS, 1.0
+        )
+        osr_gain = oversampling_gain_db(OVERSAMPLING_RATIO)
+        budget = expected_dynamic_range_db(
+            MODULATOR_FULL_SCALE, THERMAL_NOISE_RMS, OVERSAMPLING_RATIO
+        )
+        delay_snr_calc = 20.0 * math.log10(16e-6 / THERMAL_NOISE_RMS)
+
+        # Simulation cross-check of the delay-line noise floor.
+        line = DelayLine(delay_line_cell_config(), n_cells=2)
+        simulated_noise = float(np.std(line.run(np.zeros(1 << 13))[2:]))
+
+        quant = QuantizationNoiseModel(
+            order=2,
+            full_scale=MODULATOR_FULL_SCALE,
+            oversampling_ratio=OVERSAMPLING_RATIO,
+        )
+        thermal_inband = THERMAL_NOISE_RMS / math.sqrt(OVERSAMPLING_RATIO)
+        return (
+            physics.current_noise_rms,
+            base_dr,
+            osr_gain,
+            budget,
+            delay_snr_calc,
+            simulated_noise,
+            quant.inband_noise_rms,
+            thermal_inband,
+        )
+
+    (
+        physics_rms,
+        base_dr,
+        osr_gain,
+        budget,
+        delay_snr_calc,
+        simulated_noise,
+        quant_inband,
+        thermal_inband,
+    ) = run_once(benchmark, experiment)
+
+    comparison = PaperComparison()
+    comparison.add(
+        "Section V",
+        "thermal floor from device physics",
+        "about 33 nA",
+        f"{physics_rms * 1e9:.1f} nA (gm=100 uS, Cgs=25 fF)",
+        28e-9 < physics_rms < 38e-9,
+    )
+    comparison.add(
+        "Section V",
+        "simulated delay-line floor",
+        "33 nA",
+        f"{simulated_noise * 1e9:.1f} nA",
+        28e-9 < simulated_noise < 38e-9,
+    )
+    comparison.add(
+        "Section V",
+        "DR before oversampling",
+        "45 dB",
+        f"{base_dr:.1f} dB",
+        abs(base_dr - 45.2) < 1.0,
+    )
+    comparison.add(
+        "Section V",
+        "oversampling gain (OSR 128)",
+        "21 dB",
+        f"{osr_gain:.1f} dB",
+        abs(osr_gain - 21.07) < 0.1,
+    )
+    comparison.add(
+        "Section V",
+        "predicted DR",
+        "66 dB",
+        f"{budget['thermal_db']:.1f} dB",
+        abs(budget["thermal_db"] - 66.3) < 1.0,
+    )
+    comparison.add(
+        "Section V",
+        "delay-line SNR (calc, peak-to-peak)",
+        "about 54 dB",
+        f"{delay_snr_calc:.1f} dB",
+        abs(delay_snr_calc - 53.7) < 1.0,
+    )
+    comparison.add(
+        "Section V",
+        "thermal dominates quantisation in band",
+        "thermal >> quantisation",
+        f"thermal {thermal_inband * 1e9:.2f} nA vs quantisation {quant_inband * 1e9:.3f} nA",
+        thermal_inband > 3.0 * quant_inband,
+    )
+    print()
+    print(comparison.render("Section V noise budget: paper arithmetic vs model"))
+
+    benchmark.extra_info["predicted_dr_db"] = budget["thermal_db"]
+    benchmark.extra_info["physics_noise_na"] = physics_rms * 1e9
+    assert comparison.all_shapes_hold

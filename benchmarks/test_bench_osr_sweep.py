@@ -1,0 +1,110 @@
+"""Ablation F: SNR versus oversampling ratio -- the thermal ceiling.
+
+The sharpest signature of the paper's central claim ("the dynamic
+range was mainly limited by the noise in the SI circuits not by the
+quantization noise"):
+
+* a quantisation-limited second-order modulator gains **15 dB per
+  octave** of OSR;
+* a white-noise(thermal)-limited one gains only **3 dB per octave**.
+
+The bench sweeps the analysis bandwidth (equivalent to sweeping OSR at
+fixed clock) for the ideal loop and the calibrated SI loop.  The ideal
+loop shows the steep quantisation slope throughout; the SI loop's
+slope collapses to ~3 dB/octave once the shaped quantisation noise
+falls below the flat thermal floor -- at the paper's OSR of 128 it is
+deep inside the thermal regime.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.config import MODULATOR_CLOCK, paper_cell_config
+from repro.deltasigma.ideal import IdealSecondOrderModulator
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+
+#: Analysis bandwidths, each half the previous: one octave of OSR apart.
+BANDWIDTHS = [153.1e3, 76.6e3, 38.3e3, 19.1e3, 9.6e3]
+
+
+def test_bench_osr_sweep(benchmark):
+    def experiment():
+        n = 1 << 16
+        t = np.arange(n)
+        cycles = 53
+        x = 3e-6 * np.sin(2.0 * np.pi * cycles * t / n)
+        f0 = cycles * MODULATOR_CLOCK / n
+
+        spectra = {
+            "ideal": compute_spectrum(
+                IdealSecondOrderModulator()(x), MODULATOR_CLOCK
+            ),
+            "si": compute_spectrum(
+                SIModulator2(paper_cell_config(sample_rate=MODULATOR_CLOCK))(x),
+                MODULATOR_CLOCK,
+            ),
+        }
+        rows = []
+        for bandwidth in BANDWIDTHS:
+            osr = MODULATOR_CLOCK / (2.0 * bandwidth)
+            snr = {
+                name: measure_tone(
+                    spectrum, fundamental_frequency=f0, bandwidth=bandwidth
+                ).snr_db
+                for name, spectrum in spectra.items()
+            }
+            rows.append((osr, snr["ideal"], snr["si"]))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = Table(
+        "Ablation F: SNR vs OSR at -6 dB input (octave steps)",
+        ("OSR", "ideal loop", "SI loop", "ideal slope", "SI slope"),
+    )
+    for index, (osr, ideal_snr, si_snr) in enumerate(rows):
+        if index == 0:
+            slopes = ("-", "-")
+        else:
+            slopes = (
+                f"{ideal_snr - rows[index - 1][1]:+.1f} dB/oct",
+                f"{si_snr - rows[index - 1][2]:+.1f} dB/oct",
+            )
+        table.add_row(f"{osr:.0f}", f"{ideal_snr:.1f} dB", f"{si_snr:.1f} dB", *slopes)
+    print()
+    print(table.render())
+
+    ideal_last_octave = rows[-1][1] - rows[-2][1]
+    si_last_octave = rows[-1][2] - rows[-2][2]
+
+    comparison = PaperComparison()
+    comparison.add(
+        "Ablation F",
+        "ideal loop gains ~15 dB/octave",
+        "quantisation-limited slope",
+        f"{ideal_last_octave:+.1f} dB over the last octave",
+        10.0 < ideal_last_octave < 20.0,
+    )
+    comparison.add(
+        "Ablation F",
+        "SI loop gains only ~3 dB/octave at high OSR",
+        "thermal-limited slope",
+        f"{si_last_octave:+.1f} dB over the last octave",
+        0.0 < si_last_octave < 7.0,
+    )
+    comparison.add(
+        "Ablation F",
+        "paper's OSR 128 sits in the thermal regime",
+        "SI far below ideal at OSR 128",
+        f"gap {rows[-1][1] - rows[-1][2]:.1f} dB",
+        rows[-1][1] - rows[-1][2] > 15.0,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["ideal_slope_db_per_octave"] = ideal_last_octave
+    benchmark.extra_info["si_slope_db_per_octave"] = si_last_octave
+    assert comparison.all_shapes_hold

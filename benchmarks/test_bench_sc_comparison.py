@@ -1,0 +1,100 @@
+"""Experiment: the paper's closing SI-versus-SC comparison.
+
+    "The thermal noise in SC circuits is usually much smaller due to
+    the larger storage capacitance.  SC circuits can usually deliver
+    higher dynamic range than SI circuits.  But SC circuits need
+    double-poly CMOS process ... The SI technique is an inexpensive
+    alternative to the SC technique for medium accuracy applications."
+
+The bench quantifies this two ways: analytically (the trade-off table
+of dynamic range versus storage capacitance) and by simulation (an SC
+second-order modulator with pF capacitors against the calibrated SI
+modulator, same loop, same stimulus, same metrology).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.config import MODULATOR_CLOCK, SIGNAL_BANDWIDTH, paper_cell_config
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.sc.modulator import ScModulator2
+from repro.sc.tradeoff import ScSiTradeoff
+
+
+def test_bench_sc_comparison(benchmark):
+    def experiment():
+        tradeoff = ScSiTradeoff()
+        points = tradeoff.sweep([0.25e-12, 1e-12, 2.5e-12, 10e-12])
+
+        n = 1 << 15
+        t = np.arange(n)
+        x = 3e-6 * np.sin(2.0 * np.pi * 13 * t / n)
+        f0 = 13 * MODULATOR_CLOCK / n
+
+        def snr(modulator):
+            spectrum = compute_spectrum(modulator(x), MODULATOR_CLOCK)
+            return measure_tone(
+                spectrum, fundamental_frequency=f0, bandwidth=SIGNAL_BANDWIDTH
+            ).snr_db
+
+        si_snr = snr(SIModulator2(paper_cell_config(sample_rate=MODULATOR_CLOCK)))
+        sc_snr = snr(ScModulator2(capacitance=2.5e-12))
+        return points, si_snr, sc_snr
+
+    points, si_snr, sc_snr = run_once(benchmark, experiment)
+
+    table = Table(
+        "SI vs SC: analytic dynamic range at OSR 128 (6 uA full scale)",
+        ("technology", "noise rms", "DR", "double-poly?"),
+    )
+    for point in points:
+        table.add_row(
+            point.label,
+            f"{point.noise_rms * 1e9:.1f} nA",
+            f"{point.dynamic_range_db:.1f} dB ({point.dynamic_range_bits:.1f} b)",
+            "yes" if point.needs_double_poly else "no",
+        )
+    print()
+    print(table.render())
+    print(f"simulated SNR at -6 dB: SI {si_snr:.1f} dB, SC (2.5 pF) {sc_snr:.1f} dB")
+
+    si_point = points[0]
+    comparison = PaperComparison()
+    comparison.add(
+        "SI vs SC",
+        "SC delivers higher DR",
+        "SC > SI",
+        f"SC(2.5 pF) {points[3 - 1].dynamic_range_db:.1f} dB vs "
+        f"SI {si_point.dynamic_range_db:.1f} dB",
+        points[2].dynamic_range_db > si_point.dynamic_range_db + 6.0,
+    )
+    comparison.add(
+        "SI vs SC",
+        "simulation agrees",
+        "SC SNR > SI SNR",
+        f"{sc_snr:.1f} dB vs {si_snr:.1f} dB",
+        sc_snr > si_snr + 6.0,
+    )
+    comparison.add(
+        "SI vs SC",
+        "SI is the single-poly (inexpensive) option",
+        "no double-poly",
+        "single-poly" if not si_point.needs_double_poly else "DOUBLE-POLY",
+        not si_point.needs_double_poly,
+    )
+    comparison.add(
+        "SI vs SC",
+        "SI sits at medium accuracy",
+        "~10-11 bits",
+        f"{si_point.dynamic_range_bits:.1f} bits",
+        9.5 < si_point.dynamic_range_bits < 11.5,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["si_snr_db"] = si_snr
+    benchmark.extra_info["sc_snr_db"] = sc_snr
+    assert comparison.all_shapes_hold

@@ -1,0 +1,80 @@
+"""Experiment: Section IV signal-swing claim.
+
+"System simulation indicates that both modulators of Figs. 3 (a) and
+3 (b) only require a signal range in both integrators and
+differentiators slightly larger than twice the full-scale input range.
+Therefore, both modulators of Fig. 3 are good candidates for VLSI
+implementation where signal range is restricted."
+
+The bench records the internal state traces over an input-level sweep
+up to the paper's -6 dB operating point and checks the 2x bound.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.config import MODULATOR_CLOCK, MODULATOR_FULL_SCALE, paper_cell_config
+from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+
+
+def test_bench_signal_swing(benchmark):
+    def experiment():
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        n = 1 << 13
+        t = np.arange(n)
+        levels_db = [-20.0, -12.0, -6.0]
+        rows = []
+        for level_db in levels_db:
+            amplitude = MODULATOR_FULL_SCALE * 10.0 ** (level_db / 20.0)
+            x = amplitude * np.sin(2.0 * np.pi * 13 * t / n)
+            si = SIModulator2(config)
+            si.reset()
+            trace_si = si.run(x, record_states=True)
+            chop = ChopperStabilizedSIModulator(config)
+            chop.reset()
+            trace_chop = chop.run(x, record_states=True)
+            rows.append(
+                (
+                    level_db,
+                    trace_si.max_state_swing / MODULATOR_FULL_SCALE,
+                    trace_chop.max_state_swing / MODULATOR_FULL_SCALE,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    table = Table(
+        "Section IV: internal state swing (in units of the 6 uA full scale)",
+        ("input level", "Fig. 3(a) integrators", "Fig. 3(b) differentiators"),
+    )
+    for level_db, swing_si, swing_chop in rows:
+        table.add_row(f"{level_db:.0f} dB", f"{swing_si:.2f} x FS", f"{swing_chop:.2f} x FS")
+    print()
+    print(table.render())
+
+    comparison = PaperComparison()
+    swing_si_at_op = rows[-1][1]
+    swing_chop_at_op = rows[-1][2]
+    comparison.add(
+        "Section IV",
+        "integrator swing at -6 dB",
+        "slightly > 2x FS",
+        f"{swing_si_at_op:.2f}x FS",
+        1.5 < swing_si_at_op < 2.5,
+    )
+    comparison.add(
+        "Section IV",
+        "differentiator swing at -6 dB",
+        "slightly > 2x FS",
+        f"{swing_chop_at_op:.2f}x FS",
+        1.5 < swing_chop_at_op < 2.5,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["si_swing_x_fs"] = swing_si_at_op
+    benchmark.extra_info["chopper_swing_x_fs"] = swing_chop_at_op
+    assert comparison.all_shapes_hold

@@ -1,0 +1,139 @@
+"""Experiment: Table 1 -- performance of the delay line.
+
+    Process                     0.8 um single-poly CMOS
+    Chip area                   0.06 mm^2
+    Power supply voltage        3.3 V
+    Power dissipation           0.7 mW
+    Sampling frequency          5 MHz
+    THD (5 kHz, 8 uA)           -50 dB
+    SNR (bandwidth 2.5 MHz)     50 dB
+
+The bench drives the calibrated two-cell delay line at the Table 1
+operating point, measures THD and SNR with the paper's 64K-point
+Blackman FFT, reports the power model's estimate, and additionally
+reproduces the *sentence* behaviour: "when we further increased the
+input, the THD increased due to the slewing in the GGAs".
+
+SNR conventions: the paper's calculated "about 54 dB" is
+20 log10(16 uA / 33 nA) -- the 16 uA peak-to-peak of the 8 uA tone over
+the wideband noise -- and its measured 50 dB matches the same
+peak-to-peak convention against the two-cell noise (46.7 nA).  The FFT
+measurement here reports the rms-signal SNR, 9 dB below the
+peak-to-peak convention; both are printed.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FULL_FFT, run_once
+from repro.config import (
+    DELAY_LINE_BANDWIDTH,
+    DELAY_LINE_CLOCK,
+    SUPPLY_VOLTAGE,
+    delay_line_cell_config,
+)
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.si.delay_line import DelayLine
+from repro.si.power import ClassKind, PowerModel
+from repro.systems.testbench import TestBench
+
+
+def test_bench_table1(benchmark):
+    def experiment():
+        config = delay_line_cell_config(sample_rate=DELAY_LINE_CLOCK)
+        bench = TestBench(
+            sample_rate=DELAY_LINE_CLOCK,
+            n_samples=FULL_FFT,
+            bandwidth=DELAY_LINE_BANDWIDTH,
+        )
+
+        def make_device():
+            line = DelayLine(config, n_cells=2)
+
+            def device(x):
+                line.reset()
+                return line.run(x)
+
+            return device
+
+        # Table 1 operating point: 5 kHz, 8 uA.
+        at_8ua = bench.measure(make_device(), amplitude=8e-6, frequency=5e3)
+        # Larger input: the slewing regime.
+        at_16ua = bench.measure(make_device(), amplitude=16e-6, frequency=5e3)
+
+        # Wideband output noise for the SNR conventions.
+        line = DelayLine(config, n_cells=2)
+        noise_rms = float(np.std(line.run(np.zeros(1 << 13))[2:]))
+
+        power_model = PowerModel(
+            supply_voltage=SUPPLY_VOLTAGE,
+            quiescent_current=config.quiescent_current,
+            gga_bias_current=config.gga.bias_current,
+        )
+        # Clock drivers, bias distribution and the output buffer of the
+        # test structure (it drives a pad at 5 MHz).
+        power_model.add_block("clock-bias-and-pad", 160e-6)
+        power = power_model.system_power(
+            n_cells=2, kind=ClassKind.CLASS_AB, modulation_index=4.0
+        )
+        return at_8ua, at_16ua, noise_rms, power
+
+    at_8ua, at_16ua, noise_rms, power = run_once(benchmark, experiment)
+
+    snr_pp_convention = 20.0 * np.log10(16e-6 / noise_rms)
+
+    table = Table("Table 1. Performance of the delay line", ("quantity", "paper", "measured"))
+    table.add_row("Process", "0.8 um single-poly CMOS", "behavioural model (CMOS_08UM)")
+    table.add_row("Power supply voltage", "3.3 V", f"{SUPPLY_VOLTAGE:.1f} V")
+    table.add_row("Power dissipation", "0.7 mW", f"{power * 1e3:.2f} mW")
+    table.add_row("Sampling frequency", "5 MHz", "5 MHz")
+    table.add_row("THD (5 kHz, 8 uA)", "-50 dB", f"{at_8ua.thd_db:.1f} dB")
+    table.add_row("SNR (bandwidth 2.5 MHz)", "50 dB", f"{snr_pp_convention:.1f} dB (p-p conv.)")
+    table.add_row("SNR (rms convention)", "-", f"{at_8ua.snr_db:.1f} dB")
+    table.add_row("wideband noise", "33 nA (calc)", f"{noise_rms * 1e9:.1f} nA")
+    print()
+    print(table.render())
+
+    comparison = PaperComparison()
+    comparison.add(
+        "Table 1",
+        "THD at 8 uA / 5 kHz",
+        "< -50 dB (about)",
+        f"{at_8ua.thd_db:.1f} dB",
+        -56.0 < at_8ua.thd_db < -44.0,
+    )
+    comparison.add(
+        "Table 1",
+        "THD increases past 8 uA (GGA slewing)",
+        "increases",
+        f"{at_8ua.thd_db:.1f} -> {at_16ua.thd_db:.1f} dB",
+        at_16ua.thd_db > at_8ua.thd_db + 6.0,
+    )
+    comparison.add(
+        "Table 1",
+        "SNR (peak-to-peak convention)",
+        "50 dB",
+        f"{snr_pp_convention:.1f} dB",
+        46.0 < snr_pp_convention < 54.0,
+    )
+    comparison.add(
+        "Table 1",
+        "wideband noise floor",
+        "33 nA",
+        f"{noise_rms * 1e9:.1f} nA",
+        26e-9 < noise_rms < 40e-9,
+    )
+    comparison.add(
+        "Table 1",
+        "power dissipation",
+        "0.7 mW",
+        f"{power * 1e3:.2f} mW",
+        0.2e-3 < power < 1.5e-3,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["thd_8ua_db"] = at_8ua.thd_db
+    benchmark.extra_info["thd_16ua_db"] = at_16ua.thd_db
+    benchmark.extra_info["snr_pp_db"] = snr_pp_convention
+    benchmark.extra_info["power_mw"] = power * 1e3
+    assert comparison.all_shapes_hold

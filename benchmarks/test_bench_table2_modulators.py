@@ -1,0 +1,117 @@
+"""Experiment: Table 2 -- performance of the SI modulators.
+
+    Process          single-poly CMOS      single-poly CMOS
+    Chip area        0.26 mm^2             0.24 mm^2
+    supply voltage   3.3 V                 3.3 V
+    Power diss.      3.2 mW                3.2 mW
+    Clock freq.      2.45 MHz              2.45 MHz
+    OSR              128                   128
+    Signal band.     9.6 KHz               9.6 KHz
+    0-dB level       6 uA                  6 uA
+    Dynamic range    10.5 bits             10.5 bits
+                     (chopper-stabilized)  (non chopper-stab.)
+
+The bench runs both modulators at the -6 dB operating point, extracts
+the dynamic range from a compact level sweep, reports the power model's
+estimate, and renders the table side by side with the paper's values.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SWEEP_FFT, run_once
+from repro.analysis.fitting import dynamic_range_from_sweep
+from repro.analysis.sweeps import run_amplitude_sweep
+from repro.config import (
+    MODULATOR_CLOCK,
+    MODULATOR_FULL_SCALE,
+    OVERSAMPLING_RATIO,
+    SIGNAL_BANDWIDTH,
+    SUPPLY_VOLTAGE,
+    paper_cell_config,
+)
+from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.systems.chip import TestChip
+from repro.systems.stimulus import coherent_frequency
+
+LEVELS_DB = [-50.0, -40.0, -30.0, -20.0, -10.0]
+
+
+def test_bench_table2(benchmark):
+    def experiment():
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        frequency = coherent_frequency(2e3, MODULATOR_CLOCK, SWEEP_FFT)
+        results = {}
+        for name, modulator in (
+            ("chopper-stabilized", ChopperStabilizedSIModulator(cell_config=config)),
+            ("non chopper-stab.", SIModulator2(cell_config=config)),
+        ):
+            sweep = run_amplitude_sweep(
+                modulator,
+                levels_db=LEVELS_DB,
+                full_scale=MODULATOR_FULL_SCALE,
+                signal_frequency=frequency,
+                sample_rate=MODULATOR_CLOCK,
+                n_samples=SWEEP_FFT,
+                bandwidth=SIGNAL_BANDWIDTH,
+                settle_samples=256,
+            )
+            results[name] = dynamic_range_from_sweep(sweep, max_level_db=-10.0)
+        chip = TestChip(config)
+        power = chip.modulator_power()
+        return results, power
+
+    dr, power = run_once(benchmark, experiment)
+    bits = {name: (value - 1.76) / 6.02 for name, value in dr.items()}
+
+    table = Table(
+        "Table 2. Performance of the SI Modulators",
+        ("quantity", "chopper-stabilized", "non chopper-stab.", "paper (both)"),
+    )
+    table.add_row("Process", "behavioural", "behavioural", "single-poly CMOS")
+    table.add_row("supply voltage", f"{SUPPLY_VOLTAGE} V", f"{SUPPLY_VOLTAGE} V", "3.3 V")
+    table.add_row("Power diss.", f"{power * 1e3:.1f} mW", f"{power * 1e3:.1f} mW", "3.2 mW")
+    table.add_row("Clock freq.", "2.45 MHz", "2.45 MHz", "2.45 MHz")
+    table.add_row("OSR", str(OVERSAMPLING_RATIO), str(OVERSAMPLING_RATIO), "128")
+    table.add_row("Signal band.", "9.6 kHz", "9.6 kHz", "9.6 KHz")
+    table.add_row("0-dB level", "6 uA", "6 uA", "6 uA")
+    table.add_row(
+        "Dynamic range",
+        f"{bits['chopper-stabilized']:.1f} bits",
+        f"{bits['non chopper-stab.']:.1f} bits",
+        "10.5 bits",
+    )
+    print()
+    print(table.render())
+
+    comparison = PaperComparison()
+    for name in ("chopper-stabilized", "non chopper-stab."):
+        comparison.add(
+            "Table 2",
+            f"dynamic range ({name})",
+            "10.5 bits",
+            f"{bits[name]:.1f} bits",
+            9.0 < bits[name] < 11.5,
+        )
+    comparison.add(
+        "Table 2",
+        "both modulators equal DR",
+        "identical rows",
+        f"delta {abs(dr['chopper-stabilized'] - dr['non chopper-stab.']):.1f} dB",
+        abs(dr["chopper-stabilized"] - dr["non chopper-stab."]) < 3.0,
+    )
+    comparison.add(
+        "Table 2",
+        "power dissipation",
+        "3.2 mW",
+        f"{power * 1e3:.1f} mW",
+        1.0e-3 < power < 6.0e-3,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["dr_bits_chopper"] = bits["chopper-stabilized"]
+    benchmark.extra_info["dr_bits_non_chopper"] = bits["non chopper-stab."]
+    benchmark.extra_info["power_mw"] = power * 1e3
+    assert comparison.all_shapes_hold

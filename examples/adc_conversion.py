@@ -1,0 +1,63 @@
+"""Use the library as a downstream user would: a complete A/D converter.
+
+Wires the calibrated SI modulator to a sinc^3 decimator at the paper's
+operating point (2.45 MHz clock, OSR 128, 9.6 kHz signal band) and
+converts an audio-band waveform -- a two-tone signal -- to digital
+samples, then checks the reconstruction.
+
+Run with::
+
+    python examples/adc_conversion.py
+"""
+
+import numpy as np
+
+from repro.config import MODULATOR_CLOCK, MODULATOR_FULL_SCALE, paper_cell_config
+from repro.systems import AdcKind, OversamplingAdc
+
+
+def main() -> None:
+    adc = OversamplingAdc(
+        kind=AdcKind.CONVENTIONAL,
+        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK),
+    )
+    print("Oversampling SI A/D converter")
+    print(f"  modulator clock : {adc.sample_rate / 1e6:.2f} MHz")
+    print(f"  OSR             : {adc.oversampling_ratio}")
+    print(f"  output rate     : {adc.output_rate / 1e3:.2f} kS/s")
+    print(f"  signal band     : {adc.signal_bandwidth / 1e3:.2f} kHz")
+    print()
+
+    # A two-tone audio-band input at -12 dB each.
+    n = 1 << 17
+    t = np.arange(n) / adc.sample_rate
+    amplitude = 0.25 * MODULATOR_FULL_SCALE
+    f1, f2 = 1.1e3, 2.7e3
+    analog = amplitude * (
+        np.sin(2.0 * np.pi * f1 * t) + np.sin(2.0 * np.pi * f2 * t)
+    )
+
+    digital = adc.convert(analog)
+    print(f"converted {n} analog samples to {digital.shape[0]} digital samples")
+
+    # Reconstruction check: the decimated output contains both tones at
+    # the right amplitudes (in full-scale units).
+    spectrum = np.abs(np.fft.rfft(digital - np.mean(digital))) * 2.0 / digital.shape[0]
+    freqs = np.fft.rfftfreq(digital.shape[0], d=1.0 / adc.output_rate)
+    for f in (f1, f2):
+        bin_index = int(np.argmin(np.abs(freqs - f)))
+        window = spectrum[max(0, bin_index - 2) : bin_index + 3]
+        measured = float(np.max(window))
+        print(
+            f"  tone at {f / 1e3:.1f} kHz: expected 0.25 FS, "
+            f"measured {measured:.3f} FS"
+        )
+
+    rms_error_budget = 2.0 ** (-10.5)  # the paper's 10.5-bit dynamic range
+    print()
+    print(f"(10.5-bit converter: quantisation + noise floor about "
+          f"{rms_error_budget:.1e} of full scale)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""When does chopper stabilisation pay off?  The paper's negative result.
+
+The paper measured identical performance from its chopper-stabilised
+and conventional modulators, and explained why: the cells are
+second-generation (intrinsic correlated double sampling kills 1/f
+noise) and the floor is thermal.  This study re-runs the comparison in
+three noise regimes to recover the complete picture:
+
+1. the paper's condition (thermal only) -- chopper ties;
+2. a first-generation-like condition (strong 1/f, no CDS) -- chopper
+   wins big;
+3. 1/f with CDS -- CDS alone recovers most of the chopper's gain.
+
+Run with::
+
+    python examples/chopper_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.config import MODULATOR_CLOCK, SIGNAL_BANDWIDTH, paper_cell_config
+from repro.deltasigma import ChopperStabilizedSIModulator, SIModulator2
+from repro.reporting.tables import Table
+
+N_FFT = 1 << 14
+FLICKER_CORNER = 200e3
+
+
+def snr_pair(flicker_corner: float, cds: bool) -> tuple[float, float]:
+    """Return (non-chopper SNR, chopper SNR) for one noise regime."""
+    config = paper_cell_config(
+        sample_rate=MODULATOR_CLOCK,
+        flicker_corner_hz=flicker_corner,
+        cds_enabled=cds,
+    )
+    t = np.arange(N_FFT)
+    x = 3e-6 * np.sin(2.0 * np.pi * 13 * t / N_FFT)
+    f0 = 13 * MODULATOR_CLOCK / N_FFT
+    values = []
+    for modulator in (
+        SIModulator2(cell_config=config),
+        ChopperStabilizedSIModulator(cell_config=config),
+    ):
+        spectrum = compute_spectrum(modulator(x), MODULATOR_CLOCK)
+        values.append(
+            measure_tone(
+                spectrum, fundamental_frequency=f0, bandwidth=SIGNAL_BANDWIDTH
+            ).snr_db
+        )
+    return values[0], values[1]
+
+
+def main() -> None:
+    table = Table(
+        "Chopper stabilisation under three noise regimes (SNR in 10 kHz band)",
+        ("regime", "non-chopper", "chopper", "chopper gain"),
+    )
+    regimes = [
+        ("paper chip: thermal floor, CDS on", 0.0, True),
+        ("first-generation: 1/f corner, no CDS", FLICKER_CORNER, False),
+        ("second-generation: 1/f corner, CDS on", FLICKER_CORNER, True),
+    ]
+    for label, corner, cds in regimes:
+        plain, chopped = snr_pair(corner, cds)
+        table.add_row(
+            label, f"{plain:.1f} dB", f"{chopped:.1f} dB", f"{chopped - plain:+.1f} dB"
+        )
+    print(table.render())
+    print()
+    print("Conclusion (matching Section V of the paper): chopper stabilisation")
+    print("only helps when uncorrelated low-frequency noise dominates; the")
+    print("chip's CDS and thermal floor made it redundant -- 'an interesting")
+    print("alternative ... there was no penalty in complexity except for some")
+    print("chopper switches'.")
+
+
+if __name__ == "__main__":
+    main()

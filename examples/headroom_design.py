@@ -1,0 +1,59 @@
+"""Design-space exploration with the Eqs. (1)-(2) headroom calculator.
+
+Answers the designer's questions the paper's Section II raises:
+
+* how low can the supply go at a given modulation index?
+* how much signal swing does a 3.3 V (or 1.2 V) supply allow?
+* which constraint binds -- the GGA branch stack (Eq. 1) or the
+  complementary memory-pair V_gs stack (Eq. 2) -- and how does that
+  change with the threshold voltage?
+
+(The paper's own later work, cited as [15], built a 1.2 V SI converter;
+the low-V_T row shows why that needs a low-threshold process.)
+
+Run with::
+
+    python examples/headroom_design.py
+"""
+
+from repro.devices.process import CMOS_08UM
+from repro.reporting.tables import Table
+from repro.si import HeadroomAnalysis
+
+
+def main() -> None:
+    table = Table(
+        "Minimum supply voltage [V] vs modulation index and threshold voltage",
+        ("m_i", "V_T = 1.0 V", "V_T = 0.7 V", "V_T = 0.4 V", "binding (V_T=1.0)"),
+    )
+    analyses = {
+        vt: HeadroomAnalysis(process=CMOS_08UM.with_thresholds(vt, vt))
+        for vt in (1.0, 0.7, 0.4)
+    }
+    for m_i in (0.0, 1.0, 2.0, 4.0, 8.0):
+        budgets = {vt: analyses[vt].evaluate(m_i) for vt in analyses}
+        table.add_row(
+            f"{m_i:.0f}",
+            f"{budgets[1.0].vdd_min:.2f}",
+            f"{budgets[0.7].vdd_min:.2f}",
+            f"{budgets[0.4].vdd_min:.2f}",
+            budgets[1.0].binding_constraint,
+        )
+    print(table.render())
+    print()
+
+    for supply in (3.3, 2.5, 1.2):
+        for vt, analysis in analyses.items():
+            m_max = analysis.max_modulation_index(supply)
+            print(
+                f"V_dd = {supply:.1f} V, V_T = {vt:.1f} V: "
+                f"max modulation index = {m_max:.1f}"
+            )
+        print()
+    print("At ~1 V thresholds, 3.3 V supports large modulation indices --")
+    print("the paper's claim -- while 1.2 V operation (the authors' later")
+    print("work [15]) requires a low-threshold process.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Designer workflow: sizing the CMFF mirrors with Monte Carlo.
+
+The CMFF technique (Fig. 2) replaces the CMFB loop with three current
+mirrors, so its accuracy budget is entirely a matching question.  This
+example answers the sizing question a designer adopting the technique
+faces: how large must the mirror devices be for a target residual
+common-mode gain, at what yield?
+
+Run with::
+
+    python examples/montecarlo_sizing.py
+"""
+
+import numpy as np
+
+from repro.devices.mismatch import PelgromMismatch
+from repro.reporting.tables import Table
+from repro.systems.montecarlo import CmffMonteCarlo
+
+
+def main() -> None:
+    study = CmffMonteCarlo(
+        mismatch=PelgromMismatch(rng=np.random.default_rng(2024)),
+        n_trials=600,
+    )
+
+    areas = [4.0, 16.0, 64.0, 256.0, 1024.0]
+    table = Table(
+        "CMFF residual common-mode gain vs mirror area (600 Monte-Carlo trials)",
+        ("device area", "median", "p90 (yield point)", "p99"),
+    )
+    results = study.area_sweep(areas)
+    for area, summary in results:
+        table.add_row(
+            f"{area:.0f} um^2",
+            f"{summary.median * 100:.3f} %",
+            f"{summary.p90 * 100:.3f} %",
+            f"{summary.p99 * 100:.3f} %",
+        )
+    print(table.render())
+    print()
+
+    # Pick the smallest area meeting a 1 % p90 target.
+    target = 0.01
+    for area, summary in results:
+        if summary.p90 < target:
+            print(
+                f"Smallest swept area meeting p90 < {target * 100:.0f} %: "
+                f"{area:.0f} um^2 (p90 = {summary.p90 * 100:.3f} %)"
+            )
+            break
+    else:
+        print(f"No swept area meets p90 < {target * 100:.0f} %; extrapolate "
+              "with the Pelgrom 1/sqrt(area) law.")
+    print()
+    print("Residue scales as 1/sqrt(area) (Pelgrom): each 4x in area buys 2x")
+    print("in matching -- the area/accuracy trade the CMFF design lives on.")
+
+
+if __name__ == "__main__":
+    main()

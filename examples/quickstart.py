@@ -1,0 +1,40 @@
+"""Quickstart: simulate the paper's SI delta-sigma modulator in ~20 lines.
+
+Builds the calibrated second-order switched-current modulator at the
+test chip's operating point (2.45 MHz clock, 6 uA full scale), drives
+it with the paper's 2 kHz -6 dB test tone, and measures SNDR/THD with
+the same 64K-point Blackman-window FFT the authors used.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MODULATOR_CLOCK, SIGNAL_BANDWIDTH, paper_cell_config
+from repro.deltasigma import SIModulator2
+from repro.systems import TestBench
+
+
+def main() -> None:
+    modulator = SIModulator2(
+        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
+    )
+    bench = TestBench(
+        sample_rate=MODULATOR_CLOCK,
+        n_samples=1 << 16,
+        bandwidth=SIGNAL_BANDWIDTH,
+    )
+
+    result = bench.measure(modulator, amplitude=3e-6, frequency=2e3)
+
+    print("Second-order SI delta-sigma modulator (Fig. 3a of the paper)")
+    print(f"  clock          : {MODULATOR_CLOCK / 1e6:.2f} MHz")
+    print(f"  input          : {result.stimulus.frequency / 1e3:.2f} kHz, 3 uA (-6 dB)")
+    print(f"  analysis band  : {SIGNAL_BANDWIDTH / 1e3:.0f} kHz")
+    print(f"  SNDR           : {result.sndr_db:.1f} dB")
+    print(f"  SNR            : {result.snr_db:.1f} dB   (paper measured 58 dB)")
+    print(f"  THD            : {result.thd_db:.1f} dB  (paper measured -61 dB)")
+
+
+if __name__ == "__main__":
+    main()

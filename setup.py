@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file exists only
+so that ``pip install -e . --no-use-pep517`` (the legacy editable path,
+which does not require ``wheel``) works in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

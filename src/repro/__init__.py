@@ -1,0 +1,68 @@
+"""repro: reproduction of "Low-Voltage Low-Power Switched-Current
+Circuits and Systems" (Tan & Eriksson, DATE 1995).
+
+A behavioural Python library for switched-current (SI) sampled-data
+circuits: the fully differential class-AB memory cell with grounded-
+gate amplifiers, the common-mode feedforward technique, and the two
+second-order SI delta-sigma modulators (conventional and chopper-
+stabilised) implemented on the paper's 0.8 um CMOS test chip --
+together with the device models, noise models and FFT metrology needed
+to regenerate every table and figure in the paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import paper_cell_config
+    from repro.deltasigma import SIModulator2
+    from repro.systems import TestBench
+
+    modulator = SIModulator2(cell_config=paper_cell_config())
+    bench = TestBench(sample_rate=2.45e6, n_samples=1 << 16, bandwidth=10e3)
+    result = bench.measure(modulator, amplitude=3e-6, frequency=2e3)
+    print(f"SNDR = {result.sndr_db:.1f} dB, THD = {result.thd_db:.1f} dB")
+"""
+
+from repro.config import (
+    DELAY_LINE_BANDWIDTH,
+    DELAY_LINE_CLOCK,
+    MODULATOR_CLOCK,
+    MODULATOR_FULL_SCALE,
+    OVERSAMPLING_RATIO,
+    SIGNAL_BANDWIDTH,
+    SUPPLY_VOLTAGE,
+    THERMAL_NOISE_RMS,
+    ideal_cell_config,
+    paper_cell_config,
+)
+from repro.errors import (
+    AnalysisError,
+    ClockingError,
+    ConfigurationError,
+    DeviceError,
+    ReproError,
+    SaturationError,
+    StimulusError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "paper_cell_config",
+    "ideal_cell_config",
+    "DELAY_LINE_CLOCK",
+    "MODULATOR_CLOCK",
+    "MODULATOR_FULL_SCALE",
+    "OVERSAMPLING_RATIO",
+    "SIGNAL_BANDWIDTH",
+    "DELAY_LINE_BANDWIDTH",
+    "SUPPLY_VOLTAGE",
+    "THERMAL_NOISE_RMS",
+    "ReproError",
+    "ConfigurationError",
+    "DeviceError",
+    "SaturationError",
+    "ClockingError",
+    "AnalysisError",
+    "StimulusError",
+]

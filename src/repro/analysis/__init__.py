@@ -1,0 +1,40 @@
+"""Spectral analysis and converter metrology.
+
+Everything the paper measures -- THD, SNR, SNDR, dynamic range -- comes
+out of one pipeline: a 64K-point FFT with a Blackman window followed by
+tone/harmonic/noise binning.  This subpackage reimplements that
+pipeline so the benches measure the simulated circuits exactly the way
+the authors measured the chip.
+"""
+
+from repro.analysis.windows import Window, WindowKind, make_window
+from repro.analysis.spectrum import Spectrum, compute_spectrum
+from repro.analysis.metrics import (
+    ToneMetrics,
+    measure_tone,
+    snr_db,
+    thd_db,
+    sndr_db,
+)
+from repro.analysis.sweeps import AmplitudeSweepResult, run_amplitude_sweep
+from repro.analysis.fitting import dynamic_range_from_sweep, linear_fit_through_noise
+from repro.analysis.linearity import LinearityResult, code_density_test
+
+__all__ = [
+    "Window",
+    "WindowKind",
+    "make_window",
+    "Spectrum",
+    "compute_spectrum",
+    "ToneMetrics",
+    "measure_tone",
+    "snr_db",
+    "thd_db",
+    "sndr_db",
+    "AmplitudeSweepResult",
+    "run_amplitude_sweep",
+    "dynamic_range_from_sweep",
+    "linear_fit_through_noise",
+    "LinearityResult",
+    "code_density_test",
+]

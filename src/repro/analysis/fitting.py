@@ -1,0 +1,112 @@
+"""Dynamic-range extraction from an amplitude sweep.
+
+The converter dynamic range is defined as the input-level span between
+full scale and the level at which SNDR crosses 0 dB.  In the
+noise-limited regime SNDR rises 1 dB per dB of input, so the standard
+extraction (the one behind the paper's "about 10.5 bits") fits the
+linear low-level portion of the Fig. 7 curve and extrapolates it to
+0 dB SNDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis.sweeps import AmplitudeSweepResult
+
+__all__ = ["LinearFit", "linear_fit_through_noise", "dynamic_range_from_sweep"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A least-squares line ``y = slope * x + intercept``.
+
+    Attributes
+    ----------
+    slope:
+        dB of SNDR per dB of input level; ~1.0 when noise-limited.
+    intercept:
+        SNDR at 0 dB input if the linear region extended that far.
+    """
+
+    slope: float
+    intercept: float
+
+    def crossing(self, y_value: float) -> float:
+        """Return the x at which the line reaches ``y_value``.
+
+        Raises
+        ------
+        AnalysisError
+            If the slope is zero.
+        """
+        if self.slope == 0.0:
+            raise AnalysisError("cannot find crossing of a flat line")
+        return (y_value - self.intercept) / self.slope
+
+
+def linear_fit_through_noise(
+    levels_db: np.ndarray,
+    sndr_db: np.ndarray,
+    max_level_db: float = -20.0,
+    min_sndr_db: float = 3.0,
+) -> LinearFit:
+    """Fit the noise-limited (linear) region of an SNDR-vs-level curve.
+
+    Parameters
+    ----------
+    levels_db:
+        Input levels in dB relative to full scale.
+    sndr_db:
+        Measured SNDR at each level.
+    max_level_db:
+        Only levels at or below this are used, keeping the fit clear of
+        the distortion/overload region near full scale.
+    min_sndr_db:
+        Points with SNDR below this are dropped: once the tone is buried
+        in noise the measured SNDR saturates near 0 dB and would bias
+        the fit.
+
+    Raises
+    ------
+    AnalysisError
+        If fewer than two points survive the selection.
+    """
+    levels = np.asarray(levels_db, dtype=float)
+    sndr = np.asarray(sndr_db, dtype=float)
+    if levels.shape != sndr.shape:
+        raise AnalysisError(
+            f"levels and sndr shapes differ: {levels.shape} vs {sndr.shape}"
+        )
+    mask = (levels <= max_level_db) & (sndr >= min_sndr_db)
+    if int(np.count_nonzero(mask)) < 2:
+        raise AnalysisError(
+            "not enough points in the linear region to fit "
+            f"(selected {int(np.count_nonzero(mask))})"
+        )
+    slope, intercept = np.polyfit(levels[mask], sndr[mask], 1)
+    return LinearFit(slope=float(slope), intercept=float(intercept))
+
+
+def dynamic_range_from_sweep(
+    sweep: AmplitudeSweepResult,
+    max_level_db: float = -20.0,
+    min_sndr_db: float = 3.0,
+) -> float:
+    """Return the dynamic range in dB extracted from an amplitude sweep.
+
+    DR is the span from 0 dB (full scale) down to the extrapolated input
+    level at which SNDR = 0 dB: ``DR = -level(SNDR=0)``.
+
+    Raises
+    ------
+    AnalysisError
+        If the linear region cannot be fitted.
+    """
+    fit = linear_fit_through_noise(
+        sweep.levels_db, sweep.sndr_db, max_level_db, min_sndr_db
+    )
+    return -fit.crossing(0.0)

@@ -1,0 +1,166 @@
+"""Windowed periodogram computation.
+
+Reproduces the paper's measurement front end: take N samples (64K for
+the modulator plots), apply a Blackman window, FFT, and work with the
+one-sided power spectrum.  The :class:`Spectrum` object keeps the
+window constants attached so downstream metrics can undo the window's
+amplitude and bandwidth effects correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis.windows import Window, WindowKind, make_window
+
+__all__ = ["Spectrum", "compute_spectrum"]
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """One-sided windowed power spectrum of a real signal.
+
+    Attributes
+    ----------
+    frequencies:
+        Bin centre frequencies in hertz (length N//2 + 1).
+    power:
+        One-sided power per bin, normalised so that a full-scale
+        coherent tone of amplitude A reports total (integrated over its
+        main lobe) power ``A^2 / 2``.
+    sample_rate:
+        Sampling frequency in hertz.
+    window:
+        The window used, with its constants.
+    """
+
+    frequencies: np.ndarray
+    power: np.ndarray
+    sample_rate: float
+    window: Window
+
+    @property
+    def n_bins(self) -> int:
+        """Return the number of one-sided bins."""
+        return int(self.power.shape[0])
+
+    @property
+    def bin_width(self) -> float:
+        """Return the frequency spacing between bins in hertz."""
+        return self.sample_rate / (2.0 * (self.n_bins - 1))
+
+    def bin_of(self, frequency: float) -> int:
+        """Return the index of the bin nearest to ``frequency``.
+
+        Raises
+        ------
+        AnalysisError
+            If the frequency is outside [0, fs/2].
+        """
+        if not 0.0 <= frequency <= self.sample_rate / 2.0:
+            raise AnalysisError(
+                f"frequency {frequency!r} outside [0, {self.sample_rate / 2.0}]"
+            )
+        return int(round(frequency / self.bin_width))
+
+    def band_power(self, f_low: float, f_high: float) -> float:
+        """Return the integrated power between two frequencies.
+
+        The per-bin powers are already ENBW-corrected, so a straight bin
+        sum is correct for both spread tones and noise bands.
+
+        Raises
+        ------
+        AnalysisError
+            If the band is empty or out of range.
+        """
+        if f_high <= f_low:
+            raise AnalysisError(
+                f"band [{f_low!r}, {f_high!r}] is empty or inverted"
+            )
+        low = self.bin_of(f_low)
+        high = self.bin_of(f_high)
+        return float(np.sum(self.power[low : high + 1]))
+
+    def power_db(self, reference_power: float = 1.0) -> np.ndarray:
+        """Return the per-bin power in dB relative to ``reference_power``.
+
+        Bins with zero power map to -400 dB rather than -inf so plots
+        and text dumps stay finite.
+
+        Raises
+        ------
+        AnalysisError
+            If ``reference_power`` is not positive.
+        """
+        if reference_power <= 0.0:
+            raise AnalysisError(
+                f"reference_power must be positive, got {reference_power!r}"
+            )
+        floor = 1e-40 * reference_power
+        clipped = np.maximum(self.power, floor)
+        return 10.0 * np.log10(clipped / reference_power)
+
+
+def compute_spectrum(
+    signal: np.ndarray,
+    sample_rate: float,
+    window_kind: WindowKind = WindowKind.BLACKMAN,
+    remove_dc: bool = True,
+) -> Spectrum:
+    """Compute the one-sided windowed power spectrum of a real signal.
+
+    Parameters
+    ----------
+    signal:
+        One-dimensional real sample array.
+    sample_rate:
+        Sampling frequency in hertz.  Must be positive.
+    window_kind:
+        Window shape; Blackman by default, matching the paper.
+    remove_dc:
+        Subtract the mean before windowing (the spectrum analyser view
+        of an AC-coupled measurement).
+
+    Raises
+    ------
+    AnalysisError
+        If the signal is not 1-D, too short, or the rate invalid.
+    """
+    samples = np.asarray(signal, dtype=float)
+    if samples.ndim != 1:
+        raise AnalysisError(f"signal must be 1-D, got shape {samples.shape}")
+    if samples.shape[0] < 16:
+        raise AnalysisError(
+            f"signal must have at least 16 samples, got {samples.shape[0]}"
+        )
+    if sample_rate <= 0.0:
+        raise AnalysisError(f"sample_rate must be positive, got {sample_rate!r}")
+
+    n = samples.shape[0]
+    window = make_window(window_kind, n)
+    data = samples - np.mean(samples) if remove_dc else samples
+    spectrum = np.fft.rfft(data * window.samples)
+
+    # Normalisation convention: integrated (bin-summed) power is exact
+    # for every kind of content.  Dividing the amplitude by
+    # N * coherent_gain and the power by the ENBW makes the main-lobe
+    # sum of a tone of amplitude A equal A^2/2 (Parseval over the
+    # window's DFT samples) and the band sum of white noise of variance
+    # sigma^2 equal sigma^2 over the full Nyquist band.
+    scale = n * window.coherent_gain
+    amplitude = np.abs(spectrum) / scale
+    power = amplitude**2
+    power[1:-1] *= 2.0
+    power /= window.enbw_bins
+
+    frequencies = np.fft.rfftfreq(n, d=1.0 / sample_rate)
+    return Spectrum(
+        frequencies=frequencies,
+        power=power,
+        sample_rate=sample_rate,
+        window=window,
+    )

@@ -1,0 +1,144 @@
+"""Amplitude sweeps: the workload behind Fig. 7 and the dynamic-range rows.
+
+The paper's Fig. 7 sweeps the input current from deep below full scale
+up to 0 dB (6 uA) and plots "Signal/(Noise+THD)" for both modulators;
+the dynamic range in Table 2 is read off that sweep.  This module runs
+the same experiment against any device-under-test callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis.metrics import ToneMetrics, measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.analysis.windows import WindowKind
+
+__all__ = ["AmplitudeSweepResult", "run_amplitude_sweep"]
+
+#: A device under test: maps a stimulus array to an output array.
+DeviceUnderTest = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class AmplitudeSweepResult:
+    """Outcome of an amplitude sweep on one device.
+
+    Attributes
+    ----------
+    levels_db:
+        Input levels relative to full scale, in dB.
+    sndr_db:
+        Measured SNDR at each level.
+    snr_db:
+        Measured SNR (harmonics excluded) at each level.
+    thd_db:
+        Measured THD at each level.
+    metrics:
+        The full per-level tone metrics.
+    """
+
+    levels_db: np.ndarray
+    sndr_db: np.ndarray
+    snr_db: np.ndarray
+    thd_db: np.ndarray
+    metrics: tuple[ToneMetrics, ...]
+
+    @property
+    def peak_sndr_db(self) -> float:
+        """Return the best SNDR across the sweep."""
+        return float(np.max(self.sndr_db))
+
+    @property
+    def peak_level_db(self) -> float:
+        """Return the input level at which SNDR peaks."""
+        return float(self.levels_db[int(np.argmax(self.sndr_db))])
+
+
+def run_amplitude_sweep(
+    device: DeviceUnderTest,
+    levels_db: Sequence[float],
+    full_scale: float,
+    signal_frequency: float,
+    sample_rate: float,
+    n_samples: int,
+    bandwidth: float,
+    window_kind: WindowKind = WindowKind.BLACKMAN,
+    settle_samples: int = 0,
+) -> AmplitudeSweepResult:
+    """Sweep the input amplitude of a device and measure SNDR at each level.
+
+    Parameters
+    ----------
+    device:
+        Callable mapping the stimulus array to the output array.  Must
+        be stateless across calls or reset itself per call.
+    levels_db:
+        Input levels in dB relative to ``full_scale`` (e.g. -70..0).
+    full_scale:
+        0 dB reference amplitude in amperes (6 uA in the paper).
+    signal_frequency:
+        Test-tone frequency in hertz (2 kHz in the paper).
+    sample_rate:
+        Clock frequency in hertz (2.45 MHz in the paper).
+    n_samples:
+        Number of output samples analysed per level (64K in the paper).
+    bandwidth:
+        Analysis bandwidth in hertz (10 kHz in the paper).
+    window_kind:
+        FFT window; Blackman by default.
+    settle_samples:
+        Extra leading samples generated and discarded before analysis,
+        to let the loop reach steady state.
+
+    Raises
+    ------
+    AnalysisError
+        If the sweep is empty or parameters are inconsistent.
+    """
+    if len(levels_db) == 0:
+        raise AnalysisError("levels_db must contain at least one level")
+    if full_scale <= 0.0:
+        raise AnalysisError(f"full_scale must be positive, got {full_scale!r}")
+    if n_samples < 16:
+        raise AnalysisError(f"n_samples must be >= 16, got {n_samples!r}")
+    if settle_samples < 0:
+        raise AnalysisError(
+            f"settle_samples must be non-negative, got {settle_samples!r}"
+        )
+
+    total = n_samples + settle_samples
+    t = np.arange(total) / sample_rate
+    levels = np.asarray(list(levels_db), dtype=float)
+
+    all_metrics: list[ToneMetrics] = []
+    for level_db in levels:
+        amplitude = full_scale * 10.0 ** (level_db / 20.0)
+        stimulus = amplitude * np.sin(2.0 * np.pi * signal_frequency * t)
+        output = np.asarray(device(stimulus), dtype=float)
+        if output.shape[0] != total:
+            raise AnalysisError(
+                f"device returned {output.shape[0]} samples, expected {total}"
+            )
+        spectrum = compute_spectrum(
+            output[settle_samples:], sample_rate, window_kind=window_kind
+        )
+        all_metrics.append(
+            measure_tone(
+                spectrum,
+                fundamental_frequency=signal_frequency,
+                bandwidth=bandwidth,
+            )
+        )
+
+    return AmplitudeSweepResult(
+        levels_db=levels,
+        sndr_db=np.array([m.sndr_db for m in all_metrics]),
+        snr_db=np.array([m.snr_db for m in all_metrics]),
+        thd_db=np.array([m.thd_db for m in all_metrics]),
+        metrics=tuple(all_metrics),
+    )

@@ -1,0 +1,226 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Usage::
+
+    python -m repro table1       # delay-line row of Table 1
+    python -m repro fig5         # modulator spectrum measurement
+    python -m repro fig6         # chopper spectra before/after
+    python -m repro fig7         # SNDR sweep + dynamic range
+    python -m repro headroom     # Eqs. (1)-(2) supply sweep
+    python -m repro tradeoff     # SI vs SC comparison table
+    python -m repro --list       # list the commands
+
+Each command prints the paper-style table.  Full FFT lengths are used
+by default; pass ``--fast`` for a quicker, lower-resolution run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.fitting import dynamic_range_from_sweep
+from repro.analysis.sweeps import run_amplitude_sweep
+from repro.config import (
+    DELAY_LINE_BANDWIDTH,
+    DELAY_LINE_CLOCK,
+    MODULATOR_CLOCK,
+    MODULATOR_FULL_SCALE,
+    SIGNAL_BANDWIDTH,
+    delay_line_cell_config,
+    paper_cell_config,
+)
+from repro.deltasigma import ChopperStabilizedSIModulator, SIModulator2
+from repro.reporting.tables import Table
+from repro.sc.tradeoff import ScSiTradeoff
+from repro.si import DelayLine, HeadroomAnalysis
+from repro.systems import TestBench
+from repro.systems.stimulus import coherent_frequency
+
+__all__ = ["main"]
+
+
+def _fft_length(fast: bool) -> int:
+    return 1 << 14 if fast else 1 << 16
+
+
+def cmd_table1(fast: bool) -> None:
+    """Print the Table 1 delay-line measurements."""
+    config = delay_line_cell_config(sample_rate=DELAY_LINE_CLOCK)
+    bench = TestBench(
+        sample_rate=DELAY_LINE_CLOCK,
+        n_samples=_fft_length(fast),
+        bandwidth=DELAY_LINE_BANDWIDTH,
+    )
+    line = DelayLine(config, n_cells=2)
+
+    def device(x: np.ndarray) -> np.ndarray:
+        line.reset()
+        return line.run(x)
+
+    result = bench.measure(device, amplitude=8e-6, frequency=5e3)
+    table = Table("Table 1: delay line at 5 MHz, 8 uA / 5 kHz", ("quantity", "paper", "measured"))
+    table.add_row("THD", "-50 dB", f"{result.thd_db:.1f} dB")
+    table.add_row("SNR (rms conv.)", "50 dB (p-p conv.)", f"{result.snr_db:.1f} dB")
+    print(table.render())
+
+
+def cmd_fig5(fast: bool) -> None:
+    """Print the Fig. 5 modulator measurement."""
+    modulator = SIModulator2(cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK))
+    bench = TestBench(
+        sample_rate=MODULATOR_CLOCK,
+        n_samples=_fft_length(fast),
+        bandwidth=SIGNAL_BANDWIDTH,
+    )
+    result = bench.measure(modulator, amplitude=3e-6, frequency=2e3)
+    table = Table("Fig. 5: SI modulator, 2 kHz 3 uA (-6 dB)", ("quantity", "paper", "measured"))
+    table.add_row("THD", "-61 dB", f"{result.thd_db:.1f} dB")
+    table.add_row("SNR (10 kHz)", "58 dB", f"{result.snr_db:.1f} dB")
+    table.add_row("SNDR", "-", f"{result.sndr_db:.1f} dB")
+    print(table.render())
+
+
+def cmd_fig6(fast: bool) -> None:
+    """Print the Fig. 6 chopper-modulator measurement."""
+    modulator = ChopperStabilizedSIModulator(
+        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
+    )
+    bench = TestBench(
+        sample_rate=MODULATOR_CLOCK,
+        n_samples=_fft_length(fast),
+        bandwidth=SIGNAL_BANDWIDTH,
+    )
+    result = bench.measure(modulator, amplitude=3e-6, frequency=2e3)
+    table = Table(
+        "Fig. 6(b): chopper-stabilised SI modulator (post-chopper)",
+        ("quantity", "paper", "measured"),
+    )
+    table.add_row("THD", "-62 dB", f"{result.thd_db:.1f} dB")
+    table.add_row("SNR (10 kHz)", "58 dB", f"{result.snr_db:.1f} dB")
+    print(table.render())
+
+
+def cmd_fig7(fast: bool) -> None:
+    """Print the Fig. 7 sweep and the extracted dynamic range."""
+    config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+    n_samples = 1 << 13 if fast else 1 << 15
+    frequency = coherent_frequency(2e3, MODULATOR_CLOCK, n_samples)
+    levels = [-50.0, -40.0, -30.0, -20.0, -10.0, -6.0, 0.0]
+    table = Table(
+        "Fig. 7: Signal/(Noise+THD) vs input level (0 dB = 6 uA)",
+        ("level", "non-chopper", "chopper"),
+    )
+    drs = {}
+    sweeps = {}
+    for name, modulator in (
+        ("non-chopper", SIModulator2(cell_config=config)),
+        ("chopper", ChopperStabilizedSIModulator(cell_config=config)),
+    ):
+        sweeps[name] = run_amplitude_sweep(
+            modulator,
+            levels_db=levels,
+            full_scale=MODULATOR_FULL_SCALE,
+            signal_frequency=frequency,
+            sample_rate=MODULATOR_CLOCK,
+            n_samples=n_samples,
+            bandwidth=SIGNAL_BANDWIDTH,
+            settle_samples=256,
+        )
+        drs[name] = dynamic_range_from_sweep(sweeps[name], max_level_db=-10.0)
+    for index, level in enumerate(levels):
+        table.add_row(
+            f"{level:.0f} dB",
+            f"{sweeps['non-chopper'].sndr_db[index]:.1f} dB",
+            f"{sweeps['chopper'].sndr_db[index]:.1f} dB",
+        )
+    print(table.render())
+    for name, dr in drs.items():
+        print(f"dynamic range ({name}): {dr:.1f} dB = {(dr - 1.76) / 6.02:.1f} bits "
+              "(paper: ~63 dB / 10.5 bits)")
+
+
+def cmd_headroom(fast: bool) -> None:
+    """Print the Eqs. (1)-(2) supply sweep."""
+    analysis = HeadroomAnalysis()
+    table = Table(
+        "Eqs. (1)-(2): minimum supply vs modulation index",
+        ("m_i", "V_dd,min", "feasible at 3.3 V"),
+    )
+    for m_i in (0.0, 1.0, 2.0, 4.0, 8.0):
+        budget = analysis.evaluate(m_i)
+        table.add_row(
+            f"{m_i:.0f}",
+            f"{budget.vdd_min:.2f} V",
+            "yes" if budget.feasible_at(3.3) else "NO",
+        )
+    print(table.render())
+
+
+def cmd_tradeoff(fast: bool) -> None:
+    """Print the SI-vs-SC dynamic-range trade-off table."""
+    tradeoff = ScSiTradeoff()
+    table = Table(
+        "SI vs SC at the paper's operating point (6 uA FS, OSR 128)",
+        ("technology", "storage C", "noise rms", "DR", "double-poly?"),
+    )
+    for point in tradeoff.sweep([0.25e-12, 1e-12, 2.5e-12, 10e-12]):
+        table.add_row(
+            point.label,
+            f"{point.storage_capacitance * 1e15:.0f} fF",
+            f"{point.noise_rms * 1e9:.1f} nA",
+            f"{point.dynamic_range_db:.1f} dB ({point.dynamic_range_bits:.1f} b)",
+            "yes" if point.needs_double_poly else "no",
+        )
+    print(table.render())
+    print('"The SI technique is an inexpensive alternative to the SC '
+          'technique for medium accuracy applications."')
+
+
+COMMANDS: dict[str, Callable[[bool], None]] = {
+    "table1": cmd_table1,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "headroom": cmd_headroom,
+    "tradeoff": cmd_tradeoff,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate results from the DATE 1995 switched-current paper.",
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        choices=sorted(COMMANDS),
+        help="which result to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use shorter FFTs for a quick look",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available commands"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.command is None:
+        for name in sorted(COMMANDS):
+            doc = COMMANDS[name].__doc__ or ""
+            print(f"  {name:10s} {doc.strip().splitlines()[0]}")
+        return 0
+
+    COMMANDS[args.command](args.fast)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Clocking substrate: two-phase non-overlapping clocks and scheduling.
+
+Switched-current circuits are sampled-data systems driven by a
+two-phase non-overlapping clock (phi1/phi2 in Fig. 1 of the paper).
+This subpackage provides the phase bookkeeping the behavioural cell
+models use to enforce correct sample/hold sequencing.
+"""
+
+from repro.clocks.phases import Phase, TwoPhaseClock, ClockEvent
+from repro.clocks.scheduler import SampledDataScheduler
+
+__all__ = ["Phase", "TwoPhaseClock", "ClockEvent", "SampledDataScheduler"]

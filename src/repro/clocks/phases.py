@@ -1,0 +1,138 @@
+"""Two-phase non-overlapping clock generation.
+
+A second-generation SI memory cell samples its input on phi1 (the
+memory transistor is diode-connected) and delivers the held output on
+phi2.  Cascading two cells clocked on alternating phases yields a
+full-period delay -- exactly how the paper's delay line is built from
+"cascading two memory cells".
+
+The classes here model the *logical* structure of the clock: phase
+identity, ordering and non-overlap, plus the physical frequency needed
+to convert settling time constants into settling error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ClockingError, ConfigurationError
+
+__all__ = ["Phase", "ClockEvent", "TwoPhaseClock"]
+
+
+class Phase(enum.Enum):
+    """One of the two non-overlapping clock phases."""
+
+    PHI1 = 1
+    PHI2 = 2
+
+    @property
+    def other(self) -> "Phase":
+        """Return the complementary phase."""
+        return Phase.PHI2 if self is Phase.PHI1 else Phase.PHI1
+
+
+@dataclass(frozen=True)
+class ClockEvent:
+    """A single active half-period of the clock.
+
+    Attributes
+    ----------
+    index:
+        Zero-based full-period sample index.
+    phase:
+        Which phase is active.
+    time:
+        Start time of the half-period in seconds.
+    """
+
+    index: int
+    phase: Phase
+    time: float
+
+
+class TwoPhaseClock:
+    """Generator of a two-phase non-overlapping clock.
+
+    Parameters
+    ----------
+    frequency:
+        Full clock (sampling) frequency in hertz.  Must be positive.
+    duty:
+        Fraction of a full period each phase is active; the remainder is
+        the non-overlap gap.  Must be in (0, 0.5].
+    """
+
+    def __init__(self, frequency: float, duty: float = 0.5) -> None:
+        if frequency <= 0.0:
+            raise ConfigurationError(f"frequency must be positive, got {frequency!r}")
+        if not 0.0 < duty <= 0.5:
+            raise ConfigurationError(f"duty must be in (0, 0.5], got {duty!r}")
+        self.frequency = frequency
+        self.duty = duty
+
+    @property
+    def period(self) -> float:
+        """Return the full clock period in seconds."""
+        return 1.0 / self.frequency
+
+    @property
+    def phase_duration(self) -> float:
+        """Return the active duration of one phase in seconds."""
+        return self.duty * self.period
+
+    @property
+    def nonoverlap_gap(self) -> float:
+        """Return the dead time between the two phases in seconds."""
+        return (0.5 - self.duty) * self.period
+
+    def settling_periods(self, time_constant: float) -> float:
+        """Return how many time constants fit in one active phase.
+
+        This is the number that sets the incomplete-settling error
+        ``exp(-N_tau)`` of a memory cell.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``time_constant`` is not positive.
+        """
+        if time_constant <= 0.0:
+            raise ConfigurationError(
+                f"time_constant must be positive, got {time_constant!r}"
+            )
+        return self.phase_duration / time_constant
+
+    def events(self, n_samples: int) -> Iterator[ClockEvent]:
+        """Yield the interleaved phase events for ``n_samples`` periods.
+
+        Each full period produces a PHI1 event followed by a PHI2 event.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``n_samples`` is negative.
+        """
+        if n_samples < 0:
+            raise ConfigurationError(
+                f"n_samples must be non-negative, got {n_samples!r}"
+            )
+        for index in range(n_samples):
+            start = index * self.period
+            yield ClockEvent(index=index, phase=Phase.PHI1, time=start)
+            yield ClockEvent(
+                index=index, phase=Phase.PHI2, time=start + 0.5 * self.period
+            )
+
+    def require_phase(self, expected: Phase, actual: Phase) -> None:
+        """Raise :class:`ClockingError` unless ``actual`` is ``expected``.
+
+        Cell models call this to enforce sample/hold sequencing.
+        """
+        if expected is not actual:
+            raise ClockingError(
+                f"operation requires clock phase {expected.name}, "
+                f"but {actual.name} is active"
+            )

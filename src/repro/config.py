@@ -1,0 +1,140 @@
+"""Top-level named configurations: the paper's operating points.
+
+Collects the calibrated default configurations in one place so
+examples, tests and benches all simulate the same chip.  The
+calibration pins the behavioural parameters to the paper's own
+measured/stated anchors:
+
+* 33 nA wideband rms thermal noise per cell (Section V);
+* a GGA that does not slew at the modulator operating point but begins
+  to slew when the delay-line input is pushed well past 8 uA;
+* a transmission error small enough for -50 dB-class THD at the
+  Table 1 operating point.
+"""
+
+from __future__ import annotations
+
+from repro.si.errors_model import ChargeInjectionResidue, TransmissionError
+from repro.si.gga import GroundedGateAmplifier
+from repro.si.memory_cell import MemoryCellConfig
+
+__all__ = [
+    "paper_cell_config",
+    "ideal_cell_config",
+    "DELAY_LINE_CLOCK",
+    "MODULATOR_CLOCK",
+    "MODULATOR_FULL_SCALE",
+    "OVERSAMPLING_RATIO",
+    "SIGNAL_BANDWIDTH",
+    "DELAY_LINE_BANDWIDTH",
+    "SUPPLY_VOLTAGE",
+    "THERMAL_NOISE_RMS",
+    "CELL_THERMAL_NOISE_RMS",
+]
+
+#: Delay-line sampling frequency (Table 1).
+DELAY_LINE_CLOCK: float = 5e6
+
+#: Modulator clock frequency (Table 2).
+MODULATOR_CLOCK: float = 2.45e6
+
+#: Modulator 0 dB input level (Table 2).
+MODULATOR_FULL_SCALE: float = 6e-6
+
+#: Oversampling ratio (Table 2).
+OVERSAMPLING_RATIO: int = 128
+
+#: Modulator analysis bandwidth used in the paper's SNR numbers.
+SIGNAL_BANDWIDTH: float = 10e3
+
+#: Delay-line analysis bandwidth (Table 1).
+DELAY_LINE_BANDWIDTH: float = 2.5e6
+
+#: Test-chip supply voltage.
+SUPPLY_VOLTAGE: float = 3.3
+
+#: The paper's calculated wideband thermal-noise floor -- "the
+#: calculated rms noise current in this design was about 33 nA".  We
+#: read "this design" as the two-cell delay line, so the per-cell floor
+#: is 33 nA / sqrt(2).
+THERMAL_NOISE_RMS: float = 33e-9
+
+#: Per-memory-cell thermal noise floor so that two cascaded cells (the
+#: delay line) produce the paper's 33 nA total.
+CELL_THERMAL_NOISE_RMS: float = THERMAL_NOISE_RMS / 1.4142135623730951
+
+
+def paper_cell_config(
+    seed: int | None = 7,
+    sample_rate: float = DELAY_LINE_CLOCK,
+    flicker_corner_hz: float = 0.0,
+    cds_enabled: bool = True,
+) -> MemoryCellConfig:
+    """Return the calibrated memory-cell configuration of the test chip.
+
+    Parameters
+    ----------
+    seed:
+        Noise seed; fixed by default so tests and benches are
+        reproducible.
+    sample_rate:
+        Clock frequency the cell runs at.
+    flicker_corner_hz:
+        1/f corner; the chip's second-generation cells keep it
+        negligible (CDS), so the default is 0.  The chopper ablation
+        raises it.
+    cds_enabled:
+        Correlated-double-sampling shaping of the flicker component.
+    """
+    return MemoryCellConfig(
+        quiescent_current=2e-6,
+        gga=GroundedGateAmplifier(
+            voltage_gain=50.0,
+            bias_current=20e-6,
+            settling_tau_fraction=0.05,
+            transconductance=100e-6,
+        ),
+        transmission=TransmissionError(
+            base_ratio=0.01,
+            gga_gain=50.0,
+            quiescent_current=2e-6,
+        ),
+        injection=ChargeInjectionResidue(
+            full_injection_current=50e-9,
+            complementary_cancellation=0.9,
+            quiescent_current=2e-6,
+        ),
+        thermal_noise_rms=CELL_THERMAL_NOISE_RMS,
+        flicker_corner_hz=flicker_corner_hz,
+        sample_rate=sample_rate,
+        cds_enabled=cds_enabled,
+        half_gain_mismatch=0.0,
+        inverting=True,
+        seed=seed,
+    )
+
+
+def delay_line_cell_config(
+    seed: int | None = 7,
+    sample_rate: float = DELAY_LINE_CLOCK,
+    gga_bias_current: float = 5.0e-6,
+) -> MemoryCellConfig:
+    """Return the delay-line test structure's cell configuration.
+
+    The delay line on the die is a test structure whose GGAs run at a
+    much smaller bias than the modulator cells -- that is why the paper
+    measured -50 dB THD at 8 uA and saw it degrade at larger inputs
+    ("the THD increased due to the slewing in the GGAs that can be
+    improved by using larger bias current in the GGAs").  The default
+    bias is calibrated so the Table 1 operating point lands at the
+    paper's THD.
+    """
+    from dataclasses import replace
+
+    base = paper_cell_config(seed=seed, sample_rate=sample_rate)
+    return replace(base, gga=base.gga.with_bias(gga_bias_current))
+
+
+def ideal_cell_config(sample_rate: float = DELAY_LINE_CLOCK) -> MemoryCellConfig:
+    """Return a cell configuration with every nonideality disabled."""
+    return paper_cell_config(sample_rate=sample_rate).ideal()

@@ -1,0 +1,41 @@
+"""Second-order delta-sigma modulators built from SI blocks (Fig. 3).
+
+Contains the current quantiser, the feedback current DAC, the chopper,
+the two modulator topologies of Fig. 3 (conventional and
+chopper-stabilised), an ideal discrete-time reference, the z-domain
+linear model that verifies Eq. (3), and a sinc^3 decimator.
+"""
+
+from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.chopper import ChopperSequence, chop
+from repro.deltasigma.modulator1 import SIModulator1
+from repro.deltasigma.modulator2 import SIModulator2, ModulatorTrace
+from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.deltasigma.ideal import IdealSecondOrderModulator
+from repro.deltasigma.linear_model import (
+    LinearLoopModel,
+    ntf_second_order,
+    stf_second_order,
+    impulse_response_check,
+)
+from repro.deltasigma.decimator import SincDecimator
+from repro.deltasigma.predictions import expected_dynamic_range_db
+
+__all__ = [
+    "CurrentQuantizer",
+    "FeedbackDac",
+    "ChopperSequence",
+    "chop",
+    "SIModulator1",
+    "SIModulator2",
+    "ModulatorTrace",
+    "ChopperStabilizedSIModulator",
+    "IdealSecondOrderModulator",
+    "LinearLoopModel",
+    "ntf_second_order",
+    "stf_second_order",
+    "impulse_response_check",
+    "SincDecimator",
+    "expected_dynamic_range_db",
+]

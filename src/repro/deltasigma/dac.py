@@ -1,0 +1,86 @@
+"""One-bit feedback current DAC.
+
+"The converters were current sources controlled by the output of the
+current quantizers."  A 1-bit current DAC is two switched current
+sources; its only analog failure modes are
+
+* a **level mismatch** between the positive and negative reference
+  currents, which in a 1-bit loop is a pure gain-plus-offset error
+  (1-bit DACs are inherently linear -- the architectural reason
+  oversampling converters "deliver high performance from relatively
+  inaccurate analog components"), and
+* **reference noise** on the sources.
+
+Both knobs default to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FeedbackDac"]
+
+
+@dataclass
+class FeedbackDac:
+    """One-bit current-steering feedback DAC.
+
+    Parameters
+    ----------
+    full_scale:
+        Reference current magnitude in amperes (the modulator's 0 dB
+        level: 6 uA in the paper).
+    level_mismatch:
+        Relative mismatch between the +1 and -1 reference levels; the
+        realised levels are ``+FS (1 + mismatch/2)`` and
+        ``-FS (1 - mismatch/2)``.
+    reference_noise_rms:
+        RMS noise on each delivered level in amperes.
+    seed:
+        Seed for the reference-noise generator.
+    """
+
+    full_scale: float = 6e-6
+    level_mismatch: float = 0.0
+    reference_noise_rms: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.full_scale <= 0.0:
+            raise ConfigurationError(
+                f"full_scale must be positive, got {self.full_scale!r}"
+            )
+        if abs(self.level_mismatch) >= 1.0:
+            raise ConfigurationError(
+                f"level_mismatch must be in (-1, 1), got {self.level_mismatch!r}"
+            )
+        if self.reference_noise_rms < 0.0:
+            raise ConfigurationError(
+                "reference_noise_rms must be non-negative, "
+                f"got {self.reference_noise_rms!r}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+        self._level_pos = self.full_scale * (1.0 + 0.5 * self.level_mismatch)
+        self._level_neg = -self.full_scale * (1.0 - 0.5 * self.level_mismatch)
+
+    def convert(self, decision: int) -> float:
+        """Return the feedback current for a quantiser decision (+1/-1).
+
+        Raises
+        ------
+        ConfigurationError
+            If ``decision`` is not +1 or -1.
+        """
+        if decision == 1:
+            level = self._level_pos
+        elif decision == -1:
+            level = self._level_neg
+        else:
+            raise ConfigurationError(f"decision must be +1 or -1, got {decision!r}")
+        if self.reference_noise_rms > 0.0:
+            level += float(self._rng.normal(0.0, self.reference_noise_rms))
+        return level

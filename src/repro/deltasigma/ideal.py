@@ -1,0 +1,89 @@
+"""Ideal (mathematical) second-order delta-sigma modulator.
+
+The quantisation-limited reference the paper invokes: "if the
+quantization error had been the main reason, the second-order
+delta-sigma modulator would have achieved a dynamic range over 13
+bits".  This loop has *no* analog imperfections whatsoever -- pure
+difference equations -- so anything the SI modulators lose relative to
+it is attributable to the SI circuit nonidealities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["IdealSecondOrderModulator"]
+
+
+class IdealSecondOrderModulator:
+    """Pure difference-equation second-order 1-bit modulator.
+
+    Implements the same loop as
+    :class:`~repro.deltasigma.modulator2.SIModulator2` with ideal parts:
+
+        w1[n+1] = w1[n] + a1 (x[n] - y[n])
+        w2[n+1] = w2[n] + a2 w1[n] - b2 y[n]
+        y[n]    = FS * sign(w2[n])
+
+    Parameters
+    ----------
+    full_scale:
+        Quantiser output level in the input's units.
+    a1, a2, b2:
+        Loop coefficients (defaults realise Eq. 3 with the same
+        swing-optimised scaling as the SI loops).
+    """
+
+    def __init__(
+        self,
+        full_scale: float = 6e-6,
+        a1: float = 0.5,
+        a2: float = 1.0,
+        b2: float = 1.0,
+    ) -> None:
+        if full_scale <= 0.0:
+            raise ConfigurationError(
+                f"full_scale must be positive, got {full_scale!r}"
+            )
+        self.full_scale = full_scale
+        self.a1 = a1
+        self.a2 = a2
+        self.b2 = b2
+        self._w1 = 0.0
+        self._w2 = 0.0
+
+    def reset(self) -> None:
+        """Zero the loop state."""
+        self._w1 = 0.0
+        self._w2 = 0.0
+
+    def run(self, stimulus: np.ndarray) -> np.ndarray:
+        """Run the loop over an input array; return the output levels."""
+        data = np.asarray(stimulus, dtype=float)
+        if data.ndim != 1:
+            raise ConfigurationError(
+                f"stimulus must be 1-D, got shape {data.shape}"
+            )
+        n_samples = data.shape[0]
+        output = np.empty(n_samples)
+        w1 = self._w1
+        w2 = self._w2
+        fs = self.full_scale
+        a1 = self.a1
+        a2 = self.a2
+        b2 = self.b2
+        for n in range(n_samples):
+            y = fs if w2 >= 0.0 else -fs
+            x = data[n]
+            w1, w2 = w1 + a1 * (x - y), w2 + a2 * w1 - b2 * y
+            output[n] = y
+        self._w1 = w1
+        self._w2 = w2
+        return output
+
+    def __call__(self, stimulus: np.ndarray) -> np.ndarray:
+        """Run with a fresh state: the device-under-test interface."""
+        self.reset()
+        return self.run(stimulus)

@@ -1,0 +1,79 @@
+"""One-bit current quantiser.
+
+"The current quantizers were the one proposed in [20] because of its
+low input impedance" -- Traff's current comparator.  At system level,
+what matters is its decision (the sign of the loop-filter output
+current) plus the analog imperfections a real comparator adds:
+
+* an input-referred **offset** current,
+* **hysteresis** (the last decision biases the next one),
+* a **metastability band**: inputs smaller than the band resolve
+  randomly, modelling thermal noise at the comparator input.
+
+All three default to zero so the ideal loop can be studied, and each
+can be enabled for robustness studies -- a second-order loop is famously
+insensitive to comparator imperfections, which one of the benches
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CurrentQuantizer"]
+
+
+@dataclass
+class CurrentQuantizer:
+    """One-bit (sign) quantiser on differential current.
+
+    Parameters
+    ----------
+    offset:
+        Input-referred offset current in amperes.
+    hysteresis:
+        Hysteresis half-width in amperes: the threshold moves away from
+        the previous decision by this much.
+    metastability_band:
+        Inputs within +/- this band (after offset/hysteresis) resolve
+        randomly, modelling input-referred comparator noise.
+    seed:
+        Seed for the metastability randomness.
+    """
+
+    offset: float = 0.0
+    hysteresis: float = 0.0
+    metastability_band: float = 0.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.hysteresis < 0.0:
+            raise ConfigurationError(
+                f"hysteresis must be non-negative, got {self.hysteresis!r}"
+            )
+        if self.metastability_band < 0.0:
+            raise ConfigurationError(
+                "metastability_band must be non-negative, "
+                f"got {self.metastability_band!r}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+        self._last_decision = 1
+
+    def reset(self) -> None:
+        """Forget the hysteresis state."""
+        self._last_decision = 1
+
+    def decide(self, input_current: float) -> int:
+        """Return the decision, +1 or -1, for one input sample."""
+        threshold = self.offset - self.hysteresis * self._last_decision
+        effective = input_current - threshold
+        if self.metastability_band > 0.0 and abs(effective) < self.metastability_band:
+            decision = 1 if self._rng.random() < 0.5 else -1
+        else:
+            decision = 1 if effective >= 0.0 else -1
+        self._last_decision = decision
+        return decision

@@ -1,0 +1,29 @@
+"""Device-level models: the CMOS substrate under the SI circuits.
+
+This subpackage provides the square-law MOSFET, MOS switch, current
+mirror and current source models from which the behavioural
+switched-current cells derive their nonideality parameters, plus a
+process descriptor for the paper's 0.8 um single-poly digital CMOS
+technology and a Pelgrom-style mismatch sampler.
+"""
+
+from repro.devices.mosfet import Mosfet, MosfetParameters, OperatingPoint
+from repro.devices.process import ProcessParameters, CMOS_08UM
+from repro.devices.switch import MosSwitch, ChargeInjectionModel
+from repro.devices.current_mirror import CurrentMirror
+from repro.devices.current_source import CascodeCurrentSource
+from repro.devices.mismatch import PelgromMismatch, MismatchSample
+
+__all__ = [
+    "Mosfet",
+    "MosfetParameters",
+    "OperatingPoint",
+    "ProcessParameters",
+    "CMOS_08UM",
+    "MosSwitch",
+    "ChargeInjectionModel",
+    "CurrentMirror",
+    "CascodeCurrentSource",
+    "PelgromMismatch",
+    "MismatchSample",
+]

@@ -1,0 +1,79 @@
+"""Behavioural current-mirror model.
+
+Current mirrors are the workhorse of the paper's common-mode
+feedforward (CMFF) technique: "in current-mode circuits, it is very easy
+to duplicate a current by a current mirror (this is also how
+current-mode circuits generate outputs)".  The CMFF circuit of Fig. 2
+duplicates and *halves* the two differential outputs with half-sized
+mirror devices, sums them to obtain the common-mode current, and mirrors
+that back for subtraction.
+
+The accuracy of the whole scheme is therefore set by mirror gain error
+(geometric mismatch) and finite output conductance; this model exposes
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CurrentMirror"]
+
+
+@dataclass
+class CurrentMirror:
+    """A current mirror with gain, gain error and output conductance.
+
+    Parameters
+    ----------
+    nominal_gain:
+        Designed current gain (e.g. 0.5 for the half-sized CMFF sensing
+        devices, 1.0 for plain duplication).  Must be positive.
+    gain_error:
+        Fractional deviation of the actual gain from nominal, e.g. from
+        Pelgrom mismatch.  The realised gain is
+        ``nominal_gain * (1 + gain_error)``.
+    output_conductance:
+        Small-signal output conductance in siemens; together with the
+        load voltage excursion it produces a systematic error current.
+    """
+
+    nominal_gain: float = 1.0
+    gain_error: float = 0.0
+    output_conductance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nominal_gain <= 0.0:
+            raise ConfigurationError(
+                f"nominal_gain must be positive, got {self.nominal_gain!r}"
+            )
+        if self.gain_error <= -1.0:
+            raise ConfigurationError(
+                f"gain_error must be greater than -1, got {self.gain_error!r}"
+            )
+        if self.output_conductance < 0.0:
+            raise ConfigurationError(
+                "output_conductance must be non-negative, "
+                f"got {self.output_conductance!r}"
+            )
+
+    @property
+    def gain(self) -> float:
+        """Return the realised current gain including mismatch."""
+        return self.nominal_gain * (1.0 + self.gain_error)
+
+    def copy(self, input_current: float, output_voltage_delta: float = 0.0) -> float:
+        """Return the mirrored output current.
+
+        Parameters
+        ----------
+        input_current:
+            Current flowing into the diode-connected input device.
+        output_voltage_delta:
+            Difference between output and input node voltages in volts;
+            multiplied by the output conductance to model finite output
+            impedance.
+        """
+        return self.gain * input_current + self.output_conductance * output_voltage_delta

@@ -1,0 +1,97 @@
+"""Cascoded current-source model.
+
+The grounded-gate amplifier (GGA) of the class-AB memory cell is biased
+by a current source made of a biasing transistor TP and *cascoded*
+current-bias transistors TC and TN (Fig. 1).  Cascoding multiplies the
+output impedance by the cascode device's intrinsic gain but costs one
+extra saturation voltage of headroom -- a cost that appears explicitly
+in the minimum-supply equation (Eq. 1).
+
+This model reports the output current, output conductance and headroom
+consumption of such a source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CascodeCurrentSource"]
+
+
+@dataclass
+class CascodeCurrentSource:
+    """A (possibly cascoded) current source.
+
+    Parameters
+    ----------
+    current:
+        Nominal output current in amperes.  Must be positive.
+    vdsat_mirror:
+        Saturation voltage of the mirror device, in volts.
+    vdsat_cascode:
+        Saturation voltage of the cascode device, in volts.  Set to 0
+        for an uncascoded source.
+    output_conductance:
+        Small-signal output conductance in siemens (after cascoding).
+    mismatch:
+        Fractional deviation of the delivered current from nominal.
+    """
+
+    current: float
+    vdsat_mirror: float
+    vdsat_cascode: float = 0.0
+    output_conductance: float = 0.0
+    mismatch: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.current <= 0.0:
+            raise ConfigurationError(f"current must be positive, got {self.current!r}")
+        if self.vdsat_mirror <= 0.0:
+            raise ConfigurationError(
+                f"vdsat_mirror must be positive, got {self.vdsat_mirror!r}"
+            )
+        if self.vdsat_cascode < 0.0:
+            raise ConfigurationError(
+                f"vdsat_cascode must be non-negative, got {self.vdsat_cascode!r}"
+            )
+        if self.output_conductance < 0.0:
+            raise ConfigurationError(
+                "output_conductance must be non-negative, "
+                f"got {self.output_conductance!r}"
+            )
+        if self.mismatch <= -1.0:
+            raise ConfigurationError(
+                f"mismatch must be greater than -1, got {self.mismatch!r}"
+            )
+
+    @property
+    def is_cascoded(self) -> bool:
+        """Return ``True`` if the source includes a cascode device."""
+        return self.vdsat_cascode > 0.0
+
+    @property
+    def headroom(self) -> float:
+        """Return the minimum voltage the source needs across it, in volts.
+
+        This is the sum of the saturation voltages of the stacked
+        devices -- the quantity that enters the paper's Eq. (1).
+        """
+        return self.vdsat_mirror + self.vdsat_cascode
+
+    def output_current(self, voltage_across: float) -> float:
+        """Return the delivered current at a given voltage across the source.
+
+        Includes mismatch and the finite-output-conductance slope about
+        the headroom point.  Below the headroom voltage, the source
+        collapses (modelled as a linear fall to zero), which is the
+        failure mode the headroom analysis of Eq. (1) is designed to
+        avoid.
+        """
+        nominal = self.current * (1.0 + self.mismatch)
+        if voltage_across >= self.headroom:
+            return nominal + self.output_conductance * (voltage_across - self.headroom)
+        if voltage_across <= 0.0:
+            return 0.0
+        return nominal * voltage_across / self.headroom

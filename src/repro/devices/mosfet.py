@@ -1,0 +1,243 @@
+"""Square-law MOSFET model.
+
+All first-order quantities the paper reasons about -- saturation
+voltages stacked in Eqs. (1)-(2), the g_m that sets both the
+transmission error and the thermal-noise bandwidth, the C_gs that sets
+the memory cell's storage capacitance -- are square-law quantities, so a
+long-channel square-law model is the right level of abstraction for a
+behavioural reproduction (the chip itself was 0.8 um, still comfortably
+long-channel).
+
+The model is deliberately explicit: given a bias current it reports the
+small-signal parameters the SI cell models consume, and it can check the
+saturation condition that the headroom analysis must guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.errors import ConfigurationError, DeviceError, SaturationError
+from repro.devices.process import ProcessParameters
+
+__all__ = ["MosfetParameters", "OperatingPoint", "Mosfet"]
+
+Polarity = Literal["n", "p"]
+
+
+@dataclass(frozen=True)
+class MosfetParameters:
+    """Geometry and polarity of a single MOSFET.
+
+    Attributes
+    ----------
+    polarity:
+        ``"n"`` or ``"p"``.
+    width:
+        Drawn channel width in metres.
+    length:
+        Drawn channel length in metres.
+    """
+
+    polarity: Polarity
+    width: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise ConfigurationError(
+                f"polarity must be 'n' or 'p', got {self.polarity!r}"
+            )
+        if self.width <= 0.0:
+            raise ConfigurationError(f"width must be positive, got {self.width!r}")
+        if self.length <= 0.0:
+            raise ConfigurationError(f"length must be positive, got {self.length!r}")
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Small-signal parameters of a MOSFET at a DC bias.
+
+    Attributes
+    ----------
+    drain_current:
+        Bias drain current in amperes (magnitude).
+    vgs:
+        Gate-source voltage magnitude in volts.
+    vdsat:
+        Saturation (overdrive) voltage ``V_gs - V_T`` in volts.
+    gm:
+        Transconductance in siemens.
+    gds:
+        Output conductance in siemens.
+    cgs:
+        Gate-source capacitance in farads.
+    """
+
+    drain_current: float
+    vgs: float
+    vdsat: float
+    gm: float
+    gds: float
+    cgs: float
+
+    @property
+    def intrinsic_gain(self) -> float:
+        """Return the intrinsic voltage gain ``g_m / g_ds``.
+
+        Raises
+        ------
+        DeviceError
+            If the output conductance is zero (ideal device), in which
+            case the gain is unbounded.
+        """
+        if self.gds == 0.0:
+            raise DeviceError("intrinsic gain is unbounded when gds is zero")
+        return self.gm / self.gds
+
+
+class Mosfet:
+    """A square-law MOSFET bound to a process corner.
+
+    Parameters
+    ----------
+    params:
+        Geometry and polarity.
+    process:
+        Process corner supplying kp, V_T, lambda and capacitances.
+    """
+
+    def __init__(self, params: MosfetParameters, process: ProcessParameters) -> None:
+        self.params = params
+        self.process = process
+
+    # -- process-derived scalars ------------------------------------------
+
+    @property
+    def kp(self) -> float:
+        """Return the transconductance parameter ``mu C_ox`` in A/V^2."""
+        return self.process.kp_n if self.params.polarity == "n" else self.process.kp_p
+
+    @property
+    def vth(self) -> float:
+        """Return the threshold-voltage magnitude in volts."""
+        return self.process.vth_n if self.params.polarity == "n" else self.process.vth_p
+
+    @property
+    def lam(self) -> float:
+        """Return the channel-length modulation coefficient in 1/V."""
+        return (
+            self.process.lambda_n
+            if self.params.polarity == "n"
+            else self.process.lambda_p
+        )
+
+    @property
+    def beta(self) -> float:
+        """Return the current factor ``kp * W / L`` in A/V^2."""
+        return self.kp * self.params.width / self.params.length
+
+    @property
+    def cgs(self) -> float:
+        """Return the saturation-region gate-source capacitance in farads.
+
+        Uses the standard long-channel value ``(2/3) W L C_ox`` plus the
+        overlap contribution.  This is the storage capacitance of an SI
+        memory transistor, which sets both the settling time constant and
+        the sampled thermal noise.
+        """
+        intrinsic = (2.0 / 3.0) * self.params.width * self.params.length * self.process.cox
+        overlap = self.params.width * self.process.cov_per_width
+        return intrinsic + overlap
+
+    # -- DC characteristics -----------------------------------------------
+
+    def drain_current(self, vgs: float, vds: float) -> float:
+        """Return the drain-current magnitude for gate and drain drives.
+
+        Voltages are magnitudes referred to the source (use positive
+        numbers for both polarities).  Covers cutoff, triode and
+        saturation with channel-length modulation.
+
+        Raises
+        ------
+        DeviceError
+            If ``vds`` is negative (the model is unidirectional).
+        """
+        if vds < 0.0:
+            raise DeviceError(f"vds must be non-negative, got {vds!r}")
+        vov = vgs - self.vth
+        if vov <= 0.0:
+            return 0.0
+        if vds < vov:
+            return self.beta * (vov - vds / 2.0) * vds * (1.0 + self.lam * vds)
+        return 0.5 * self.beta * vov * vov * (1.0 + self.lam * vds)
+
+    def vdsat_for_current(self, drain_current: float) -> float:
+        """Return the overdrive voltage needed to carry ``drain_current``.
+
+        Inverts the saturation square law (channel-length modulation
+        ignored, as in the paper's headroom analysis).
+
+        Raises
+        ------
+        DeviceError
+            If ``drain_current`` is negative.
+        """
+        if drain_current < 0.0:
+            raise DeviceError(
+                f"drain_current must be non-negative, got {drain_current!r}"
+            )
+        return math.sqrt(2.0 * drain_current / self.beta)
+
+    def vgs_for_current(self, drain_current: float) -> float:
+        """Return the gate-source voltage magnitude for a saturation bias."""
+        return self.vth + self.vdsat_for_current(drain_current)
+
+    def bias(self, drain_current: float, vds: float | None = None) -> OperatingPoint:
+        """Return the operating point at a saturation bias current.
+
+        Parameters
+        ----------
+        drain_current:
+            Bias drain-current magnitude in amperes.  Must be positive.
+        vds:
+            Drain-source voltage magnitude used for the saturation check
+            and the gds evaluation.  When omitted, the device is assumed
+            to sit exactly at the edge of saturation plus a small margin
+            and only ``gds = lambda * I_D`` is reported.
+
+        Raises
+        ------
+        DeviceError
+            If ``drain_current`` is not positive.
+        SaturationError
+            If ``vds`` is given and is below the required ``vdsat``.
+        """
+        if drain_current <= 0.0:
+            raise DeviceError(
+                f"drain_current must be positive, got {drain_current!r}"
+            )
+        vdsat = self.vdsat_for_current(drain_current)
+        if vds is not None and vds < vdsat:
+            raise SaturationError(
+                f"device requires vdsat={vdsat:.4f} V but only vds={vds:.4f} V "
+                "is available"
+            )
+        gm = math.sqrt(2.0 * self.beta * drain_current)
+        gds = self.lam * drain_current
+        return OperatingPoint(
+            drain_current=drain_current,
+            vgs=self.vth + vdsat,
+            vdsat=vdsat,
+            gm=gm,
+            gds=gds,
+            cgs=self.cgs,
+        )
+
+    def in_saturation(self, vgs: float, vds: float) -> bool:
+        """Return ``True`` if the device is on and in saturation."""
+        vov = vgs - self.vth
+        return vov > 0.0 and vds >= vov

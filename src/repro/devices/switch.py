@@ -1,0 +1,203 @@
+"""MOS sampling-switch model with charge injection and clock feedthrough.
+
+Charge injection is a first-order error source in switched-current
+memory cells: when the sampling switch turns off, part of its channel
+charge lands on the memory transistor's gate and perturbs the stored
+current.  The paper's class-AB cell attacks it twice over:
+
+* using an n-type switch for the n-type memory transistor and a p-type
+  switch for the p-type one makes the two injected charges *opposite in
+  sign*, cancelling to first order (Section II, citing [16]);
+* the fully differential structure cancels the remaining common part
+  between the two half-circuits (Section II, citing [2]).
+
+This module models the raw, uncancelled injection of a single switch;
+the cancellation bookkeeping lives in :mod:`repro.si.errors_model`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, DeviceError
+from repro.devices.mosfet import Mosfet, MosfetParameters
+from repro.devices.process import ProcessParameters
+
+__all__ = ["ChargeInjectionModel", "MosSwitch"]
+
+
+@dataclass(frozen=True)
+class ChargeInjectionModel:
+    """Parameters controlling how channel charge splits at turn-off.
+
+    Attributes
+    ----------
+    channel_split:
+        Fraction of the channel charge that lands on the storage node
+        (0..1).  0.5 is the symmetric fast-clock value.
+    include_feedthrough:
+        Whether to include clock feedthrough through the overlap
+        capacitance in addition to channel-charge injection.
+    """
+
+    channel_split: float = 0.5
+    include_feedthrough: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.channel_split <= 1.0:
+            raise ConfigurationError(
+                f"channel_split must be in [0, 1], got {self.channel_split!r}"
+            )
+
+
+class MosSwitch:
+    """A single MOS transistor used as a sampling switch.
+
+    Parameters
+    ----------
+    params:
+        Switch geometry and polarity (minimum length is typical).
+    process:
+        Process corner.
+    gate_high:
+        Gate drive voltage when the switch is on, in volts.  Defaults to
+        the process supply voltage.
+    injection:
+        Charge-injection split model.
+    """
+
+    def __init__(
+        self,
+        params: MosfetParameters,
+        process: ProcessParameters,
+        gate_high: float | None = None,
+        injection: ChargeInjectionModel | None = None,
+    ) -> None:
+        self._device = Mosfet(params, process)
+        self.params = params
+        self.process = process
+        self.gate_high = process.supply_voltage if gate_high is None else gate_high
+        if self.gate_high <= 0.0:
+            raise ConfigurationError(
+                f"gate_high must be positive, got {self.gate_high!r}"
+            )
+        self.injection = injection if injection is not None else ChargeInjectionModel()
+
+    # -- conduction ---------------------------------------------------------
+
+    def overdrive(self, node_voltage: float) -> float:
+        """Return the switch overdrive ``V_gs - V_T`` at a node voltage.
+
+        For an n-switch the gate sits at ``gate_high`` and the source at
+        the node; a p-switch conducts with the gate at ground, so the
+        overdrive is measured from the supply instead.  Both cases reduce
+        to a positive overdrive magnitude.
+        """
+        if self.params.polarity == "n":
+            return self.gate_high - node_voltage - self._device.vth
+        return node_voltage - (self.process.supply_voltage - self.gate_high) - self._device.vth
+
+    def on_resistance(self, node_voltage: float) -> float:
+        """Return the triode on-resistance at a node voltage, in ohms.
+
+        Raises
+        ------
+        DeviceError
+            If the switch does not conduct at this node voltage (zero or
+            negative overdrive).
+        """
+        vov = self.overdrive(node_voltage)
+        if vov <= 0.0:
+            raise DeviceError(
+                f"switch does not conduct at node voltage {node_voltage!r} "
+                f"(overdrive {vov:.4f} V)"
+            )
+        return 1.0 / (self._device.beta * vov)
+
+    # -- charge injection -----------------------------------------------------
+
+    def channel_charge(self, node_voltage: float) -> float:
+        """Return the magnitude of the channel charge when on, in coulombs.
+
+        ``Q_ch = W L C_ox (V_gs - V_T)`` evaluated at the node voltage.
+        A non-conducting switch holds no channel charge.
+        """
+        vov = self.overdrive(node_voltage)
+        if vov <= 0.0:
+            return 0.0
+        area = self.params.width * self.params.length
+        return area * self.process.cox * vov
+
+    def injected_charge(self, node_voltage: float) -> float:
+        """Return the signed charge injected onto the storage node at turn-off.
+
+        An n-switch dumps electrons onto the node (negative charge); a
+        p-switch dumps holes (positive charge).  This sign opposition is
+        exactly what the class-AB cell exploits for first-order
+        cancellation.  Clock feedthrough through the overlap capacitance
+        is included when enabled by the injection model.
+        """
+        split_charge = self.injection.channel_split * self.channel_charge(node_voltage)
+        feedthrough = 0.0
+        if self.injection.include_feedthrough:
+            cov = self.params.width * self.process.cov_per_width
+            feedthrough = cov * self.gate_high
+        magnitude = split_charge + feedthrough
+        return -magnitude if self.params.polarity == "n" else magnitude
+
+    def voltage_step_on(self, node_voltage: float, storage_capacitance: float) -> float:
+        """Return the voltage step the injection causes on a storage node.
+
+        Parameters
+        ----------
+        node_voltage:
+            Voltage of the storage node while the switch was conducting.
+        storage_capacitance:
+            Capacitance of the storage node in farads (the memory
+            transistor's C_gs).  Must be positive.
+
+        Raises
+        ------
+        DeviceError
+            If ``storage_capacitance`` is not positive.
+        """
+        if storage_capacitance <= 0.0:
+            raise DeviceError(
+                f"storage_capacitance must be positive, got {storage_capacitance!r}"
+            )
+        return self.injected_charge(node_voltage) / storage_capacitance
+
+    def settling_time_constant(
+        self, node_voltage: float, storage_capacitance: float
+    ) -> float:
+        """Return the RC settling time constant through the on switch.
+
+        Raises
+        ------
+        DeviceError
+            If the switch does not conduct or the capacitance is invalid.
+        """
+        if storage_capacitance <= 0.0:
+            raise DeviceError(
+                f"storage_capacitance must be positive, got {storage_capacitance!r}"
+            )
+        return self.on_resistance(node_voltage) * storage_capacitance
+
+    def thermal_noise_charge_rms(
+        self, storage_capacitance: float, temperature: float = 300.0
+    ) -> float:
+        """Return the rms kT/C charge sampled onto the node at turn-off.
+
+        Raises
+        ------
+        DeviceError
+            If ``storage_capacitance`` is not positive.
+        """
+        if storage_capacitance <= 0.0:
+            raise DeviceError(
+                f"storage_capacitance must be positive, got {storage_capacitance!r}"
+            )
+        from repro.constants import BOLTZMANN
+
+        return math.sqrt(BOLTZMANN * temperature * storage_capacitance)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` switched-current library.
+
+Every exception raised deliberately by this package derives from
+:class:`ReproError` so applications can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class DeviceError(ReproError):
+    """A device model was driven outside its valid operating region."""
+
+
+class SaturationError(DeviceError):
+    """A transistor that must stay in saturation left the saturation region.
+
+    The headroom analysis of the paper (Eqs. 1-2) exists precisely to
+    guarantee this never happens at the chosen supply voltage; the
+    simulator raises this error when the guarantee is violated.
+    """
+
+
+class ClockingError(ReproError):
+    """A sampled-data block was evaluated on the wrong clock phase."""
+
+
+class AnalysisError(ReproError):
+    """A measurement or spectral analysis could not be performed."""
+
+
+class StimulusError(ReproError):
+    """A stimulus generator was asked for an unrealisable waveform."""

@@ -1,0 +1,37 @@
+"""Noise models: thermal, flicker and quantisation.
+
+The paper's key experimental finding is that the modulators' dynamic
+range is limited by *thermal noise in the SI circuits* (a 33 nA rms
+floor from the small storage capacitance), not by quantisation noise,
+and that chopper stabilisation buys nothing because second-generation
+cells already perform correlated double sampling and the floor is
+thermal anyway.  This subpackage provides each of those ingredients as
+an explicit, testable model.
+"""
+
+from repro.noise.sources import (
+    NoiseSource,
+    WhiteNoiseSource,
+    CompositeNoiseSource,
+    NoiseBudget,
+)
+from repro.noise.thermal import MemoryCellThermalNoise
+from repro.noise.flicker import FlickerNoiseSource, correlated_double_sampling_gain
+from repro.noise.quantization import (
+    QuantizationNoiseModel,
+    sqnr_second_order_db,
+    inband_noise_fraction,
+)
+
+__all__ = [
+    "NoiseSource",
+    "WhiteNoiseSource",
+    "CompositeNoiseSource",
+    "NoiseBudget",
+    "MemoryCellThermalNoise",
+    "FlickerNoiseSource",
+    "correlated_double_sampling_gain",
+    "QuantizationNoiseModel",
+    "sqnr_second_order_db",
+    "inband_noise_fraction",
+]

@@ -1,0 +1,130 @@
+"""Quantisation-noise predictions for oversampled converters.
+
+Section V of the paper:
+
+    "If the quantization error had been the main reason, the
+    second-order delta-sigma modulator would have achieved a dynamic
+    range over 13 bits."
+
+These are the standard Candy & Temes results [18] for an L-th order
+noise-shaping loop with a uniform quantiser of step ``Delta`` and
+oversampling ratio ``OSR``:
+
+    in-band quantisation noise power
+        = (Delta^2 / 12) * (pi^{2L} / (2L + 1)) * OSR^{-(2L+1)}
+
+so the peak SQNR of a second-order (L = 2) loop grows at 15 dB per
+octave of OSR.  The benches use these formulas as the
+"quantisation-limited" reference against which the thermal-noise limit
+is demonstrated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "QuantizationNoiseModel",
+    "sqnr_second_order_db",
+    "inband_noise_fraction",
+]
+
+
+def inband_noise_fraction(order: int, oversampling_ratio: float) -> float:
+    """Return the fraction of shaped quantisation power left in band.
+
+    ``(pi^{2L} / (2L + 1)) * OSR^{-(2L+1)}`` for an L-th order
+    ``(1 - z^{-1})^L`` noise transfer function, L >= 0 (L = 0 is plain
+    oversampling: fraction = 1/OSR).
+
+    Raises
+    ------
+    ConfigurationError
+        If ``order`` is negative or ``oversampling_ratio`` < 1.
+    """
+    if order < 0:
+        raise ConfigurationError(f"order must be non-negative, got {order!r}")
+    if oversampling_ratio < 1.0:
+        raise ConfigurationError(
+            f"oversampling_ratio must be >= 1, got {oversampling_ratio!r}"
+        )
+    two_l = 2 * order
+    return (math.pi**two_l / (two_l + 1)) * oversampling_ratio ** -(two_l + 1)
+
+
+def sqnr_second_order_db(oversampling_ratio: float, input_level_db: float = 0.0) -> float:
+    """Return the ideal second-order 1-bit SQNR in dB at a given input level.
+
+    For a 1-bit quantiser with output levels +/- FS the quantisation
+    step is ``Delta = 2 FS`` and a full-scale sine has power
+    ``FS^2 / 2``, giving
+
+        SQNR = 10 log10( (FS^2/2) / ((Delta^2/12) * f_L(OSR)) ) + level
+
+    where ``f_L`` is :func:`inband_noise_fraction` with L = 2.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``oversampling_ratio`` < 1.
+    """
+    fraction = inband_noise_fraction(2, oversampling_ratio)
+    signal_power = 0.5
+    noise_power = (4.0 / 12.0) * fraction
+    return 10.0 * math.log10(signal_power / noise_power) + input_level_db
+
+
+@dataclass(frozen=True)
+class QuantizationNoiseModel:
+    """Quantisation-noise budget for an L-th order 1-bit modulator.
+
+    Parameters
+    ----------
+    order:
+        Noise-shaping order L.
+    full_scale:
+        Quantiser output level magnitude (the feedback DAC current).
+    oversampling_ratio:
+        OSR of the decimated output.
+    """
+
+    order: int
+    full_scale: float
+    oversampling_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.order < 0:
+            raise ConfigurationError(f"order must be non-negative, got {self.order!r}")
+        if self.full_scale <= 0.0:
+            raise ConfigurationError(
+                f"full_scale must be positive, got {self.full_scale!r}"
+            )
+        if self.oversampling_ratio < 1.0:
+            raise ConfigurationError(
+                f"oversampling_ratio must be >= 1, got {self.oversampling_ratio!r}"
+            )
+
+    @property
+    def quantizer_step(self) -> float:
+        """Return the quantiser step ``Delta = 2 FS`` of a 1-bit quantiser."""
+        return 2.0 * self.full_scale
+
+    @property
+    def inband_noise_rms(self) -> float:
+        """Return the in-band quantisation noise rms in amperes."""
+        total_power = self.quantizer_step**2 / 12.0
+        return math.sqrt(
+            total_power * inband_noise_fraction(self.order, self.oversampling_ratio)
+        )
+
+    def peak_sqnr_db(self) -> float:
+        """Return the SQNR for a full-scale sine input, in dB."""
+        signal_rms = self.full_scale / math.sqrt(2.0)
+        return 20.0 * math.log10(signal_rms / self.inband_noise_rms)
+
+    def dynamic_range_bits(self) -> float:
+        """Return the quantisation-limited dynamic range in effective bits."""
+        return (self.peak_sqnr_db() - 1.76) / 6.02

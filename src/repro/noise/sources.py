@@ -1,0 +1,163 @@
+"""Composable per-sample noise sources.
+
+Every behavioural SI block injects noise as a per-sample current
+addition.  The framework here keeps the sources composable (a cell has
+a thermal and optionally a flicker component) and measurable (each
+source can report its rms contribution so noise budgets can be written
+down analytically and checked against simulation, as the paper does in
+Section V).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NoiseSource",
+    "WhiteNoiseSource",
+    "CompositeNoiseSource",
+    "NoiseBudget",
+]
+
+
+class NoiseSource(abc.ABC):
+    """Abstract per-sample noise generator."""
+
+    @abc.abstractmethod
+    def sample(self, n_samples: int) -> np.ndarray:
+        """Return ``n_samples`` of noise current in amperes."""
+
+    @abc.abstractmethod
+    def rms(self) -> float:
+        """Return the wideband rms value of this source in amperes."""
+
+
+class WhiteNoiseSource(NoiseSource):
+    """Gaussian white noise with a fixed per-sample rms value.
+
+    Sampled-data circuits alias all wideband noise into the Nyquist
+    band, so at behavioural level a white per-sample sequence with the
+    correct total rms reproduces the in-band density exactly.
+
+    Parameters
+    ----------
+    rms_current:
+        Standard deviation of each sample in amperes.  Zero disables
+        the source.
+    rng:
+        NumPy random generator for reproducibility.
+    """
+
+    def __init__(
+        self, rms_current: float, rng: np.random.Generator | None = None
+    ) -> None:
+        if rms_current < 0.0:
+            raise ConfigurationError(
+                f"rms_current must be non-negative, got {rms_current!r}"
+            )
+        self.rms_current = rms_current
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def sample(self, n_samples: int) -> np.ndarray:
+        if n_samples < 0:
+            raise ConfigurationError(
+                f"n_samples must be non-negative, got {n_samples!r}"
+            )
+        if self.rms_current == 0.0:
+            return np.zeros(n_samples)
+        return self._rng.normal(0.0, self.rms_current, size=n_samples)
+
+    def rms(self) -> float:
+        return self.rms_current
+
+
+class CompositeNoiseSource(NoiseSource):
+    """Sum of several independent noise sources.
+
+    Parameters
+    ----------
+    sources:
+        The constituent sources.  Their powers add (independence).
+    """
+
+    def __init__(self, sources: Sequence[NoiseSource]) -> None:
+        self.sources = tuple(sources)
+
+    def sample(self, n_samples: int) -> np.ndarray:
+        if not self.sources:
+            return np.zeros(n_samples)
+        total = np.zeros(n_samples)
+        for source in self.sources:
+            total += source.sample(n_samples)
+        return total
+
+    def rms(self) -> float:
+        return math.sqrt(sum(source.rms() ** 2 for source in self.sources))
+
+
+@dataclass
+class NoiseBudget:
+    """An analytic noise budget: named rms contributions that add in power.
+
+    Mirrors the calculation in Section V of the paper, where the 33 nA
+    memory-transistor thermal floor is combined with the oversampling
+    ratio to predict a 66 dB dynamic range (measured: ~63 dB).
+    """
+
+    entries: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, rms_current: float) -> None:
+        """Add a named contribution in amperes rms.
+
+        Raises
+        ------
+        ConfigurationError
+            If the name is duplicated or the value negative.
+        """
+        if name in self.entries:
+            raise ConfigurationError(f"budget entry {name!r} already present")
+        if rms_current < 0.0:
+            raise ConfigurationError(
+                f"rms_current must be non-negative, got {rms_current!r}"
+            )
+        self.entries[name] = rms_current
+
+    def total_rms(self) -> float:
+        """Return the combined rms of all entries (power sum)."""
+        return math.sqrt(sum(value**2 for value in self.entries.values()))
+
+    def dominant(self) -> str:
+        """Return the name of the largest contribution.
+
+        Raises
+        ------
+        ConfigurationError
+            If the budget is empty.
+        """
+        if not self.entries:
+            raise ConfigurationError("noise budget is empty")
+        return max(self.entries, key=lambda name: self.entries[name])
+
+    def snr_db(self, signal_rms: float) -> float:
+        """Return the SNR in dB for a given signal rms against this budget.
+
+        Raises
+        ------
+        ConfigurationError
+            If the signal rms is not positive or the budget total is zero.
+        """
+        if signal_rms <= 0.0:
+            raise ConfigurationError(
+                f"signal_rms must be positive, got {signal_rms!r}"
+            )
+        total = self.total_rms()
+        if total == 0.0:
+            raise ConfigurationError("noise budget total is zero; SNR unbounded")
+        return 20.0 * math.log10(signal_rms / total)

@@ -1,0 +1,23 @@
+"""Reporting: paper-style tables, figure series and comparison records."""
+
+from repro.reporting.tables import render_table, Table
+from repro.reporting.figures import spectrum_series, sweep_series, ascii_plot
+from repro.reporting.records import PaperComparison, ComparisonRecord
+from repro.reporting.export import (
+    read_series_csv,
+    write_comparison_json,
+    write_series_csv,
+)
+
+__all__ = [
+    "render_table",
+    "Table",
+    "spectrum_series",
+    "sweep_series",
+    "ascii_plot",
+    "PaperComparison",
+    "ComparisonRecord",
+    "write_series_csv",
+    "read_series_csv",
+    "write_comparison_json",
+]

@@ -1,0 +1,121 @@
+"""Figure-series dumps and ASCII plots for the paper's Figs. 5-7.
+
+A bench regenerating a figure produces the numeric series (frequency /
+power pairs for a spectrum, level / SNDR pairs for a sweep) and can
+render a quick ASCII plot for the terminal -- enough to verify the
+*shape* of each figure without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.analysis.spectrum import Spectrum
+
+__all__ = ["spectrum_series", "sweep_series", "ascii_plot"]
+
+
+def spectrum_series(
+    spectrum: Spectrum,
+    reference_power: float,
+    max_points: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (frequency, dB) series for a spectrum figure.
+
+    Long spectra are decimated by max-pooling so narrow tones survive
+    the reduction (a spectrum analyser's peak-hold display does the
+    same).
+
+    Raises
+    ------
+    ConfigurationError
+        If ``max_points`` is less than 2 or the reference not positive.
+    """
+    if max_points < 2:
+        raise ConfigurationError(f"max_points must be >= 2, got {max_points!r}")
+    if reference_power <= 0.0:
+        raise ConfigurationError(
+            f"reference_power must be positive, got {reference_power!r}"
+        )
+    power_db = spectrum.power_db(reference_power)
+    freqs = spectrum.frequencies
+    n = freqs.shape[0]
+    if n <= max_points:
+        return freqs.copy(), power_db.copy()
+    stride = int(np.ceil(n / max_points))
+    n_groups = int(np.ceil(n / stride))
+    out_f = np.empty(n_groups)
+    out_p = np.empty(n_groups)
+    for g in range(n_groups):
+        lo = g * stride
+        hi = min(n, lo + stride)
+        block = power_db[lo:hi]
+        peak = int(np.argmax(block))
+        out_f[g] = freqs[lo + peak]
+        out_p[g] = block[peak]
+    return out_f, out_p
+
+
+def sweep_series(
+    levels_db: np.ndarray, values_db: np.ndarray
+) -> list[tuple[float, float]]:
+    """Return a sweep as a list of (level, value) pairs for dumping.
+
+    Raises
+    ------
+    ConfigurationError
+        If the arrays' shapes differ.
+    """
+    levels = np.asarray(levels_db, dtype=float)
+    values = np.asarray(values_db, dtype=float)
+    if levels.shape != values.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {levels.shape} vs {values.shape}"
+        )
+    return [(float(l), float(v)) for l, v in zip(levels, values)]
+
+
+def ascii_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Render a crude ASCII scatter/line plot of a series.
+
+    Raises
+    ------
+    ConfigurationError
+        If the series is empty or shapes differ.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.size == 0:
+        raise ConfigurationError(
+            f"series must be equal-shaped and non-empty, got {xs.shape}, {ys.shape}"
+        )
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot must be at least 8x4 characters")
+
+    x_min, x_max = float(np.min(xs)), float(np.max(xs))
+    y_min, y_max = float(np.min(ys)), float(np.max(ys))
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(xs, ys):
+        col = int((xi - x_min) / x_span * (width - 1))
+        row = int((yi - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.1f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:>10.1f} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<.3g}" + " " * max(1, width - 16) + f"{x_max:>.3g}")
+    return "\n".join(lines)

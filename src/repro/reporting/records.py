@@ -1,0 +1,98 @@
+"""Paper-vs-measured comparison records.
+
+Every bench that reproduces a table or figure files its results into a
+:class:`PaperComparison`, which renders the EXPERIMENTS.md-style
+summary: experiment id, the paper's number, the reproduction's number,
+and whether the shape criterion passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import render_table
+
+__all__ = ["ComparisonRecord", "PaperComparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonRecord:
+    """One paper-vs-measured line item.
+
+    Attributes
+    ----------
+    experiment:
+        Experiment id ("Table 1", "Fig. 7", ...).
+    quantity:
+        What is being compared ("THD @ 8 uA", "DR (bits)", ...).
+    paper_value:
+        The paper's reported value, as a display string.
+    measured_value:
+        This reproduction's value, as a display string.
+    shape_holds:
+        Whether the qualitative criterion is met.
+    """
+
+    experiment: str
+    quantity: str
+    paper_value: str
+    measured_value: str
+    shape_holds: bool
+
+
+@dataclass
+class PaperComparison:
+    """Accumulator of comparison records across a bench run."""
+
+    records: list[ComparisonRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        experiment: str,
+        quantity: str,
+        paper_value: str,
+        measured_value: str,
+        shape_holds: bool,
+    ) -> None:
+        """File one comparison line.
+
+        Raises
+        ------
+        ConfigurationError
+            If experiment or quantity are empty.
+        """
+        if not experiment or not quantity:
+            raise ConfigurationError("experiment and quantity must be non-empty")
+        self.records.append(
+            ComparisonRecord(
+                experiment=experiment,
+                quantity=quantity,
+                paper_value=paper_value,
+                measured_value=measured_value,
+                shape_holds=shape_holds,
+            )
+        )
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        """Return True if every filed record met its shape criterion."""
+        return all(record.shape_holds for record in self.records)
+
+    def render(self, title: str = "Paper vs. reproduction") -> str:
+        """Return the comparison as a formatted table."""
+        rows = [
+            (
+                record.experiment,
+                record.quantity,
+                record.paper_value,
+                record.measured_value,
+                "yes" if record.shape_holds else "NO",
+            )
+            for record in self.records
+        ]
+        return render_table(
+            title,
+            ("experiment", "quantity", "paper", "measured", "shape holds"),
+            rows,
+        )

@@ -1,0 +1,82 @@
+"""ASCII table rendering in the style of the paper's Tables 1 and 2.
+
+The benches print their results as two-or-three-column tables mirroring
+the paper's layout so that paper-vs-measured comparison is a visual
+diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Table", "render_table"]
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    Parameters
+    ----------
+    title:
+        Table caption.
+    columns:
+        Column headers; the first column names the quantity.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: str) -> None:
+        """Append one row.
+
+        Raises
+        ------
+        ConfigurationError
+            If the cell count does not match the column count.
+        """
+        if len(cells) != len(self.columns):
+            raise ConfigurationError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(tuple(str(cell) for cell in cells))
+
+    def render(self) -> str:
+        """Return the formatted table as a string."""
+        return render_table(self.title, self.columns, self.rows)
+
+
+def render_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render a column-aligned text table.
+
+    Raises
+    ------
+    ConfigurationError
+        If any row's cell count mismatches the columns.
+    """
+    header = [str(c) for c in columns]
+    body = [[str(cell) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(header):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(header)}"
+            )
+    widths = [len(h) for h in header]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [title, separator, format_row(header), separator]
+    lines.extend(format_row(row) for row in body)
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Second-order switched-capacitor delta-sigma modulator.
+
+The SC counterpart of :class:`~repro.deltasigma.modulator2.SIModulator2`
+with the same loop coefficients (Eq. 3) but SC integrators: kT/C noise
+set by picofarad capacitors instead of the SI cell's femtofarad gate
+capacitance.  Used by the SI-vs-SC trade-off bench to quantify the
+paper's closing comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sc.integrator import ScIntegrator
+from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.quantizer import CurrentQuantizer
+
+__all__ = ["ScModulator2"]
+
+
+class ScModulator2:
+    """Second-order SC modulator with kT/C-limited noise.
+
+    Parameters
+    ----------
+    full_scale:
+        Feedback reference level (kept in the benches' current units so
+        SI and SC results share an axis).
+    capacitance:
+        Sampling-capacitor value of both integrators, in farads.
+    a1, a2, b2:
+        Loop coefficients (Eq. 3 condition ``b2 = 2 a1 a2``).
+    seed:
+        Noise seed.
+    """
+
+    def __init__(
+        self,
+        full_scale: float = 6e-6,
+        capacitance: float = 2.5e-12,
+        a1: float = 0.5,
+        a2: float = 1.0,
+        b2: float = 1.0,
+        seed: int | None = 7,
+    ) -> None:
+        if full_scale <= 0.0:
+            raise ConfigurationError(
+                f"full_scale must be positive, got {full_scale!r}"
+            )
+        self.full_scale = full_scale
+        self.capacitance = capacitance
+        self.a1 = a1
+        self.a2 = a2
+        self.b2 = b2
+        self.quantizer = CurrentQuantizer()
+        self.dac = FeedbackDac(full_scale=full_scale)
+        seed1 = None if seed is None else seed + 11
+        seed2 = None if seed is None else seed + 22
+        self._int1 = ScIntegrator(gain=1.0, capacitance=capacitance, seed=seed1)
+        self._int2 = ScIntegrator(gain=1.0, capacitance=capacitance, seed=seed2)
+
+    @property
+    def realizes_eq3(self) -> bool:
+        """Return True if the bit stream realises Eq. (3)."""
+        return abs(self.b2 - 2.0 * self.a1 * self.a2) < 1e-12
+
+    def reset(self) -> None:
+        """Zero the loop state."""
+        self._int1.reset()
+        self._int2.reset()
+        self.quantizer.reset()
+
+    def run(self, stimulus: np.ndarray) -> np.ndarray:
+        """Run the modulator over an input array."""
+        data = np.asarray(stimulus, dtype=float)
+        if data.ndim != 1:
+            raise ConfigurationError(
+                f"stimulus must be 1-D, got shape {data.shape}"
+            )
+        n_samples = data.shape[0]
+        output = np.empty(n_samples)
+        int1 = self._int1
+        int2 = self._int2
+        quantizer = self.quantizer
+        dac = self.dac
+        a1 = self.a1
+        a2 = self.a2
+        b2 = self.b2
+        for n in range(n_samples):
+            w1 = int1.state
+            w2 = int2.state
+            decision = quantizer.decide(w2)
+            feedback = dac.convert(decision)
+            int1.step(a1 * (float(data[n]) - feedback))
+            int2.step(a2 * w1 - b2 * feedback)
+            output[n] = decision * self.full_scale
+        return output
+
+    def __call__(self, stimulus: np.ndarray) -> np.ndarray:
+        """Run with a fresh state: the device-under-test interface."""
+        self.reset()
+        return self.run(stimulus)

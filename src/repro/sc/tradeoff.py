@@ -1,0 +1,125 @@
+"""The SI-versus-SC trade-off, quantified.
+
+Evaluates the paper's closing claim across the capacitance axis: an SC
+design's dynamic range grows with its (double-poly, area-hungry)
+storage capacitors, while the SI design is stuck with the memory
+transistor's small C_gs but needs only the digital single-poly
+process.  "The SI technique is an inexpensive alternative to the SC
+technique for medium accuracy applications."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sc.integrator import kt_over_c_noise_rms
+from repro.deltasigma.predictions import thermal_limited_dynamic_range_db
+
+__all__ = ["TradeoffPoint", "ScSiTradeoff"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One technology point in the SI-vs-SC comparison.
+
+    Attributes
+    ----------
+    label:
+        Technology description.
+    storage_capacitance:
+        Storage capacitance in farads.
+    noise_rms:
+        Wideband sampled-noise rms in the shared current units.
+    dynamic_range_db:
+        Thermal-limited DR at the paper's operating point.
+    needs_double_poly:
+        Whether the storage element requires a double-poly process.
+    """
+
+    label: str
+    storage_capacitance: float
+    noise_rms: float
+    dynamic_range_db: float
+    needs_double_poly: bool
+
+    @property
+    def dynamic_range_bits(self) -> float:
+        """Return the DR in effective bits."""
+        return (self.dynamic_range_db - 1.76) / 6.02
+
+
+class ScSiTradeoff:
+    """Builder of the SI-vs-SC comparison table.
+
+    Parameters
+    ----------
+    full_scale:
+        Signal full scale in amperes (6 uA, the paper's 0 dB level).
+    oversampling_ratio:
+        OSR (128 in the paper).
+    si_noise_rms:
+        The SI design's wideband noise (33 nA in the paper).
+    """
+
+    def __init__(
+        self,
+        full_scale: float = 6e-6,
+        oversampling_ratio: float = 128.0,
+        si_noise_rms: float = 33e-9,
+    ) -> None:
+        if full_scale <= 0.0:
+            raise ConfigurationError(
+                f"full_scale must be positive, got {full_scale!r}"
+            )
+        if si_noise_rms <= 0.0:
+            raise ConfigurationError(
+                f"si_noise_rms must be positive, got {si_noise_rms!r}"
+            )
+        self.full_scale = full_scale
+        self.oversampling_ratio = oversampling_ratio
+        self.si_noise_rms = si_noise_rms
+
+    def si_point(self, cgs: float = 25e-15) -> TradeoffPoint:
+        """Return the SI technology point (single-poly, small C_gs)."""
+        return TradeoffPoint(
+            label="SI (single-poly digital CMOS)",
+            storage_capacitance=cgs,
+            noise_rms=self.si_noise_rms,
+            dynamic_range_db=thermal_limited_dynamic_range_db(
+                self.full_scale, self.si_noise_rms, self.oversampling_ratio
+            ),
+            needs_double_poly=False,
+        )
+
+    def sc_point(self, capacitance: float) -> TradeoffPoint:
+        """Return an SC technology point at a given capacitor size.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``capacitance`` is not positive.
+        """
+        noise = kt_over_c_noise_rms(capacitance)
+        return TradeoffPoint(
+            label=f"SC ({capacitance * 1e12:.1f} pF, double-poly)",
+            storage_capacitance=capacitance,
+            noise_rms=noise,
+            dynamic_range_db=thermal_limited_dynamic_range_db(
+                self.full_scale, noise, self.oversampling_ratio
+            ),
+            needs_double_poly=True,
+        )
+
+    def sweep(self, capacitances: list[float]) -> list[TradeoffPoint]:
+        """Return the SI point followed by SC points across capacitances."""
+        points = [self.si_point()]
+        points.extend(self.sc_point(c) for c in capacitances)
+        return points
+
+    def sc_advantage_db(self, capacitance: float) -> float:
+        """Return how many dB of DR the SC design gains over the SI one."""
+        return (
+            self.sc_point(capacitance).dynamic_range_db
+            - self.si_point().dynamic_range_db
+        )

@@ -1,0 +1,186 @@
+"""Switched-current biquad filter.
+
+The paper's opening motivation is that SI serves "filtering and data
+conversion applications" ([1]-[3]); the delta-sigma modulators are the
+data-conversion half, and this module supplies the filtering half: a
+two-integrator-loop (Tow-Thomas style) biquad built from the same
+:class:`~repro.si.integrator.SIIntegrator` blocks, inheriting every
+cell nonideality.
+
+Discrete-time structure (both integrators delaying, as everywhere in
+the paper's circuits):
+
+    w1[n+1] = w1[n] + k1 (x[n] - q w1[n] - w2[n])
+    w2[n+1] = w2[n] + k2 w1[n]
+    y_lp = w2,  y_bp = w1
+
+which realises a resonator with centre frequency
+``f0 ~ fs sqrt(k1 k2) / (2 pi)`` and quality factor
+``Q ~ sqrt(k2 / k1) / q`` for coefficients well below unity.
+The filter leak of the SI cells (transmission error) bounds the
+achievable Q -- a known SI filter limitation this model reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.si.differential import DifferentialSample
+from repro.si.integrator import SIIntegrator
+from repro.si.memory_cell import MemoryCellConfig
+
+__all__ = ["SIBiquad", "biquad_coefficients"]
+
+
+def biquad_coefficients(
+    center_frequency: float, quality_factor: float, sample_rate: float
+) -> tuple[float, float, float]:
+    """Return ``(k1, k2, q)`` for a centre frequency and Q.
+
+    Uses the small-coefficient approximation ``k1 = k2 = omega0 T``
+    with the damping *pre-compensated* for the delaying (forward-Euler)
+    integrators: the two loop delays contribute ``-omega0 T`` of
+    damping at resonance, so ``q = 1/Q + omega0 T`` realises the
+    requested Q.  Valid for ``f0 << fs`` (the regime SI filters
+    operate in).
+
+    Raises
+    ------
+    ConfigurationError
+        If the inputs are not positive or ``f0`` is not well below
+        Nyquist (the approximation would not hold).
+    """
+    if sample_rate <= 0.0:
+        raise ConfigurationError(f"sample_rate must be positive, got {sample_rate!r}")
+    if center_frequency <= 0.0:
+        raise ConfigurationError(
+            f"center_frequency must be positive, got {center_frequency!r}"
+        )
+    if quality_factor <= 0.0:
+        raise ConfigurationError(
+            f"quality_factor must be positive, got {quality_factor!r}"
+        )
+    if center_frequency > sample_rate / 10.0:
+        raise ConfigurationError(
+            "center_frequency must be below fs/10 for the two-integrator "
+            f"approximation, got {center_frequency!r} at fs={sample_rate!r}"
+        )
+    omega_t = 2.0 * math.pi * center_frequency / sample_rate
+    return omega_t, omega_t, 1.0 / quality_factor + omega_t
+
+
+class SIBiquad:
+    """Two-integrator-loop SI biquad with low-pass and band-pass outputs.
+
+    Parameters
+    ----------
+    k1, k2:
+        Integrator coefficients.
+    q:
+        Damping coefficient (``1/Q``).
+    config:
+        Memory-cell configuration for both integrators.
+    """
+
+    def __init__(
+        self,
+        k1: float,
+        k2: float,
+        q: float,
+        config: MemoryCellConfig | None = None,
+    ) -> None:
+        if k1 <= 0.0 or k2 <= 0.0:
+            raise ConfigurationError(
+                f"k1 and k2 must be positive, got {k1!r}, {k2!r}"
+            )
+        if q < 0.0:
+            raise ConfigurationError(f"q must be non-negative, got {q!r}")
+        self.k1 = k1
+        self.k2 = k2
+        self.q = q
+        self._int1 = SIIntegrator(gain=1.0, config=config, seed_offset=606)
+        self._int2 = SIIntegrator(gain=1.0, config=config, seed_offset=707)
+
+    @classmethod
+    def design(
+        cls,
+        center_frequency: float,
+        quality_factor: float,
+        sample_rate: float,
+        config: MemoryCellConfig | None = None,
+    ) -> "SIBiquad":
+        """Design a biquad from centre frequency and Q."""
+        k1, k2, q = biquad_coefficients(
+            center_frequency, quality_factor, sample_rate
+        )
+        return cls(k1, k2, q, config=config)
+
+    @property
+    def center_frequency_normalized(self) -> float:
+        """Return ``f0 / fs`` from the coefficients."""
+        return math.sqrt(self.k1 * self.k2) / (2.0 * math.pi)
+
+    @property
+    def quality_factor(self) -> float:
+        """Return the effective Q, accounting for the loop-delay damping.
+
+        The delaying integrators contribute ``-omega0 T`` of damping,
+        so the effective Q is ``sqrt(k2/k1) / (q - sqrt(k1 k2))``;
+        infinite (oscillator) when the net damping is non-positive.
+        """
+        net_damping = self.q - math.sqrt(self.k1 * self.k2)
+        if net_damping <= 0.0:
+            return math.inf
+        return math.sqrt(self.k2 / self.k1) / net_damping
+
+    def reset(self) -> None:
+        """Zero both integrator states."""
+        self._int1.reset()
+        self._int2.reset()
+
+    def step(self, value: float) -> tuple[float, float]:
+        """Advance one period; return (band-pass, low-pass) outputs."""
+        w1 = self._int1.state.differential
+        w2 = self._int2.state.differential
+        u1 = self.k1 * (value - self.q * w1 - w2)
+        u2 = self.k2 * w1
+        self._int1.step(DifferentialSample.from_components(u1))
+        self._int2.step(DifferentialSample.from_components(u2))
+        return w1, w2
+
+    def run(self, stimulus: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Run over an input array; return (band-pass, low-pass) traces."""
+        data = np.asarray(stimulus, dtype=float)
+        if data.ndim != 1:
+            raise ConfigurationError(
+                f"stimulus must be 1-D, got shape {data.shape}"
+            )
+        bp = np.empty_like(data)
+        lp = np.empty_like(data)
+        for n in range(data.shape[0]):
+            bp[n], lp[n] = self.step(float(data[n]))
+        return bp, lp
+
+    def frequency_response(
+        self, frequencies: np.ndarray, sample_rate: float
+    ) -> np.ndarray:
+        """Return the ideal (no cell errors) band-pass magnitude response.
+
+        Analytic small-signal response of the two-integrator loop,
+        for comparison against the simulated response.
+        """
+        freqs = np.asarray(frequencies, dtype=float)
+        z = np.exp(1j * 2.0 * np.pi * freqs / sample_rate)
+        zi = 1.0 / z
+        # w1 = H1 x with the loop closed:
+        #   w1 (1 - z^-1) = z^-1 k1 (x - q w1 - w2)
+        #   w2 (1 - z^-1) = z^-1 k2 w1
+        i1 = zi / (1.0 - zi)
+        i2 = zi / (1.0 - zi)
+        h_bp = self.k1 * i1 / (
+            1.0 + self.k1 * i1 * self.q + self.k1 * self.k2 * i1 * i2
+        )
+        return np.abs(h_bp)

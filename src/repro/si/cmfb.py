@@ -1,0 +1,133 @@
+"""Common-mode feedback (CMFB) baseline.
+
+CMFB is what the prior art ([1, 2, 8, 12]) used and what CMFF replaces.
+The paper lists its drawbacks explicitly:
+
+    "1) nonlinearity due to the use of inherent voltage-to-current and
+    current-to-voltage conversions; and 2) speed limitation due to the
+    use of feedback loop.  Also noted is the limitation of the reduction
+    in power supply voltage due to the larger than necessary drain
+    voltage for the common-mode sense transistor."
+
+This model gives each drawback a knob:
+
+* the sense path converts current to voltage through a square-law
+  (diode-connected) element, so large *differential* swings corrupt
+  the sensed common mode (``i -> sqrt`` curvature does not cancel in
+  the average) -- the V-I/I-V nonlinearity;
+* the correction is applied through a discrete-time integrating loop
+  with gain ``loop_gain`` per sample, so a common-mode step takes about
+  ``1/loop_gain`` samples to be absorbed -- the speed limitation;
+* the block reports a headroom cost of a full ``V_gs`` (threshold plus
+  saturation voltage) for the sense transistor, against CMFF's single
+  saturation voltage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.si.differential import DifferentialSample
+
+__all__ = ["CommonModeFeedback"]
+
+
+@dataclass
+class CommonModeFeedback:
+    """Behavioural CMFB loop.
+
+    Parameters
+    ----------
+    loop_gain:
+        Fraction of the sensed common-mode error corrected per sample;
+        must be in (0, 1].  Small values model a slow loop.
+    reference_current:
+        Bias current of the square-law sense element in amperes; sets
+        the curvature of the V-I conversion.  Must be positive.
+    sense_nonlinearity:
+        Strength of the differential-to-common-mode corruption in the
+        sense path, as a fraction of the ideal square-law curvature.
+        0 disables the nonlinearity (an unrealistically linear sensor);
+        1 is the full diode-connected curvature.
+    """
+
+    loop_gain: float = 0.25
+    reference_current: float = 10e-6
+    sense_nonlinearity: float = 1.0
+
+    #: Extra supply headroom in saturation voltages: the CM sense
+    #: transistor needs a full V_gs, roughly a threshold plus a
+    #: saturation voltage, i.e. several vdsat at ~1 V thresholds.
+    headroom_saturation_voltages: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.loop_gain <= 1.0:
+            raise ConfigurationError(
+                f"loop_gain must be in (0, 1], got {self.loop_gain!r}"
+            )
+        if self.reference_current <= 0.0:
+            raise ConfigurationError(
+                f"reference_current must be positive, got {self.reference_current!r}"
+            )
+        if self.sense_nonlinearity < 0.0:
+            raise ConfigurationError(
+                f"sense_nonlinearity must be non-negative, got {self.sense_nonlinearity!r}"
+            )
+        self._correction = 0.0
+
+    @property
+    def latency_samples(self) -> float:
+        """Return the loop's effective settling time in samples.
+
+        Approximated as the first-order time constant ``1/loop_gain``.
+        """
+        return 1.0 / self.loop_gain
+
+    def reset(self) -> None:
+        """Zero the accumulated correction."""
+        self._correction = 0.0
+
+    def _sense(self, sample: DifferentialSample) -> float:
+        """Return the common mode as the square-law sensor sees it.
+
+        A diode-connected sensor produces a voltage proportional to
+        ``sqrt(I_ref + i)`` for each half; the average of the two square
+        roots is *not* the square root of the average, so a differential
+        swing shifts the sensed common mode even when the true common
+        mode is zero.  Expanding to second order the shift is
+        ``-diff^2 / (16 I_ref)`` -- a pure even-order error, exactly the
+        nonlinearity the paper attributes to the V-I/I-V conversions.
+        """
+        if self.sense_nonlinearity == 0.0:
+            return sample.common_mode
+        i_ref = self.reference_current
+        pos = max(i_ref + sample.pos, 0.0)
+        neg = max(i_ref + sample.neg, 0.0)
+        sensed_voltage_avg = 0.5 * (math.sqrt(pos) + math.sqrt(neg))
+        # Convert the averaged sense voltage back to a current about the
+        # bias point (the I-V conversion of the feedback device).
+        linearised = sensed_voltage_avg**2 - i_ref
+        ideal = sample.common_mode
+        return ideal + self.sense_nonlinearity * (linearised - ideal)
+
+    def apply(self, sample: DifferentialSample) -> DifferentialSample:
+        """Advance the loop one sample and return the corrected output.
+
+        The correction applied this sample is the one accumulated from
+        *previous* samples (feedback latency); the loop then updates its
+        state from the corrected output's sensed common mode.
+        """
+        corrected = DifferentialSample(
+            pos=sample.pos - self._correction,
+            neg=sample.neg - self._correction,
+        )
+        error = self._sense(corrected)
+        self._correction += self.loop_gain * error
+        return corrected
+
+    def settle_to(self, sample: DifferentialSample, n_iterations: int = 100) -> None:
+        """Run the loop to steady state on a constant input (test helper)."""
+        for _ in range(n_iterations):
+            self.apply(sample)

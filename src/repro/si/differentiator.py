@@ -1,0 +1,108 @@
+"""Switched-current "differentiator" block of the chopper modulator.
+
+The chopper-stabilised modulator of Fig. 3(b) replaces the integrators
+with blocks the paper calls differentiators, with "delay in both
+differentiators ... to decouple settling chain between successive
+stages".  The delaying block is
+
+    H(z) = gain * z^-1 / (1 + z^-1),
+
+whose pole sits at z = -1 (Nyquist): it "integrates" signals chopped to
+f_s/2 exactly as an ordinary integrator integrates signals at DC.
+Formally, chopping maps z -> -z, and H(-z) = -gain z^-1/(1 - z^-1): the
+chopped differentiator *is* an (inverted) integrator in the chopped
+domain, which is how the Fig. 3(b) loop realises the same second-order
+noise shaping as Fig. 3(a).
+
+The realisation is the same memory-cell state holder as
+:class:`~repro.si.integrator.SIIntegrator` with the state fed back
+crossed (a free wire-crossing in a fully differential circuit):
+``y[n] = -y[n-1] + gain * x[n-1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.si.cmff import CommonModeFeedforward
+from repro.si.differential import DifferentialSample
+from repro.si.memory_cell import ClassABMemoryCell, MemoryCellConfig
+
+__all__ = ["SIDifferentiator"]
+
+_CMFF_DEFAULT = object()
+
+
+class SIDifferentiator:
+    """Delaying SI differentiator: ``y[n] = -y[n-1] + gain * x[n-1]``.
+
+    Note that the state feedback's sign inversion is a *wire crossing*,
+    which flips the differential component but leaves the common mode
+    untouched -- so the block's common-mode recursion is still
+    ``cm[n+1] = cm[n] + ...``, an integrator.  The differentiator
+    therefore needs common-mode control exactly as much as the
+    integrator does, and embeds a CMFF stage by default.
+
+    Parameters
+    ----------
+    gain:
+        Input scaling coefficient (swing-optimising scaling).
+    config:
+        Memory-cell configuration; defaults to the standard cell.
+    seed_offset:
+        Added to ``config.seed`` (when set) for independent noise.
+    cmff:
+        Common-mode feedforward stage; ``None`` disables it.
+    """
+
+    def __init__(
+        self,
+        gain: float,
+        config: MemoryCellConfig | None = None,
+        seed_offset: int = 0,
+        cmff: CommonModeFeedforward | None | object = _CMFF_DEFAULT,
+    ) -> None:
+        if gain == 0.0:
+            raise ConfigurationError("differentiator gain must be non-zero")
+        base = config if config is not None else MemoryCellConfig()
+        if base.seed is not None:
+            base = replace(base, seed=base.seed + seed_offset)
+        self._cell = ClassABMemoryCell(replace(base, inverting=False))
+        self.gain = gain
+        if cmff is _CMFF_DEFAULT:
+            self.cmff: CommonModeFeedforward | None = CommonModeFeedforward()
+        else:
+            self.cmff = cmff  # type: ignore[assignment]
+
+    @property
+    def state(self) -> DifferentialSample:
+        """Return the block state (last stored sample)."""
+        return self._cell.stored
+
+    @property
+    def slew_event_fraction(self) -> float:
+        """Return the fraction of periods in which the cell slewed."""
+        return self._cell.slew_event_fraction
+
+    def reset(self) -> None:
+        """Zero the block state."""
+        self._cell.reset()
+
+    def step(self, sample: DifferentialSample) -> DifferentialSample:
+        """Advance one period; return the (delayed) block output.
+
+        The state recursion uses the *crossed* (sign-inverted) previous
+        state, putting the pole at z = -1.
+        """
+        output = self._cell.stored
+        target = output.crossed() + sample.scaled(self.gain)
+        if self.cmff is not None:
+            target = self.cmff.apply(target)
+        self._cell.step(target)
+        return output
+
+    def step_differential(self, differential_input: float) -> float:
+        """Scalar convenience wrapper around :meth:`step`."""
+        result = self.step(DifferentialSample.from_components(differential_input))
+        return result.differential

@@ -1,0 +1,161 @@
+"""Static error models of the SI memory cell.
+
+Two signal-dependent static errors dominate SI cells:
+
+**Transmission error.**  "The input/output conductance ratio in SI
+circuits introduces transmission error."  When a cell's input
+conductance ``g_in`` is finite, a fraction ``eps ~ g_out/g_in`` of the
+source's current is lost across the node.  The class-AB cell boosts
+``g_in`` by the GGA voltage gain, dividing the error.  The error is
+*signal-dependent* because the input conductance is the memory
+transistor's g_m, which follows the square root of its instantaneous
+current -- this curvature is a distortion source.
+
+**Charge-injection residue.**  The switch dumps signal-dependent
+channel charge on the memory gate.  The paper's cell cancels it twice:
+complementary switch polarity against the complementary memory pair
+("if we use an n-type transistor as the switch for the n-type memory
+transistor and a p-type transistor ... for the p-type"), and the fully
+differential structure.  What survives is a small residue proportional
+to the uncancelled fraction, still signal-dependent through the
+square-law gate voltage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TransmissionError", "ChargeInjectionResidue"]
+
+
+@dataclass(frozen=True)
+class TransmissionError:
+    """Signal-dependent conductance-ratio error of one half-cell.
+
+    Parameters
+    ----------
+    base_ratio:
+        Unboosted conductance ratio ``g_out / g_in`` at the quiescent
+        point (a plain second-generation cell would suffer this whole
+        error).  Must be in [0, 1).
+    gga_gain:
+        Voltage gain of the GGA dividing the error; 1.0 models a cell
+        without the GGA.  Must be >= 1.
+    quiescent_current:
+        Memory-device quiescent current in amperes, the reference point
+        of the g_m signal dependence.  Must be positive.
+    """
+
+    base_ratio: float = 0.01
+    gga_gain: float = 50.0
+    quiescent_current: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_ratio < 1.0:
+            raise ConfigurationError(
+                f"base_ratio must be in [0, 1), got {self.base_ratio!r}"
+            )
+        if self.gga_gain < 1.0:
+            raise ConfigurationError(
+                f"gga_gain must be >= 1, got {self.gga_gain!r}"
+            )
+        if self.quiescent_current <= 0.0:
+            raise ConfigurationError(
+                f"quiescent_current must be positive, got {self.quiescent_current!r}"
+            )
+
+    @property
+    def effective_ratio(self) -> float:
+        """Return the quiescent-point error after GGA boosting."""
+        return self.base_ratio / self.gga_gain
+
+    def epsilon(self, device_current: float) -> float:
+        """Return the instantaneous error fraction at a device current.
+
+        The input conductance is ``gga_gain * g_m(i)`` and
+        ``g_m proportional to sqrt(i)``, so the error scales as
+        ``sqrt(I_Q / i)``.  Device currents are clamped to a small
+        positive floor: a class-AB device never fully cuts off (the
+        translinear split keeps both devices conducting).
+        """
+        floor = 1e-3 * self.quiescent_current
+        current = max(abs(device_current), floor)
+        return self.effective_ratio * math.sqrt(self.quiescent_current / current)
+
+    def apply(self, held_current: float, device_current: float) -> float:
+        """Return the held current reduced by the transmission error.
+
+        Parameters
+        ----------
+        held_current:
+            The signal current being stored (may be negative).
+        device_current:
+            The memory device's instantaneous conduction current that
+            sets g_m (always positive in class AB).
+        """
+        return held_current * (1.0 - self.epsilon(device_current))
+
+
+@dataclass(frozen=True)
+class ChargeInjectionResidue:
+    """Residual charge-injection error of one half-cell after cancellation.
+
+    Parameters
+    ----------
+    full_injection_current:
+        The uncancelled injection expressed as an equivalent output
+        current error at the quiescent point, in amperes.  This is the
+        raw switch-charge error ``g_m * dQ / C_gs`` a single-ended
+        class-A cell would suffer.
+    complementary_cancellation:
+        Fraction of the raw injection that the complementary
+        (n-switch/n-device, p-switch/p-device) arrangement removes;
+        0.9 means 10 % survives.  In [0, 1].
+    quiescent_current:
+        Quiescent device current in amperes, the reference for the
+        square-law signal dependence.
+    """
+
+    full_injection_current: float = 50e-9
+    complementary_cancellation: float = 0.9
+    quiescent_current: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.full_injection_current < 0.0:
+            raise ConfigurationError(
+                "full_injection_current must be non-negative, "
+                f"got {self.full_injection_current!r}"
+            )
+        if not 0.0 <= self.complementary_cancellation <= 1.0:
+            raise ConfigurationError(
+                "complementary_cancellation must be in [0, 1], "
+                f"got {self.complementary_cancellation!r}"
+            )
+        if self.quiescent_current <= 0.0:
+            raise ConfigurationError(
+                f"quiescent_current must be positive, got {self.quiescent_current!r}"
+            )
+
+    @property
+    def residual_at_quiescent(self) -> float:
+        """Return the residual injection current at the quiescent point."""
+        return self.full_injection_current * (1.0 - self.complementary_cancellation)
+
+    def error_current(self, device_current: float) -> float:
+        """Return the injection error at a device current, in amperes.
+
+        The switch overdrive tracks the memory gate voltage
+        ``V_T + sqrt(2 i / beta)``, making the injected charge grow with
+        the square root of the device current; converting back through
+        ``g_m proportional to sqrt(i)`` gives an error roughly linear in
+        ``sqrt(i/I_Q)`` about the quiescent point.  This even (in the
+        *differential* signal) shape is what the fully differential
+        structure cancels; per half-cell it is simply a monotone
+        function of the device current.
+        """
+        floor = 1e-3 * self.quiescent_current
+        current = max(abs(device_current), floor)
+        return self.residual_at_quiescent * math.sqrt(current / self.quiescent_current)

@@ -1,0 +1,115 @@
+"""First-generation SI memory cell baseline.
+
+The paper's cells are *second-generation* (the same transistor samples
+and holds, giving intrinsic correlated double sampling).  The authors'
+earlier modulator [9] used *first-generation* circuits: a current
+copier built from a separate input mirror and a memory transistor.
+The differences that matter behaviourally:
+
+* the input-to-output path crosses a **mirror**, so device mismatch
+  adds a static gain error the second-generation cell does not have;
+* there is **no intrinsic CDS** -- low-frequency (1/f) noise and
+  offsets pass to the output unshaped;
+* the charge-injection residue lacks the complementary-pair
+  cancellation refinement.
+
+This cell exists as a baseline: swap it into a delay line or modulator
+to see what the paper's second-generation class-AB cell buys (the
+chopper ablation's "first-generation-like" condition is the same idea
+expressed through the noise configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.devices.current_mirror import CurrentMirror
+from repro.si.differential import DifferentialSample
+from repro.si.memory_cell import MemoryCellConfig, _NoiseFeed
+
+__all__ = ["FirstGenerationMemoryCell"]
+
+
+class FirstGenerationMemoryCell:
+    """Behavioural first-generation (current-copier) memory cell.
+
+    Parameters
+    ----------
+    config:
+        Base cell configuration.  CDS is forced off (the structure has
+        none) and the complementary injection cancellation is halved.
+    mirror:
+        The input mirror; its gain error becomes the cell's static gain
+        error.
+    """
+
+    def __init__(
+        self,
+        config: MemoryCellConfig | None = None,
+        mirror: CurrentMirror | None = None,
+    ) -> None:
+        base = config if config is not None else MemoryCellConfig()
+        base = replace(
+            base,
+            cds_enabled=False,
+            injection=replace(
+                base.injection,
+                complementary_cancellation=(
+                    base.injection.complementary_cancellation * 0.5
+                ),
+            ),
+        )
+        self.config = base
+        self.mirror = mirror if mirror is not None else CurrentMirror()
+        self._noise = _NoiseFeed(base)
+        self._stored = DifferentialSample(0.0, 0.0)
+
+    @property
+    def stored(self) -> DifferentialSample:
+        """Return the currently stored sample."""
+        return self._stored
+
+    def reset(self) -> None:
+        """Clear the stored state."""
+        self._stored = DifferentialSample(0.0, 0.0)
+
+    def _store_half(self, previous: float, target: float) -> float:
+        config = self.config
+        mirrored = self.mirror.copy(target)
+        from repro.si.memory_cell import class_ab_split
+
+        device_n, _ = class_ab_split(mirrored, config.quiescent_current)
+        value = config.transmission.apply(mirrored, device_n)
+        value += config.injection.error_current(device_n)
+        return config.gga.settle(previous, value).settled_current
+
+    def step(self, sample: DifferentialSample) -> DifferentialSample:
+        """Advance one clock period; deliver the held sample (inverted)."""
+        held = self._stored
+        pos = self._store_half(held.pos, sample.pos)
+        neg = self._store_half(held.neg, sample.neg)
+        noise = self._noise.next()
+        pos += 0.5 * noise
+        neg -= 0.5 * noise
+        self._stored = DifferentialSample(pos, neg)
+        return -held if self.config.inverting else held
+
+    def run(self, differential_input: np.ndarray) -> np.ndarray:
+        """Run over an array of differential input currents."""
+        data = np.asarray(differential_input, dtype=float)
+        output = np.empty_like(data)
+        for n in range(data.shape[0]):
+            result = self.step(DifferentialSample.from_components(float(data[n])))
+            output[n] = result.differential
+        return output
+
+    def static_gain(self) -> float:
+        """Return the cell's static gain including the mirror error.
+
+        The second-generation cell's gain is 1 minus the transmission
+        error; the first-generation cell multiplies the mirror gain on
+        top -- its distinguishing inaccuracy.
+        """
+        return self.mirror.gain * (1.0 - self.config.transmission.effective_ratio)

@@ -1,0 +1,247 @@
+"""Grounded-gate amplifier (GGA) model.
+
+The class-AB memory cell of Fig. 1 places a grounded-gate amplifier in
+front of each memory transistor pair: "this new class AB memory cell
+uses grounded gate amplifiers (GGAs) to increase the input conductance
+... the input conductance is increased by the voltage gain of the
+ground-gate transistor TG.  This provides a 'virtual ground' at the
+input."
+
+Two properties of the GGA matter at behavioural level:
+
+* its **voltage gain** multiplies the cell's input conductance and so
+  divides the conductance-ratio transmission error;
+* its **bias current** limits how fast the memory gate can be charged.
+  When the input current step exceeds the GGA's drive capability the
+  cell *slews*, and "when we further increased the input, the THD
+  increased due to the slewing in the GGAs that can be improved by
+  using larger bias current in the GGAs" -- the distortion mechanism
+  the paper observed on the delay line.
+
+The settling model is the standard two-regime (slew + linear) sampler
+model: if the required gate-voltage excursion demands an initial rate
+above the slew limit, the node ramps at the slew rate until the
+remaining error is small enough for linear settling, which then runs
+for whatever phase time is left.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GroundedGateAmplifier", "SettlingResult"]
+
+
+@dataclass(frozen=True)
+class SettlingResult:
+    """Outcome of one sampling event.
+
+    Attributes
+    ----------
+    settled_current:
+        The current actually stored, in amperes.
+    slewed:
+        True if the event entered the slew-limited regime.
+    residual_error:
+        Signed difference between target and stored current.
+    """
+
+    settled_current: float
+    slewed: bool
+    residual_error: float
+
+
+@dataclass(frozen=True)
+class GroundedGateAmplifier:
+    """Behavioural GGA: gain, settling time constant and slew limit.
+
+    Parameters
+    ----------
+    voltage_gain:
+        Small-signal voltage gain of the grounded-gate stage; this
+        multiplies the cell input conductance.  Must be >= 1.
+    bias_current:
+        GGA bias current in amperes; sets the slew-limited charging
+        current available to the memory gate.  Must be positive.
+    settling_tau_fraction:
+        Linear settling time constant as a fraction of the active phase
+        duration.  Smaller is faster.  Must be positive.
+    transconductance:
+        Transconductance (in siemens) used to translate current steps
+        into gate-voltage excursions.  Typically the memory-transistor
+        g_m at the quiescent point.
+    drive_margin_floor:
+        Lower clamp on the relative drive margin (see
+        :meth:`drive_margin`); keeps the model defined past the point
+        where the signal current exceeds the GGA bias.
+    phase_kick_fraction:
+        Fraction of the stored signal current by which the memory gate
+        is perturbed at each phase transition (drain-voltage jumps
+        coupling through the overlap capacitance when the cell
+        reconnects).  Every sampling event must therefore recover a
+        signal-proportional excursion, not just the sample-to-sample
+        difference -- which is what makes the drive-margin collapse at
+        large inputs visible as harmonic distortion even for slow
+        signals.
+    """
+
+    voltage_gain: float = 50.0
+    bias_current: float = 20e-6
+    settling_tau_fraction: float = 0.05
+    transconductance: float = 100e-6
+    drive_margin_floor: float = 0.1
+    phase_kick_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drive_margin_floor <= 1.0:
+            raise ConfigurationError(
+                "drive_margin_floor must be in (0, 1], "
+                f"got {self.drive_margin_floor!r}"
+            )
+        if not 0.0 <= self.phase_kick_fraction < 1.0:
+            raise ConfigurationError(
+                "phase_kick_fraction must be in [0, 1), "
+                f"got {self.phase_kick_fraction!r}"
+            )
+        if self.voltage_gain < 1.0:
+            raise ConfigurationError(
+                f"voltage_gain must be >= 1, got {self.voltage_gain!r}"
+            )
+        if self.bias_current <= 0.0:
+            raise ConfigurationError(
+                f"bias_current must be positive, got {self.bias_current!r}"
+            )
+        if self.settling_tau_fraction <= 0.0:
+            raise ConfigurationError(
+                "settling_tau_fraction must be positive, "
+                f"got {self.settling_tau_fraction!r}"
+            )
+        if self.transconductance <= 0.0:
+            raise ConfigurationError(
+                f"transconductance must be positive, got {self.transconductance!r}"
+            )
+
+    @property
+    def slew_current_threshold(self) -> float:
+        """Return the current step at which slewing begins, in amperes.
+
+        A step of ``delta_i`` requires a gate excursion
+        ``delta_v = delta_i / g_m`` whose initial linear-settling rate is
+        ``delta_v / tau``.  The available rate is ``SR = I_bias / C``
+        with ``tau = C / g_m``, so slewing begins when
+        ``delta_i > I_bias``: the GGA's bias current is directly the
+        largest current step it can absorb without slewing.
+        """
+        return self.bias_current
+
+    def drive_margin(self, signal_current: float) -> float:
+        """Return the relative drive margin at a signal current, in (0, 1].
+
+        The input signal current flows *through* the GGA's class-A
+        branch: as ``|i|`` approaches the bias current the amplifier has
+        less and less current left to recharge the memory gate, its
+        effective settling speed collapses, and the sample is stored
+        with a growing residual.  This is the slewing mechanism behind
+        the paper's delay-line measurement ("the THD increased due to
+        the slewing in the GGAs that can be improved by using larger
+        bias current in the GGAs").
+
+        The margin is ``1 - |i| / I_bias`` clamped to
+        ``drive_margin_floor``.
+        """
+        margin = 1.0 - abs(signal_current) / self.bias_current
+        if margin < self.drive_margin_floor:
+            return self.drive_margin_floor
+        return margin
+
+    def settle(self, previous_current: float, target_current: float) -> SettlingResult:
+        """Sample a new current value through the GGA-assisted input.
+
+        Implements the two-regime (slew + linear) model in current units
+        (the g_m conversion cancels), with the linear settling speed
+        derated by the drive margin at the target level.  With ``tau``
+        the small-signal time constant and ``T`` the phase time
+        (``tau = settling_tau_fraction * T``), the number of usable time
+        constants is ``margin * T / tau``:
+
+        * small steps (``|delta| <= I_bias``) settle exponentially with
+          residual ``delta * exp(-margin * T / tau)``;
+        * large steps slew at the equivalent rate ``I_bias / tau`` until
+          the remaining error is ``I_bias``, then settle linearly for the
+          remaining time; if the slew phase consumes the entire phase,
+          the residual is whatever distance could not be covered.
+        """
+        delta = (
+            target_current
+            - previous_current
+            + self.phase_kick_fraction * target_current
+        )
+        if delta == 0.0:
+            return SettlingResult(target_current, slewed=False, residual_error=0.0)
+
+        margin = self.drive_margin(target_current)
+        n_tau_total = margin / self.settling_tau_fraction
+        magnitude = abs(delta)
+        sign = 1.0 if delta > 0.0 else -1.0
+
+        if magnitude <= self.slew_current_threshold:
+            residual = delta * math.exp(-n_tau_total)
+            return SettlingResult(
+                settled_current=target_current - residual,
+                slewed=False,
+                residual_error=residual,
+            )
+
+        # Slew regime: cover (magnitude - I_bias) at rate I_bias per tau.
+        slew_distance = magnitude - self.slew_current_threshold
+        slew_time_in_tau = slew_distance / self.slew_current_threshold
+        if slew_time_in_tau >= n_tau_total:
+            # Never leaves the slew regime: pure ramp for the whole phase.
+            covered = self.slew_current_threshold * n_tau_total
+            residual = sign * (magnitude - covered)
+            return SettlingResult(
+                settled_current=target_current - residual,
+                slewed=True,
+                residual_error=residual,
+            )
+
+        remaining_tau = n_tau_total - slew_time_in_tau
+        residual = sign * self.slew_current_threshold * math.exp(-remaining_tau)
+        return SettlingResult(
+            settled_current=target_current - residual,
+            slewed=True,
+            residual_error=residual,
+        )
+
+    def boosted_input_conductance(self, base_conductance: float) -> float:
+        """Return the cell input conductance after GGA boosting.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``base_conductance`` is not positive.
+        """
+        if base_conductance <= 0.0:
+            raise ConfigurationError(
+                f"base_conductance must be positive, got {base_conductance!r}"
+            )
+        return base_conductance * self.voltage_gain
+
+    def with_bias(self, bias_current: float) -> "GroundedGateAmplifier":
+        """Return a copy with a different bias current.
+
+        The paper's suggested fix for the slewing distortion -- "using
+        larger bias current in the GGAs" -- is exactly this knob; the
+        GGA ablation bench sweeps it.
+        """
+        return GroundedGateAmplifier(
+            voltage_gain=self.voltage_gain,
+            bias_current=bias_current,
+            settling_tau_fraction=self.settling_tau_fraction,
+            transconductance=self.transconductance,
+            drive_margin_floor=self.drive_margin_floor,
+            phase_kick_fraction=self.phase_kick_fraction,
+        )

@@ -1,0 +1,189 @@
+"""Minimum-supply-voltage analysis -- Eqs. (1) and (2) of the paper.
+
+"To ensure proper operation, every transistor should be in its
+saturation region."  Two stacks constrain the supply of the Fig. 1
+cell:
+
+* **Eq. (1)** -- the GGA branch: biasing transistor TP, grounded-gate
+  transistor TG, cascode TC and bias TN all stack their saturation
+  voltages, plus the memory transistor's signal-dependent headroom.
+* **Eq. (2)** -- the memory branch: the complementary memory pair's
+  gate-source voltages stack: both thresholds plus the
+  signal-dependent overdrives.
+
+The signal dependence enters through the **modulation index** ``m_i``
+(peak signal current over quiescent current): a square-law device
+carrying ``(1 + m_i) I_Q`` at the signal peak needs an overdrive
+``sqrt(1 + m_i)`` times its quiescent overdrive.
+
+Note on fidelity: the OCR of the paper garbles the exact coefficient
+groupings in Eqs. (1)-(2) ("( 1m i 1)" / "( 1 m i )"), so this module
+implements the physically unambiguous reconstruction -- saturation
+stacks with ``sqrt(1 + m_i)``-scaled memory overdrives:
+
+    Eq. (1):  V_dd >= vdsat_P + vdsat_G + vdsat_C + vdsat_N
+                      + (sqrt(1 + m_i) + 1) * vdsat_M
+    Eq. (2):  V_dd >= V_T,MP + V_T,MN + (1 + sqrt(1 + m_i)) * vdsat_M
+
+Both reproduce the paper's conclusion, checked in the headroom bench:
+"the use of low power supply voltage, say 3.3 V, is possible, given the
+threshold voltages around 1 V, even with large input currents."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.devices.process import CMOS_08UM, ProcessParameters
+
+__all__ = ["SupplyBudget", "HeadroomAnalysis"]
+
+
+@dataclass(frozen=True)
+class SupplyBudget:
+    """Result of a minimum-supply evaluation at one modulation index.
+
+    Attributes
+    ----------
+    modulation_index:
+        Peak signal current over quiescent current.
+    vdd_min_gga_branch:
+        Minimum supply from Eq. (1), in volts.
+    vdd_min_memory_branch:
+        Minimum supply from Eq. (2), in volts.
+    """
+
+    modulation_index: float
+    vdd_min_gga_branch: float
+    vdd_min_memory_branch: float
+
+    @property
+    def vdd_min(self) -> float:
+        """Return the binding (larger) of the two constraints, in volts."""
+        return max(self.vdd_min_gga_branch, self.vdd_min_memory_branch)
+
+    def feasible_at(self, supply_voltage: float) -> bool:
+        """Return True if the cell operates at the given supply."""
+        return supply_voltage >= self.vdd_min
+
+    @property
+    def binding_constraint(self) -> str:
+        """Return which equation binds: ``"eq1"`` (GGA) or ``"eq2"`` (memory)."""
+        if self.vdd_min_gga_branch >= self.vdd_min_memory_branch:
+            return "eq1"
+        return "eq2"
+
+
+@dataclass(frozen=True)
+class HeadroomAnalysis:
+    """Minimum-supply calculator for the class-AB cell.
+
+    Parameters
+    ----------
+    process:
+        Process corner supplying the threshold voltages.
+    vdsat_bias_p:
+        Saturation voltage of the GGA biasing transistor TP, in volts.
+    vdsat_gga:
+        Saturation voltage of the grounded-gate transistor TG.
+    vdsat_cascode:
+        Saturation voltage of the cascode bias transistor TC.
+    vdsat_bias_n:
+        Saturation voltage of the bias transistor TN.
+    vdsat_memory:
+        Quiescent overdrive of the memory transistors MN/MP.
+    """
+
+    process: ProcessParameters = field(default_factory=lambda: CMOS_08UM)
+    vdsat_bias_p: float = 0.20
+    vdsat_gga: float = 0.20
+    vdsat_cascode: float = 0.15
+    vdsat_bias_n: float = 0.15
+    vdsat_memory: float = 0.15
+
+    def __post_init__(self) -> None:
+        for name in (
+            "vdsat_bias_p",
+            "vdsat_gga",
+            "vdsat_cascode",
+            "vdsat_bias_n",
+            "vdsat_memory",
+        ):
+            value = getattr(self, name)
+            if value <= 0.0:
+                raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+    def memory_overdrive_at_peak(self, modulation_index: float) -> float:
+        """Return the memory-device overdrive at the signal peak, in volts.
+
+        At modulation index ``m_i`` the conducting device carries about
+        ``(1 + m_i) I_Q``, so its square-law overdrive grows by
+        ``sqrt(1 + m_i)``.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``modulation_index`` is negative.
+        """
+        if modulation_index < 0.0:
+            raise ConfigurationError(
+                f"modulation_index must be non-negative, got {modulation_index!r}"
+            )
+        return self.vdsat_memory * math.sqrt(1.0 + modulation_index)
+
+    def evaluate(self, modulation_index: float) -> SupplyBudget:
+        """Return the two minimum-supply constraints at a modulation index."""
+        peak_overdrive = self.memory_overdrive_at_peak(modulation_index)
+        eq1 = (
+            self.vdsat_bias_p
+            + self.vdsat_gga
+            + self.vdsat_cascode
+            + self.vdsat_bias_n
+            + peak_overdrive
+            + self.vdsat_memory
+        )
+        eq2 = (
+            self.process.vth_p
+            + self.process.vth_n
+            + peak_overdrive
+            + self.vdsat_memory
+        )
+        return SupplyBudget(
+            modulation_index=modulation_index,
+            vdd_min_gga_branch=eq1,
+            vdd_min_memory_branch=eq2,
+        )
+
+    def max_modulation_index(self, supply_voltage: float) -> float:
+        """Return the largest modulation index feasible at a supply voltage.
+
+        Inverts the binding constraint analytically.  Returns 0.0 when
+        even quiescent operation does not fit.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``supply_voltage`` is not positive.
+        """
+        if supply_voltage <= 0.0:
+            raise ConfigurationError(
+                f"supply_voltage must be positive, got {supply_voltage!r}"
+            )
+        fixed_eq1 = (
+            self.vdsat_bias_p
+            + self.vdsat_gga
+            + self.vdsat_cascode
+            + self.vdsat_bias_n
+            + self.vdsat_memory
+        )
+        fixed_eq2 = self.process.vth_p + self.process.vth_n + self.vdsat_memory
+        best = float("inf")
+        for fixed in (fixed_eq1, fixed_eq2):
+            slack = supply_voltage - fixed
+            if slack <= self.vdsat_memory:
+                return 0.0 if slack < self.vdsat_memory else 0.0
+            root = slack / self.vdsat_memory
+            best = min(best, root * root - 1.0)
+        return max(best, 0.0)

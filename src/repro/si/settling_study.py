@@ -1,0 +1,115 @@
+"""Clock-rate scaling study: how fast can the SI cells run?
+
+The delay line was measured at 5 MHz, and the authors' companion
+report [14] pushes SI converters to "video frequencies and beyond".
+At behavioural level the clock-rate limit comes from the cell's
+settling budget: the active phase shrinks with the clock while the
+settling time constant is fixed by the device (tau ~ C_gs / g_m), so
+the per-sample residual ``exp(-margin * T_phase / tau)`` grows until
+the cell's accuracy collapses.
+
+This module converts a cell configuration calibrated at one clock into
+its equivalent at another (rescaling ``settling_tau_fraction``
+proportionally to the clock) and computes the analytic accuracy-vs-
+clock curve, so benches and examples can locate the knee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.si.memory_cell import MemoryCellConfig
+
+__all__ = [
+    "config_at_clock",
+    "settling_error_at_clock",
+    "max_clock_for_accuracy",
+]
+
+
+def config_at_clock(
+    config: MemoryCellConfig, clock_frequency: float
+) -> MemoryCellConfig:
+    """Return the cell configuration re-timed to a different clock.
+
+    The physical time constant is fixed; the phase time scales as
+    ``1/f_clk``, so ``settling_tau_fraction`` (tau over phase time)
+    scales proportionally to the clock.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``clock_frequency`` is not positive.
+    """
+    if clock_frequency <= 0.0:
+        raise ConfigurationError(
+            f"clock_frequency must be positive, got {clock_frequency!r}"
+        )
+    scale = clock_frequency / config.sample_rate
+    new_fraction = config.gga.settling_tau_fraction * scale
+    if new_fraction >= 10.0:
+        raise ConfigurationError(
+            f"clock {clock_frequency!r} leaves less than a tenth of a time "
+            "constant per phase; the cell cannot operate"
+        )
+    return replace(
+        config,
+        sample_rate=clock_frequency,
+        gga=replace(config.gga, settling_tau_fraction=new_fraction),
+    )
+
+
+def settling_error_at_clock(
+    config: MemoryCellConfig,
+    clock_frequency: float,
+    relative_signal: float = 0.5,
+) -> float:
+    """Return the analytic per-sample relative settling error at a clock.
+
+    Evaluates ``exp(-margin / tau_fraction)`` with the drive margin at
+    ``relative_signal`` of the GGA bias -- the dominant accuracy term of
+    the re-timed cell.
+
+    Raises
+    ------
+    ConfigurationError
+        If inputs are invalid.
+    """
+    if not 0.0 <= relative_signal < 1.0:
+        raise ConfigurationError(
+            f"relative_signal must be in [0, 1), got {relative_signal!r}"
+        )
+    retimed = config_at_clock(config, clock_frequency)
+    margin = max(1.0 - relative_signal, retimed.gga.drive_margin_floor)
+    return math.exp(-margin / retimed.gga.settling_tau_fraction)
+
+
+def max_clock_for_accuracy(
+    config: MemoryCellConfig,
+    target_error: float,
+    relative_signal: float = 0.5,
+) -> float:
+    """Return the largest clock meeting a relative settling-error target.
+
+    Inverts :func:`settling_error_at_clock` analytically.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``target_error`` is not in (0, 1).
+    """
+    if not 0.0 < target_error < 1.0:
+        raise ConfigurationError(
+            f"target_error must be in (0, 1), got {target_error!r}"
+        )
+    if not 0.0 <= relative_signal < 1.0:
+        raise ConfigurationError(
+            f"relative_signal must be in [0, 1), got {relative_signal!r}"
+        )
+    margin = max(1.0 - relative_signal, config.gga.drive_margin_floor)
+    # error = exp(-margin / fraction), fraction = f0_fraction * f/f0
+    # => f = f0 * margin / (f0_fraction * ln(1/error))
+    needed_fraction = margin / math.log(1.0 / target_error)
+    return config.sample_rate * needed_fraction / config.gga.settling_tau_fraction

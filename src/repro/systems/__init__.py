@@ -1,0 +1,36 @@
+"""System assembly: stimuli, test benches and the test-chip model.
+
+Mirrors the paper's experimental setup: sinusoidal current stimuli fed
+to the delay line and the two modulators (optionally polluted with an
+"input interface" low-frequency interferer, which the paper blames for
+the low-frequency content of Fig. 6), benches that drive a device and
+produce measurements, the complete ADC (modulator + decimator), and a
+:class:`~repro.systems.chip.TestChip` bundling all three blocks the way
+the die does.
+"""
+
+from repro.systems.stimulus import (
+    SineStimulus,
+    coherent_frequency,
+    interferer_tone,
+)
+from repro.systems.testbench import TestBench, BenchMeasurement
+from repro.systems.adc import OversamplingAdc, AdcKind
+from repro.systems.chip import TestChip
+from repro.systems.low_voltage import LowVoltageDesign, LowVoltageDesigner
+from repro.systems.montecarlo import CmffMonteCarlo, MonteCarloSummary
+
+__all__ = [
+    "SineStimulus",
+    "coherent_frequency",
+    "interferer_tone",
+    "TestBench",
+    "BenchMeasurement",
+    "OversamplingAdc",
+    "AdcKind",
+    "TestChip",
+    "LowVoltageDesign",
+    "LowVoltageDesigner",
+    "CmffMonteCarlo",
+    "MonteCarloSummary",
+]

@@ -1,0 +1,174 @@
+"""Low-voltage design exploration -- the paper's future-work direction.
+
+The authors' companion reports ([14] "Low-voltage SI oversampling A/D
+converters for video frequencies and beyond", [15] "A 1.2-V 0.8-mW
+switched-current oversampling A/D converter") push the 3.3 V techniques
+of this paper toward 1.2 V.  This module packages the library's
+headroom and power models into a design explorer that answers: at a
+given supply and threshold voltage, what quiescent current, modulation
+index and power does a feasible class-AB SI converter have?
+
+It reproduces the headline of [15] as a design point: at ~0.4 V
+thresholds a 1.2 V, sub-milliwatt SI converter closes, while at the
+1 V thresholds of the paper's process it cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.devices.process import CMOS_08UM, ProcessParameters
+from repro.si.headroom import HeadroomAnalysis
+from repro.si.power import ClassKind, PowerModel
+
+__all__ = ["LowVoltageDesign", "LowVoltageDesigner"]
+
+
+@dataclass(frozen=True)
+class LowVoltageDesign:
+    """One feasible (or infeasible) low-voltage design point.
+
+    Attributes
+    ----------
+    supply_voltage:
+        Supply in volts.
+    threshold_voltage:
+        Device threshold magnitude in volts.
+    max_modulation_index:
+        Largest feasible modulation index at this supply (0 when the
+        quiescent stack itself does not fit).
+    feasible:
+        Whether any signal swing at all is possible.
+    power:
+        Estimated converter power in watts at the max modulation index
+        (0 when infeasible).
+    """
+
+    supply_voltage: float
+    threshold_voltage: float
+    max_modulation_index: float
+    feasible: bool
+    power: float
+
+
+class LowVoltageDesigner:
+    """Sweep supplies and thresholds for feasible class-AB SI designs.
+
+    Parameters
+    ----------
+    process:
+        Base process; thresholds are overridden per design point.
+    quiescent_current:
+        Memory-pair quiescent current in amperes.
+    gga_bias_current:
+        GGA bias per amplifier in amperes.
+    n_cells:
+        Cell count of the converter (8 for the modulator inventory).
+    vdsat_scale:
+        Scale factor on all saturation voltages relative to the 3.3 V
+        design (low-voltage designs use smaller overdrives).
+    """
+
+    def __init__(
+        self,
+        process: ProcessParameters | None = None,
+        quiescent_current: float = 1e-6,
+        gga_bias_current: float = 8e-6,
+        n_cells: int = 8,
+        vdsat_scale: float = 1.0,
+    ) -> None:
+        if quiescent_current <= 0.0:
+            raise ConfigurationError(
+                f"quiescent_current must be positive, got {quiescent_current!r}"
+            )
+        if gga_bias_current < 0.0:
+            raise ConfigurationError(
+                f"gga_bias_current must be non-negative, got {gga_bias_current!r}"
+            )
+        if n_cells < 1:
+            raise ConfigurationError(f"n_cells must be >= 1, got {n_cells!r}")
+        if vdsat_scale <= 0.0:
+            raise ConfigurationError(
+                f"vdsat_scale must be positive, got {vdsat_scale!r}"
+            )
+        self.process = process if process is not None else CMOS_08UM
+        self.quiescent_current = quiescent_current
+        self.gga_bias_current = gga_bias_current
+        self.n_cells = n_cells
+        self.vdsat_scale = vdsat_scale
+
+    def _headroom(self, threshold_voltage: float) -> HeadroomAnalysis:
+        scale = self.vdsat_scale
+        return HeadroomAnalysis(
+            process=self.process.with_thresholds(
+                threshold_voltage, threshold_voltage
+            ),
+            vdsat_bias_p=0.20 * scale,
+            vdsat_gga=0.20 * scale,
+            vdsat_cascode=0.15 * scale,
+            vdsat_bias_n=0.15 * scale,
+            vdsat_memory=0.15 * scale,
+        )
+
+    def evaluate(
+        self, supply_voltage: float, threshold_voltage: float
+    ) -> LowVoltageDesign:
+        """Return the design point at one (supply, threshold) pair.
+
+        Raises
+        ------
+        ConfigurationError
+            If the inputs are not positive.
+        """
+        if supply_voltage <= 0.0:
+            raise ConfigurationError(
+                f"supply_voltage must be positive, got {supply_voltage!r}"
+            )
+        if threshold_voltage <= 0.0:
+            raise ConfigurationError(
+                f"threshold_voltage must be positive, got {threshold_voltage!r}"
+            )
+        headroom = self._headroom(threshold_voltage)
+        quiescent_budget = headroom.evaluate(0.0)
+        if not quiescent_budget.feasible_at(supply_voltage):
+            return LowVoltageDesign(
+                supply_voltage=supply_voltage,
+                threshold_voltage=threshold_voltage,
+                max_modulation_index=0.0,
+                feasible=False,
+                power=0.0,
+            )
+        m_max = headroom.max_modulation_index(supply_voltage)
+        power_model = PowerModel(
+            supply_voltage=supply_voltage,
+            quiescent_current=self.quiescent_current,
+            gga_bias_current=self.gga_bias_current,
+        )
+        power = power_model.system_power(
+            n_cells=self.n_cells,
+            kind=ClassKind.CLASS_AB,
+            modulation_index=max(m_max, 0.0),
+        )
+        return LowVoltageDesign(
+            supply_voltage=supply_voltage,
+            threshold_voltage=threshold_voltage,
+            max_modulation_index=m_max,
+            feasible=m_max > 0.0,
+            power=power,
+        )
+
+    def sweep(
+        self,
+        supplies: list[float],
+        threshold_voltage: float,
+    ) -> list[LowVoltageDesign]:
+        """Evaluate a list of supply voltages at one threshold."""
+        return [self.evaluate(v, threshold_voltage) for v in supplies]
+
+    def minimum_supply(
+        self, threshold_voltage: float, modulation_index: float = 1.0
+    ) -> float:
+        """Return the minimum supply for a target modulation index."""
+        headroom = self._headroom(threshold_voltage)
+        return headroom.evaluate(modulation_index).vdd_min

@@ -1,0 +1,175 @@
+"""Test bench: drive a device with a tone, measure like the paper did.
+
+One object ties together stimulus generation, the device under test and
+the Blackman-window FFT metrology, so every bench and example measures
+in exactly the same way (64K-point FFT by default, matching "a 64K-point
+FFT using a blackman window").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis.metrics import ToneMetrics, measure_tone
+from repro.analysis.spectrum import Spectrum, compute_spectrum
+from repro.analysis.windows import WindowKind
+from repro.systems.stimulus import SineStimulus, coherent_frequency
+
+__all__ = ["BenchMeasurement", "TestBench"]
+
+DeviceUnderTest = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class BenchMeasurement:
+    """A complete single-tone bench measurement.
+
+    Attributes
+    ----------
+    spectrum:
+        The output spectrum.
+    metrics:
+        Tone metrics extracted from the spectrum.
+    stimulus:
+        The stimulus that was applied.
+    output:
+        The raw analysed output samples.
+    """
+
+    spectrum: Spectrum
+    metrics: ToneMetrics
+    stimulus: SineStimulus
+    output: np.ndarray
+
+    @property
+    def snr_db(self) -> float:
+        """Return the measured SNR in dB."""
+        return self.metrics.snr_db
+
+    @property
+    def thd_db(self) -> float:
+        """Return the measured THD in dB relative to the carrier."""
+        return self.metrics.thd_db
+
+    @property
+    def sndr_db(self) -> float:
+        """Return the measured SNDR in dB."""
+        return self.metrics.sndr_db
+
+
+class TestBench:
+    """Single-tone measurement bench.
+
+    (The name refers to a laboratory bench; ``__test__ = False`` stops
+    pytest from trying to collect it as a test class.)
+
+    Parameters
+    ----------
+    sample_rate:
+        Clock frequency in hertz.
+    n_samples:
+        FFT length (64K to match the paper).
+    bandwidth:
+        Analysis bandwidth in hertz; None means full Nyquist.
+    window_kind:
+        FFT window; Blackman by default.
+    settle_samples:
+        Leading samples discarded before analysis.
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        sample_rate: float,
+        n_samples: int = 1 << 16,
+        bandwidth: float | None = None,
+        window_kind: WindowKind = WindowKind.BLACKMAN,
+        settle_samples: int = 256,
+    ) -> None:
+        if sample_rate <= 0.0:
+            raise AnalysisError(f"sample_rate must be positive, got {sample_rate!r}")
+        if n_samples < 16:
+            raise AnalysisError(f"n_samples must be >= 16, got {n_samples!r}")
+        if settle_samples < 0:
+            raise AnalysisError(
+                f"settle_samples must be non-negative, got {settle_samples!r}"
+            )
+        self.sample_rate = sample_rate
+        self.n_samples = n_samples
+        self.bandwidth = bandwidth
+        self.window_kind = window_kind
+        self.settle_samples = settle_samples
+
+    def make_stimulus(self, amplitude: float, frequency: float) -> SineStimulus:
+        """Return a coherent tone stimulus at the bench's settings."""
+        return SineStimulus(
+            amplitude=amplitude,
+            frequency=coherent_frequency(frequency, self.sample_rate, self.n_samples),
+            sample_rate=self.sample_rate,
+        )
+
+    def measure(
+        self,
+        device: DeviceUnderTest,
+        amplitude: float,
+        frequency: float,
+        extra_input: np.ndarray | None = None,
+    ) -> BenchMeasurement:
+        """Drive the device with a tone and measure the output spectrum.
+
+        Parameters
+        ----------
+        device:
+            Callable mapping the stimulus array to the output array.
+        amplitude:
+            Tone peak amplitude in amperes.
+        frequency:
+            Requested tone frequency; snapped to the nearest coherent
+            bin.
+        extra_input:
+            Optional additive disturbance (e.g. an interferer from
+            :func:`repro.systems.stimulus.interferer_tone`), of length
+            ``n_samples + settle_samples``.
+
+        Raises
+        ------
+        AnalysisError
+            If the device returns the wrong number of samples or the
+            disturbance length is wrong.
+        """
+        total = self.n_samples + self.settle_samples
+        stimulus = self.make_stimulus(amplitude, frequency)
+        drive = stimulus.generate(total)
+        if extra_input is not None:
+            extra = np.asarray(extra_input, dtype=float)
+            if extra.shape[0] != total:
+                raise AnalysisError(
+                    f"extra_input must have {total} samples, got {extra.shape[0]}"
+                )
+            drive = drive + extra
+
+        output = np.asarray(device(drive), dtype=float)
+        if output.shape[0] != total:
+            raise AnalysisError(
+                f"device returned {output.shape[0]} samples, expected {total}"
+            )
+        analysed = output[self.settle_samples :]
+        spectrum = compute_spectrum(
+            analysed, self.sample_rate, window_kind=self.window_kind
+        )
+        metrics = measure_tone(
+            spectrum,
+            fundamental_frequency=stimulus.frequency,
+            bandwidth=self.bandwidth,
+        )
+        return BenchMeasurement(
+            spectrum=spectrum,
+            metrics=metrics,
+            stimulus=stimulus,
+            output=analysed,
+        )

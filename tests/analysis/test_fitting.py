@@ -1,0 +1,80 @@
+"""Tests for dynamic-range extraction from sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    LinearFit,
+    dynamic_range_from_sweep,
+    linear_fit_through_noise,
+)
+from repro.analysis.sweeps import AmplitudeSweepResult
+from repro.errors import AnalysisError
+
+
+def synthetic_sweep(dr_db: float, levels=None) -> AmplitudeSweepResult:
+    """Build a textbook noise-limited sweep with a known DR."""
+    if levels is None:
+        levels = np.arange(-80.0, 1.0, 5.0)
+    levels = np.asarray(levels, dtype=float)
+    sndr = levels + dr_db
+    # Overload: the top 5 dB of input flattens the curve.
+    sndr = np.where(levels > -5.0, sndr - 2.0 * (levels + 5.0), sndr)
+    sndr = np.maximum(sndr, 0.0)
+    return AmplitudeSweepResult(
+        levels_db=levels,
+        sndr_db=sndr,
+        snr_db=sndr,
+        thd_db=np.full_like(levels, -90.0),
+        metrics=(),
+    )
+
+
+class TestLinearFit:
+    def test_fit_recovers_slope_and_intercept(self):
+        levels = np.arange(-70.0, -19.0, 5.0)
+        sndr = levels + 63.0
+        fit = linear_fit_through_noise(levels, sndr)
+        assert fit.slope == pytest.approx(1.0, abs=1e-9)
+        assert fit.intercept == pytest.approx(63.0, abs=1e-9)
+
+    def test_crossing(self):
+        fit = LinearFit(slope=1.0, intercept=63.0)
+        assert fit.crossing(0.0) == pytest.approx(-63.0)
+
+    def test_flat_line_crossing_raises(self):
+        with pytest.raises(AnalysisError):
+            LinearFit(slope=0.0, intercept=10.0).crossing(0.0)
+
+    def test_overload_region_excluded(self):
+        sweep = synthetic_sweep(63.0)
+        fit = linear_fit_through_noise(sweep.levels_db, sweep.sndr_db)
+        assert fit.slope == pytest.approx(1.0, abs=0.02)
+
+    def test_buried_points_excluded(self):
+        # Points where SNDR saturates near 0 must not drag the fit.
+        levels = np.arange(-90.0, -19.0, 5.0)
+        sndr = np.maximum(levels + 63.0, 0.5)
+        fit = linear_fit_through_noise(levels, sndr)
+        assert fit.intercept == pytest.approx(63.0, abs=0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            linear_fit_through_noise(np.zeros(3), np.zeros(4))
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(AnalysisError):
+            linear_fit_through_noise(
+                np.array([-10.0, -5.0]), np.array([50.0, 55.0])
+            )
+
+
+class TestDynamicRange:
+    def test_recovers_known_dr(self):
+        sweep = synthetic_sweep(63.0)
+        assert dynamic_range_from_sweep(sweep) == pytest.approx(63.0, abs=0.5)
+
+    def test_dr_independent_of_overload_shape(self):
+        assert dynamic_range_from_sweep(synthetic_sweep(45.0)) == pytest.approx(
+            45.0, abs=0.5
+        )

@@ -1,0 +1,80 @@
+"""Tests for the code-density (INL/DNL) linearity metrology."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linearity import code_density_test
+from repro.errors import AnalysisError
+
+#: Irrational tone frequency: every sample lands on a fresh phase, so
+#: the histogram fills smoothly.
+F_IRRATIONAL = np.sqrt(2.0) - 1.0
+
+
+def sine_record(n=1 << 17, amplitude=0.95):
+    return amplitude * np.sin(2.0 * np.pi * np.arange(n) * F_IRRATIONAL)
+
+
+class TestIdealConverter:
+    def test_ideal_sine_is_linear(self):
+        result = code_density_test(sine_record(), n_bits=8)
+        assert result.peak_inl < 0.1
+        assert result.peak_dnl < 0.1
+
+    def test_code_count(self):
+        result = code_density_test(sine_record(), n_bits=8)
+        # 95 % amplitude exercises ~243 codes; clipping trims the ends.
+        assert 200 < result.n_codes < 250
+
+    def test_inl_endpoint_corrected(self):
+        result = code_density_test(sine_record(), n_bits=8)
+        assert result.inl[0] == pytest.approx(0.0, abs=1e-9)
+        assert result.inl[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNonlinearConverter:
+    def test_compression_shows_inl(self):
+        compressed = np.tanh(1.2 * sine_record()) / np.tanh(1.2)
+        result = code_density_test(compressed, n_bits=8)
+        assert result.peak_inl > 2.0
+
+    def test_more_compression_more_inl(self):
+        mild = np.tanh(0.5 * sine_record()) / np.tanh(0.5)
+        strong = np.tanh(2.0 * sine_record()) / np.tanh(2.0)
+        inl_mild = code_density_test(mild, n_bits=8).peak_inl
+        inl_strong = code_density_test(strong, n_bits=8).peak_inl
+        assert inl_strong > inl_mild
+
+    def test_missing_code_shows_dnl(self):
+        # Knock out one code by snapping its values to the neighbour.
+        record = sine_record()
+        n_codes = 256
+        scaled = (record + 1.0) / 2.0 * n_codes
+        codes = scaled.astype(int)
+        target = 100
+        record = record.copy()
+        record[codes == target] += 2.0 / n_codes
+        result = code_density_test(record, n_bits=8)
+        assert result.peak_dnl > 0.8
+
+
+class TestValidation:
+    def test_rejects_2d(self):
+        with pytest.raises(AnalysisError):
+            code_density_test(np.zeros((4, 4)), n_bits=8)
+
+    def test_rejects_short_record(self):
+        with pytest.raises(AnalysisError):
+            code_density_test(sine_record(n=256), n_bits=8)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(AnalysisError):
+            code_density_test(sine_record(), n_bits=1)
+
+    def test_rejects_bad_full_scale(self):
+        with pytest.raises(AnalysisError):
+            code_density_test(sine_record(), n_bits=8, full_scale=0.0)
+
+    def test_rejects_tiny_amplitude(self):
+        with pytest.raises(AnalysisError):
+            code_density_test(0.001 * sine_record(), n_bits=8)

@@ -1,0 +1,132 @@
+"""Tests for tone metrology: SNR, THD and SNDR extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import measure_tone, sndr_db, snr_db, thd_db
+from repro.analysis.spectrum import compute_spectrum
+from repro.errors import AnalysisError
+
+FS = 1e6
+N = 1 << 14
+
+
+def tone(amplitude, cycles, n=N, phase=0.0):
+    t = np.arange(n)
+    return amplitude * np.sin(2.0 * np.pi * cycles * t / n + phase)
+
+
+class TestSnr:
+    def test_known_snr(self):
+        rng = np.random.default_rng(0)
+        signal = tone(1.0, 301) + rng.normal(0.0, 0.001, size=N)
+        spectrum = compute_spectrum(signal, FS)
+        # SNR = 20 log10((1/sqrt 2)/0.001) = 57 dB over full Nyquist.
+        assert snr_db(spectrum) == pytest.approx(57.0, abs=1.0)
+
+    def test_bandwidth_limits_noise(self):
+        rng = np.random.default_rng(1)
+        signal = tone(1.0, 301) + rng.normal(0.0, 0.01, size=N)
+        spectrum = compute_spectrum(signal, FS)
+        full = snr_db(spectrum)
+        narrow = snr_db(spectrum, bandwidth=FS / 8.0)
+        # Quartering the band cuts the white-noise power by 4: +6 dB.
+        assert narrow - full == pytest.approx(6.0, abs=1.0)
+
+    def test_explicit_fundamental(self):
+        rng = np.random.default_rng(2)
+        signal = tone(1.0, 301) + rng.normal(0.0, 0.01, size=N)
+        spectrum = compute_spectrum(signal, FS)
+        f0 = 301 * FS / N
+        assert snr_db(spectrum, fundamental_frequency=f0) == pytest.approx(
+            snr_db(spectrum), abs=0.1
+        )
+
+
+class TestThd:
+    def test_single_harmonic(self):
+        # A -40 dB second harmonic gives THD = -40 dB.
+        signal = tone(1.0, 301) + tone(0.01, 602)
+        spectrum = compute_spectrum(signal, FS)
+        assert thd_db(spectrum) == pytest.approx(-40.0, abs=0.3)
+
+    def test_multiple_harmonics_add_in_power(self):
+        signal = tone(1.0, 301) + tone(0.01, 602) + tone(0.01, 903)
+        spectrum = compute_spectrum(signal, FS)
+        assert thd_db(spectrum) == pytest.approx(-37.0, abs=0.3)
+
+    def test_folded_harmonic_is_counted(self):
+        # Fundamental at 0.3 fs: its 2nd harmonic (0.6 fs) folds to
+        # 0.4 fs and must still be attributed to distortion.
+        cycles = int(0.3 * N)
+        folded_cycles = N - 2 * cycles  # alias of the 2nd harmonic
+        signal = tone(1.0, cycles) + tone(0.01, folded_cycles)
+        spectrum = compute_spectrum(signal, FS)
+        assert thd_db(spectrum) == pytest.approx(-40.0, abs=0.5)
+
+    def test_clean_tone_has_deep_thd(self):
+        spectrum = compute_spectrum(tone(1.0, 301), FS)
+        assert thd_db(spectrum) < -100.0
+
+    def test_harmonic_count_limits(self):
+        signal = tone(1.0, 301) + tone(0.01, 301 * 7)
+        spectrum = compute_spectrum(signal, FS)
+        with_h7 = thd_db(spectrum, n_harmonics=8)
+        without_h7 = thd_db(spectrum, n_harmonics=5)
+        assert with_h7 == pytest.approx(-40.0, abs=0.5)
+        assert without_h7 < -80.0
+
+
+class TestSndr:
+    def test_sndr_below_both(self):
+        rng = np.random.default_rng(3)
+        signal = tone(1.0, 301) + tone(0.01, 602) + rng.normal(0.0, 0.01, size=N)
+        spectrum = compute_spectrum(signal, FS)
+        assert sndr_db(spectrum) < snr_db(spectrum)
+        assert sndr_db(spectrum) < -thd_db(spectrum)
+
+    def test_sndr_equals_snr_without_distortion(self):
+        rng = np.random.default_rng(4)
+        signal = tone(1.0, 301) + rng.normal(0.0, 0.01, size=N)
+        spectrum = compute_spectrum(signal, FS)
+        assert sndr_db(spectrum) == pytest.approx(snr_db(spectrum), abs=0.3)
+
+
+class TestMeasureTone:
+    def test_amplitude_estimate(self):
+        spectrum = compute_spectrum(tone(2.5, 301), FS)
+        metrics = measure_tone(spectrum)
+        assert metrics.signal_amplitude == pytest.approx(2.5, rel=0.01)
+
+    def test_fundamental_location(self):
+        spectrum = compute_spectrum(tone(1.0, 301), FS)
+        metrics = measure_tone(spectrum)
+        assert metrics.fundamental_frequency == pytest.approx(301 * FS / N, rel=1e-6)
+
+    def test_search_above_skips_interferer(self):
+        # A large 50 Hz-like interferer below the search floor must not
+        # be mistaken for the fundamental.
+        signal = tone(5.0, 3) + tone(1.0, 301)
+        spectrum = compute_spectrum(signal, FS)
+        metrics = measure_tone(spectrum, search_above=50 * FS / N)
+        assert metrics.fundamental_frequency == pytest.approx(301 * FS / N, rel=1e-6)
+
+    def test_rejects_bad_bandwidth(self):
+        spectrum = compute_spectrum(tone(1.0, 301), FS)
+        with pytest.raises(AnalysisError):
+            measure_tone(spectrum, bandwidth=FS)
+
+    def test_rejects_dc_fundamental(self):
+        spectrum = compute_spectrum(tone(1.0, 301), FS)
+        with pytest.raises(AnalysisError):
+            measure_tone(spectrum, fundamental_frequency=FS)  # > Nyquist
+
+    def test_rejects_bad_harmonic_count(self):
+        spectrum = compute_spectrum(tone(1.0, 301), FS)
+        with pytest.raises(AnalysisError):
+            measure_tone(spectrum, n_harmonics=0)
+
+    def test_degenerate_noiseless_snr_is_clamped(self):
+        spectrum = compute_spectrum(tone(1.0, 301), FS)
+        metrics = measure_tone(spectrum)
+        assert metrics.snr_db <= 200.0

@@ -1,0 +1,137 @@
+"""Tests for the amplitude-sweep workload (Fig. 7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import run_amplitude_sweep
+from repro.errors import AnalysisError
+
+FS = 1e6
+N = 1 << 12
+
+
+class NoisyPassthrough:
+    """A linear device with additive white noise, known SNDR curve."""
+
+    def __init__(self, noise_rms: float, seed: int = 0) -> None:
+        self.noise_rms = noise_rms
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, stimulus: np.ndarray) -> np.ndarray:
+        return stimulus + self._rng.normal(0.0, self.noise_rms, size=stimulus.shape)
+
+
+class TestSweep:
+    def test_sndr_rises_1db_per_db_when_noise_limited(self):
+        device = NoisyPassthrough(noise_rms=1e-8)
+        sweep = run_amplitude_sweep(
+            device,
+            levels_db=[-40.0, -30.0, -20.0, -10.0],
+            full_scale=6e-6,
+            signal_frequency=2e3,
+            sample_rate=FS,
+            n_samples=N,
+            bandwidth=FS / 2.0,
+        )
+        slopes = np.diff(sweep.sndr_db) / np.diff(sweep.levels_db)
+        np.testing.assert_allclose(slopes, 1.0, atol=0.15)
+
+    def test_peak_level_is_largest_for_linear_device(self):
+        device = NoisyPassthrough(noise_rms=1e-8)
+        sweep = run_amplitude_sweep(
+            device,
+            levels_db=[-30.0, -20.0, -10.0, 0.0],
+            full_scale=6e-6,
+            signal_frequency=2e3,
+            sample_rate=FS,
+            n_samples=N,
+            bandwidth=FS / 2.0,
+        )
+        assert sweep.peak_level_db == pytest.approx(0.0)
+        assert sweep.peak_sndr_db == pytest.approx(float(sweep.sndr_db[-1]))
+
+    def test_metrics_tuple_lengths(self):
+        device = NoisyPassthrough(noise_rms=1e-8)
+        sweep = run_amplitude_sweep(
+            device,
+            levels_db=[-20.0, -10.0],
+            full_scale=6e-6,
+            signal_frequency=2e3,
+            sample_rate=FS,
+            n_samples=N,
+            bandwidth=FS / 2.0,
+        )
+        assert len(sweep.metrics) == 2
+        assert sweep.sndr_db.shape == (2,)
+
+    def test_settle_samples_are_discarded(self):
+        # A device with a gross start-up transient must still measure
+        # cleanly when the bench discards the transient.
+        def device(stimulus):
+            output = stimulus.copy()
+            output[:100] += 1.0
+            return output
+
+        sweep = run_amplitude_sweep(
+            device,
+            levels_db=[-10.0],
+            full_scale=6e-6,
+            # Coherent frequency so window leakage does not set a floor.
+            signal_frequency=9.0 * FS / N,
+            sample_rate=FS,
+            n_samples=N,
+            bandwidth=FS / 2.0,
+            settle_samples=128,
+        )
+        assert sweep.sndr_db[0] > 100.0
+
+
+class TestValidation:
+    def test_rejects_empty_levels(self):
+        with pytest.raises(AnalysisError):
+            run_amplitude_sweep(
+                lambda x: x,
+                levels_db=[],
+                full_scale=6e-6,
+                signal_frequency=2e3,
+                sample_rate=FS,
+                n_samples=N,
+                bandwidth=FS / 2.0,
+            )
+
+    def test_rejects_bad_full_scale(self):
+        with pytest.raises(AnalysisError):
+            run_amplitude_sweep(
+                lambda x: x,
+                levels_db=[-10.0],
+                full_scale=0.0,
+                signal_frequency=2e3,
+                sample_rate=FS,
+                n_samples=N,
+                bandwidth=FS / 2.0,
+            )
+
+    def test_rejects_wrong_output_length(self):
+        with pytest.raises(AnalysisError):
+            run_amplitude_sweep(
+                lambda x: x[:-1],
+                levels_db=[-10.0],
+                full_scale=6e-6,
+                signal_frequency=2e3,
+                sample_rate=FS,
+                n_samples=N,
+                bandwidth=FS / 2.0,
+            )
+
+    def test_rejects_negative_settle(self):
+        with pytest.raises(AnalysisError):
+            run_amplitude_sweep(
+                lambda x: x,
+                levels_db=[-10.0],
+                full_scale=6e-6,
+                signal_frequency=2e3,
+                sample_rate=FS,
+                n_samples=N,
+                bandwidth=FS / 2.0,
+                settle_samples=-1,
+            )

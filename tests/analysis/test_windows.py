@@ -1,0 +1,64 @@
+"""Tests for window functions and their metrological constants."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.windows import Window, WindowKind, make_window
+from repro.errors import AnalysisError
+
+
+class TestRectangular:
+    def test_coherent_gain_is_one(self):
+        window = make_window(WindowKind.RECTANGULAR, 1024)
+        assert window.coherent_gain == pytest.approx(1.0)
+
+    def test_enbw_is_one_bin(self):
+        window = make_window(WindowKind.RECTANGULAR, 1024)
+        assert window.enbw_bins == pytest.approx(1.0)
+
+
+class TestHann:
+    def test_coherent_gain(self):
+        window = make_window(WindowKind.HANN, 4096)
+        assert window.coherent_gain == pytest.approx(0.5, abs=0.001)
+
+    def test_enbw(self):
+        window = make_window(WindowKind.HANN, 4096)
+        assert window.enbw_bins == pytest.approx(1.5, abs=0.01)
+
+
+class TestBlackman:
+    def test_coherent_gain(self):
+        # The paper's window: Blackman, CG = 0.42.
+        window = make_window(WindowKind.BLACKMAN, 1 << 16)
+        assert window.coherent_gain == pytest.approx(0.42, abs=0.001)
+
+    def test_enbw(self):
+        window = make_window(WindowKind.BLACKMAN, 1 << 16)
+        assert window.enbw_bins == pytest.approx(1.7268, abs=0.005)
+
+    def test_main_lobe_width(self):
+        window = make_window(WindowKind.BLACKMAN, 1024)
+        assert window.main_lobe_bins == 3
+
+    def test_edges_near_zero(self):
+        window = make_window(WindowKind.BLACKMAN, 1024)
+        assert abs(window.samples[0]) < 1e-12
+
+    def test_symmetry(self):
+        window = make_window(WindowKind.BLACKMAN, 513)
+        np.testing.assert_allclose(window.samples, window.samples[::-1], atol=1e-12)
+
+
+class TestValidation:
+    def test_rejects_tiny_window(self):
+        with pytest.raises(AnalysisError):
+            make_window(WindowKind.BLACKMAN, 4)
+
+    def test_length_property(self):
+        assert make_window(WindowKind.HANN, 256).length == 256
+
+    def test_zero_sum_window_enbw_raises(self):
+        window = Window(kind=WindowKind.RECTANGULAR, samples=np.zeros(16))
+        with pytest.raises(AnalysisError):
+            _ = window.enbw_bins

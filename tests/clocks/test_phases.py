@@ -1,0 +1,94 @@
+"""Tests for the two-phase non-overlapping clock."""
+
+import math
+
+import pytest
+
+from repro.clocks.phases import ClockEvent, Phase, TwoPhaseClock
+from repro.errors import ClockingError, ConfigurationError
+
+
+class TestPhase:
+    def test_other_phase(self):
+        assert Phase.PHI1.other is Phase.PHI2
+        assert Phase.PHI2.other is Phase.PHI1
+
+    def test_double_other_is_identity(self):
+        assert Phase.PHI1.other.other is Phase.PHI1
+
+
+class TestClockTiming:
+    def test_period(self):
+        clock = TwoPhaseClock(frequency=5e6)
+        assert clock.period == pytest.approx(200e-9)
+
+    def test_phase_duration_at_half_duty(self):
+        clock = TwoPhaseClock(frequency=5e6, duty=0.5)
+        assert clock.phase_duration == pytest.approx(100e-9)
+        assert clock.nonoverlap_gap == pytest.approx(0.0)
+
+    def test_nonoverlap_gap(self):
+        clock = TwoPhaseClock(frequency=5e6, duty=0.45)
+        assert clock.nonoverlap_gap == pytest.approx(0.05 * 200e-9)
+
+    def test_settling_periods(self):
+        clock = TwoPhaseClock(frequency=5e6, duty=0.5)
+        # 100 ns phase with a 5 ns time constant: 20 tau available.
+        assert clock.settling_periods(5e-9) == pytest.approx(20.0)
+
+    def test_settling_rejects_bad_tau(self):
+        with pytest.raises(ConfigurationError):
+            TwoPhaseClock(5e6).settling_periods(0.0)
+
+
+class TestEvents:
+    def test_event_count(self):
+        events = list(TwoPhaseClock(1e6).events(4))
+        assert len(events) == 8
+
+    def test_phase_interleaving(self):
+        events = list(TwoPhaseClock(1e6).events(3))
+        phases = [e.phase for e in events]
+        assert phases == [
+            Phase.PHI1,
+            Phase.PHI2,
+            Phase.PHI1,
+            Phase.PHI2,
+            Phase.PHI1,
+            Phase.PHI2,
+        ]
+
+    def test_event_times_monotone(self):
+        events = list(TwoPhaseClock(1e6).events(5))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(0.5e-6)
+
+    def test_event_indices(self):
+        events = list(TwoPhaseClock(1e6).events(2))
+        assert [e.index for e in events] == [0, 0, 1, 1]
+
+    def test_zero_samples(self):
+        assert list(TwoPhaseClock(1e6).events(0)) == []
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ConfigurationError):
+            list(TwoPhaseClock(1e6).events(-1))
+
+
+class TestValidation:
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            TwoPhaseClock(0.0)
+
+    @pytest.mark.parametrize("duty", [0.0, 0.6, 1.0])
+    def test_rejects_bad_duty(self, duty):
+        with pytest.raises(ConfigurationError):
+            TwoPhaseClock(1e6, duty=duty)
+
+    def test_require_phase_passes(self):
+        TwoPhaseClock(1e6).require_phase(Phase.PHI1, Phase.PHI1)
+
+    def test_require_phase_raises(self):
+        with pytest.raises(ClockingError):
+            TwoPhaseClock(1e6).require_phase(Phase.PHI1, Phase.PHI2)

@@ -1,0 +1,83 @@
+"""Tests for the sampled-data scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.clocks.scheduler import SampledDataScheduler
+from repro.errors import ConfigurationError
+
+
+class TestPipeline:
+    def test_single_stage_identity(self):
+        scheduler = SampledDataScheduler()
+        scheduler.add_stage("copy", lambda n, x: x)
+        traces = scheduler.run(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(traces["copy"], [1.0, 2.0, 3.0])
+
+    def test_stages_run_in_order(self):
+        scheduler = SampledDataScheduler()
+        scheduler.add_stage("double", lambda n, x: 2.0 * x)
+        scheduler.add_stage("add_one", lambda n, x: x + 1.0)
+        traces = scheduler.run(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(traces["double"], [2.0, 4.0])
+        np.testing.assert_allclose(traces["add_one"], [3.0, 5.0])
+
+    def test_stateful_stage(self):
+        # A one-sample delay stage, the building block of the SI blocks.
+        state = {"held": 0.0}
+
+        def delay(n, x):
+            out = state["held"]
+            state["held"] = x
+            return out
+
+        scheduler = SampledDataScheduler()
+        scheduler.add_stage("delay", delay)
+        traces = scheduler.run(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(traces["delay"], [0.0, 1.0, 2.0])
+
+    def test_input_trace_included(self):
+        scheduler = SampledDataScheduler()
+        scheduler.add_stage("copy", lambda n, x: x)
+        traces = scheduler.run(np.array([5.0]))
+        np.testing.assert_allclose(traces["input"], [5.0])
+
+    def test_stage_receives_sample_index(self):
+        indices = []
+
+        def probe(n, x):
+            indices.append(n)
+            return x
+
+        scheduler = SampledDataScheduler()
+        scheduler.add_stage("probe", probe)
+        scheduler.run(np.zeros(4))
+        assert indices == [0, 1, 2, 3]
+
+    def test_stage_names_property(self):
+        scheduler = SampledDataScheduler()
+        scheduler.add_stage("a", lambda n, x: x)
+        scheduler.add_stage("b", lambda n, x: x)
+        assert scheduler.stage_names == ("a", "b")
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            SampledDataScheduler().add_stage("", lambda n, x: x)
+
+    def test_rejects_duplicate_name(self):
+        scheduler = SampledDataScheduler()
+        scheduler.add_stage("a", lambda n, x: x)
+        with pytest.raises(ConfigurationError):
+            scheduler.add_stage("a", lambda n, x: x)
+
+    def test_rejects_empty_pipeline(self):
+        with pytest.raises(ConfigurationError):
+            SampledDataScheduler().run(np.zeros(4))
+
+    def test_rejects_2d_stimulus(self):
+        scheduler = SampledDataScheduler()
+        scheduler.add_stage("a", lambda n, x: x)
+        with pytest.raises(ConfigurationError):
+            scheduler.run(np.zeros((2, 2)))

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Tests that simulate the modulators use reduced sample counts (the
+paper's 64K-point runs live in the benchmarks); the fixtures here give
+every test the same calibrated configurations with fixed seeds so
+results are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    MODULATOR_CLOCK,
+    delay_line_cell_config,
+    ideal_cell_config,
+    paper_cell_config,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded random generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cell_config():
+    """The calibrated paper cell configuration at the modulator clock."""
+    return paper_cell_config(sample_rate=MODULATOR_CLOCK)
+
+
+@pytest.fixture
+def quiet_cell_config():
+    """The paper cell with noise disabled (static errors kept)."""
+    return paper_cell_config(sample_rate=MODULATOR_CLOCK).noiseless()
+
+
+@pytest.fixture
+def ideal_config():
+    """A cell configuration with every nonideality disabled."""
+    return ideal_cell_config(sample_rate=MODULATOR_CLOCK)
+
+
+@pytest.fixture
+def delay_config():
+    """The calibrated delay-line cell configuration."""
+    return delay_line_cell_config()

@@ -1,0 +1,76 @@
+"""Tests for chopper modulation."""
+
+import numpy as np
+import pytest
+
+from repro.deltasigma.chopper import ChopperSequence, chop
+from repro.errors import ConfigurationError
+
+
+class TestSequence:
+    def test_alternation(self):
+        seq = ChopperSequence()
+        assert [seq.next() for _ in range(6)] == [1, -1, 1, -1, 1, -1]
+
+    def test_current_peeks_without_advancing(self):
+        seq = ChopperSequence()
+        assert seq.current == 1
+        assert seq.current == 1
+        seq.next()
+        assert seq.current == -1
+
+    def test_reset(self):
+        seq = ChopperSequence()
+        seq.next()
+        seq.reset()
+        assert seq.next() == 1
+
+
+class TestChopFunction:
+    def test_alternating_signs(self):
+        signal = np.ones(6)
+        np.testing.assert_allclose(chop(signal), [1, -1, 1, -1, 1, -1])
+
+    def test_start_negative(self):
+        signal = np.ones(4)
+        np.testing.assert_allclose(chop(signal, start=-1), [-1, 1, -1, 1])
+
+    def test_involution(self):
+        # Chopping twice restores the signal: c^2 = 1.
+        rng = np.random.default_rng(0)
+        signal = rng.normal(size=128)
+        np.testing.assert_allclose(chop(chop(signal)), signal)
+
+    def test_frequency_translation(self):
+        # Chopping a DC signal produces a tone at exactly fs/2.
+        n = 256
+        chopped = chop(np.ones(n))
+        spectrum = np.abs(np.fft.rfft(chopped))
+        assert int(np.argmax(spectrum)) == n // 2
+
+    def test_translation_of_baseband_tone(self):
+        # A tone at bin k moves to bin N/2 - k.
+        n = 512
+        k = 20
+        t = np.arange(n)
+        tone = np.cos(2.0 * np.pi * k * t / n)
+        spectrum = np.abs(np.fft.rfft(chop(tone)))
+        assert int(np.argmax(spectrum)) == n // 2 - k
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ConfigurationError):
+            chop(np.ones(4), start=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            chop(np.ones((2, 2)))
+
+    def test_z_to_minus_z_identity(self):
+        # Chop -> one-sample delay -> chop equals a negated delay:
+        # the z -> -z mapping on the simplest system H(z) = z^-1.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=64)
+        delayed_chopped = np.concatenate([[0.0], chop(x)[:-1]])
+        result = chop(delayed_chopped)
+        expected = -np.concatenate([[0.0], x[:-1]])
+        np.testing.assert_allclose(result, expected)

@@ -1,0 +1,65 @@
+"""Tests for the one-bit feedback DAC."""
+
+import numpy as np
+import pytest
+
+from repro.deltasigma.dac import FeedbackDac
+from repro.errors import ConfigurationError
+
+
+class TestIdealDac:
+    def test_levels(self):
+        dac = FeedbackDac(full_scale=6e-6)
+        assert dac.convert(1) == pytest.approx(6e-6)
+        assert dac.convert(-1) == pytest.approx(-6e-6)
+
+    def test_rejects_other_codes(self):
+        with pytest.raises(ConfigurationError):
+            FeedbackDac().convert(0)
+
+    def test_levels_are_symmetric(self):
+        dac = FeedbackDac(full_scale=6e-6)
+        assert dac.convert(1) == pytest.approx(-dac.convert(-1))
+
+
+class TestLevelMismatch:
+    def test_mismatch_breaks_symmetry(self):
+        dac = FeedbackDac(full_scale=6e-6, level_mismatch=0.02)
+        assert dac.convert(1) == pytest.approx(6e-6 * 1.01)
+        assert dac.convert(-1) == pytest.approx(-6e-6 * 0.99)
+
+    def test_one_bit_dac_stays_two_level(self):
+        # Even mismatched, a 1-bit DAC has exactly two output values --
+        # the inherent-linearity property of oversampling converters.
+        dac = FeedbackDac(full_scale=6e-6, level_mismatch=0.05)
+        outputs = {dac.convert(1) for _ in range(10)}
+        outputs |= {dac.convert(-1) for _ in range(10)}
+        assert len(outputs) == 2
+
+
+class TestReferenceNoise:
+    def test_noise_spreads_levels(self):
+        dac = FeedbackDac(full_scale=6e-6, reference_noise_rms=10e-9, seed=0)
+        outputs = np.array([dac.convert(1) for _ in range(5000)])
+        assert float(np.std(outputs)) == pytest.approx(10e-9, rel=0.1)
+        assert float(np.mean(outputs)) == pytest.approx(6e-6, rel=0.01)
+
+    def test_seeded_reproducibility(self):
+        a = FeedbackDac(reference_noise_rms=1e-9, seed=4)
+        b = FeedbackDac(reference_noise_rms=1e-9, seed=4)
+        assert [a.convert(1) for _ in range(16)] == [b.convert(1) for _ in range(16)]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"full_scale": 0.0},
+            {"level_mismatch": 1.0},
+            {"level_mismatch": -1.0},
+            {"reference_noise_rms": -1e-9},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FeedbackDac(**kwargs)

@@ -1,0 +1,92 @@
+"""Tests for the sinc^k decimator."""
+
+import numpy as np
+import pytest
+
+from repro.deltasigma.decimator import SincDecimator
+from repro.deltasigma.ideal import IdealSecondOrderModulator
+from repro.errors import ConfigurationError
+
+
+class TestFilterProperties:
+    def test_dc_gain_is_unity(self):
+        assert SincDecimator(ratio=16, order=3).dc_gain == pytest.approx(1.0)
+
+    def test_impulse_response_length(self):
+        decimator = SincDecimator(ratio=8, order=3)
+        assert decimator.impulse_response.shape[0] == 3 * (8 - 1) + 1
+
+    def test_nulls_at_output_rate_multiples(self):
+        # The sinc zeros at k * fs/R swallow the aliasing bands.
+        decimator = SincDecimator(ratio=16, order=3)
+        h = decimator.impulse_response
+        freqs = np.fft.rfftfreq(4096)
+        response = np.abs(np.fft.rfft(h, n=4096))
+        null_bin = int(round((1.0 / 16.0) * 4096))
+        peak = float(np.max(response))
+        assert response[null_bin] < 1e-3 * peak
+
+    def test_higher_order_attenuates_more(self):
+        h1 = SincDecimator(ratio=16, order=1).impulse_response
+        h3 = SincDecimator(ratio=16, order=3).impulse_response
+        r1 = np.abs(np.fft.rfft(h1, n=4096))
+        r3 = np.abs(np.fft.rfft(h3, n=4096))
+        # Compare halfway between the first and second sinc nulls,
+        # where both responses are well above numerical noise.
+        probe = int(round(1.5 / 16.0 * 4096))
+        assert r3[probe] < 0.1 * r1[probe]
+
+
+class TestDecimation:
+    def test_output_rate(self):
+        decimator = SincDecimator(ratio=8, order=2)
+        y = decimator.process(np.ones(1024))
+        # Steady-state output of a DC stream is 1.0 at 1/8 the rate.
+        assert y.shape[0] == pytest.approx((1024 - len(decimator.impulse_response)) / 8, abs=1.0)
+        np.testing.assert_allclose(y, 1.0, atol=1e-12)
+
+    def test_dc_recovery_from_bitstream(self):
+        # Modulate a DC input, decimate, and recover the value.
+        modulator = IdealSecondOrderModulator(full_scale=1.0)
+        bitstream = modulator(np.full(1 << 14, 0.37))
+        decimator = SincDecimator(ratio=64, order=3)
+        samples = decimator.process(bitstream)
+        assert float(np.mean(samples[4:])) == pytest.approx(0.37, abs=0.005)
+
+    def test_sine_recovery(self):
+        n = 1 << 15
+        ratio = 64
+        cycles = 16  # coherent at both rates
+        t = np.arange(n)
+        x = 0.4 * np.sin(2.0 * np.pi * cycles * t / n)
+        modulator = IdealSecondOrderModulator(full_scale=1.0)
+        decimated = SincDecimator(ratio=ratio, order=3).process(modulator(x))
+        # The decimated output contains a tone of close to the input
+        # amplitude (sinc droop at this frequency is tiny).
+        amplitude = float(
+            2.0
+            * np.abs(np.fft.rfft(decimated - np.mean(decimated)))[
+                int(round(cycles * len(decimated) / (n / ratio)))
+            ]
+            / len(decimated)
+        )
+        assert amplitude == pytest.approx(0.4, rel=0.1)
+
+
+class TestValidation:
+    def test_rejects_small_ratio(self):
+        with pytest.raises(ConfigurationError):
+            SincDecimator(ratio=1)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            SincDecimator(ratio=8, order=0)
+
+    def test_rejects_short_stream(self):
+        decimator = SincDecimator(ratio=64, order=3)
+        with pytest.raises(ConfigurationError):
+            decimator.process(np.ones(16))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            SincDecimator(ratio=8).process(np.ones((4, 4)))

@@ -1,0 +1,110 @@
+"""Tests for dithered quantisation and idle-tone suppression."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.deltasigma.dither import DitheredQuantizer, idle_tone_power_ratio
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.errors import AnalysisError, ConfigurationError
+
+FS = 2.45e6
+N = 1 << 14
+
+
+class TestDitheredQuantizer:
+    def test_zero_dither_is_plain_quantizer(self):
+        quantizer = DitheredQuantizer(dither_rms=0.0)
+        assert quantizer.decide(1e-6) == 1
+        assert quantizer.decide(-1e-6) == -1
+
+    def test_dither_randomises_small_inputs(self):
+        quantizer = DitheredQuantizer(dither_rms=1e-6, seed=0)
+        decisions = [quantizer.decide(1e-9) for _ in range(200)]
+        assert 1 in decisions and -1 in decisions
+
+    def test_large_inputs_still_deterministic(self):
+        quantizer = DitheredQuantizer(dither_rms=0.1e-6, seed=0)
+        decisions = [quantizer.decide(5e-6) for _ in range(100)]
+        assert all(d == 1 for d in decisions)
+
+    def test_seeded_reproducibility(self):
+        a = DitheredQuantizer(dither_rms=1e-6, seed=3)
+        b = DitheredQuantizer(dither_rms=1e-6, seed=3)
+        assert [a.decide(0.0) for _ in range(64)] == [
+            b.decide(0.0) for _ in range(64)
+        ]
+
+    def test_rejects_negative_dither(self):
+        with pytest.raises(ConfigurationError):
+            DitheredQuantizer(dither_rms=-1e-9)
+
+
+class TestIdleToneSuppression:
+    @staticmethod
+    def tonality(modulator, dc_level):
+        stream = modulator(np.full(N, dc_level))
+        return idle_tone_power_ratio(stream, FS, band_low=2e3, band_high=100e3)
+
+    def test_dc_input_produces_idle_tones(self, quiet_cell_config):
+        # The undithered loop at a rational DC level is strongly tonal
+        # (NTF-whitened peak-to-median well above the noise-like ~12).
+        modulator = SIModulator2(quiet_cell_config)
+        assert self.tonality(modulator, 1.5e-6) > 25.0
+
+    def test_dither_suppresses_idle_tones(self, quiet_cell_config):
+        plain = SIModulator2(quiet_cell_config)
+        dithered = SIModulator2(
+            quiet_cell_config,
+            quantizer=DitheredQuantizer(dither_rms=2e-6, seed=1),
+        )
+        tonality_plain = self.tonality(plain, 1.5e-6)
+        tonality_dithered = self.tonality(dithered, 1.5e-6)
+        assert tonality_dithered < 0.5 * tonality_plain
+        assert tonality_dithered < 20.0
+
+    def test_dither_costs_little_sndr(self, quiet_cell_config):
+        # In-loop dither is noise-shaped: even a dither of a third of
+        # full scale costs only a handful of dB in band.
+        t = np.arange(N)
+        x = 3e-6 * np.sin(2.0 * np.pi * 13 * t / N)
+        f0 = 13 * FS / N
+
+        def sndr(modulator):
+            spectrum = compute_spectrum(modulator(x), FS)
+            return measure_tone(
+                spectrum, fundamental_frequency=f0, bandwidth=10e3
+            ).sndr_db
+
+        plain = sndr(SIModulator2(quiet_cell_config))
+        dithered = sndr(
+            SIModulator2(
+                quiet_cell_config,
+                quantizer=DitheredQuantizer(dither_rms=2e-6, seed=2),
+            )
+        )
+        assert dithered > plain - 10.0
+
+
+class TestMetric:
+    def test_rejects_short_stream(self):
+        with pytest.raises(AnalysisError):
+            idle_tone_power_ratio(np.zeros(64), FS, 1e3, 10e3)
+
+    def test_rejects_narrow_band(self, quiet_cell_config):
+        stream = SIModulator2(quiet_cell_config)(np.zeros(4096))
+        with pytest.raises(AnalysisError):
+            idle_tone_power_ratio(stream, FS, 1e3, 1.5e3)
+
+    def test_white_noise_is_not_tonal(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(0.0, 1e-6, size=N)
+        ratio = idle_tone_power_ratio(
+            noise, FS, 2e3, 100e3, whiten_order=0
+        )
+        assert ratio < 30.0
+
+    def test_rejects_negative_whiten_order(self):
+        with pytest.raises(ConfigurationError):
+            idle_tone_power_ratio(np.zeros(4096), FS, 2e3, 100e3, whiten_order=-1)

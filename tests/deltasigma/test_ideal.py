@@ -1,0 +1,89 @@
+"""Tests for the ideal second-order modulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.deltasigma.ideal import IdealSecondOrderModulator
+from repro.errors import ConfigurationError
+
+FS = 2.45e6
+N = 1 << 13
+
+
+def coherent_tone(amplitude, cycles, n=N):
+    t = np.arange(n)
+    return amplitude * np.sin(2.0 * np.pi * cycles * t / n)
+
+
+class TestBasics:
+    def test_output_levels_are_binary(self):
+        modulator = IdealSecondOrderModulator(full_scale=6e-6)
+        y = modulator(coherent_tone(3e-6, 7))
+        assert set(np.unique(y)) <= {-6e-6, 6e-6}
+
+    def test_dc_input_duty_cycle(self):
+        # A DC input of FS/3 must produce a bit stream whose mean
+        # converges to FS/3.
+        modulator = IdealSecondOrderModulator(full_scale=6e-6)
+        y = modulator(np.full(N, 2e-6))
+        assert float(np.mean(y[200:])) == pytest.approx(2e-6, rel=0.02)
+
+    def test_zero_input_zero_mean(self):
+        modulator = IdealSecondOrderModulator(full_scale=6e-6)
+        y = modulator(np.zeros(N))
+        assert abs(float(np.mean(y))) < 0.05 * 6e-6
+
+    def test_reset_between_calls(self):
+        modulator = IdealSecondOrderModulator()
+        a = modulator(coherent_tone(3e-6, 7))
+        b = modulator(coherent_tone(3e-6, 7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_run_preserves_state(self):
+        modulator = IdealSecondOrderModulator()
+        first = modulator.run(np.full(16, 1e-6))
+        second = modulator.run(np.full(16, 1e-6))
+        assert not np.array_equal(first, second)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            IdealSecondOrderModulator().run(np.zeros((2, 2)))
+
+    def test_rejects_bad_full_scale(self):
+        with pytest.raises(ConfigurationError):
+            IdealSecondOrderModulator(full_scale=0.0)
+
+
+class TestNoiseShaping:
+    def test_inband_sqnr_exceeds_13_bits_at_osr_128(self):
+        # "the second-order modulator would have achieved a dynamic
+        # range over 13 bits" -- the quantisation-limited reference.
+        modulator = IdealSecondOrderModulator(full_scale=6e-6)
+        n = 1 << 16
+        tone = coherent_tone(3e-6, 23, n)
+        y = modulator(tone)
+        spectrum = compute_spectrum(y, FS)
+        metrics = measure_tone(spectrum, bandwidth=FS / 256.0)
+        assert metrics.sndr_db > 80.0 - 6.0  # -6 dB input
+
+    def test_noise_rises_out_of_band(self):
+        # Shaped quantisation noise: the out-of-band half must hold far
+        # more power than the in-band fraction.
+        modulator = IdealSecondOrderModulator(full_scale=6e-6)
+        y = modulator(np.zeros(1 << 14))
+        spectrum = compute_spectrum(y, FS)
+        low = spectrum.band_power(1e3, FS / 64.0)
+        high = spectrum.band_power(FS / 4.0, FS / 2.0)
+        assert high > 100.0 * low
+
+    def test_stable_at_half_scale(self):
+        modulator = IdealSecondOrderModulator(full_scale=6e-6)
+        trace = modulator(coherent_tone(3e-6, 7))
+        # Stability proxy: no long runs of one level.
+        longest = max(
+            len(list(group))
+            for _, group in __import__("itertools").groupby(trace)
+        )
+        assert longest < 50

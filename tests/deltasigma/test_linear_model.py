@@ -1,0 +1,97 @@
+"""Tests verifying Eq. (3) on the linearised loops."""
+
+import numpy as np
+import pytest
+
+from repro.deltasigma.linear_model import (
+    LinearLoopModel,
+    impulse_response_check,
+    ntf_second_order,
+    stf_second_order,
+)
+from repro.errors import ConfigurationError
+
+
+class TestReferenceResponses:
+    def test_stf_taps(self):
+        np.testing.assert_allclose(stf_second_order(), [0.0, 0.0, 1.0])
+
+    def test_ntf_taps(self):
+        np.testing.assert_allclose(ntf_second_order(), [1.0, -2.0, 1.0])
+
+    def test_ntf_has_double_zero_at_dc(self):
+        # (1 - z^-1)^2 evaluated at z = 1 is 0, and so is its slope.
+        taps = ntf_second_order()
+        assert float(np.sum(taps)) == pytest.approx(0.0)
+        assert float(np.sum(taps * np.arange(3))) == pytest.approx(0.0)
+
+
+class TestIntegratorTopology:
+    def test_eq3_exact(self):
+        result = impulse_response_check(LinearLoopModel(topology="integrator"))
+        assert result["stf_error"] == pytest.approx(0.0, abs=1e-12)
+        assert result["ntf_error"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_signal_delayed_two_samples(self):
+        model = LinearLoopModel(topology="integrator")
+        response = model.signal_impulse_response(8)
+        np.testing.assert_allclose(response, [0, 0, 1, 0, 0, 0, 0, 0], atol=1e-12)
+
+    def test_alternative_scaling_still_eq3(self):
+        # Any a1*a2 = 1, b2 = 2 realises the same transfer.
+        model = LinearLoopModel(a1=0.25, a2=4.0, b2=2.0)
+        result = impulse_response_check(model)
+        assert result["stf_error"] == pytest.approx(0.0, abs=1e-12)
+        assert result["ntf_error"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_wrong_coefficients_break_eq3(self):
+        model = LinearLoopModel(a1=0.5, a2=1.0, b2=2.0)
+        result = impulse_response_check(model)
+        assert result["stf_error"] > 1e-3
+
+    def test_superposition(self):
+        model = LinearLoopModel()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=64)
+        e = rng.normal(size=64)
+        combined = model.run(x, e)
+        separate = model.run(x) + model.run(np.zeros(64), e)
+        np.testing.assert_allclose(combined, separate, atol=1e-12)
+
+
+class TestChopperTopology:
+    def test_eq3_exact(self):
+        result = impulse_response_check(LinearLoopModel(topology="chopper"))
+        assert result["stf_error"] == pytest.approx(0.0, abs=1e-12)
+        assert result["ntf_error"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_both_topologies_same_signal_response(self):
+        # "Linear analysis ... reveal that both circuits of Fig. 3
+        # realize the second-order delta-sigma modulators."
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=128)
+        y_int = LinearLoopModel(topology="integrator").run(x)
+        y_chop = LinearLoopModel(topology="chopper").run(x)
+        np.testing.assert_allclose(y_chop, y_int, atol=1e-10)
+
+    def test_sine_passes_with_two_sample_delay(self):
+        n = 256
+        t = np.arange(n)
+        x = np.sin(2.0 * np.pi * 5.0 * t / n)
+        y = LinearLoopModel(topology="chopper").run(x)
+        np.testing.assert_allclose(y[2:], x[:-2], atol=1e-10)
+
+
+class TestValidation:
+    def test_rejects_bad_topology(self):
+        with pytest.raises(ConfigurationError):
+            LinearLoopModel(topology="banana")
+
+    def test_rejects_mismatched_error_length(self):
+        model = LinearLoopModel()
+        with pytest.raises(ConfigurationError):
+            model.run(np.zeros(8), np.zeros(9))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ConfigurationError):
+            LinearLoopModel().run(np.zeros((2, 4)))

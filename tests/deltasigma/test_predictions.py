@@ -1,0 +1,63 @@
+"""Tests for the Section V dynamic-range arithmetic."""
+
+import pytest
+
+from repro.deltasigma.predictions import (
+    expected_dynamic_range_db,
+    oversampling_gain_db,
+    thermal_limited_dynamic_range_db,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOversamplingGain:
+    def test_paper_21_db(self):
+        # "Oversampling by a factor of 128 increased the dynamic range
+        # by 21 dB."
+        assert oversampling_gain_db(128.0) == pytest.approx(21.07, abs=0.01)
+
+    def test_unity_osr(self):
+        assert oversampling_gain_db(1.0) == pytest.approx(0.0)
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ConfigurationError):
+            oversampling_gain_db(0.5)
+
+
+class TestThermalLimit:
+    def test_paper_66_db(self):
+        # 6 uA peak over 33 nA noise is 45 dB; plus 21 dB of OSR: 66 dB.
+        dr = thermal_limited_dynamic_range_db(6e-6, 33e-9, 128.0)
+        assert dr == pytest.approx(66.3, abs=0.3)
+
+    def test_base_45_db(self):
+        dr = thermal_limited_dynamic_range_db(6e-6, 33e-9, 1.0)
+        assert dr == pytest.approx(45.2, abs=0.2)
+
+    def test_rejects_bad_currents(self):
+        with pytest.raises(ConfigurationError):
+            thermal_limited_dynamic_range_db(0.0, 33e-9, 128.0)
+        with pytest.raises(ConfigurationError):
+            thermal_limited_dynamic_range_db(6e-6, 0.0, 128.0)
+
+
+class TestCombinedBudget:
+    def test_thermal_dominates_at_paper_point(self):
+        # The paper's conclusion: "the dynamic range was mainly limited
+        # by the noise in the SI circuits not by the quantization noise".
+        budget = expected_dynamic_range_db(6e-6, 33e-9, 128.0)
+        assert budget["dominant"] == 1.0
+        assert budget["thermal_db"] < budget["quantization_db"]
+
+    def test_combined_below_both(self):
+        budget = expected_dynamic_range_db(6e-6, 33e-9, 128.0)
+        assert budget["combined_db"] <= budget["thermal_db"] + 0.1
+        assert budget["combined_db"] <= budget["quantization_db"] + 0.1
+
+    def test_quantization_dominates_at_low_osr(self):
+        budget = expected_dynamic_range_db(6e-6, 33e-9, 8.0)
+        assert budget["dominant"] == 0.0
+
+    def test_combined_close_to_thermal_at_high_osr(self):
+        budget = expected_dynamic_range_db(6e-6, 33e-9, 128.0)
+        assert budget["combined_db"] == pytest.approx(budget["thermal_db"], abs=0.5)

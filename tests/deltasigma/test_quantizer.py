@@ -1,0 +1,80 @@
+"""Tests for the one-bit current quantiser."""
+
+import numpy as np
+import pytest
+
+from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.errors import ConfigurationError
+
+
+class TestIdealQuantizer:
+    def test_sign_decisions(self):
+        quantizer = CurrentQuantizer()
+        assert quantizer.decide(1e-6) == 1
+        assert quantizer.decide(-1e-6) == -1
+
+    def test_zero_resolves_positive(self):
+        assert CurrentQuantizer().decide(0.0) == 1
+
+    def test_decision_type(self):
+        assert isinstance(CurrentQuantizer().decide(1.0), int)
+
+
+class TestOffset:
+    def test_offset_shifts_threshold(self):
+        quantizer = CurrentQuantizer(offset=1e-6)
+        assert quantizer.decide(0.5e-6) == -1
+        assert quantizer.decide(1.5e-6) == 1
+
+    def test_negative_offset(self):
+        quantizer = CurrentQuantizer(offset=-1e-6)
+        assert quantizer.decide(-0.5e-6) == 1
+
+
+class TestHysteresis:
+    def test_hysteresis_favours_last_decision(self):
+        quantizer = CurrentQuantizer(hysteresis=1e-6)
+        assert quantizer.decide(2e-6) == 1
+        # A small negative input is not enough to flip: threshold moved
+        # to -1 uA by the previous +1 decision.
+        assert quantizer.decide(-0.5e-6) == 1
+        # A large negative input flips.
+        assert quantizer.decide(-2e-6) == -1
+        # Now small positive inputs are not enough either.
+        assert quantizer.decide(0.5e-6) == -1
+
+    def test_reset_clears_hysteresis_state(self):
+        quantizer = CurrentQuantizer(hysteresis=1e-6)
+        quantizer.decide(-5e-6)
+        quantizer.reset()
+        # After reset the remembered decision is +1 again.
+        assert quantizer.decide(-0.5e-6) == 1
+
+
+class TestMetastability:
+    def test_inside_band_is_random(self):
+        quantizer = CurrentQuantizer(metastability_band=1e-6, seed=0)
+        decisions = [quantizer.decide(1e-9) for _ in range(200)]
+        assert 1 in decisions and -1 in decisions
+
+    def test_outside_band_is_deterministic(self):
+        quantizer = CurrentQuantizer(metastability_band=1e-9, seed=0)
+        decisions = [quantizer.decide(1e-6) for _ in range(50)]
+        assert all(d == 1 for d in decisions)
+
+    def test_seeded_reproducibility(self):
+        a = CurrentQuantizer(metastability_band=1e-6, seed=3)
+        b = CurrentQuantizer(metastability_band=1e-6, seed=3)
+        da = [a.decide(0.0) for _ in range(64)]
+        db = [b.decide(0.0) for _ in range(64)]
+        assert da == db
+
+
+class TestValidation:
+    def test_rejects_negative_hysteresis(self):
+        with pytest.raises(ConfigurationError):
+            CurrentQuantizer(hysteresis=-1e-9)
+
+    def test_rejects_negative_band(self):
+        with pytest.raises(ConfigurationError):
+            CurrentQuantizer(metastability_band=-1e-9)

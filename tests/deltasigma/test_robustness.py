@@ -1,0 +1,116 @@
+"""Failure-injection tests: how the loops tolerate broken analog parts.
+
+"Oversampling A/D converters are known to deliver high performance
+from relatively inaccurate analog components" [18] -- these tests
+quantify which imperfections the second-order loop absorbs and which
+it does not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.deltasigma.quantizer import CurrentQuantizer
+
+FS = 2.45e6
+N = 1 << 13
+
+
+def coherent_tone(amplitude, cycles, n=N):
+    t = np.arange(n)
+    return amplitude * np.sin(2.0 * np.pi * cycles * t / n)
+
+
+def measure(modulator, amplitude=3e-6, cycles=13, n=N, bandwidth=10e3):
+    x = coherent_tone(amplitude, cycles, n)
+    spectrum = compute_spectrum(modulator(x), FS)
+    return measure_tone(
+        spectrum, fundamental_frequency=cycles * FS / n, bandwidth=bandwidth
+    )
+
+
+class TestQuantizerImperfections:
+    def test_large_offset_tolerated(self, quiet_cell_config):
+        clean = measure(SIModulator2(quiet_cell_config))
+        dirty = measure(
+            SIModulator2(
+                quiet_cell_config, quantizer=CurrentQuantizer(offset=1e-6)
+            )
+        )
+        assert dirty.sndr_db > clean.sndr_db - 6.0
+
+    def test_hysteresis_tolerated(self, quiet_cell_config):
+        clean = measure(SIModulator2(quiet_cell_config))
+        dirty = measure(
+            SIModulator2(
+                quiet_cell_config, quantizer=CurrentQuantizer(hysteresis=0.5e-6)
+            )
+        )
+        assert dirty.sndr_db > clean.sndr_db - 10.0
+
+    def test_metastability_tolerated(self, quiet_cell_config):
+        clean = measure(SIModulator2(quiet_cell_config))
+        dirty = measure(
+            SIModulator2(
+                quiet_cell_config,
+                quantizer=CurrentQuantizer(metastability_band=0.2e-6, seed=1),
+            )
+        )
+        assert dirty.sndr_db > clean.sndr_db - 10.0
+
+
+class TestDacImperfections:
+    def test_level_mismatch_is_benign_gain_error(self, quiet_cell_config):
+        # A 1-bit DAC's mismatch is gain+offset, not distortion: the
+        # measured THD must stay deep.
+        dirty = measure(
+            SIModulator2(
+                quiet_cell_config,
+                dac=FeedbackDac(full_scale=6e-6, level_mismatch=0.05),
+            )
+        )
+        assert dirty.thd_db < -50.0
+
+    def test_reference_noise_raises_floor(self, quiet_cell_config):
+        clean = measure(SIModulator2(quiet_cell_config))
+        noisy = measure(
+            SIModulator2(
+                quiet_cell_config,
+                dac=FeedbackDac(
+                    full_scale=6e-6, reference_noise_rms=50e-9, seed=2
+                ),
+            )
+        )
+        # DAC noise enters at the input summing node: unshaped.
+        assert noisy.snr_db < clean.snr_db - 3.0
+
+
+class TestStabilityEnvelope:
+    def test_stable_at_full_scale_dc(self, quiet_cell_config):
+        # DC at the edge of range: large but bounded state excursions
+        # (a second-order loop's states grow sharply near overload but
+        # must not diverge).
+        modulator = SIModulator2(quiet_cell_config)
+        trace = modulator.run(np.full(4096, 5.9e-6), record_states=True)
+        assert trace.max_state_swing < 25.0 * modulator.full_scale
+
+    def test_recovers_from_overload(self, quiet_cell_config):
+        # Drive past full scale, then back: the loop must recover and
+        # track again (second-order loops recover without reset).
+        modulator = SIModulator2(quiet_cell_config)
+        overload = np.full(512, 9e-6)
+        normal = np.full(4096, 2e-6)
+        modulator.reset()
+        modulator.run(overload)
+        y = modulator.run(normal)
+        assert float(np.mean(y[2000:])) == pytest.approx(2e-6, rel=0.1)
+
+    def test_alternating_full_scale_input(self, quiet_cell_config):
+        # A Nyquist-rate full-scale square input: states stay bounded.
+        modulator = SIModulator2(quiet_cell_config)
+        x = 5e-6 * np.where(np.arange(2048) % 2 == 0, 1.0, -1.0)
+        trace = modulator.run(x, record_states=True)
+        assert trace.max_state_swing < 10.0 * modulator.full_scale

@@ -1,0 +1,57 @@
+"""Tests for the current-mirror model."""
+
+import pytest
+
+from repro.devices.current_mirror import CurrentMirror
+from repro.errors import ConfigurationError
+
+
+class TestIdealMirror:
+    def test_unity_copy(self):
+        assert CurrentMirror().copy(10e-6) == pytest.approx(10e-6)
+
+    def test_half_sized_sense_mirror(self):
+        # The CMFF sensing devices are half-sized (Tn2/Tn3 in Fig. 2).
+        mirror = CurrentMirror(nominal_gain=0.5)
+        assert mirror.copy(10e-6) == pytest.approx(5e-6)
+
+    def test_copy_is_linear(self):
+        mirror = CurrentMirror(nominal_gain=2.0)
+        assert mirror.copy(3e-6) + mirror.copy(4e-6) == pytest.approx(
+            mirror.copy(7e-6)
+        )
+
+    def test_negative_current_copies(self):
+        assert CurrentMirror().copy(-5e-6) == pytest.approx(-5e-6)
+
+
+class TestNonidealities:
+    def test_gain_error(self):
+        mirror = CurrentMirror(nominal_gain=1.0, gain_error=0.01)
+        assert mirror.copy(10e-6) == pytest.approx(10.1e-6)
+
+    def test_gain_property(self):
+        mirror = CurrentMirror(nominal_gain=0.5, gain_error=-0.02)
+        assert mirror.gain == pytest.approx(0.49)
+
+    def test_output_conductance_adds_error(self):
+        mirror = CurrentMirror(output_conductance=1e-6)
+        assert mirror.copy(10e-6, output_voltage_delta=0.5) == pytest.approx(10.5e-6)
+
+    def test_zero_voltage_delta_exact(self):
+        mirror = CurrentMirror(output_conductance=1e-6)
+        assert mirror.copy(10e-6, output_voltage_delta=0.0) == pytest.approx(10e-6)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_gain(self):
+        with pytest.raises(ConfigurationError):
+            CurrentMirror(nominal_gain=0.0)
+
+    def test_rejects_gain_error_below_minus_one(self):
+        with pytest.raises(ConfigurationError):
+            CurrentMirror(gain_error=-1.0)
+
+    def test_rejects_negative_conductance(self):
+        with pytest.raises(ConfigurationError):
+            CurrentMirror(output_conductance=-1e-9)

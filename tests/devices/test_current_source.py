@@ -1,0 +1,77 @@
+"""Tests for the cascoded current-source model."""
+
+import pytest
+
+from repro.devices.current_source import CascodeCurrentSource
+from repro.errors import ConfigurationError
+
+
+class TestHeadroom:
+    def test_headroom_is_sum_of_vdsats(self):
+        source = CascodeCurrentSource(
+            current=20e-6, vdsat_mirror=0.2, vdsat_cascode=0.15
+        )
+        assert source.headroom == pytest.approx(0.35)
+
+    def test_uncascoded_headroom(self):
+        source = CascodeCurrentSource(current=20e-6, vdsat_mirror=0.2)
+        assert source.headroom == pytest.approx(0.2)
+        assert not source.is_cascoded
+
+    def test_cascoded_flag(self):
+        source = CascodeCurrentSource(
+            current=20e-6, vdsat_mirror=0.2, vdsat_cascode=0.1
+        )
+        assert source.is_cascoded
+
+
+class TestOutputCurrent:
+    def test_nominal_above_headroom(self):
+        source = CascodeCurrentSource(
+            current=20e-6, vdsat_mirror=0.2, vdsat_cascode=0.15
+        )
+        assert source.output_current(1.0) == pytest.approx(20e-6)
+
+    def test_collapses_below_headroom(self):
+        # This is the failure mode Eq. (1) protects against: below the
+        # stacked saturation voltages the source no longer delivers.
+        source = CascodeCurrentSource(
+            current=20e-6, vdsat_mirror=0.2, vdsat_cascode=0.15
+        )
+        assert source.output_current(0.1) < 20e-6
+
+    def test_zero_at_zero_volts(self):
+        source = CascodeCurrentSource(current=20e-6, vdsat_mirror=0.2)
+        assert source.output_current(0.0) == 0.0
+
+    def test_output_conductance_slope(self):
+        source = CascodeCurrentSource(
+            current=20e-6, vdsat_mirror=0.2, output_conductance=1e-7
+        )
+        i1 = source.output_current(0.5)
+        i2 = source.output_current(1.5)
+        assert i2 - i1 == pytest.approx(1e-7 * 1.0)
+
+    def test_mismatch_scales_current(self):
+        source = CascodeCurrentSource(
+            current=20e-6, vdsat_mirror=0.2, mismatch=0.05
+        )
+        assert source.output_current(1.0) == pytest.approx(21e-6)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_current(self):
+        with pytest.raises(ConfigurationError):
+            CascodeCurrentSource(current=0.0, vdsat_mirror=0.2)
+
+    def test_rejects_nonpositive_vdsat(self):
+        with pytest.raises(ConfigurationError):
+            CascodeCurrentSource(current=1e-6, vdsat_mirror=0.0)
+
+    def test_rejects_negative_cascode_vdsat(self):
+        with pytest.raises(ConfigurationError):
+            CascodeCurrentSource(current=1e-6, vdsat_mirror=0.2, vdsat_cascode=-0.1)
+
+    def test_rejects_mismatch_below_minus_one(self):
+        with pytest.raises(ConfigurationError):
+            CascodeCurrentSource(current=1e-6, vdsat_mirror=0.2, mismatch=-1.5)

@@ -1,0 +1,75 @@
+"""Tests for the Pelgrom mismatch sampler."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mismatch import MismatchSample, PelgromMismatch
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def sampler():
+    return PelgromMismatch(rng=np.random.default_rng(42))
+
+
+class TestSigmaLaws:
+    def test_sigma_shrinks_with_area(self, sampler):
+        small = sampler.sigma_vth(2e-6, 2e-6)
+        big = sampler.sigma_vth(8e-6, 8e-6)
+        assert big == pytest.approx(small / 4.0)
+
+    def test_sigma_vth_magnitude(self, sampler):
+        # A 10x10 um device in 0.8 um CMOS should match to ~1 mV.
+        assert sampler.sigma_vth(10e-6, 10e-6) == pytest.approx(1e-3, rel=0.01)
+
+    def test_sigma_beta_magnitude(self, sampler):
+        assert sampler.sigma_beta_rel(10e-6, 10e-6) == pytest.approx(0.002, rel=0.01)
+
+    @pytest.mark.parametrize("w,l", [(0.0, 1e-6), (1e-6, -1e-6)])
+    def test_rejects_bad_geometry(self, sampler, w, l):
+        with pytest.raises(ConfigurationError):
+            sampler.sigma_vth(w, l)
+
+
+class TestSampling:
+    def test_samples_have_expected_spread(self):
+        sampler = PelgromMismatch(rng=np.random.default_rng(1))
+        draws = [sampler.sample(4e-6, 4e-6).delta_vth for _ in range(2000)]
+        measured = float(np.std(draws))
+        assert measured == pytest.approx(sampler.sigma_vth(4e-6, 4e-6), rel=0.1)
+
+    def test_samples_are_zero_mean(self):
+        sampler = PelgromMismatch(rng=np.random.default_rng(2))
+        draws = [sampler.sample(4e-6, 4e-6).delta_vth for _ in range(2000)]
+        sigma = sampler.sigma_vth(4e-6, 4e-6)
+        assert abs(float(np.mean(draws))) < 0.1 * sigma
+
+    def test_seeded_reproducibility(self):
+        a = PelgromMismatch(rng=np.random.default_rng(7)).sample(4e-6, 4e-6)
+        b = PelgromMismatch(rng=np.random.default_rng(7)).sample(4e-6, 4e-6)
+        assert a.delta_vth == b.delta_vth
+        assert a.delta_beta_rel == b.delta_beta_rel
+
+    def test_pair_imbalance_is_small_for_large_devices(self):
+        sampler = PelgromMismatch(rng=np.random.default_rng(3))
+        imbalances = [
+            abs(sampler.sample_pair_imbalance(20e-6, 20e-6)) for _ in range(500)
+        ]
+        assert float(np.median(imbalances)) < 0.01
+
+
+class TestCurrentError:
+    def test_beta_only_property(self):
+        draw = MismatchSample(delta_vth=1e-3, delta_beta_rel=0.01)
+        assert draw.current_error_rel == pytest.approx(0.01)
+
+    def test_vth_term_scales_with_overdrive(self):
+        draw = MismatchSample(delta_vth=1e-3, delta_beta_rel=0.0)
+        at_100mv = draw.current_error_at_overdrive(0.1)
+        at_400mv = draw.current_error_at_overdrive(0.4)
+        assert abs(at_100mv) == pytest.approx(4.0 * abs(at_400mv))
+
+    def test_rejects_nonpositive_overdrive(self):
+        draw = MismatchSample(delta_vth=1e-3, delta_beta_rel=0.0)
+        with pytest.raises(ConfigurationError):
+            draw.current_error_at_overdrive(0.0)

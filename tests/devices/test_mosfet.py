@@ -1,0 +1,140 @@
+"""Tests for the square-law MOSFET model."""
+
+import math
+
+import pytest
+
+from repro.devices.mosfet import Mosfet, MosfetParameters
+from repro.devices.process import CMOS_08UM
+from repro.errors import ConfigurationError, DeviceError, SaturationError
+
+
+@pytest.fixture
+def nmos():
+    return Mosfet(MosfetParameters("n", width=10e-6, length=2e-6), CMOS_08UM)
+
+
+@pytest.fixture
+def pmos():
+    return Mosfet(MosfetParameters("p", width=20e-6, length=2e-6), CMOS_08UM)
+
+
+class TestParameters:
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ConfigurationError):
+            MosfetParameters("x", width=1e-6, length=1e-6)
+
+    @pytest.mark.parametrize("w,l", [(0.0, 1e-6), (1e-6, 0.0), (-1e-6, 1e-6)])
+    def test_rejects_nonpositive_geometry(self, w, l):
+        with pytest.raises(ConfigurationError):
+            MosfetParameters("n", width=w, length=l)
+
+
+class TestDcCharacteristics:
+    def test_cutoff_below_threshold(self, nmos):
+        assert nmos.drain_current(vgs=0.5, vds=1.0) == 0.0
+
+    def test_saturation_square_law(self, nmos):
+        vov = 0.4
+        expected = 0.5 * nmos.beta * vov**2 * (1.0 + nmos.lam * 2.0)
+        assert nmos.drain_current(vgs=nmos.vth + vov, vds=2.0) == pytest.approx(expected)
+
+    def test_triode_below_saturation(self, nmos):
+        vov = 0.4
+        vds = 0.1
+        i_triode = nmos.drain_current(vgs=nmos.vth + vov, vds=vds)
+        i_sat = nmos.drain_current(vgs=nmos.vth + vov, vds=2.0)
+        assert 0.0 < i_triode < i_sat
+
+    def test_current_continuous_at_saturation_edge(self, nmos):
+        vov = 0.3
+        below = nmos.drain_current(nmos.vth + vov, vov - 1e-9)
+        above = nmos.drain_current(nmos.vth + vov, vov + 1e-9)
+        assert below == pytest.approx(above, rel=1e-5)
+
+    def test_rejects_negative_vds(self, nmos):
+        with pytest.raises(DeviceError):
+            nmos.drain_current(vgs=2.0, vds=-0.1)
+
+    def test_pmos_uses_pmos_parameters(self, pmos):
+        assert pmos.kp == CMOS_08UM.kp_p
+        assert pmos.vth == CMOS_08UM.vth_p
+
+
+class TestBias:
+    def test_gm_follows_sqrt_law(self, nmos):
+        op1 = nmos.bias(10e-6)
+        op2 = nmos.bias(40e-6)
+        assert op2.gm == pytest.approx(2.0 * op1.gm, rel=1e-9)
+
+    def test_vdsat_follows_sqrt_law(self, nmos):
+        op1 = nmos.bias(10e-6)
+        op2 = nmos.bias(40e-6)
+        assert op2.vdsat == pytest.approx(2.0 * op1.vdsat, rel=1e-9)
+
+    def test_gm_identity(self, nmos):
+        # gm = 2 I / vdsat for a square-law device.
+        op = nmos.bias(25e-6)
+        assert op.gm == pytest.approx(2.0 * op.drain_current / op.vdsat, rel=1e-9)
+
+    def test_gds_is_lambda_times_current(self, nmos):
+        op = nmos.bias(25e-6)
+        assert op.gds == pytest.approx(nmos.lam * 25e-6)
+
+    def test_intrinsic_gain_positive(self, nmos):
+        assert nmos.bias(25e-6).intrinsic_gain > 10.0
+
+    def test_intrinsic_gain_unbounded_raises(self, nmos):
+        op = nmos.bias(25e-6)
+        zero_gds = type(op)(
+            drain_current=op.drain_current,
+            vgs=op.vgs,
+            vdsat=op.vdsat,
+            gm=op.gm,
+            gds=0.0,
+            cgs=op.cgs,
+        )
+        with pytest.raises(DeviceError):
+            _ = zero_gds.intrinsic_gain
+
+    def test_saturation_check_raises(self, nmos):
+        op = nmos.bias(100e-6)
+        with pytest.raises(SaturationError):
+            nmos.bias(100e-6, vds=op.vdsat * 0.5)
+
+    def test_saturation_check_passes_at_edge(self, nmos):
+        vdsat = nmos.vdsat_for_current(100e-6)
+        op = nmos.bias(100e-6, vds=vdsat)
+        assert op.vdsat == pytest.approx(vdsat)
+
+    def test_rejects_nonpositive_current(self, nmos):
+        with pytest.raises(DeviceError):
+            nmos.bias(0.0)
+
+    def test_vgs_for_current(self, nmos):
+        # Channel-length modulation at vds = vgs adds a few percent.
+        i = 50e-6
+        vgs = nmos.vgs_for_current(i)
+        assert nmos.drain_current(vgs, vds=vgs) == pytest.approx(i, rel=0.10)
+
+
+class TestCapacitance:
+    def test_cgs_scales_with_area(self):
+        small = Mosfet(MosfetParameters("n", 5e-6, 1e-6), CMOS_08UM)
+        # Doubling both W and L quadruples the intrinsic part; overlap
+        # only doubles, so the total grows by more than 2x.
+        big = Mosfet(MosfetParameters("n", 10e-6, 2e-6), CMOS_08UM)
+        assert big.cgs > 2.0 * small.cgs
+
+    def test_cgs_order_of_magnitude(self):
+        # A ~10x1 um 0.8 um device has C_gs in the tens of femtofarads,
+        # the "small storage capacitance" behind the paper's large
+        # thermal noise.
+        device = Mosfet(MosfetParameters("n", 10e-6, 1e-6), CMOS_08UM)
+        assert 5e-15 < device.cgs < 100e-15
+
+    def test_in_saturation_helper(self):
+        device = Mosfet(MosfetParameters("n", 10e-6, 1e-6), CMOS_08UM)
+        assert device.in_saturation(vgs=device.vth + 0.3, vds=0.5)
+        assert not device.in_saturation(vgs=device.vth + 0.3, vds=0.1)
+        assert not device.in_saturation(vgs=device.vth - 0.1, vds=1.0)

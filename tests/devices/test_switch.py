@@ -1,0 +1,107 @@
+"""Tests for the MOS switch and its charge-injection model."""
+
+import pytest
+
+from repro.devices.mosfet import MosfetParameters
+from repro.devices.process import CMOS_08UM
+from repro.devices.switch import ChargeInjectionModel, MosSwitch
+from repro.errors import ConfigurationError, DeviceError
+
+
+@pytest.fixture
+def n_switch():
+    return MosSwitch(MosfetParameters("n", 2e-6, 0.8e-6), CMOS_08UM)
+
+
+@pytest.fixture
+def p_switch():
+    return MosSwitch(MosfetParameters("p", 4e-6, 0.8e-6), CMOS_08UM)
+
+
+class TestConduction:
+    def test_on_resistance_positive(self, n_switch):
+        assert n_switch.on_resistance(1.0) > 0.0
+
+    def test_on_resistance_rises_toward_gate_limit(self, n_switch):
+        # An n-switch conducts more weakly at higher node voltages.
+        assert n_switch.on_resistance(1.5) > n_switch.on_resistance(0.5)
+
+    def test_raises_when_off(self, n_switch):
+        # Node voltage above gate_high - vth: no conduction.
+        with pytest.raises(DeviceError):
+            n_switch.on_resistance(CMOS_08UM.supply_voltage)
+
+    def test_p_switch_conducts_at_high_node(self, p_switch):
+        assert p_switch.on_resistance(2.5) > 0.0
+
+    def test_settling_time_constant(self, n_switch):
+        tau = n_switch.settling_time_constant(1.0, 25e-15)
+        assert tau == pytest.approx(n_switch.on_resistance(1.0) * 25e-15)
+
+    def test_settling_rejects_bad_capacitance(self, n_switch):
+        with pytest.raises(DeviceError):
+            n_switch.settling_time_constant(1.0, 0.0)
+
+
+class TestChargeInjection:
+    def test_n_switch_injects_negative_charge(self, n_switch):
+        assert n_switch.injected_charge(1.0) < 0.0
+
+    def test_p_switch_injects_positive_charge(self, p_switch):
+        assert p_switch.injected_charge(2.0) > 0.0
+
+    def test_complementary_polarity_is_the_cancellation_basis(
+        self, n_switch, p_switch
+    ):
+        # The class-AB cell's trick: n and p injections have opposite
+        # signs, so matched complementary switches cancel to first order.
+        q_n = n_switch.injected_charge(1.2)
+        q_p = p_switch.injected_charge(3.3 - 1.2)
+        assert q_n * q_p < 0.0
+
+    def test_channel_charge_zero_when_off(self, n_switch):
+        assert n_switch.channel_charge(CMOS_08UM.supply_voltage) == 0.0
+
+    def test_channel_charge_scales_with_area(self):
+        small = MosSwitch(MosfetParameters("n", 2e-6, 0.8e-6), CMOS_08UM)
+        big = MosSwitch(MosfetParameters("n", 4e-6, 0.8e-6), CMOS_08UM)
+        assert big.channel_charge(1.0) == pytest.approx(
+            2.0 * small.channel_charge(1.0)
+        )
+
+    def test_voltage_step_uses_storage_capacitance(self, n_switch):
+        step_small = n_switch.voltage_step_on(1.0, 10e-15)
+        step_big = n_switch.voltage_step_on(1.0, 40e-15)
+        assert abs(step_small) == pytest.approx(4.0 * abs(step_big))
+
+    def test_voltage_step_rejects_bad_capacitance(self, n_switch):
+        with pytest.raises(DeviceError):
+            n_switch.voltage_step_on(1.0, -1e-15)
+
+    def test_feedthrough_can_be_disabled(self):
+        with_ft = MosSwitch(
+            MosfetParameters("n", 2e-6, 0.8e-6),
+            CMOS_08UM,
+            injection=ChargeInjectionModel(include_feedthrough=True),
+        )
+        without_ft = MosSwitch(
+            MosfetParameters("n", 2e-6, 0.8e-6),
+            CMOS_08UM,
+            injection=ChargeInjectionModel(include_feedthrough=False),
+        )
+        assert abs(with_ft.injected_charge(1.0)) > abs(without_ft.injected_charge(1.0))
+
+    def test_injection_model_validates_split(self):
+        with pytest.raises(ConfigurationError):
+            ChargeInjectionModel(channel_split=1.5)
+
+    def test_kt_c_noise_charge(self, n_switch):
+        q = n_switch.thermal_noise_charge_rms(25e-15, temperature=300.0)
+        # sqrt(kTC) for 25 fF at 300 K is about 0.32 fC.
+        assert q == pytest.approx(3.2e-16, rel=0.05)
+
+    def test_gate_high_validation(self):
+        with pytest.raises(ConfigurationError):
+            MosSwitch(
+                MosfetParameters("n", 2e-6, 0.8e-6), CMOS_08UM, gate_high=0.0
+            )

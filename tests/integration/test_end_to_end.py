@@ -1,0 +1,83 @@
+"""Integration tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.config import MODULATOR_CLOCK, ideal_cell_config, paper_cell_config
+from repro.deltasigma import SincDecimator
+from repro.systems import AdcKind, OversamplingAdc, TestChip
+
+
+class TestFullAdcChain:
+    def test_ramp_conversion_monotone(self):
+        # A slow ramp through the ADC must produce a monotone decimated
+        # output -- the basic converter sanity property.
+        adc = OversamplingAdc(
+            cell_config=ideal_cell_config(sample_rate=MODULATOR_CLOCK),
+            oversampling_ratio=64,
+        )
+        n = 1 << 15
+        ramp = np.linspace(-4e-6, 4e-6, n)
+        digital = adc.convert(ramp)
+        steady = digital[4:-4]
+        diffs = np.diff(steady)
+        # Allow tiny local ripples from residual quantisation noise.
+        assert float(np.mean(diffs > -0.02)) > 0.99
+        assert steady[-1] > steady[0]
+
+    def test_noise_floor_of_complete_converter(self):
+        # A zero input through the calibrated converter: the output
+        # noise should correspond to roughly 10 effective bits.
+        adc = OversamplingAdc(
+            cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK),
+            oversampling_ratio=128,
+        )
+        digital = adc.convert(np.zeros(1 << 16))
+        noise_rms = float(np.std(digital[8:]))
+        bits = -np.log2(max(noise_rms, 1e-12))
+        assert 8.0 < bits < 13.0
+
+    def test_conventional_and_chopper_agree_on_dc(self):
+        x = np.full(1 << 14, 1.5e-6)
+        results = []
+        for kind in (AdcKind.CONVENTIONAL, AdcKind.CHOPPER_STABILIZED):
+            adc = OversamplingAdc(
+                kind,
+                cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK),
+                oversampling_ratio=64,
+            )
+            results.append(float(np.mean(adc.convert(x)[4:])))
+        assert results[0] == pytest.approx(results[1], abs=0.02)
+        assert results[0] == pytest.approx(0.25, abs=0.02)
+
+
+class TestChipIntegration:
+    def test_all_chip_blocks_run_together(self):
+        chip = TestChip(paper_cell_config())
+        delay_out = chip.delay_line.run(
+            4e-6 * np.sin(2.0 * np.pi * np.arange(1024) * 13 / 1024)
+        )
+        mod_out = chip.modulator(np.zeros(1024))
+        chop_out = chip.chopper_modulator(np.zeros(1024))
+        assert delay_out.shape == (1024,)
+        assert set(np.unique(mod_out)) <= {-6e-6, 6e-6}
+        assert set(np.unique(chop_out)) <= {-6e-6, 6e-6}
+
+    def test_chip_power_budget_totals(self):
+        # Delay line + two modulators: the die's power budget in the
+        # few-milliwatt regime of Tables 1-2.
+        chip = TestChip(paper_cell_config())
+        total = chip.delay_line_power() + 2.0 * chip.modulator_power()
+        assert 2e-3 < total < 12e-3
+
+
+class TestDecimatorModulatorInterface:
+    def test_decimator_removes_shaped_noise(self):
+        from repro.deltasigma import IdealSecondOrderModulator
+
+        modulator = IdealSecondOrderModulator(full_scale=1.0)
+        bitstream = modulator(np.full(1 << 14, 0.3))
+        # Before decimation: large shaped noise; after: clean DC.
+        assert float(np.std(bitstream)) > 0.5
+        decimated = SincDecimator(ratio=64, order=3).process(bitstream)
+        assert float(np.std(decimated[4:])) < 0.01

@@ -1,0 +1,75 @@
+"""Golden-value regression tests.
+
+The reproduction's headline numbers were calibrated against the paper
+once; these tests pin them (at a reduced, fast FFT length with the
+standard seeds) so an accidental model change that silently shifts the
+calibration fails loudly instead of drifting.
+
+The recorded values come from the configuration as calibrated; the
+tolerances are set well inside the paper's shape bands but tight
+enough to catch a >1 dB model drift.
+"""
+
+import pytest
+
+from repro.config import (
+    DELAY_LINE_BANDWIDTH,
+    DELAY_LINE_CLOCK,
+    MODULATOR_CLOCK,
+    SIGNAL_BANDWIDTH,
+    delay_line_cell_config,
+    paper_cell_config,
+)
+from repro.deltasigma import ChopperStabilizedSIModulator, SIModulator2
+from repro.si import DelayLine
+from repro.systems import TestBench
+
+#: FFT length of the regression benches (fast but stable).
+N = 1 << 14
+
+
+@pytest.fixture(scope="module")
+def modulator_bench():
+    return TestBench(
+        sample_rate=MODULATOR_CLOCK, n_samples=N, bandwidth=SIGNAL_BANDWIDTH
+    )
+
+
+class TestModulatorGoldenValues:
+    def test_si_modulator(self, modulator_bench):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        result = modulator_bench.measure(
+            SIModulator2(cell_config=config), amplitude=3e-6, frequency=2e3
+        )
+        assert result.sndr_db == pytest.approx(53.26, abs=1.0)
+        assert result.snr_db == pytest.approx(55.56, abs=1.0)
+        assert result.thd_db == pytest.approx(-57.12, abs=2.0)
+
+    def test_chopper_modulator(self, modulator_bench):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        result = modulator_bench.measure(
+            ChopperStabilizedSIModulator(cell_config=config),
+            amplitude=3e-6,
+            frequency=2e3,
+        )
+        assert result.sndr_db == pytest.approx(53.54, abs=1.0)
+        assert result.snr_db == pytest.approx(55.30, abs=1.0)
+        assert result.thd_db == pytest.approx(-58.31, abs=2.0)
+
+
+class TestDelayLineGoldenValues:
+    def test_delay_line_at_table1_point(self):
+        bench = TestBench(
+            sample_rate=DELAY_LINE_CLOCK,
+            n_samples=N,
+            bandwidth=DELAY_LINE_BANDWIDTH,
+        )
+        line = DelayLine(delay_line_cell_config(), n_cells=2)
+
+        def device(x):
+            line.reset()
+            return line.run(x)
+
+        result = bench.measure(device, amplitude=8e-6, frequency=5e3)
+        assert result.snr_db == pytest.approx(44.76, abs=1.0)
+        assert result.thd_db == pytest.approx(-49.83, abs=1.5)

@@ -1,0 +1,124 @@
+"""Tests for the flicker-noise source and CDS shaping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.flicker import FlickerNoiseSource, correlated_double_sampling_gain
+
+
+def band_power(samples: np.ndarray, sample_rate: float, f_lo: float, f_hi: float) -> float:
+    spectrum = np.abs(np.fft.rfft(samples)) ** 2
+    freqs = np.fft.rfftfreq(samples.shape[0], d=1.0 / sample_rate)
+    mask = (freqs >= f_lo) & (freqs < f_hi)
+    return float(np.sum(spectrum[mask]))
+
+
+class TestSpectralShape:
+    def test_power_falls_with_frequency(self):
+        source = FlickerNoiseSource(
+            white_rms=1.0,
+            corner_frequency=1e5,
+            sample_rate=1e6,
+            rng=np.random.default_rng(0),
+        )
+        samples = source.sample(1 << 15)
+        low = band_power(samples, 1e6, 1e3, 1e4)
+        high = band_power(samples, 1e6, 1e5, 1e6 / 2)
+        # Equal power per decade is the 1/f signature; the low decade
+        # here is much narrower in Hz yet carries comparable power.
+        assert low > 0.2 * high
+
+    def test_one_over_f_slope(self):
+        source = FlickerNoiseSource(
+            white_rms=1.0,
+            corner_frequency=1e5,
+            sample_rate=1e6,
+            rng=np.random.default_rng(1),
+        )
+        samples = source.sample(1 << 16)
+        # Average PSD in two octave bands an octave apart should differ
+        # by about 3 dB (factor 2 in power density).
+        p1 = band_power(samples, 1e6, 2e3, 4e3) / 2e3
+        p2 = band_power(samples, 1e6, 8e3, 16e3) / 8e3
+        assert p1 / p2 == pytest.approx(4.0, rel=0.5)
+
+    def test_dc_bin_is_zero(self):
+        source = FlickerNoiseSource(
+            white_rms=1.0,
+            corner_frequency=1e4,
+            sample_rate=1e6,
+            rng=np.random.default_rng(2),
+        )
+        samples = source.sample(1 << 12)
+        spectrum = np.fft.rfft(samples)
+        assert abs(spectrum[0]) < 1e-9
+
+    def test_zero_corner_is_silent(self):
+        source = FlickerNoiseSource(
+            white_rms=1.0, corner_frequency=0.0, sample_rate=1e6
+        )
+        assert np.all(source.sample(256) == 0.0)
+        assert source.rms() == 0.0
+
+    def test_zero_length(self):
+        source = FlickerNoiseSource(
+            white_rms=1.0, corner_frequency=1e4, sample_rate=1e6
+        )
+        assert source.sample(0).shape == (0,)
+
+    def test_rms_estimate_positive(self):
+        source = FlickerNoiseSource(
+            white_rms=1.0, corner_frequency=1e4, sample_rate=1e6
+        )
+        assert source.rms() > 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_white_rms(self):
+        with pytest.raises(ConfigurationError):
+            FlickerNoiseSource(white_rms=-1.0, corner_frequency=1e3, sample_rate=1e6)
+
+    def test_rejects_negative_corner(self):
+        with pytest.raises(ConfigurationError):
+            FlickerNoiseSource(white_rms=1.0, corner_frequency=-1.0, sample_rate=1e6)
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            FlickerNoiseSource(white_rms=1.0, corner_frequency=1e3, sample_rate=0.0)
+
+    def test_rejects_negative_count(self):
+        source = FlickerNoiseSource(
+            white_rms=1.0, corner_frequency=1e3, sample_rate=1e6
+        )
+        with pytest.raises(ConfigurationError):
+            source.sample(-1)
+
+
+class TestCdsGain:
+    def test_dc_is_fully_cancelled(self):
+        assert correlated_double_sampling_gain(0.0, 1e6) == pytest.approx(0.0)
+
+    def test_low_frequency_strongly_attenuated(self):
+        # "correlated double sampling reduced the low-frequency noise"
+        assert correlated_double_sampling_gain(100.0, 1e6) < 0.01
+
+    def test_nyquist_is_doubled(self):
+        assert correlated_double_sampling_gain(5e5, 1e6) == pytest.approx(2.0)
+
+    def test_white_noise_power_doubles_on_average(self):
+        # Mean-square of 2 sin over the band is 2: CDS doubles white
+        # noise power -- the price of the 1/f suppression.
+        freqs = np.linspace(0.0, 5e5, 10001)
+        gains = np.array(
+            [correlated_double_sampling_gain(f, 1e6) for f in freqs]
+        )
+        assert float(np.mean(gains**2)) == pytest.approx(2.0, rel=0.01)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            correlated_double_sampling_gain(-1.0, 1e6)
+        with pytest.raises(ConfigurationError):
+            correlated_double_sampling_gain(1.0, 0.0)

@@ -1,0 +1,85 @@
+"""Tests for the quantisation-noise predictions."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.quantization import (
+    QuantizationNoiseModel,
+    inband_noise_fraction,
+    sqnr_second_order_db,
+)
+
+
+class TestInbandFraction:
+    def test_order_zero_is_plain_oversampling(self):
+        assert inband_noise_fraction(0, 128.0) == pytest.approx(1.0 / 128.0)
+
+    def test_second_order_fraction(self):
+        expected = (math.pi**4 / 5.0) * 128.0**-5
+        assert inband_noise_fraction(2, 128.0) == pytest.approx(expected)
+
+    def test_higher_order_is_smaller_at_high_osr(self):
+        assert inband_noise_fraction(2, 64.0) < inband_noise_fraction(1, 64.0)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ConfigurationError):
+            inband_noise_fraction(-1, 64.0)
+
+    def test_rejects_osr_below_one(self):
+        with pytest.raises(ConfigurationError):
+            inband_noise_fraction(2, 0.5)
+
+
+class TestSecondOrderSqnr:
+    def test_15db_per_octave(self):
+        # Second-order noise shaping gains 15 dB per octave of OSR.
+        gain = sqnr_second_order_db(128.0) - sqnr_second_order_db(64.0)
+        assert gain == pytest.approx(15.05, abs=0.01)
+
+    def test_paper_13_bit_claim(self):
+        # "the second-order modulator would have achieved a dynamic
+        # range over 13 bits" at OSR 128: 13 bits is 80 dB.
+        sqnr = sqnr_second_order_db(128.0)
+        bits = (sqnr - 1.76) / 6.02
+        assert bits > 13.0
+
+    def test_input_level_offsets_linearly(self):
+        assert sqnr_second_order_db(128.0, -6.0) == pytest.approx(
+            sqnr_second_order_db(128.0) - 6.0
+        )
+
+
+class TestModel:
+    def test_quantizer_step(self):
+        model = QuantizationNoiseModel(order=2, full_scale=6e-6, oversampling_ratio=128)
+        assert model.quantizer_step == pytest.approx(12e-6)
+
+    def test_peak_sqnr_matches_formula(self):
+        model = QuantizationNoiseModel(order=2, full_scale=6e-6, oversampling_ratio=128)
+        assert model.peak_sqnr_db() == pytest.approx(sqnr_second_order_db(128.0))
+
+    def test_dynamic_range_bits(self):
+        model = QuantizationNoiseModel(order=2, full_scale=6e-6, oversampling_ratio=128)
+        assert model.dynamic_range_bits() > 13.0
+
+    def test_inband_noise_much_smaller_than_thermal(self):
+        # The crux of Section V: at OSR 128 the quantisation noise is
+        # far below the 33 nA / sqrt(128) = 2.9 nA thermal in-band rms,
+        # so the thermal floor dominates.
+        model = QuantizationNoiseModel(order=2, full_scale=6e-6, oversampling_ratio=128)
+        thermal_inband = 33e-9 / math.sqrt(128.0)
+        assert model.inband_noise_rms < 0.5 * thermal_inband
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"order": -1, "full_scale": 1e-6, "oversampling_ratio": 128},
+            {"order": 2, "full_scale": 0.0, "oversampling_ratio": 128},
+            {"order": 2, "full_scale": 1e-6, "oversampling_ratio": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QuantizationNoiseModel(**kwargs)

@@ -1,0 +1,96 @@
+"""Tests for the memory-cell thermal-noise model."""
+
+import math
+
+import pytest
+
+from repro.constants import MOS_THERMAL_GAMMA, kt
+from repro.errors import ConfigurationError
+from repro.noise.thermal import MemoryCellThermalNoise
+
+
+class TestPaperDesignPoint:
+    def test_33na_with_plausible_08um_parameters(self):
+        # The paper's 33 nA floor emerges from gm ~ 100 uS and
+        # C_gs ~ 25 fF -- typical for the process.
+        model = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15)
+        assert model.current_noise_rms == pytest.approx(33e-9, rel=0.02)
+
+    def test_for_target_rms_solves_capacitance(self):
+        model = MemoryCellThermalNoise.for_target_rms(33e-9, gm=100e-6)
+        assert model.current_noise_rms == pytest.approx(33e-9, rel=1e-9)
+        assert 10e-15 < model.cgs < 100e-15
+
+    def test_small_capacitance_means_large_noise(self):
+        # "Large thermal noise in SI circuits is due to the small
+        # storage capacitance."
+        small_c = MemoryCellThermalNoise(gm=100e-6, cgs=10e-15)
+        large_c = MemoryCellThermalNoise(gm=100e-6, cgs=1e-12)
+        assert small_c.current_noise_rms > large_c.current_noise_rms
+
+    def test_sc_comparison(self):
+        # An SC circuit with pF-scale storage has far lower noise: this
+        # is the paper's closing SI-vs-SC point.
+        si_like = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15)
+        sc_like = MemoryCellThermalNoise(gm=100e-6, cgs=2.5e-12)
+        assert si_like.current_noise_rms == pytest.approx(
+            10.0 * sc_like.current_noise_rms, rel=1e-6
+        )
+
+
+class TestPhysics:
+    def test_gate_noise_is_kt_over_c(self):
+        model = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15, gamma=1.0)
+        expected = math.sqrt(kt(300.0) / 25e-15)
+        assert model.gate_voltage_noise_rms == pytest.approx(expected)
+
+    def test_gamma_scales_noise_power(self):
+        base = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15, gamma=1.0)
+        hot = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15, gamma=4.0)
+        assert hot.current_noise_rms == pytest.approx(2.0 * base.current_noise_rms)
+
+    def test_noise_bandwidth(self):
+        model = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15)
+        assert model.noise_bandwidth == pytest.approx(100e-6 / (4.0 * 25e-15))
+
+    def test_current_noise_scales_with_gm(self):
+        a = MemoryCellThermalNoise(gm=50e-6, cgs=25e-15)
+        b = MemoryCellThermalNoise(gm=200e-6, cgs=25e-15)
+        assert b.current_noise_rms == pytest.approx(4.0 * a.current_noise_rms)
+
+
+class TestOversampling:
+    def test_inband_reduction(self):
+        # OSR 128 reduces in-band noise rms by sqrt(128), i.e. the
+        # paper's 21 dB of DR.
+        model = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15)
+        ratio = model.current_noise_rms / model.inband_rms(128.0)
+        assert 20.0 * math.log10(ratio) == pytest.approx(21.07, abs=0.01)
+
+    def test_osr_one_is_identity(self):
+        model = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15)
+        assert model.inband_rms(1.0) == pytest.approx(model.current_noise_rms)
+
+    def test_rejects_osr_below_one(self):
+        model = MemoryCellThermalNoise(gm=100e-6, cgs=25e-15)
+        with pytest.raises(ConfigurationError):
+            model.inband_rms(0.5)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gm": 0.0, "cgs": 25e-15},
+            {"gm": 100e-6, "cgs": 0.0},
+            {"gm": 100e-6, "cgs": 25e-15, "gamma": 0.0},
+            {"gm": 100e-6, "cgs": 25e-15, "temperature": 0.0},
+        ],
+    )
+    def test_rejects_nonpositive_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MemoryCellThermalNoise(**kwargs)
+
+    def test_for_target_rejects_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            MemoryCellThermalNoise.for_target_rms(0.0, gm=100e-6)

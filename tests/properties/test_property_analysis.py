@@ -1,0 +1,75 @@
+"""Property-based tests for the spectral-analysis invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.analysis.windows import WindowKind
+
+
+class TestToneMeasurementInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        amplitude=st.floats(min_value=1e-7, max_value=1e-3),
+        cycles=st.integers(min_value=11, max_value=400),
+        phase=st.floats(min_value=0.0, max_value=6.28),
+    )
+    def test_amplitude_recovered(self, amplitude, cycles, phase):
+        n = 2048
+        t = np.arange(n)
+        signal = amplitude * np.sin(2.0 * np.pi * cycles * t / n + phase)
+        spectrum = compute_spectrum(signal, 1e6)
+        metrics = measure_tone(spectrum)
+        assert abs(metrics.signal_amplitude - amplitude) < 0.02 * amplitude
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        scale=st.floats(min_value=1e-3, max_value=1e3),
+        cycles=st.integers(min_value=11, max_value=200),
+    )
+    def test_snr_invariant_under_scaling(self, scale, cycles):
+        # SNR is a ratio: scaling the whole signal must not change it.
+        n = 2048
+        rng = np.random.default_rng(cycles)
+        t = np.arange(n)
+        base = np.sin(2.0 * np.pi * cycles * t / n) + rng.normal(0.0, 0.01, n)
+        f0 = cycles * 1e6 / n
+        snr_base = measure_tone(
+            compute_spectrum(base, 1e6), fundamental_frequency=f0
+        ).snr_db
+        snr_scaled = measure_tone(
+            compute_spectrum(scale * base, 1e6), fundamental_frequency=f0
+        ).snr_db
+        assert abs(snr_base - snr_scaled) < 0.01
+
+    @settings(max_examples=10, deadline=None)
+    @given(cycles=st.integers(min_value=11, max_value=200))
+    def test_window_choice_does_not_bias_snr(self, cycles):
+        # Correct ENBW bookkeeping: the same signal measures the same
+        # SNR (within a fraction of a dB) under different windows.
+        n = 4096
+        rng = np.random.default_rng(cycles)
+        t = np.arange(n)
+        signal = np.sin(2.0 * np.pi * cycles * t / n) + rng.normal(0.0, 0.01, n)
+        f0 = cycles * 1e6 / n
+        snrs = [
+            measure_tone(
+                compute_spectrum(signal, 1e6, window_kind=kind),
+                fundamental_frequency=f0,
+            ).snr_db
+            for kind in (WindowKind.BLACKMAN, WindowKind.HANN)
+        ]
+        assert abs(snrs[0] - snrs[1]) < 1.0
+
+
+class TestSpectrumInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(sigma=st.floats(min_value=1e-9, max_value=1e-3), seed=st.integers(0, 1000))
+    def test_parseval_for_noise(self, sigma, seed):
+        rng = np.random.default_rng(seed)
+        noise = rng.normal(0.0, sigma, size=4096)
+        spectrum = compute_spectrum(noise, 1e6)
+        total = float(np.sum(spectrum.power))
+        actual = float(np.var(noise))
+        assert abs(total - actual) < 0.2 * actual

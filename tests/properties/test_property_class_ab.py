@@ -1,0 +1,50 @@
+"""Property-based tests for the class-AB translinear split."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.si.memory_cell import class_ab_split
+
+signals = st.floats(
+    min_value=-1e-3, max_value=1e-3, allow_nan=False, allow_infinity=False
+)
+quiescents = st.floats(min_value=1e-9, max_value=1e-4)
+
+
+class TestSplitInvariants:
+    @given(signal=signals, iq=quiescents)
+    def test_difference_is_signal(self, signal, iq):
+        i_n, i_p = class_ab_split(signal, iq)
+        assert math.isclose(i_n - i_p, signal, rel_tol=1e-9, abs_tol=1e-18)
+
+    @given(signal=signals, iq=quiescents)
+    def test_both_devices_conduct(self, signal, iq):
+        i_n, i_p = class_ab_split(signal, iq)
+        assert i_n > 0.0
+        assert i_p > 0.0
+
+    @given(signal=signals, iq=quiescents)
+    def test_translinear_product(self, signal, iq):
+        # i_n * i_p = I_Q^2: the square-law translinear-loop invariant.
+        i_n, i_p = class_ab_split(signal, iq)
+        assert math.isclose(i_n * i_p, iq * iq, rel_tol=1e-6)
+
+    @given(signal=signals, iq=quiescents)
+    def test_odd_symmetry(self, signal, iq):
+        # Negating the signal swaps the two devices.
+        i_n1, i_p1 = class_ab_split(signal, iq)
+        i_n2, i_p2 = class_ab_split(-signal, iq)
+        assert math.isclose(i_n1, i_p2, rel_tol=1e-9, abs_tol=1e-18)
+        assert math.isclose(i_p1, i_n2, rel_tol=1e-9, abs_tol=1e-18)
+
+    @given(signal=st.floats(min_value=1e-9, max_value=1e-3), iq=quiescents)
+    def test_conducting_device_carries_more_than_signal(self, signal, iq):
+        i_n, _ = class_ab_split(signal, iq)
+        assert i_n > signal
+
+    @given(iq=quiescents)
+    def test_quiescent_point(self, iq):
+        i_n, i_p = class_ab_split(0.0, iq)
+        assert math.isclose(i_n, iq, rel_tol=1e-12)
+        assert math.isclose(i_p, iq, rel_tol=1e-12)

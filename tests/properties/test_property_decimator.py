@@ -1,0 +1,59 @@
+"""Property-based tests for the sinc decimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.deltasigma.decimator import SincDecimator
+
+
+class TestDecimatorInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ratio=st.integers(min_value=2, max_value=64),
+        order=st.integers(min_value=1, max_value=4),
+    )
+    def test_dc_gain_always_unity(self, ratio, order):
+        decimator = SincDecimator(ratio=ratio, order=order)
+        assert decimator.dc_gain == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ratio=st.integers(min_value=2, max_value=32),
+        order=st.integers(min_value=1, max_value=4),
+    )
+    def test_impulse_response_length_law(self, ratio, order):
+        decimator = SincDecimator(ratio=ratio, order=order)
+        assert decimator.impulse_response.shape[0] == order * (ratio - 1) + 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ratio=st.integers(min_value=2, max_value=16),
+        order=st.integers(min_value=1, max_value=3),
+        level=st.floats(min_value=-1.0, max_value=1.0),
+    )
+    def test_dc_stream_passes_exactly(self, ratio, order, level):
+        decimator = SincDecimator(ratio=ratio, order=order)
+        stream = np.full(1024, level)
+        out = decimator.process(stream)
+        np.testing.assert_allclose(out, level, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ratio=st.integers(min_value=2, max_value=16),
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_linearity_in_amplitude(self, ratio, scale):
+        decimator = SincDecimator(ratio=ratio, order=2)
+        rng = np.random.default_rng(ratio)
+        stream = rng.normal(size=1024)
+        out1 = decimator.process(stream)
+        out2 = decimator.process(scale * stream)
+        np.testing.assert_allclose(out2, scale * out1, rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(ratio=st.integers(min_value=2, max_value=16))
+    def test_impulse_response_nonnegative(self, ratio):
+        # A cascade of boxcars is a B-spline: strictly non-negative.
+        decimator = SincDecimator(ratio=ratio, order=3)
+        assert np.all(decimator.impulse_response >= 0.0)

@@ -1,0 +1,53 @@
+"""Property-based tests for delay-line composition."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ideal_cell_config
+from repro.si.delay_line import DelayLine
+
+
+class TestCompositionLaws:
+    @settings(max_examples=15, deadline=None)
+    @given(n_cells=st.integers(min_value=1, max_value=6))
+    def test_ideal_cascade_delays_by_n(self, n_cells):
+        line = DelayLine(ideal_cell_config(), n_cells=n_cells)
+        rng = np.random.default_rng(n_cells)
+        x = rng.normal(0.0, 1e-6, size=32)
+        y = line.run(x)
+        sign = -1.0 if n_cells % 2 == 1 else 1.0
+        np.testing.assert_allclose(
+            y[n_cells:], sign * x[:-n_cells], rtol=1e-9, atol=1e-18
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_cells=st.integers(min_value=1, max_value=4),
+        scale=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_ideal_cascade_is_linear(self, n_cells, scale):
+        rng = np.random.default_rng(7)
+        x = rng.normal(0.0, 1e-6, size=24)
+        line_a = DelayLine(ideal_cell_config(), n_cells=n_cells)
+        line_b = DelayLine(ideal_cell_config(), n_cells=n_cells)
+        y_unit = line_a.run(x)
+        y_scaled = line_b.run(scale * x)
+        np.testing.assert_allclose(y_scaled, scale * y_unit, rtol=1e-9, atol=1e-18)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n_cells=st.integers(min_value=1, max_value=4))
+    def test_inverting_parity(self, n_cells):
+        line = DelayLine(ideal_cell_config(), n_cells=n_cells)
+        assert line.inverting == (n_cells % 2 == 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n_cells=st.integers(min_value=2, max_value=5))
+    def test_cascade_equals_two_subcascades(self, n_cells):
+        # Running N cells equals running k cells into N-k cells.
+        split = n_cells // 2
+        rng = np.random.default_rng(3)
+        x = rng.normal(0.0, 1e-6, size=24)
+        whole = DelayLine(ideal_cell_config(), n_cells=n_cells).run(x)
+        first = DelayLine(ideal_cell_config(), n_cells=split).run(x)
+        second = DelayLine(ideal_cell_config(), n_cells=n_cells - split).run(first)
+        np.testing.assert_allclose(whole, second, rtol=1e-9, atol=1e-18)

@@ -1,0 +1,59 @@
+"""Property-based tests for the differential-sample algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.si.differential import DifferentialSample
+
+currents = st.floats(
+    min_value=-1e-3, max_value=1e-3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRoundTrips:
+    @given(diff=currents, cm=currents)
+    def test_components_round_trip(self, diff, cm):
+        sample = DifferentialSample.from_components(diff, cm)
+        assert abs(sample.differential - diff) <= 1e-9 * max(1.0, abs(diff))
+        assert abs(sample.common_mode - cm) <= 1e-9 * max(1.0, abs(cm))
+
+    @given(pos=currents, neg=currents)
+    def test_pair_round_trip(self, pos, neg):
+        sample = DifferentialSample(pos, neg)
+        rebuilt = DifferentialSample.from_components(
+            sample.differential, sample.common_mode
+        )
+        assert abs(rebuilt.pos - pos) <= 1e-12 + 1e-9 * abs(pos)
+        assert abs(rebuilt.neg - neg) <= 1e-12 + 1e-9 * abs(neg)
+
+
+class TestAlgebraicLaws:
+    @given(pos=currents, neg=currents)
+    def test_cross_is_involution(self, pos, neg):
+        sample = DifferentialSample(pos, neg)
+        assert sample.crossed().crossed() == sample
+
+    @given(pos=currents, neg=currents)
+    def test_cross_negates_differential_preserves_cm(self, pos, neg):
+        sample = DifferentialSample(pos, neg)
+        crossed = sample.crossed()
+        assert crossed.differential == -sample.differential
+        assert crossed.common_mode == sample.common_mode
+
+    @given(pos=currents, neg=currents, factor=st.floats(-10.0, 10.0))
+    def test_scaling_is_linear_in_components(self, pos, neg, factor):
+        sample = DifferentialSample(pos, neg)
+        scaled = sample.scaled(factor)
+        assert abs(scaled.differential - factor * sample.differential) <= 1e-9
+        assert abs(scaled.common_mode - factor * sample.common_mode) <= 1e-9
+
+    @given(p1=currents, n1=currents, p2=currents, n2=currents)
+    def test_addition_commutes(self, p1, n1, p2, n2):
+        a = DifferentialSample(p1, n1)
+        b = DifferentialSample(p2, n2)
+        assert a + b == b + a
+
+    @given(pos=currents, neg=currents)
+    def test_negation_matches_subtraction_from_zero(self, pos, neg):
+        sample = DifferentialSample(pos, neg)
+        zero = DifferentialSample(0.0, 0.0)
+        assert -sample == zero - sample

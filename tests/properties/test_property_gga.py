@@ -1,0 +1,58 @@
+"""Property-based tests for the GGA settling model."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.si.gga import GroundedGateAmplifier
+
+currents = st.floats(
+    min_value=-50e-6, max_value=50e-6, allow_nan=False, allow_infinity=False
+)
+biases = st.floats(min_value=1e-6, max_value=100e-6)
+
+
+class TestSettlingInvariants:
+    @given(previous=currents, target=currents, bias=biases)
+    def test_residual_consistency(self, previous, target, bias):
+        # settled = target - residual, always.
+        gga = GroundedGateAmplifier(bias_current=bias)
+        result = gga.settle(previous, target)
+        assert math.isclose(
+            result.settled_current,
+            target - result.residual_error,
+            rel_tol=1e-12,
+            abs_tol=1e-24,
+        )
+
+    @given(previous=currents, target=currents, bias=biases)
+    def test_residual_bounded_by_excursion(self, previous, target, bias):
+        # Settling never overshoots: the residual is no larger than the
+        # total excursion it had to cover (step plus phase kick).
+        gga = GroundedGateAmplifier(bias_current=bias)
+        result = gga.settle(previous, target)
+        excursion = abs(target - previous) + gga.phase_kick_fraction * abs(target)
+        assert abs(result.residual_error) <= excursion + 1e-24
+
+    @given(previous=currents, target=currents, bias=biases)
+    def test_no_kick_means_settling_toward_target(self, previous, target, bias):
+        # Without the phase kick the settled value lies between the
+        # previous value and the target (monotone first-order settling).
+        gga = GroundedGateAmplifier(bias_current=bias, phase_kick_fraction=0.0)
+        result = gga.settle(previous, target)
+        low, high = min(previous, target), max(previous, target)
+        assert low - 1e-24 <= result.settled_current <= high + 1e-24
+
+    @given(target=currents, bias=biases)
+    def test_margin_in_unit_interval(self, target, bias):
+        gga = GroundedGateAmplifier(bias_current=bias)
+        margin = gga.drive_margin(target)
+        assert gga.drive_margin_floor <= margin <= 1.0
+
+    @given(previous=currents, target=currents)
+    def test_more_bias_never_hurts(self, previous, target):
+        small = GroundedGateAmplifier(bias_current=2e-6)
+        large = GroundedGateAmplifier(bias_current=50e-6)
+        err_small = abs(small.settle(previous, target).residual_error)
+        err_large = abs(large.settle(previous, target).residual_error)
+        assert err_large <= err_small + 1e-18

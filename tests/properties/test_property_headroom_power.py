@@ -1,0 +1,82 @@
+"""Property-based tests for the headroom and power models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.si.headroom import HeadroomAnalysis
+from repro.si.power import ClassKind, PowerModel
+
+modulations = st.floats(min_value=0.0, max_value=20.0)
+
+
+class TestHeadroomInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(m1=modulations, m2=modulations)
+    def test_vdd_min_monotone_in_modulation(self, m1, m2):
+        analysis = HeadroomAnalysis()
+        lo, hi = sorted((m1, m2))
+        assert analysis.evaluate(lo).vdd_min <= analysis.evaluate(hi).vdd_min
+
+    @settings(max_examples=50, deadline=None)
+    @given(m=modulations)
+    def test_eq2_threshold_contribution(self, m):
+        # The memory branch always carries both thresholds.
+        analysis = HeadroomAnalysis()
+        budget = analysis.evaluate(m)
+        floors = analysis.process.vth_p + analysis.process.vth_n
+        assert budget.vdd_min_memory_branch >= floors
+
+    @settings(max_examples=30, deadline=None)
+    @given(supply=st.floats(min_value=2.3, max_value=6.0))
+    def test_max_modulation_round_trips(self, supply):
+        analysis = HeadroomAnalysis()
+        m_max = analysis.max_modulation_index(supply)
+        if m_max > 0.0:
+            assert analysis.evaluate(m_max).vdd_min == pytest.approx(
+                supply, abs=1e-6
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(m=st.floats(min_value=0.1, max_value=20.0))
+    def test_binding_constraint_is_the_max(self, m):
+        budget = HeadroomAnalysis().evaluate(m)
+        if budget.binding_constraint == "eq1":
+            assert budget.vdd_min == budget.vdd_min_gga_branch
+        else:
+            assert budget.vdd_min == budget.vdd_min_memory_branch
+
+
+class TestPowerInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(m=st.floats(min_value=0.01, max_value=20.0))
+    def test_class_a_never_cheaper(self, m):
+        model = PowerModel()
+        assert model.power_ratio_a_over_ab(m) >= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(m1=modulations, m2=modulations)
+    def test_class_ab_power_monotone_in_modulation(self, m1, m2):
+        model = PowerModel()
+        lo, hi = sorted((m1, m2))
+        assert model.cell_power(ClassKind.CLASS_AB, lo) <= model.cell_power(
+            ClassKind.CLASS_AB, hi
+        ) * (1.0 + 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=modulations,
+        supply=st.floats(min_value=1.0, max_value=5.0),
+    )
+    def test_power_proportional_to_supply(self, m, supply):
+        base = PowerModel(supply_voltage=1.0)
+        scaled = PowerModel(supply_voltage=supply)
+        assert scaled.cell_power(ClassKind.CLASS_AB, m) == pytest.approx(
+            supply * base.cell_power(ClassKind.CLASS_AB, m), rel=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(m=modulations)
+    def test_class_ab_draw_at_least_quiescent(self, m):
+        model = PowerModel(gga_bias_current=0.0, n_ggas=0)
+        draw = model.cell_supply_current(ClassKind.CLASS_AB, m)
+        assert draw >= model.n_memory_pairs * 2.0 * model.quiescent_current - 1e-18

@@ -1,0 +1,71 @@
+"""Tests for the CSV/JSON export helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.export import (
+    read_series_csv,
+    write_comparison_json,
+    write_series_csv,
+)
+from repro.reporting.records import PaperComparison
+
+
+class TestSeriesCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        frequencies = np.linspace(0.0, 1e6, 33)
+        power = np.random.default_rng(0).normal(size=33)
+        write_series_csv(path, {"frequency_hz": frequencies, "power_db": power})
+        loaded = read_series_csv(path)
+        np.testing.assert_allclose(loaded["frequency_hz"], frequencies)
+        np.testing.assert_allclose(loaded["power_db"], power)
+
+    def test_exact_float_round_trip(self, tmp_path):
+        # repr-based serialisation: bit-exact round trips.
+        path = tmp_path / "exact.csv"
+        values = np.array([1.0 / 3.0, np.pi, 33e-9])
+        write_series_csv(path, {"v": values})
+        np.testing.assert_array_equal(read_series_csv(path)["v"], values)
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_series_csv(tmp_path / "x.csv", {})
+
+    def test_rejects_mismatched_lengths(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_series_csv(
+                tmp_path / "x.csv", {"a": np.zeros(3), "b": np.zeros(4)}
+            )
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("only,a,header\n")
+        with pytest.raises(ConfigurationError):
+            read_series_csv(path)
+
+
+class TestComparisonJson:
+    def test_structure(self, tmp_path):
+        comparison = PaperComparison()
+        comparison.add("Table 1", "THD", "-50 dB", "-49.9 dB", True)
+        comparison.add("Fig. 7", "DR", "63 dB", "60.3 dB", True)
+        path = write_comparison_json(
+            tmp_path / "cmp.json", comparison, metadata={"seed": 7}
+        )
+        payload = json.loads(path.read_text())
+        assert payload["all_shapes_hold"] is True
+        assert len(payload["records"]) == 2
+        assert payload["records"][0]["experiment"] == "Table 1"
+        assert payload["metadata"]["seed"] == 7
+
+    def test_failed_shape_serialised(self, tmp_path):
+        comparison = PaperComparison()
+        comparison.add("X", "y", "1", "2", False)
+        path = write_comparison_json(tmp_path / "cmp.json", comparison)
+        payload = json.loads(path.read_text())
+        assert payload["all_shapes_hold"] is False
+        assert payload["records"][0]["shape_holds"] is False

@@ -1,0 +1,72 @@
+"""Tests for figure-series dumps and ASCII plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import compute_spectrum
+from repro.errors import ConfigurationError
+from repro.reporting.figures import ascii_plot, spectrum_series, sweep_series
+
+
+@pytest.fixture
+def spectrum():
+    t = np.arange(1 << 14)
+    signal = 1e-6 * np.sin(2.0 * np.pi * 301 * t / (1 << 14))
+    return compute_spectrum(signal, 1e6)
+
+
+class TestSpectrumSeries:
+    def test_short_spectrum_untouched(self):
+        t = np.arange(256)
+        spectrum = compute_spectrum(np.sin(2.0 * np.pi * 10 * t / 256), 1e6)
+        freqs, power = spectrum_series(spectrum, reference_power=1.0)
+        assert freqs.shape[0] == spectrum.n_bins
+
+    def test_decimation_bounds_length(self, spectrum):
+        freqs, power = spectrum_series(spectrum, reference_power=1.0, max_points=256)
+        assert freqs.shape[0] <= 256
+
+    def test_peak_survives_decimation(self, spectrum):
+        # Max-pooling keeps the tone visible, like a peak-hold display.
+        freqs, power = spectrum_series(
+            spectrum, reference_power=(1e-6) ** 2 / 2.0, max_points=128
+        )
+        assert float(np.max(power)) > -10.0
+
+    def test_rejects_bad_args(self, spectrum):
+        with pytest.raises(ConfigurationError):
+            spectrum_series(spectrum, reference_power=0.0)
+        with pytest.raises(ConfigurationError):
+            spectrum_series(spectrum, reference_power=1.0, max_points=1)
+
+
+class TestSweepSeries:
+    def test_pairs(self):
+        pairs = sweep_series(np.array([-10.0, 0.0]), np.array([50.0, 60.0]))
+        assert pairs == [(-10.0, 50.0), (0.0, 60.0)]
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            sweep_series(np.zeros(2), np.zeros(3))
+
+
+class TestAsciiPlot:
+    def test_renders_points(self):
+        text = ascii_plot(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 0.0]))
+        assert "*" in text
+
+    def test_title_included(self):
+        text = ascii_plot(np.arange(4.0), np.arange(4.0), title="Fig. 7")
+        assert "Fig. 7" in text
+
+    def test_flat_series_ok(self):
+        text = ascii_plot(np.arange(4.0), np.zeros(4))
+        assert "*" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot(np.zeros(0), np.zeros(0))
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot(np.arange(4.0), np.arange(4.0), width=2, height=2)

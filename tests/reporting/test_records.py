@@ -1,0 +1,42 @@
+"""Tests for paper-vs-measured comparison records."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.records import PaperComparison
+
+
+class TestPaperComparison:
+    def test_add_and_render(self):
+        comparison = PaperComparison()
+        comparison.add("Table 1", "THD @ 8 uA", "-50 dB", "-49.9 dB", True)
+        text = comparison.render()
+        assert "Table 1" in text
+        assert "-49.9 dB" in text
+        assert "yes" in text
+
+    def test_failed_shape_flagged(self):
+        comparison = PaperComparison()
+        comparison.add("Fig. 7", "DR", "63 dB", "20 dB", False)
+        assert "NO" in comparison.render()
+        assert not comparison.all_shapes_hold
+
+    def test_all_shapes_hold(self):
+        comparison = PaperComparison()
+        comparison.add("Table 1", "a", "1", "1", True)
+        comparison.add("Table 2", "b", "2", "2", True)
+        assert comparison.all_shapes_hold
+
+    def test_empty_comparison_holds_vacuously(self):
+        assert PaperComparison().all_shapes_hold
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(ConfigurationError):
+            PaperComparison().add("", "q", "1", "1", True)
+        with pytest.raises(ConfigurationError):
+            PaperComparison().add("e", "", "1", "1", True)
+
+    def test_custom_title(self):
+        comparison = PaperComparison()
+        comparison.add("Table 1", "a", "1", "1", True)
+        assert "My title" in comparison.render("My title")

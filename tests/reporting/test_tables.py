@@ -1,0 +1,50 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import Table, render_table
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        text = render_table(
+            "Table 1. Performance of the delay line",
+            ("quantity", "value"),
+            [("Power supply voltage", "3.3 V"), ("Power dissipation", "0.7 mW")],
+        )
+        assert "3.3 V" in text
+        assert "0.7 mW" in text
+        assert "Table 1" in text
+
+    def test_columns_aligned(self):
+        text = render_table(
+            "t", ("a", "bbbb"), [("xxxxxxxx", "y"), ("z", "w")]
+        )
+        lines = [l for l in text.splitlines() if l and not set(l) <= {"-"}]
+        # The second column starts at the same offset in every row.
+        offsets = {line.index(token) for line, token in zip(lines[1:], ("bbbb", "y", "w"))}
+        assert len(offsets) == 1
+
+    def test_rejects_mismatched_row(self):
+        with pytest.raises(ConfigurationError):
+            render_table("t", ("a", "b"), [("only one",)])
+
+
+class TestTableObject:
+    def test_add_row_and_render(self):
+        table = Table("Table 2", ("quantity", "chopper", "non-chopper"))
+        table.add_row("Power diss.", "3.2 mW", "3.2 mW")
+        text = table.render()
+        assert "chopper" in text
+        assert "3.2 mW" in text
+
+    def test_add_row_validates(self):
+        table = Table("t", ("a", "b"))
+        with pytest.raises(ConfigurationError):
+            table.add_row("too", "many", "cells")
+
+    def test_non_string_cells_coerced(self):
+        table = Table("t", ("a", "b"))
+        table.add_row("x", 3.3)
+        assert "3.3" in table.render()

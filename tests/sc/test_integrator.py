@@ -1,0 +1,96 @@
+"""Tests for the switched-capacitor integrator model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import kt
+from repro.errors import ConfigurationError
+from repro.sc.integrator import ScIntegrator, kt_over_c_noise_rms
+
+
+class TestKtcNoise:
+    def test_sc_noise_much_below_si(self):
+        # The paper: "The thermal noise in SC circuits is usually much
+        # smaller due to the larger storage capacitance."
+        sc_noise = kt_over_c_noise_rms(2.5e-12)
+        assert sc_noise < 0.3 * 33e-9
+
+    def test_scales_as_inverse_sqrt_c(self):
+        assert kt_over_c_noise_rms(1e-12) == pytest.approx(
+            2.0 * kt_over_c_noise_rms(4e-12)
+        )
+
+    def test_formula(self):
+        expected = 100e-6 * math.sqrt(2.0 * kt(300.0) / 1e-12)
+        assert kt_over_c_noise_rms(1e-12) == pytest.approx(expected)
+
+    def test_switch_event_count(self):
+        one = kt_over_c_noise_rms(1e-12, n_switch_events=1)
+        four = kt_over_c_noise_rms(1e-12, n_switch_events=4)
+        assert four == pytest.approx(2.0 * one)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacitance": 0.0},
+            {"capacitance": 1e-12, "reference_transconductance": 0.0},
+            {"capacitance": 1e-12, "n_switch_events": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            kt_over_c_noise_rms(**kwargs)
+
+
+class TestIntegrator:
+    def test_delaying_accumulation(self):
+        integ = ScIntegrator(
+            gain=1.0, capacitor_ratio_error=0.0, opamp_gain=1e12
+        )
+        integ.noise_rms = 0.0
+        outputs = [integ.step(1e-6) for _ in range(4)]
+        np.testing.assert_allclose(
+            outputs, [0.0, 1e-6, 2e-6, 3e-6], rtol=1e-6, atol=1e-15
+        )
+
+    def test_opamp_gain_leak(self):
+        integ = ScIntegrator(
+            gain=1.0, capacitor_ratio_error=0.0, opamp_gain=100.0
+        )
+        integ.noise_rms = 0.0
+        last = 0.0
+        for _ in range(5000):
+            last = integ.step(1e-8)
+        # Leaky integrator converges to about A * x.
+        assert last == pytest.approx(100.0 * 1e-8, rel=0.05)
+
+    def test_noise_level_matches_ktc(self):
+        integ = ScIntegrator(gain=1.0, capacitance=2.5e-12, seed=0)
+        deltas = []
+        prev_state = integ.state
+        for _ in range(4000):
+            integ.step(0.0)
+            deltas.append(integ.state - prev_state * integ.leak)
+            prev_state = integ.state
+        measured = float(np.std(deltas))
+        assert measured == pytest.approx(kt_over_c_noise_rms(2.5e-12), rel=0.1)
+
+    def test_reset(self):
+        integ = ScIntegrator(gain=1.0, seed=1)
+        integ.step(1e-6)
+        integ.reset()
+        assert integ.state == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gain": 0.0},
+            {"gain": 1.0, "capacitance": 0.0},
+            {"gain": 1.0, "opamp_gain": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ScIntegrator(**kwargs)

@@ -1,0 +1,62 @@
+"""Tests for the SC modulator and the SI-vs-SC comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.errors import ConfigurationError
+from repro.sc.modulator import ScModulator2
+
+FS = 2.45e6
+
+
+def coherent_tone(amplitude, cycles, n):
+    t = np.arange(n)
+    return amplitude * np.sin(2.0 * np.pi * cycles * t / n)
+
+
+class TestScModulator:
+    def test_realizes_eq3(self):
+        assert ScModulator2().realizes_eq3
+
+    def test_output_levels(self):
+        y = ScModulator2()(coherent_tone(3e-6, 7, 512))
+        assert set(np.unique(y)) <= {-6e-6, 6e-6}
+
+    def test_dc_tracking(self):
+        y = ScModulator2()(np.full(1 << 13, 2e-6))
+        assert float(np.mean(y[500:])) == pytest.approx(2e-6, rel=0.05)
+
+    def test_higher_snr_than_si(self, cell_config):
+        # The paper's conclusion: "SC circuits can usually deliver
+        # higher dynamic range than SI circuits."
+        from repro.deltasigma.modulator2 import SIModulator2
+
+        n = 1 << 14
+        x = coherent_tone(3e-6, 13, n)
+        f0 = 13 * FS / n
+
+        def snr(modulator):
+            spectrum = compute_spectrum(modulator(x), FS)
+            return measure_tone(
+                spectrum, fundamental_frequency=f0, bandwidth=10e3
+            ).snr_db
+
+        assert snr(ScModulator2(capacitance=2.5e-12)) > snr(
+            SIModulator2(cell_config)
+        ) + 6.0
+
+    def test_reproducible(self):
+        x = coherent_tone(3e-6, 7, 512)
+        np.testing.assert_array_equal(
+            ScModulator2(seed=3)(x), ScModulator2(seed=3)(x)
+        )
+
+    def test_rejects_bad_full_scale(self):
+        with pytest.raises(ConfigurationError):
+            ScModulator2(full_scale=0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            ScModulator2().run(np.zeros((2, 2)))

@@ -1,0 +1,60 @@
+"""Tests for the SI-vs-SC trade-off analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sc.tradeoff import ScSiTradeoff
+
+
+@pytest.fixture
+def tradeoff():
+    return ScSiTradeoff()
+
+
+class TestPoints:
+    def test_si_point_matches_paper(self, tradeoff):
+        point = tradeoff.si_point()
+        assert point.noise_rms == pytest.approx(33e-9)
+        assert point.dynamic_range_db == pytest.approx(66.3, abs=0.3)
+        assert not point.needs_double_poly
+
+    def test_sc_point_higher_dr(self, tradeoff):
+        sc = tradeoff.sc_point(2.5e-12)
+        si = tradeoff.si_point()
+        assert sc.dynamic_range_db > si.dynamic_range_db
+        assert sc.needs_double_poly
+
+    def test_dr_bits_conversion(self, tradeoff):
+        point = tradeoff.si_point()
+        assert point.dynamic_range_bits == pytest.approx(
+            (point.dynamic_range_db - 1.76) / 6.02
+        )
+
+    def test_advantage_grows_with_capacitance(self, tradeoff):
+        assert tradeoff.sc_advantage_db(10e-12) > tradeoff.sc_advantage_db(1e-12)
+
+    def test_sweep_structure(self, tradeoff):
+        points = tradeoff.sweep([1e-12, 2.5e-12])
+        assert len(points) == 3
+        assert not points[0].needs_double_poly
+        assert all(p.needs_double_poly for p in points[1:])
+
+    def test_medium_accuracy_crossover(self, tradeoff):
+        # The SI design sits at "medium accuracy" (~10-11 bits);
+        # the SC design needs picofarad (double-poly) capacitors to
+        # exceed it -- the quantified version of the paper's conclusion.
+        si_bits = tradeoff.si_point().dynamic_range_bits
+        assert 10.0 < si_bits < 11.5
+        assert tradeoff.sc_point(2.5e-12).dynamic_range_bits > 12.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"full_scale": 0.0}, {"si_noise_rms": 0.0}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ScSiTradeoff(**kwargs)
+
+    def test_sc_point_rejects_bad_capacitance(self, tradeoff):
+        with pytest.raises(ConfigurationError):
+            tradeoff.sc_point(0.0)

@@ -1,0 +1,110 @@
+"""Tests for the SI biquad filter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.biquad import SIBiquad, biquad_coefficients
+
+FS = 5e6
+
+
+def tone(amplitude, cycles, n):
+    t = np.arange(n)
+    return amplitude * np.sin(2.0 * np.pi * cycles * t / n)
+
+
+def measured_gain(biquad, cycles, n=1 << 13, amplitude=1e-6):
+    biquad.reset()
+    bp, _ = biquad.run(tone(amplitude, cycles, n))
+    steady = bp[n // 2 :]
+    return float(np.sqrt(2.0) * np.std(steady)) / amplitude
+
+
+class TestDesign:
+    def test_coefficients(self):
+        k1, k2, q = biquad_coefficients(100e3, 5.0, FS)
+        omega_t = 2.0 * np.pi * 100e3 / FS
+        assert k1 == pytest.approx(omega_t)
+        assert k1 == k2
+        # Damping pre-compensated for the loop-delay contribution.
+        assert q == pytest.approx(0.2 + omega_t)
+
+    def test_design_properties(self, ideal_config):
+        biquad = SIBiquad.design(100e3, 5.0, FS, config=ideal_config)
+        assert biquad.center_frequency_normalized == pytest.approx(
+            100e3 / FS, rel=0.01
+        )
+        assert biquad.quality_factor == pytest.approx(5.0)
+
+    def test_infinite_q_with_zero_damping(self, ideal_config):
+        biquad = SIBiquad(k1=0.1, k2=0.1, q=0.0, config=ideal_config)
+        assert biquad.quality_factor == np.inf
+
+    @pytest.mark.parametrize(
+        "f0,q,fs",
+        [(0.0, 5.0, FS), (100e3, 0.0, FS), (100e3, 5.0, 0.0), (1e6, 5.0, FS)],
+    )
+    def test_design_validation(self, f0, q, fs):
+        with pytest.raises(ConfigurationError):
+            biquad_coefficients(f0, q, fs)
+
+    def test_constructor_validation(self, ideal_config):
+        with pytest.raises(ConfigurationError):
+            SIBiquad(k1=0.0, k2=0.1, q=0.1, config=ideal_config)
+        with pytest.raises(ConfigurationError):
+            SIBiquad(k1=0.1, k2=0.1, q=-0.1, config=ideal_config)
+
+
+class TestResponse:
+    def test_bandpass_peaks_at_center(self, ideal_config):
+        n = 1 << 13
+        biquad = SIBiquad.design(100e3, 5.0, FS, config=ideal_config)
+        center_cycles = round(100e3 * n / FS)
+        below = measured_gain(biquad, center_cycles // 2, n)
+        at_center = measured_gain(biquad, center_cycles, n)
+        above = measured_gain(biquad, center_cycles * 2, n)
+        assert at_center > 3.0 * below
+        assert at_center > 3.0 * above
+
+    def test_peak_gain_is_q(self, ideal_config):
+        # For the two-integrator loop the band-pass peak gain equals Q.
+        n = 1 << 13
+        biquad = SIBiquad.design(100e3, 5.0, FS, config=ideal_config)
+        center_cycles = round(100e3 * n / FS)
+        assert measured_gain(biquad, center_cycles, n) == pytest.approx(5.0, rel=0.15)
+
+    def test_matches_analytic_response(self, ideal_config):
+        n = 1 << 13
+        biquad = SIBiquad.design(100e3, 5.0, FS, config=ideal_config)
+        for cycles in (82, 164, 328):
+            measured = measured_gain(biquad, cycles, n)
+            analytic = float(
+                biquad.frequency_response(np.array([cycles * FS / n]), FS)[0]
+            )
+            assert measured == pytest.approx(analytic, rel=0.1)
+
+    def test_lowpass_output_passes_dc(self, ideal_config):
+        biquad = SIBiquad.design(100e3, 1.0, FS, config=ideal_config)
+        last_lp = 0.0
+        for _ in range(3000):
+            _, last_lp = biquad.step(1e-6)
+        assert last_lp == pytest.approx(1e-6, rel=0.05)
+
+    def test_cell_leak_bounds_q(self, quiet_cell_config, ideal_config):
+        # The SI integrator leak damps the resonator: with real cells
+        # the measured peak gain falls below the designed Q when Q is
+        # large -- the known SI filter limitation.
+        n = 1 << 13
+        design_q = 50.0
+        center_cycles = round(100e3 * n / FS)
+        ideal_biquad = SIBiquad.design(100e3, design_q, FS, config=ideal_config)
+        lossy_biquad = SIBiquad.design(100e3, design_q, FS, config=quiet_cell_config)
+        gain_ideal = measured_gain(ideal_biquad, center_cycles, n)
+        gain_lossy = measured_gain(lossy_biquad, center_cycles, n)
+        assert gain_lossy < gain_ideal
+
+    def test_run_rejects_2d(self, ideal_config):
+        biquad = SIBiquad.design(100e3, 5.0, FS, config=ideal_config)
+        with pytest.raises(ConfigurationError):
+            biquad.run(np.zeros((2, 2)))

@@ -1,0 +1,88 @@
+"""Tests for the biquad cascade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.cascade import BiquadCascade, butterworth_q_values
+
+FS = 5e6
+
+
+def measured_gain(cascade, cycles, n=1 << 12, amplitude=1e-6):
+    cascade.reset()
+    t = np.arange(n)
+    x = amplitude * np.sin(2.0 * np.pi * cycles * t / n)
+    y = cascade.run(x)
+    return float(np.sqrt(2.0) * np.std(y[n // 2 :])) / amplitude
+
+
+class TestButterworthQ:
+    def test_single_section(self):
+        # A lone second-order Butterworth section has Q = 1/sqrt(2).
+        assert butterworth_q_values(1) == [pytest.approx(1.0 / np.sqrt(2.0))]
+
+    def test_two_sections(self):
+        q = butterworth_q_values(2)
+        assert q[0] == pytest.approx(0.5412, abs=1e-3)
+        assert q[1] == pytest.approx(1.3066, abs=1e-3)
+
+    def test_q_values_increase(self):
+        q = butterworth_q_values(4)
+        assert q == sorted(q)
+
+    def test_rejects_zero_sections(self):
+        with pytest.raises(ConfigurationError):
+            butterworth_q_values(0)
+
+
+class TestCascade:
+    def test_order(self, ideal_config):
+        cascade = BiquadCascade(100e3, 3, FS, config=ideal_config)
+        assert cascade.order == 6
+
+    def test_sharper_than_single_section(self, ideal_config):
+        n = 1 << 12
+        center = round(100e3 * n / FS)
+        single = BiquadCascade(100e3, 1, FS, config=ideal_config)
+        triple = BiquadCascade(100e3, 3, FS, config=ideal_config)
+
+        def selectivity(cascade):
+            at_center = measured_gain(cascade, center, n)
+            off = measured_gain(cascade, center * 3, n)
+            return at_center / off
+
+        # Each extra section adds 6 dB/octave of skirt: three sections
+        # are several times more selective one-and-a-half octaves out.
+        assert selectivity(triple) > 5.0 * selectivity(single)
+
+    def test_matches_analytic_response(self, ideal_config):
+        n = 1 << 12
+        cascade = BiquadCascade(100e3, 2, FS, config=ideal_config)
+        for cycles in (41, 82, 164):
+            measured = measured_gain(cascade, cycles, n)
+            analytic = float(
+                cascade.frequency_response(np.array([cycles * FS / n]))[0]
+            )
+            assert measured == pytest.approx(analytic, rel=0.15)
+
+    def test_custom_q_values(self, ideal_config):
+        cascade = BiquadCascade(
+            100e3, 2, FS, config=ideal_config, q_values=[1.0, 2.0]
+        )
+        assert cascade.sections[0].quality_factor == pytest.approx(1.0, rel=0.01)
+        assert cascade.sections[1].quality_factor == pytest.approx(2.0, rel=0.01)
+
+    def test_rejects_wrong_q_count(self, ideal_config):
+        with pytest.raises(ConfigurationError):
+            BiquadCascade(100e3, 2, FS, config=ideal_config, q_values=[1.0])
+
+    def test_rejects_2d(self, ideal_config):
+        with pytest.raises(ConfigurationError):
+            BiquadCascade(100e3, 1, FS, config=ideal_config).run(np.zeros((2, 2)))
+
+    def test_reset(self, ideal_config):
+        cascade = BiquadCascade(100e3, 2, FS, config=ideal_config)
+        cascade.run(np.full(64, 1e-6))
+        cascade.reset()
+        assert cascade.step(0.0) == 0.0

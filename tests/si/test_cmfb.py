@@ -1,0 +1,113 @@
+"""Tests for the CMFB baseline and its paper-listed drawbacks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.cmfb import CommonModeFeedback
+from repro.si.cmff import CommonModeFeedforward
+from repro.si.differential import DifferentialSample
+
+
+class TestLoopDynamics:
+    def test_converges_on_constant_cm(self):
+        cmfb = CommonModeFeedback(loop_gain=0.25, sense_nonlinearity=0.0)
+        sample = DifferentialSample.from_components(0.0, 1e-6)
+        out = sample
+        for _ in range(100):
+            out = cmfb.apply(sample)
+        assert abs(out.common_mode) < 1e-8
+
+    def test_first_sample_uncorrected(self):
+        # The speed limitation: feedback cannot act on the sample that
+        # creates the error.
+        cmfb = CommonModeFeedback(loop_gain=0.25, sense_nonlinearity=0.0)
+        out = cmfb.apply(DifferentialSample.from_components(0.0, 1e-6))
+        assert out.common_mode == pytest.approx(1e-6)
+
+    def test_latency_matches_loop_gain(self):
+        assert CommonModeFeedback(loop_gain=0.1).latency_samples == pytest.approx(10.0)
+        assert CommonModeFeedback(loop_gain=0.5).latency_samples == pytest.approx(2.0)
+
+    def test_slower_loop_converges_slower(self):
+        fast = CommonModeFeedback(loop_gain=0.5, sense_nonlinearity=0.0)
+        slow = CommonModeFeedback(loop_gain=0.05, sense_nonlinearity=0.0)
+        sample = DifferentialSample.from_components(0.0, 1e-6)
+        for _ in range(5):
+            out_fast = fast.apply(sample)
+            out_slow = slow.apply(sample)
+        assert abs(out_fast.common_mode) < abs(out_slow.common_mode)
+
+    def test_reset(self):
+        cmfb = CommonModeFeedback(sense_nonlinearity=0.0)
+        cmfb.settle_to(DifferentialSample.from_components(0.0, 1e-6))
+        cmfb.reset()
+        out = cmfb.apply(DifferentialSample.from_components(0.0, 1e-6))
+        assert out.common_mode == pytest.approx(1e-6)
+
+
+class TestNonlinearity:
+    def test_differential_swing_corrupts_sensed_cm(self):
+        # The V-I/I-V nonlinearity: a pure differential signal shifts
+        # the sensed common mode even though the true CM is zero.
+        cmfb = CommonModeFeedback(reference_current=10e-6, sense_nonlinearity=1.0)
+        sensed = cmfb._sense(DifferentialSample.from_components(8e-6, 0.0))
+        assert abs(sensed) > 1e-8
+
+    def test_corruption_is_even_order(self):
+        cmfb = CommonModeFeedback(reference_current=10e-6, sense_nonlinearity=1.0)
+        plus = cmfb._sense(DifferentialSample.from_components(8e-6, 0.0))
+        minus = cmfb._sense(DifferentialSample.from_components(-8e-6, 0.0))
+        assert plus == pytest.approx(minus, rel=1e-9)
+
+    def test_corruption_scales_quadratically(self):
+        cmfb = CommonModeFeedback(reference_current=100e-6, sense_nonlinearity=1.0)
+        small = cmfb._sense(DifferentialSample.from_components(2e-6, 0.0))
+        large = cmfb._sense(DifferentialSample.from_components(4e-6, 0.0))
+        assert large == pytest.approx(4.0 * small, rel=0.1)
+
+    def test_linear_sensor_option_is_clean(self):
+        cmfb = CommonModeFeedback(sense_nonlinearity=0.0)
+        sensed = cmfb._sense(DifferentialSample.from_components(8e-6, 0.0))
+        assert sensed == pytest.approx(0.0, abs=1e-18)
+
+
+class TestAgainstCmff:
+    def test_cmff_is_faster(self):
+        # Drawback 2: the CMFB loop needs several samples; CMFF is
+        # instantaneous.
+        cmfb = CommonModeFeedback(loop_gain=0.25, sense_nonlinearity=0.0)
+        cmff = CommonModeFeedforward()
+        sample = DifferentialSample.from_components(0.0, 1e-6)
+        out_fb = cmfb.apply(sample)
+        out_ff = cmff.apply(sample)
+        assert abs(out_ff.common_mode) < abs(out_fb.common_mode)
+
+    def test_cmff_is_linear_where_cmfb_is_not(self):
+        cmfb = CommonModeFeedback(reference_current=10e-6, sense_nonlinearity=1.0)
+        cmff = CommonModeFeedforward()
+        probe = DifferentialSample.from_components(8e-6, 0.0)
+        assert cmff.sensed_common_mode(probe) == pytest.approx(0.0, abs=1e-18)
+        assert abs(cmfb._sense(probe)) > 0.0
+
+    def test_cmfb_costs_more_headroom(self):
+        # Drawback 3: "larger than necessary drain voltage for the
+        # common-mode sense transistor".
+        assert (
+            CommonModeFeedback().headroom_saturation_voltages
+            > CommonModeFeedforward().headroom_saturation_voltages
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loop_gain": 0.0},
+            {"loop_gain": 1.5},
+            {"reference_current": 0.0},
+            {"sense_nonlinearity": -0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CommonModeFeedback(**kwargs)

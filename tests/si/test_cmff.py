@@ -1,0 +1,90 @@
+"""Tests for the common-mode feedforward block (Fig. 2)."""
+
+import pytest
+
+from repro.devices.current_mirror import CurrentMirror
+from repro.si.cmff import CommonModeFeedforward
+from repro.si.differential import DifferentialSample
+
+
+class TestIdealCmff:
+    def test_removes_common_mode_exactly(self):
+        cmff = CommonModeFeedforward()
+        sample = DifferentialSample.from_components(2e-6, 1.5e-6)
+        out = cmff.apply(sample)
+        assert out.common_mode == pytest.approx(0.0, abs=1e-18)
+
+    def test_preserves_differential_exactly(self):
+        cmff = CommonModeFeedforward()
+        sample = DifferentialSample.from_components(2e-6, 1.5e-6)
+        out = cmff.apply(sample)
+        assert out.differential == pytest.approx(2e-6)
+
+    def test_sensed_value_is_cm(self):
+        # Fig. 2(b): half-sized mirrors sum to (Id + Id-)/2 = I_cm.
+        cmff = CommonModeFeedforward()
+        sample = DifferentialSample.from_components(4e-6, 0.7e-6)
+        assert cmff.sensed_common_mode(sample) == pytest.approx(0.7e-6)
+
+    def test_zero_latency(self):
+        # Feedforward corrects within the same sample -- no loop.
+        assert CommonModeFeedforward().latency_samples == 0
+
+    def test_pure_differential_untouched(self):
+        cmff = CommonModeFeedforward()
+        sample = DifferentialSample.from_components(3e-6, 0.0)
+        out = cmff.apply(sample)
+        assert out == sample
+
+    def test_is_linear(self):
+        cmff = CommonModeFeedforward()
+        a = DifferentialSample(2e-6, 1e-6)
+        b = DifferentialSample(0.5e-6, -0.2e-6)
+        combined = cmff.apply(a + b)
+        separate = cmff.apply(a) + cmff.apply(b)
+        assert combined.pos == pytest.approx(separate.pos)
+        assert combined.neg == pytest.approx(separate.neg)
+
+
+class TestMirrorMismatch:
+    def test_sense_mismatch_leaves_residual_cm(self):
+        # A common gain error of the sense pair mis-measures the CM and
+        # leaves a proportional residue.  (Equal-and-opposite errors
+        # would cancel for a pure-CM input -- only the common part of
+        # the sense error degrades rejection.)
+        cmff = CommonModeFeedforward(
+            sense_pos=CurrentMirror(nominal_gain=0.5, gain_error=0.01),
+            sense_neg=CurrentMirror(nominal_gain=0.5, gain_error=0.01),
+        )
+        rejection = cmff.common_mode_rejection()
+        assert abs(rejection) == pytest.approx(0.01, rel=0.05)
+
+    def test_subtract_mismatch_leaks_to_differential(self):
+        cmff = CommonModeFeedforward(
+            subtract_pos=CurrentMirror(gain_error=0.02),
+            subtract_neg=CurrentMirror(gain_error=-0.02),
+        )
+        leakage = cmff.differential_leakage()
+        assert abs(leakage) == pytest.approx(0.04, rel=0.05)
+
+    def test_matched_mirrors_no_leakage(self):
+        cmff = CommonModeFeedforward()
+        assert cmff.differential_leakage() == pytest.approx(0.0, abs=1e-15)
+        assert cmff.common_mode_rejection() == pytest.approx(0.0, abs=1e-15)
+
+    def test_rejection_scales_with_mismatch(self):
+        small = CommonModeFeedforward(
+            sense_pos=CurrentMirror(nominal_gain=0.5, gain_error=0.005),
+            sense_neg=CurrentMirror(nominal_gain=0.5, gain_error=0.005),
+        )
+        large = CommonModeFeedforward(
+            sense_pos=CurrentMirror(nominal_gain=0.5, gain_error=0.02),
+            sense_neg=CurrentMirror(nominal_gain=0.5, gain_error=0.02),
+        )
+        assert abs(large.common_mode_rejection()) > abs(small.common_mode_rejection())
+
+
+class TestHeadroom:
+    def test_cmff_headroom_is_one_vdsat(self):
+        # CMFF only stacks a mirror: one saturation voltage.
+        assert CommonModeFeedforward().headroom_saturation_voltages == pytest.approx(1.0)

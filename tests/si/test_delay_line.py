@@ -1,0 +1,83 @@
+"""Tests for the two-cell delay line."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.delay_line import DelayLine
+from repro.si.differential import DifferentialSample
+
+
+class TestIdealDelayLine:
+    def test_two_cells_noninverting(self, ideal_config):
+        line = DelayLine(ideal_config, n_cells=2)
+        assert not line.inverting
+
+    def test_delay_of_two_steps(self, ideal_config):
+        line = DelayLine(ideal_config, n_cells=2)
+        x = np.array([1.0e-6, 2.0e-6, 3.0e-6, 4.0e-6, 5.0e-6])
+        y = line.run(x)
+        np.testing.assert_allclose(y[2:], x[:-2], rtol=1e-6)
+
+    def test_single_cell_inverts(self, ideal_config):
+        line = DelayLine(ideal_config, n_cells=1)
+        assert line.inverting
+        x = np.array([1.0e-6, 2.0e-6, 3.0e-6])
+        y = line.run(x)
+        np.testing.assert_allclose(y[1:], -x[:-1], rtol=1e-6)
+
+    def test_delay_samples_property(self, ideal_config):
+        assert DelayLine(ideal_config, n_cells=3).delay_samples == 3
+
+    def test_step_interface(self, ideal_config):
+        line = DelayLine(ideal_config, n_cells=2)
+        line.step(DifferentialSample.from_components(1e-6))
+        line.step(DifferentialSample.from_components(0.0))
+        out = line.step(DifferentialSample.from_components(0.0))
+        assert out.differential == pytest.approx(1e-6, rel=1e-6)
+
+    def test_reset(self, ideal_config):
+        line = DelayLine(ideal_config, n_cells=2)
+        line.run(np.full(8, 5e-6))
+        line.reset()
+        y = line.run(np.zeros(4))
+        np.testing.assert_allclose(y, 0.0, atol=1e-18)
+
+
+class TestNoiseAccumulation:
+    def test_two_cells_accumulate_sqrt2_noise(self, cell_config):
+        # Cascading doubles the noise power: this is how the per-cell
+        # floor is calibrated to the paper's 33 nA total.
+        line = DelayLine(cell_config, n_cells=2)
+        y = line.run(np.zeros(4096))
+        measured = float(np.std(y[2:]))
+        expected = np.sqrt(2.0) * cell_config.thermal_noise_rms
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_cells_draw_independent_noise(self, cell_config):
+        line = DelayLine(cell_config, n_cells=2)
+        a = line.cells[0].run(np.zeros(128))
+        b = line.cells[1].run(np.zeros(128))
+        assert not np.array_equal(a[1:], b[1:])
+
+    def test_paper_total_noise(self, delay_config):
+        # The calibrated delay line lands at the paper's 33 nA rms.
+        line = DelayLine(delay_config, n_cells=2)
+        y = line.run(np.zeros(8192))
+        assert float(np.std(y[2:])) == pytest.approx(33e-9, rel=0.1)
+
+
+class TestSlewTracking:
+    def test_slew_fraction_zero_for_small_signals(self, delay_config):
+        line = DelayLine(delay_config)
+        line.run(np.full(64, 1e-7))
+        assert line.slew_event_fraction == 0.0
+
+
+class TestValidation:
+    def test_rejects_zero_cells(self, ideal_config):
+        with pytest.raises(ConfigurationError):
+            DelayLine(ideal_config, n_cells=0)
+
+    def test_n_cells_property(self, ideal_config):
+        assert DelayLine(ideal_config, n_cells=4).n_cells == 4

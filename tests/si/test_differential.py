@@ -1,0 +1,76 @@
+"""Tests for the differential sample value object."""
+
+import pytest
+
+from repro.si.differential import DifferentialSample
+
+
+class TestComponents:
+    def test_differential(self):
+        sample = DifferentialSample(pos=3.0, neg=1.0)
+        assert sample.differential == pytest.approx(2.0)
+
+    def test_common_mode(self):
+        sample = DifferentialSample(pos=3.0, neg=1.0)
+        assert sample.common_mode == pytest.approx(2.0)
+
+    def test_from_components_round_trip(self):
+        sample = DifferentialSample.from_components(2.0, 0.5)
+        assert sample.differential == pytest.approx(2.0)
+        assert sample.common_mode == pytest.approx(0.5)
+
+    def test_from_components_default_cm_zero(self):
+        sample = DifferentialSample.from_components(4.0)
+        assert sample.pos == pytest.approx(2.0)
+        assert sample.neg == pytest.approx(-2.0)
+
+
+class TestArithmetic:
+    def test_add(self):
+        result = DifferentialSample(1.0, 2.0) + DifferentialSample(3.0, 4.0)
+        assert result == DifferentialSample(4.0, 6.0)
+
+    def test_sub(self):
+        result = DifferentialSample(3.0, 4.0) - DifferentialSample(1.0, 2.0)
+        assert result == DifferentialSample(2.0, 2.0)
+
+    def test_neg(self):
+        assert -DifferentialSample(1.0, -2.0) == DifferentialSample(-1.0, 2.0)
+
+    def test_scaled(self):
+        assert DifferentialSample(1.0, 2.0).scaled(3.0) == DifferentialSample(3.0, 6.0)
+
+    def test_crossed_flips_differential(self):
+        sample = DifferentialSample.from_components(2.0, 0.5)
+        crossed = sample.crossed()
+        assert crossed.differential == pytest.approx(-2.0)
+
+    def test_crossed_preserves_common_mode(self):
+        # The free -1 multiply of a fully differential circuit does not
+        # touch the common mode -- only CMFF does that.
+        sample = DifferentialSample.from_components(2.0, 0.5)
+        assert sample.crossed().common_mode == pytest.approx(0.5)
+
+    def test_double_cross_is_identity(self):
+        sample = DifferentialSample(1.5, -0.25)
+        assert sample.crossed().crossed() == sample
+
+
+class TestValueSemantics:
+    def test_immutable(self):
+        sample = DifferentialSample(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            sample.pos = 5.0
+
+    def test_equality(self):
+        assert DifferentialSample(1.0, 2.0) == DifferentialSample(1.0, 2.0)
+        assert DifferentialSample(1.0, 2.0) != DifferentialSample(1.0, 2.5)
+
+    def test_hashable(self):
+        assert len({DifferentialSample(1.0, 2.0), DifferentialSample(1.0, 2.0)}) == 1
+
+    def test_repr(self):
+        assert "DifferentialSample" in repr(DifferentialSample(1.0, 2.0))
+
+    def test_equality_with_other_type(self):
+        assert DifferentialSample(1.0, 2.0) != "not a sample"

@@ -1,0 +1,99 @@
+"""Tests for the SI differentiator (the chopper loop's block)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.differential import DifferentialSample
+from repro.si.differentiator import SIDifferentiator
+
+
+class TestIdealTransfer:
+    def test_recursion(self, ideal_config):
+        # y[n+1] = -y[n] + x[n]: an impulse produces an alternating tail.
+        diff = SIDifferentiator(gain=1.0, config=ideal_config)
+        x = np.zeros(6)
+        x[0] = 1e-6
+        y = np.array([diff.step_differential(float(v)) for v in x])
+        np.testing.assert_allclose(
+            y, [0.0, 1e-6, -1e-6, 1e-6, -1e-6, 1e-6], rtol=1e-5, atol=1e-15
+        )
+
+    def test_pole_at_nyquist(self, ideal_config):
+        # A Nyquist-rate input (+1, -1, +1, ...) must accumulate, the
+        # way DC accumulates in an integrator: the pole sits at z = -1.
+        diff = SIDifferentiator(gain=1.0, config=ideal_config)
+        for n in range(50):
+            x = 1e-7 if n % 2 == 0 else -1e-7
+            last = diff.step_differential(x)
+        assert abs(last) > 40 * 1e-7
+
+    def test_dc_gain_is_half(self, ideal_config):
+        # H(1) = 1/(1+1) = 0.5: a DC input settles to half amplitude
+        # (alternating around it); average the last two outputs.
+        diff = SIDifferentiator(gain=1.0, config=ideal_config)
+        outputs = [diff.step_differential(1e-6) for _ in range(101)]
+        average = 0.5 * (outputs[-1] + outputs[-2])
+        assert average == pytest.approx(0.5e-6, rel=1e-3)
+
+    def test_gain_scaling(self, ideal_config):
+        diff = SIDifferentiator(gain=0.5, config=ideal_config)
+        diff.step_differential(2e-6)
+        assert diff.step_differential(0.0) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_reset(self, ideal_config):
+        diff = SIDifferentiator(gain=1.0, config=ideal_config)
+        diff.step_differential(5e-6)
+        diff.reset()
+        assert diff.step_differential(0.0) == 0.0
+
+
+class TestCommonMode:
+    def test_cm_integrates_without_cmff(self, ideal_config):
+        # The state feedback is a wire crossing: it flips the
+        # differential sign but NOT the common mode, so CM accumulates
+        # exactly as in the integrator -- CMFF is just as necessary.
+        diff = SIDifferentiator(gain=1.0, config=ideal_config, cmff=None)
+        for _ in range(200):
+            diff.step(DifferentialSample.from_components(0.0, 1e-7))
+        assert abs(diff.state.common_mode) > 1e-5 * 0.99
+
+    def test_cmff_zeroes_cm(self, ideal_config):
+        diff = SIDifferentiator(gain=1.0, config=ideal_config)
+        for _ in range(50):
+            diff.step(DifferentialSample.from_components(0.0, 1e-7))
+        assert abs(diff.state.common_mode) < 1e-12
+
+
+class TestChoppedEquivalence:
+    def test_chopped_differentiator_is_inverted_integrator(self, ideal_config):
+        # H(-z) = -z^-1/(1-z^-1): chopping the input and output of the
+        # differentiator must reproduce a (negated) integrator.
+        from repro.si.integrator import SIIntegrator
+
+        diff = SIDifferentiator(gain=1.0, config=ideal_config)
+        integ = SIIntegrator(gain=1.0, config=ideal_config)
+        rng = np.random.default_rng(5)
+        x = rng.normal(0.0, 1e-6, size=64)
+
+        chop = 1.0
+        chopped_outputs = []
+        integ_outputs = []
+        for value in x:
+            u = chop * float(value)
+            w = diff.step_differential(u)
+            chopped_outputs.append(chop * w)
+            integ_outputs.append(integ.step_differential(float(value)))
+            chop = -chop
+        np.testing.assert_allclose(
+            chopped_outputs, [-v for v in integ_outputs], rtol=1e-9, atol=1e-18
+        )
+
+
+class TestValidation:
+    def test_rejects_zero_gain(self, ideal_config):
+        with pytest.raises(ConfigurationError):
+            SIDifferentiator(gain=0.0, config=ideal_config)
+
+    def test_slew_fraction_initially_zero(self, ideal_config):
+        assert SIDifferentiator(gain=1.0, config=ideal_config).slew_event_fraction == 0.0

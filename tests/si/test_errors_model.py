@@ -1,0 +1,110 @@
+"""Tests for the static error models (transmission, charge injection)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.errors_model import ChargeInjectionResidue, TransmissionError
+
+
+class TestTransmissionError:
+    def test_gga_divides_error(self):
+        # The central claim of the class-AB cell: the GGA's voltage gain
+        # divides the conductance-ratio error.
+        plain = TransmissionError(base_ratio=0.01, gga_gain=1.0)
+        boosted = TransmissionError(base_ratio=0.01, gga_gain=50.0)
+        assert boosted.effective_ratio == pytest.approx(plain.effective_ratio / 50.0)
+
+    def test_epsilon_at_quiescent(self):
+        model = TransmissionError(
+            base_ratio=0.01, gga_gain=50.0, quiescent_current=2e-6
+        )
+        assert model.epsilon(2e-6) == pytest.approx(0.01 / 50.0)
+
+    def test_epsilon_falls_with_device_current(self):
+        # g_m grows as sqrt(i): a strongly conducting device has lower
+        # transmission error.
+        model = TransmissionError(quiescent_current=2e-6)
+        assert model.epsilon(8e-6) == pytest.approx(model.epsilon(2e-6) / 2.0)
+
+    def test_epsilon_clamped_near_cutoff(self):
+        model = TransmissionError(quiescent_current=2e-6)
+        assert math.isfinite(model.epsilon(0.0))
+        assert model.epsilon(0.0) == model.epsilon(1e-12)
+
+    def test_apply_reduces_magnitude(self):
+        model = TransmissionError(base_ratio=0.1, gga_gain=1.0)
+        assert 0.0 < model.apply(1e-6, 2e-6) < 1e-6
+
+    def test_apply_preserves_sign(self):
+        model = TransmissionError(base_ratio=0.1, gga_gain=1.0)
+        assert model.apply(-1e-6, 2e-6) < 0.0
+
+    def test_zero_base_is_exact(self):
+        model = TransmissionError(base_ratio=0.0)
+        assert model.apply(1e-6, 2e-6) == pytest.approx(1e-6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_ratio": 1.0},
+            {"base_ratio": -0.1},
+            {"gga_gain": 0.5},
+            {"quiescent_current": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TransmissionError(**kwargs)
+
+
+class TestChargeInjectionResidue:
+    def test_complementary_cancellation_scales_residue(self):
+        # "The class AB configuration itself reduces the charge
+        # injection error if we use an n-type transistor as the switch
+        # for the n-type memory transistor and a p-type ... [16]"
+        raw = ChargeInjectionResidue(
+            full_injection_current=100e-9, complementary_cancellation=0.0
+        )
+        cancelled = ChargeInjectionResidue(
+            full_injection_current=100e-9, complementary_cancellation=0.9
+        )
+        assert cancelled.residual_at_quiescent == pytest.approx(
+            0.1 * raw.residual_at_quiescent
+        )
+
+    def test_perfect_cancellation_is_silent(self):
+        model = ChargeInjectionResidue(complementary_cancellation=1.0)
+        assert model.error_current(5e-6) == 0.0
+
+    def test_error_grows_with_device_current(self):
+        model = ChargeInjectionResidue(quiescent_current=2e-6)
+        assert model.error_current(8e-6) == pytest.approx(
+            2.0 * model.error_current(2e-6)
+        )
+
+    def test_error_at_quiescent(self):
+        model = ChargeInjectionResidue(
+            full_injection_current=50e-9,
+            complementary_cancellation=0.9,
+            quiescent_current=2e-6,
+        )
+        assert model.error_current(2e-6) == pytest.approx(5e-9)
+
+    def test_finite_near_cutoff(self):
+        model = ChargeInjectionResidue()
+        assert math.isfinite(model.error_current(0.0))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"full_injection_current": -1e-9},
+            {"complementary_cancellation": 1.5},
+            {"complementary_cancellation": -0.1},
+            {"quiescent_current": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ChargeInjectionResidue(**kwargs)

@@ -1,0 +1,58 @@
+"""Tests for the first-generation SI cell baseline."""
+
+import numpy as np
+import pytest
+
+from repro.devices.current_mirror import CurrentMirror
+from repro.si.differential import DifferentialSample
+from repro.si.first_generation import FirstGenerationMemoryCell
+from repro.si.memory_cell import ClassABMemoryCell
+
+
+class TestBehaviour:
+    def test_is_inverting_delay(self, ideal_config):
+        cell = FirstGenerationMemoryCell(ideal_config)
+        cell.step(DifferentialSample.from_components(1e-6))
+        out = cell.step(DifferentialSample.from_components(0.0))
+        assert out.differential == pytest.approx(-1e-6, rel=1e-6)
+
+    def test_mirror_gain_error_appears_in_signal(self, ideal_config):
+        cell = FirstGenerationMemoryCell(
+            ideal_config, mirror=CurrentMirror(gain_error=0.02)
+        )
+        cell.step(DifferentialSample.from_components(1e-6))
+        out = cell.step(DifferentialSample.from_components(0.0))
+        assert abs(out.differential) == pytest.approx(1.02e-6, rel=1e-4)
+
+    def test_static_gain_includes_mirror(self, quiet_cell_config):
+        cell = FirstGenerationMemoryCell(
+            quiet_cell_config, mirror=CurrentMirror(gain_error=0.05)
+        )
+        assert cell.static_gain() == pytest.approx(1.05, abs=0.01)
+
+    def test_cds_forced_off(self, cell_config):
+        cell = FirstGenerationMemoryCell(cell_config)
+        assert not cell.config.cds_enabled
+
+    def test_worse_injection_than_second_generation(self, quiet_cell_config):
+        first = FirstGenerationMemoryCell(quiet_cell_config)
+        second = ClassABMemoryCell(quiet_cell_config)
+        assert (
+            first.config.injection.residual_at_quiescent
+            > second.config.injection.residual_at_quiescent
+        )
+
+    def test_run_and_reset(self, ideal_config):
+        cell = FirstGenerationMemoryCell(ideal_config)
+        y = cell.run(np.array([1e-6, 2e-6, 3e-6]))
+        np.testing.assert_allclose(y[1:], [-1e-6, -2e-6], rtol=1e-6)
+        cell.reset()
+        out = cell.step(DifferentialSample.from_components(0.0))
+        assert out.differential == 0.0
+
+    def test_noise_present(self, cell_config):
+        cell = FirstGenerationMemoryCell(cell_config)
+        y = cell.run(np.zeros(2048))
+        assert float(np.std(y[1:])) == pytest.approx(
+            cell_config.thermal_noise_rms, rel=0.2
+        )

@@ -1,0 +1,146 @@
+"""Tests for the grounded-gate amplifier model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.gga import GroundedGateAmplifier
+
+
+@pytest.fixture
+def gga():
+    return GroundedGateAmplifier(
+        voltage_gain=50.0,
+        bias_current=10e-6,
+        settling_tau_fraction=0.05,
+        phase_kick_fraction=0.0,
+    )
+
+
+class TestConductanceBoost:
+    def test_boost_by_voltage_gain(self, gga):
+        # "the input conductance is increased by the voltage gain of the
+        # ground-gate transistor"
+        assert gga.boosted_input_conductance(100e-6) == pytest.approx(5e-3)
+
+    def test_rejects_bad_conductance(self, gga):
+        with pytest.raises(ConfigurationError):
+            gga.boosted_input_conductance(0.0)
+
+
+class TestLinearSettling:
+    def test_small_step_settles_exponentially(self, gga):
+        result = gga.settle(0.0, 1e-6)
+        expected_residual = 1e-6 * math.exp(-20.0)
+        assert result.residual_error == pytest.approx(expected_residual, rel=1e-6)
+        assert not result.slewed
+
+    def test_zero_step_is_exact(self, gga):
+        result = gga.settle(2e-6, 2e-6)
+        assert result.settled_current == pytest.approx(2e-6)
+        assert result.residual_error == 0.0
+
+    def test_negative_step_symmetric(self, gga):
+        up = gga.settle(0.0, 1e-6)
+        down = gga.settle(0.0, -1e-6)
+        assert down.residual_error == pytest.approx(-up.residual_error)
+
+
+class TestSlewRegime:
+    def test_threshold_is_bias_current(self, gga):
+        assert gga.slew_current_threshold == pytest.approx(10e-6)
+
+    def test_large_step_slews(self, gga):
+        result = gga.settle(0.0, 50e-6)
+        assert result.slewed
+
+    def test_huge_step_pure_ramp(self):
+        gga = GroundedGateAmplifier(
+            bias_current=1e-6,
+            settling_tau_fraction=0.2,
+            phase_kick_fraction=0.0,
+        )
+        # n_tau = 5 at zero margin derating... the margin floor applies
+        # for |target| >> bias, so coverage is small and a residual is
+        # left over.
+        result = gga.settle(0.0, 100e-6)
+        assert result.slewed
+        assert abs(result.residual_error) > 1e-6
+
+    def test_larger_bias_reduces_slew_error(self):
+        # The paper's fix: "larger bias current in the GGAs".
+        small = GroundedGateAmplifier(
+            bias_current=2e-6, settling_tau_fraction=0.2, phase_kick_fraction=0.0
+        )
+        large = small.with_bias(40e-6)
+        err_small = abs(small.settle(0.0, 30e-6).residual_error)
+        err_large = abs(large.settle(0.0, 30e-6).residual_error)
+        assert err_large < err_small
+
+
+class TestDriveMargin:
+    def test_full_margin_at_zero_signal(self, gga):
+        assert gga.drive_margin(0.0) == pytest.approx(1.0)
+
+    def test_margin_shrinks_with_signal(self, gga):
+        assert gga.drive_margin(5e-6) == pytest.approx(0.5)
+
+    def test_margin_floor(self, gga):
+        assert gga.drive_margin(100e-6) == pytest.approx(0.1)
+
+    def test_margin_symmetric_in_sign(self, gga):
+        assert gga.drive_margin(-5e-6) == pytest.approx(gga.drive_margin(5e-6))
+
+    def test_settling_error_grows_near_bias(self):
+        gga = GroundedGateAmplifier(
+            bias_current=10e-6,
+            settling_tau_fraction=0.05,
+            phase_kick_fraction=0.25,
+        )
+        # The same relative kick leaves far more residual near the bias
+        # limit -- the distortion mechanism of the delay-line THD.
+        small_signal = abs(gga.settle(1e-6, 1e-6).residual_error) / 1e-6
+        large_signal = abs(gga.settle(9e-6, 9e-6).residual_error) / 9e-6
+        assert large_signal > 100.0 * small_signal
+
+
+class TestPhaseKick:
+    def test_kick_makes_dc_settle_inexact(self):
+        gga = GroundedGateAmplifier(
+            bias_current=10e-6,
+            settling_tau_fraction=0.05,
+            phase_kick_fraction=0.25,
+        )
+        result = gga.settle(5e-6, 5e-6)
+        assert result.residual_error != 0.0
+
+    def test_no_kick_makes_dc_settle_exact(self, gga):
+        result = gga.settle(5e-6, 5e-6)
+        assert result.residual_error == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"voltage_gain": 0.5},
+            {"bias_current": 0.0},
+            {"settling_tau_fraction": 0.0},
+            {"transconductance": 0.0},
+            {"drive_margin_floor": 0.0},
+            {"drive_margin_floor": 1.5},
+            {"phase_kick_fraction": 1.0},
+            {"phase_kick_fraction": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GroundedGateAmplifier(**kwargs)
+
+    def test_with_bias_preserves_other_fields(self, gga):
+        other = gga.with_bias(99e-6)
+        assert other.bias_current == pytest.approx(99e-6)
+        assert other.voltage_gain == gga.voltage_gain
+        assert other.settling_tau_fraction == gga.settling_tau_fraction
+        assert other.phase_kick_fraction == gga.phase_kick_fraction

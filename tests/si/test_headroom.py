@@ -1,0 +1,99 @@
+"""Tests for the minimum-supply analysis (Eqs. 1-2)."""
+
+import math
+
+import pytest
+
+from repro.devices.process import CMOS_08UM
+from repro.errors import ConfigurationError
+from repro.si.headroom import HeadroomAnalysis
+
+
+@pytest.fixture
+def analysis():
+    return HeadroomAnalysis()
+
+
+class TestPaperClaim:
+    def test_3v3_feasible_at_unity_modulation(self, analysis):
+        # "the use of low power supply voltage, say 3.3 V, is possible,
+        # given the threshold voltages around 1V"
+        budget = analysis.evaluate(modulation_index=1.0)
+        assert budget.feasible_at(3.3)
+
+    def test_3v3_feasible_with_large_input(self, analysis):
+        # "... even with large input currents": m_i well above 1.
+        budget = analysis.evaluate(modulation_index=4.0)
+        assert budget.feasible_at(3.3)
+
+    def test_memory_branch_binds_with_1v_thresholds(self, analysis):
+        # With ~1 V thresholds the two stacked V_T dominate: Eq. (2)
+        # is the binding constraint.
+        budget = analysis.evaluate(modulation_index=2.0)
+        assert budget.binding_constraint == "eq2"
+
+    def test_low_vt_process_binds_on_gga_branch(self):
+        analysis = HeadroomAnalysis(process=CMOS_08UM.with_thresholds(0.3, 0.3))
+        budget = analysis.evaluate(modulation_index=2.0)
+        assert budget.binding_constraint == "eq1"
+
+
+class TestScaling:
+    def test_vdd_min_grows_with_modulation(self, analysis):
+        low = analysis.evaluate(0.5).vdd_min
+        high = analysis.evaluate(8.0).vdd_min
+        assert high > low
+
+    def test_overdrive_sqrt_law(self, analysis):
+        # The conducting device carries (1 + m_i) I_Q at the peak.
+        v0 = analysis.memory_overdrive_at_peak(0.0)
+        v3 = analysis.memory_overdrive_at_peak(3.0)
+        assert v3 == pytest.approx(2.0 * v0)
+
+    def test_eq1_components(self, analysis):
+        budget = analysis.evaluate(0.0)
+        expected = (
+            analysis.vdsat_bias_p
+            + analysis.vdsat_gga
+            + analysis.vdsat_cascode
+            + analysis.vdsat_bias_n
+            + 2.0 * analysis.vdsat_memory
+        )
+        assert budget.vdd_min_gga_branch == pytest.approx(expected)
+
+    def test_eq2_components(self, analysis):
+        budget = analysis.evaluate(0.0)
+        expected = (
+            analysis.process.vth_p
+            + analysis.process.vth_n
+            + 2.0 * analysis.vdsat_memory
+        )
+        assert budget.vdd_min_memory_branch == pytest.approx(expected)
+
+
+class TestInverse:
+    def test_max_modulation_round_trip(self, analysis):
+        m_max = analysis.max_modulation_index(3.3)
+        assert m_max > 0.0
+        assert analysis.evaluate(m_max).vdd_min == pytest.approx(3.3, abs=1e-9)
+        assert analysis.evaluate(m_max * 1.05).vdd_min > 3.3
+
+    def test_too_low_supply_gives_zero(self, analysis):
+        assert analysis.max_modulation_index(1.0) == 0.0
+
+    def test_higher_supply_allows_more_modulation(self, analysis):
+        assert analysis.max_modulation_index(5.0) > analysis.max_modulation_index(3.3)
+
+    def test_rejects_bad_supply(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.max_modulation_index(0.0)
+
+
+class TestValidation:
+    def test_rejects_negative_modulation(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.evaluate(-1.0)
+
+    def test_rejects_nonpositive_vdsat(self):
+        with pytest.raises(ConfigurationError):
+            HeadroomAnalysis(vdsat_memory=0.0)

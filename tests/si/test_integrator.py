@@ -1,0 +1,112 @@
+"""Tests for the SI integrator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.differential import DifferentialSample
+from repro.si.integrator import SIIntegrator
+
+
+class TestIdealTransfer:
+    def test_delaying_accumulation(self, ideal_config):
+        integ = SIIntegrator(gain=1.0, config=ideal_config)
+        outputs = [integ.step_differential(1e-6) for _ in range(4)]
+        # y[n] = sum of x[0..n-1]: 0, 1, 2, 3 microamps.
+        np.testing.assert_allclose(
+            outputs, [0.0, 1e-6, 2e-6, 3e-6], rtol=1e-6, atol=1e-15
+        )
+
+    def test_gain_scales_input(self, ideal_config):
+        integ = SIIntegrator(gain=0.5, config=ideal_config)
+        integ.step_differential(2e-6)
+        assert integ.step_differential(0.0) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_transfer_function_z_domain(self, ideal_config):
+        # Drive with an impulse: the output must be a delayed step
+        # (impulse response of z^-1/(1-z^-1)).
+        integ = SIIntegrator(gain=1.0, config=ideal_config)
+        x = np.zeros(8)
+        x[0] = 1e-6
+        y = np.array([integ.step_differential(float(v)) for v in x])
+        np.testing.assert_allclose(y[1:], 1e-6, rtol=1e-5)
+        assert y[0] == 0.0
+
+    def test_reset(self, ideal_config):
+        integ = SIIntegrator(gain=1.0, config=ideal_config)
+        integ.step_differential(5e-6)
+        integ.reset()
+        assert integ.step_differential(0.0) == 0.0
+
+    def test_state_property(self, ideal_config):
+        integ = SIIntegrator(gain=1.0, config=ideal_config)
+        integ.step_differential(3e-6)
+        assert integ.state.differential == pytest.approx(3e-6, rel=1e-6)
+
+
+class TestLeak:
+    def test_transmission_error_makes_integrator_leaky(self, quiet_cell_config):
+        # The classic SI integrator defect: the conductance-ratio error
+        # turns the pole into (1 - eps).  A DC input then converges to
+        # a finite value ~ gain * x / eps instead of diverging.
+        integ = SIIntegrator(gain=1.0, config=quiet_cell_config)
+        last = 0.0
+        for _ in range(8000):
+            last = integ.step_differential(1e-8)
+        eps = quiet_cell_config.transmission.effective_ratio
+        # Converged value should be within an order of magnitude of the
+        # small-signal prediction x/eps (the eps is signal-dependent).
+        assert last < 1e-8 / eps * 10.0
+        assert last > 1e-8 / eps / 10.0
+
+    def test_ideal_integrator_does_not_leak(self, ideal_config):
+        integ = SIIntegrator(gain=1.0, config=ideal_config)
+        for _ in range(1000):
+            last = integ.step_differential(1e-8)
+        assert last == pytest.approx(999 * 1e-8, rel=1e-3)
+
+
+class TestCommonModeControl:
+    def test_cmff_removes_common_mode(self, ideal_config):
+        integ = SIIntegrator(gain=1.0, config=ideal_config)
+        for _ in range(100):
+            integ.step(DifferentialSample.from_components(0.0, 1e-7))
+        assert abs(integ.state.common_mode) < 1e-12
+
+    def test_without_cmff_common_mode_integrates(self, ideal_config):
+        # The ablation: no CM control means the common mode grows
+        # without bound -- the reason the paper's modulators need CMFF.
+        integ = SIIntegrator(gain=1.0, config=ideal_config, cmff=None)
+        for _ in range(100):
+            integ.step(DifferentialSample.from_components(0.0, 1e-7))
+        assert abs(integ.state.common_mode) > 5e-6
+
+    def test_cmff_preserves_differential(self, ideal_config):
+        with_cmff = SIIntegrator(gain=1.0, config=ideal_config)
+        without = SIIntegrator(gain=1.0, config=ideal_config, cmff=None)
+        for _ in range(10):
+            a = with_cmff.step_differential(1e-6)
+            b = without.step_differential(1e-6)
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestNoise:
+    def test_integrated_noise_grows(self, cell_config):
+        # In-loop cell noise accumulates through the integrator: the
+        # state's random walk must exceed the per-sample noise.
+        integ = SIIntegrator(gain=1.0, config=cell_config)
+        values = [integ.step_differential(0.0) for _ in range(2000)]
+        assert float(np.std(values[100:])) > cell_config.thermal_noise_rms
+
+
+class TestValidation:
+    def test_rejects_zero_gain(self, ideal_config):
+        with pytest.raises(ConfigurationError):
+            SIIntegrator(gain=0.0, config=ideal_config)
+
+    def test_seed_offset_gives_independent_noise(self, cell_config):
+        a = SIIntegrator(gain=1.0, config=cell_config, seed_offset=1)
+        b = SIIntegrator(gain=1.0, config=cell_config, seed_offset=2)
+        va = [a.step_differential(0.0) for _ in range(64)]
+        vb = [b.step_differential(0.0) for _ in range(64)]
+        assert va[1:] != vb[1:]

@@ -1,0 +1,124 @@
+"""Tests for the power model and the class-AB efficiency claim."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.si.power import ClassKind, PowerModel
+
+
+@pytest.fixture
+def model():
+    return PowerModel(
+        supply_voltage=3.3,
+        quiescent_current=2e-6,
+        gga_bias_current=20e-6,
+    )
+
+
+class TestClassComparison:
+    def test_class_ab_wins_at_any_positive_modulation(self, model):
+        # The paper's power claim: class AB allows signal > bias.
+        for m_i in (0.5, 1.0, 2.0, 4.0, 8.0):
+            assert model.power_ratio_a_over_ab(m_i) > 1.0
+
+    def test_advantage_grows_with_modulation(self, model):
+        assert model.power_ratio_a_over_ab(8.0) > model.power_ratio_a_over_ab(1.0)
+
+    def test_equal_at_zero_signal_memory_only(self):
+        # With no GGAs, at zero signal both classes idle at the same
+        # quiescent draw (class A branch = I_Q + complement = 2 I_Q,
+        # class AB pair = 2 I_Q).
+        model = PowerModel(
+            supply_voltage=3.3,
+            quiescent_current=2e-6,
+            gga_bias_current=0.0,
+            n_ggas=0,
+        )
+        a = model.cell_power(ClassKind.CLASS_A, 0.0)
+        ab = model.cell_power(ClassKind.CLASS_AB, 0.0)
+        assert a == pytest.approx(ab, rel=1e-9)
+
+    def test_class_a_power_linear_in_modulation(self, model):
+        p1 = model.cell_supply_current(ClassKind.CLASS_A, 1.0)
+        p3 = model.cell_supply_current(ClassKind.CLASS_A, 3.0)
+        gga = model.n_ggas * model.gga_bias_current
+        assert (p3 - gga - (p1 - gga)) == pytest.approx(
+            2.0 * model.n_memory_pairs * 2e-6 * 2.0
+        )
+
+    def test_class_ab_sublinear_in_modulation(self, model):
+        # The sine-averaged class-AB draw grows like I_pk/pi, i.e. much
+        # slower than class A's I_pk.
+        gga = model.n_ggas * model.gga_bias_current
+        ab4 = model.cell_supply_current(ClassKind.CLASS_AB, 4.0) - gga
+        a4 = model.cell_supply_current(ClassKind.CLASS_A, 4.0) - gga
+        assert ab4 < 0.5 * a4
+
+
+class TestAveragedDraw:
+    def test_zero_signal_is_quiescent(self, model):
+        gga = model.n_ggas * model.gga_bias_current
+        draw = model.cell_supply_current(ClassKind.CLASS_AB, 0.0) - gga
+        assert draw == pytest.approx(model.n_memory_pairs * 2.0 * 2e-6, rel=1e-6)
+
+    def test_large_signal_asymptote(self):
+        # For m_i >> 1 the pair's average draw approaches
+        # 2 * I_pk/2 * mean|sin| = I_pk * 2/pi.
+        model = PowerModel(
+            supply_voltage=3.3,
+            quiescent_current=1e-6,
+            gga_bias_current=0.0,
+            n_ggas=0,
+            n_memory_pairs=1,
+        )
+        m_i = 100.0
+        peak = m_i * 1e-6
+        draw = model.cell_supply_current(ClassKind.CLASS_AB, m_i)
+        assert draw == pytest.approx(peak * 2.0 / math.pi, rel=0.02)
+
+
+class TestSystemPower:
+    def test_extra_blocks_add(self, model):
+        base = model.system_power(n_cells=2)
+        model.add_block("quantizer", 100e-6)
+        assert model.system_power(n_cells=2) == pytest.approx(base + 3.3 * 100e-6)
+
+    def test_power_scales_with_cells(self, model):
+        assert model.system_power(n_cells=4) == pytest.approx(
+            2.0 * model.system_power(n_cells=2)
+        )
+
+    def test_milliwatt_scale(self, model):
+        # The chip blocks land in the sub-milliwatt to low-milliwatt
+        # range, like Tables 1-2 (0.7 mW and 3.2 mW).
+        power = model.system_power(n_cells=2, modulation_index=4.0)
+        assert 1e-4 < power < 1e-2
+
+
+class TestValidation:
+    def test_rejects_negative_modulation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.cell_supply_current(ClassKind.CLASS_AB, -1.0)
+
+    def test_rejects_zero_cells(self, model):
+        with pytest.raises(ConfigurationError):
+            model.system_power(n_cells=0)
+
+    def test_rejects_negative_block(self, model):
+        with pytest.raises(ConfigurationError):
+            model.add_block("bad", -1e-6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"supply_voltage": 0.0},
+            {"quiescent_current": 0.0},
+            {"gga_bias_current": -1e-6},
+            {"n_memory_pairs": 0},
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PowerModel(**kwargs)

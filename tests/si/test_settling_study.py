@@ -1,0 +1,88 @@
+"""Tests for the clock-rate settling study."""
+
+import math
+
+import pytest
+
+from repro.config import paper_cell_config
+from repro.errors import ConfigurationError
+from repro.si.settling_study import (
+    config_at_clock,
+    max_clock_for_accuracy,
+    settling_error_at_clock,
+)
+
+
+@pytest.fixture
+def base_config():
+    return paper_cell_config(sample_rate=5e6)
+
+
+class TestRetiming:
+    def test_same_clock_is_identity(self, base_config):
+        retimed = config_at_clock(base_config, 5e6)
+        assert retimed.gga.settling_tau_fraction == pytest.approx(
+            base_config.gga.settling_tau_fraction
+        )
+
+    def test_faster_clock_scales_tau_fraction(self, base_config):
+        retimed = config_at_clock(base_config, 20e6)
+        assert retimed.gga.settling_tau_fraction == pytest.approx(
+            4.0 * base_config.gga.settling_tau_fraction
+        )
+        assert retimed.sample_rate == pytest.approx(20e6)
+
+    def test_absurd_clock_rejected(self, base_config):
+        with pytest.raises(ConfigurationError):
+            config_at_clock(base_config, 5e6 * 1000.0)
+
+    def test_rejects_bad_clock(self, base_config):
+        with pytest.raises(ConfigurationError):
+            config_at_clock(base_config, 0.0)
+
+
+class TestErrorScaling:
+    def test_error_grows_with_clock(self, base_config):
+        assert settling_error_at_clock(base_config, 50e6) > settling_error_at_clock(
+            base_config, 5e6
+        )
+
+    def test_error_grows_with_signal(self, base_config):
+        assert settling_error_at_clock(
+            base_config, 20e6, relative_signal=0.8
+        ) > settling_error_at_clock(base_config, 20e6, relative_signal=0.2)
+
+    def test_analytic_form(self, base_config):
+        error = settling_error_at_clock(base_config, 5e6, relative_signal=0.0)
+        expected = math.exp(-1.0 / base_config.gga.settling_tau_fraction)
+        assert error == pytest.approx(expected)
+
+    def test_rejects_bad_signal(self, base_config):
+        with pytest.raises(ConfigurationError):
+            settling_error_at_clock(base_config, 5e6, relative_signal=1.0)
+
+
+class TestMaxClock:
+    def test_round_trip(self, base_config):
+        target = 1e-3
+        f_max = max_clock_for_accuracy(base_config, target)
+        assert settling_error_at_clock(base_config, f_max) == pytest.approx(
+            target, rel=1e-6
+        )
+
+    def test_video_rate_claim(self, base_config):
+        # "Low-voltage SI oversampling A/D converters for video
+        # frequencies and beyond" [14]: at relaxed accuracy the cell
+        # clocks well past 10 MHz.
+        f_max = max_clock_for_accuracy(base_config, 0.05)
+        assert f_max > 10e6
+
+    def test_tighter_accuracy_lowers_clock(self, base_config):
+        assert max_clock_for_accuracy(base_config, 1e-4) < max_clock_for_accuracy(
+            base_config, 1e-2
+        )
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, 2.0])
+    def test_rejects_bad_target(self, base_config, bad):
+        with pytest.raises(ConfigurationError):
+            max_clock_for_accuracy(base_config, bad)

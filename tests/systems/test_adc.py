@@ -1,0 +1,65 @@
+"""Tests for the complete oversampling ADC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.systems.adc import AdcKind, OversamplingAdc
+
+
+class TestOperatingPoint:
+    def test_paper_defaults(self, ideal_config):
+        adc = OversamplingAdc(cell_config=ideal_config)
+        assert adc.sample_rate == pytest.approx(2.45e6)
+        assert adc.oversampling_ratio == 128
+
+    def test_signal_bandwidth_is_9_6_khz(self, ideal_config):
+        # Table 2: "Signal band. 9.6 KHz" = 2.45 MHz / 128 / 2.
+        adc = OversamplingAdc(cell_config=ideal_config)
+        assert adc.signal_bandwidth == pytest.approx(9.57e3, rel=0.01)
+
+    def test_output_rate(self, ideal_config):
+        adc = OversamplingAdc(cell_config=ideal_config)
+        assert adc.output_rate == pytest.approx(2.45e6 / 128)
+
+
+class TestConversion:
+    def test_dc_conversion(self, ideal_config):
+        adc = OversamplingAdc(cell_config=ideal_config, oversampling_ratio=64)
+        samples = adc.convert(np.full(1 << 14, 3e-6))
+        # 3 uA of a 6 uA full scale converts to 0.5.
+        assert float(np.mean(samples[4:])) == pytest.approx(0.5, abs=0.01)
+
+    def test_sine_conversion(self, ideal_config):
+        adc = OversamplingAdc(cell_config=ideal_config, oversampling_ratio=64)
+        n = 1 << 15
+        t = np.arange(n)
+        x = 3e-6 * np.sin(2.0 * np.pi * 8 * t / n)
+        samples = adc.convert(x)
+        assert float(np.max(samples)) == pytest.approx(0.5, abs=0.05)
+        assert float(np.min(samples)) == pytest.approx(-0.5, abs=0.05)
+
+    def test_both_kinds_convert(self, ideal_config):
+        x = np.full(1 << 14, 2e-6)
+        conventional = OversamplingAdc(
+            AdcKind.CONVENTIONAL, cell_config=ideal_config, oversampling_ratio=64
+        ).convert(x)
+        chopper = OversamplingAdc(
+            AdcKind.CHOPPER_STABILIZED,
+            cell_config=ideal_config,
+            oversampling_ratio=64,
+        ).convert(x)
+        assert float(np.mean(conventional[4:])) == pytest.approx(
+            float(np.mean(chopper[4:])), abs=0.01
+        )
+
+    def test_decimated_length(self, ideal_config):
+        adc = OversamplingAdc(cell_config=ideal_config, oversampling_ratio=64)
+        samples = adc.convert(np.zeros(1 << 14))
+        assert samples.shape[0] == pytest.approx((1 << 14) / 64, rel=0.05)
+
+
+class TestValidation:
+    def test_rejects_bad_osr(self, ideal_config):
+        with pytest.raises(ConfigurationError):
+            OversamplingAdc(cell_config=ideal_config, oversampling_ratio=1)

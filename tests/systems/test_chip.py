@@ -1,0 +1,62 @@
+"""Tests for the test-chip assembly."""
+
+import numpy as np
+import pytest
+
+from repro.si.power import ClassKind
+from repro.systems.chip import ChipOperatingPoint
+from repro.systems.chip import TestChip as Chip
+
+
+class TestAssembly:
+    def test_blocks_present(self, cell_config):
+        chip = Chip(cell_config)
+        assert chip.delay_line.n_cells == 2
+        assert chip.modulator.sample_rate == pytest.approx(2.45e6)
+        assert chip.chopper_modulator.sample_rate == pytest.approx(2.45e6)
+
+    def test_operating_point_defaults_match_tables(self):
+        op = ChipOperatingPoint()
+        assert op.supply_voltage == pytest.approx(3.3)
+        assert op.delay_line_clock == pytest.approx(5e6)
+        assert op.modulator_clock == pytest.approx(2.45e6)
+        assert op.oversampling_ratio == 128
+        assert op.modulator_full_scale == pytest.approx(6e-6)
+
+    def test_delay_line_runs_at_its_own_clock(self, cell_config):
+        chip = Chip(cell_config)
+        assert chip.delay_line.config.sample_rate == pytest.approx(5e6)
+
+    def test_blocks_functional(self, ideal_config):
+        chip = Chip(ideal_config)
+        y = chip.delay_line.run(np.array([1e-6, 2e-6, 3e-6, 4e-6]))
+        np.testing.assert_allclose(y[2:], [1e-6, 2e-6], rtol=1e-6)
+        bits = chip.modulator(np.zeros(256))
+        assert set(np.unique(bits)) <= {-6e-6, 6e-6}
+
+
+class TestPowerEstimates:
+    def test_delay_line_power_sub_milliwatt_scale(self, cell_config):
+        # Table 1: 0.7 mW.  The behavioural estimate must land in the
+        # same regime (same order of magnitude).
+        chip = Chip(cell_config)
+        power = chip.delay_line_power()
+        assert 0.1e-3 < power < 2e-3
+
+    def test_modulator_power_milliwatt_scale(self, cell_config):
+        # Table 2: 3.2 mW per modulator.
+        chip = Chip(cell_config)
+        power = chip.modulator_power()
+        assert 0.5e-3 < power < 6e-3
+
+    def test_modulator_burns_more_than_delay_line(self, cell_config):
+        chip = Chip(cell_config)
+        assert chip.modulator_power() > chip.delay_line_power()
+
+    def test_power_model_uses_chip_biases(self, cell_config):
+        chip = Chip(cell_config)
+        model = chip.power_model()
+        assert model.supply_voltage == pytest.approx(3.3)
+        assert model.quiescent_current == pytest.approx(
+            cell_config.quiescent_current
+        )

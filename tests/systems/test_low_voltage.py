@@ -1,0 +1,78 @@
+"""Tests for the low-voltage design explorer."""
+
+import pytest
+
+from repro.devices.process import CMOS_08UM
+from repro.errors import ConfigurationError
+from repro.systems.low_voltage import LowVoltageDesigner
+
+
+@pytest.fixture
+def designer():
+    return LowVoltageDesigner()
+
+
+class TestFeasibility:
+    def test_3v3_at_1v_thresholds_feasible(self, designer):
+        # The paper's own operating point.
+        design = designer.evaluate(3.3, 1.0)
+        assert design.feasible
+        assert design.max_modulation_index > 1.0
+
+    def test_1v2_at_1v_thresholds_infeasible(self, designer):
+        # Two ~1 V thresholds alone exceed a 1.2 V supply.
+        design = designer.evaluate(1.2, 1.0)
+        assert not design.feasible
+        assert design.power == 0.0
+
+    def test_1v2_at_low_vt_feasible(self):
+        # The authors' later 1.2 V converter [15] needs a low-V_T
+        # process and scaled overdrives.
+        designer = LowVoltageDesigner(vdsat_scale=0.6)
+        design = designer.evaluate(1.2, 0.35)
+        assert design.feasible
+
+    def test_1v2_design_is_submilliwatt(self):
+        # [15] reports 0.8 mW at 1.2 V.
+        designer = LowVoltageDesigner(vdsat_scale=0.6)
+        design = designer.evaluate(1.2, 0.35)
+        assert design.power < 1e-3
+
+
+class TestScaling:
+    def test_power_scales_with_supply(self, designer):
+        low = designer.evaluate(2.5, 0.7)
+        high = designer.evaluate(5.0, 0.7)
+        assert high.power > low.power
+
+    def test_sweep(self, designer):
+        designs = designer.sweep([1.2, 2.5, 3.3], threshold_voltage=1.0)
+        assert len(designs) == 3
+        assert [d.feasible for d in designs] == [False, True, True]
+
+    def test_minimum_supply_monotone_in_vt(self, designer):
+        assert designer.minimum_supply(0.4) < designer.minimum_supply(1.0)
+
+    def test_minimum_supply_monotone_in_modulation(self, designer):
+        assert designer.minimum_supply(1.0, 1.0) < designer.minimum_supply(1.0, 8.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"quiescent_current": 0.0},
+            {"gga_bias_current": -1e-6},
+            {"n_cells": 0},
+            {"vdsat_scale": 0.0},
+        ],
+    )
+    def test_constructor(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LowVoltageDesigner(**kwargs)
+
+    def test_evaluate_rejects_bad_inputs(self, designer):
+        with pytest.raises(ConfigurationError):
+            designer.evaluate(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            designer.evaluate(3.3, 0.0)

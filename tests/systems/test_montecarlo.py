@@ -1,0 +1,75 @@
+"""Tests for the CMFF Monte-Carlo analysis."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mismatch import PelgromMismatch
+from repro.errors import ConfigurationError
+from repro.systems.montecarlo import CmffMonteCarlo, MonteCarloSummary
+
+
+@pytest.fixture
+def study():
+    return CmffMonteCarlo(
+        mismatch=PelgromMismatch(rng=np.random.default_rng(7)), n_trials=200
+    )
+
+
+class TestSummary:
+    def test_percentiles_ordered(self):
+        summary = MonteCarloSummary.from_samples(
+            np.random.default_rng(0).normal(0.0, 1.0, size=1000)
+        )
+        assert summary.median <= summary.p90 <= summary.p99
+        assert summary.n_trials == 1000
+
+    def test_magnitudes_used(self):
+        summary = MonteCarloSummary.from_samples(np.array([-3.0, -2.0, 2.0, 3.0]))
+        assert summary.median == pytest.approx(2.5)
+
+
+class TestCmffStudy:
+    def test_rejection_improves_with_area(self, study):
+        small = study.rejection_statistics(2e-6, 2e-6)
+        large = study.rejection_statistics(20e-6, 20e-6)
+        assert large.median < small.median
+
+    def test_rejection_magnitude_plausible(self, study):
+        # 8x8 um mirrors in 0.8 um CMOS: sub-percent CM residue.
+        summary = study.rejection_statistics(8e-6, 8e-6)
+        assert summary.p90 < 0.02
+
+    def test_leakage_statistics(self, study):
+        summary = study.leakage_statistics(8e-6, 8e-6)
+        assert summary.median > 0.0
+        assert summary.p99 < 0.05
+
+    def test_area_sweep_monotone(self, study):
+        results = study.area_sweep([4.0, 64.0, 400.0])
+        medians = [summary.median for _, summary in results]
+        assert medians[0] > medians[-1]
+
+    def test_reproducible_with_seeded_sampler(self):
+        a = CmffMonteCarlo(
+            mismatch=PelgromMismatch(rng=np.random.default_rng(3)), n_trials=50
+        ).rejection_statistics(4e-6, 4e-6)
+        b = CmffMonteCarlo(
+            mismatch=PelgromMismatch(rng=np.random.default_rng(3)), n_trials=50
+        ).rejection_statistics(4e-6, 4e-6)
+        assert a.median == b.median
+
+
+class TestValidation:
+    def test_rejects_few_trials(self):
+        with pytest.raises(ConfigurationError):
+            CmffMonteCarlo(n_trials=5)
+
+    def test_rejects_bad_geometry(self, study):
+        with pytest.raises(ConfigurationError):
+            study.rejection_statistics(0.0, 1e-6)
+        with pytest.raises(ConfigurationError):
+            study.leakage_statistics(1e-6, -1e-6)
+
+    def test_rejects_bad_area(self, study):
+        with pytest.raises(ConfigurationError):
+            study.area_sweep([0.0])

@@ -1,0 +1,107 @@
+"""Tests for stimulus generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StimulusError
+from repro.systems.stimulus import SineStimulus, coherent_frequency, interferer_tone
+
+
+class TestCoherentFrequency:
+    def test_snaps_to_bin(self):
+        f = coherent_frequency(2e3, 2.45e6, 1 << 16)
+        cycles = f * (1 << 16) / 2.45e6
+        assert cycles == pytest.approx(round(cycles))
+
+    def test_close_to_target(self):
+        f = coherent_frequency(2e3, 2.45e6, 1 << 16)
+        assert f == pytest.approx(2e3, rel=0.02)
+
+    def test_never_dc(self):
+        f = coherent_frequency(1.0, 1e6, 1024)
+        assert f > 0.0
+
+    def test_odd_bin(self):
+        f = coherent_frequency(5e3, 5e6, 1 << 14)
+        bin_index = round(f * (1 << 14) / 5e6)
+        assert bin_index % 2 == 1
+
+    @pytest.mark.parametrize(
+        "target,fs,n",
+        [
+            (0.0, 1e6, 1024),
+            (6e5, 1e6, 1024),
+            (1e3, 0.0, 1024),
+            (1e3, 1e6, 8),
+        ],
+    )
+    def test_validation(self, target, fs, n):
+        with pytest.raises(StimulusError):
+            coherent_frequency(target, fs, n)
+
+
+class TestSineStimulus:
+    def test_amplitude_and_frequency(self):
+        stim = SineStimulus(amplitude=3e-6, frequency=2e3, sample_rate=2.45e6)
+        samples = stim.generate(1 << 14)
+        assert float(np.max(samples)) == pytest.approx(3e-6, rel=0.001)
+        assert float(np.min(samples)) == pytest.approx(-3e-6, rel=0.001)
+
+    def test_rms(self):
+        stim = SineStimulus(amplitude=1.0, frequency=1e3, sample_rate=1e6)
+        samples = stim.generate(1 << 16)
+        assert float(np.std(samples)) == pytest.approx(1.0 / np.sqrt(2.0), rel=0.01)
+
+    def test_starts_at_phase(self):
+        stim = SineStimulus(
+            amplitude=1.0, frequency=1e3, sample_rate=1e6, phase=np.pi / 2.0
+        )
+        assert stim.generate(4)[0] == pytest.approx(1.0)
+
+    def test_coherent_helper(self):
+        stim = SineStimulus(amplitude=1.0, frequency=2e3, sample_rate=2.45e6)
+        coherent = stim.coherent(1 << 14)
+        cycles = coherent.frequency * (1 << 14) / 2.45e6
+        assert cycles == pytest.approx(round(cycles))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"amplitude": -1.0, "frequency": 1e3, "sample_rate": 1e6},
+            {"amplitude": 1.0, "frequency": 0.0, "sample_rate": 1e6},
+            {"amplitude": 1.0, "frequency": 6e5, "sample_rate": 1e6},
+            {"amplitude": 1.0, "frequency": 1e3, "sample_rate": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(StimulusError):
+            SineStimulus(**kwargs)
+
+    def test_rejects_zero_samples(self):
+        stim = SineStimulus(amplitude=1.0, frequency=1e3, sample_rate=1e6)
+        with pytest.raises(StimulusError):
+            stim.generate(0)
+
+
+class TestInterferer:
+    def test_low_frequency(self):
+        tone = interferer_tone(1 << 16, 1e6, amplitude=1e-6, frequency=50.0)
+        spectrum = np.abs(np.fft.rfft(tone))
+        peak_bin = int(np.argmax(spectrum[1:])) + 1
+        peak_freq = peak_bin * 1e6 / (1 << 16)
+        assert peak_freq == pytest.approx(50.0, abs=1e6 / (1 << 16))
+
+    def test_amplitude(self):
+        tone = interferer_tone(1 << 16, 1e6, amplitude=2e-6, frequency=50.0)
+        assert float(np.max(np.abs(tone))) == pytest.approx(2e-6, rel=0.01)
+
+    def test_zero_amplitude_silent(self):
+        assert np.all(interferer_tone(128, 1e6, 0.0) == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(StimulusError):
+            interferer_tone(0, 1e6, 1e-6)
+        with pytest.raises(StimulusError):
+            interferer_tone(128, 1e6, -1e-6)
+        with pytest.raises(StimulusError):
+            interferer_tone(128, 1e6, 1e-6, frequency=0.0)

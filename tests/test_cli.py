@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestArgumentHandling:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in output
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestFastCommands:
+    def test_headroom(self, capsys):
+        assert main(["headroom"]) == 0
+        output = capsys.readouterr().out
+        assert "V_dd,min" in output
+        assert "yes" in output
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff"]) == 0
+        output = capsys.readouterr().out
+        assert "double-poly" in output
+        assert "SI (single-poly digital CMOS)" in output
+
+    def test_table1_fast(self, capsys):
+        assert main(["table1", "--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "THD" in output
+        assert "-50 dB" in output
+
+    def test_fig5_fast(self, capsys):
+        assert main(["fig5", "--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "SNR (10 kHz)" in output
+
+    def test_fig6_fast(self, capsys):
+        assert main(["fig6", "--fast"]) == 0
+        assert "chopper" in capsys.readouterr().out.lower()

@@ -1,0 +1,79 @@
+"""Tests for the top-level calibrated configurations."""
+
+import pytest
+
+from repro.config import (
+    CELL_THERMAL_NOISE_RMS,
+    DELAY_LINE_CLOCK,
+    MODULATOR_CLOCK,
+    MODULATOR_FULL_SCALE,
+    OVERSAMPLING_RATIO,
+    SIGNAL_BANDWIDTH,
+    SUPPLY_VOLTAGE,
+    THERMAL_NOISE_RMS,
+    delay_line_cell_config,
+    ideal_cell_config,
+    paper_cell_config,
+)
+
+
+class TestOperatingConstants:
+    def test_table_values(self):
+        assert DELAY_LINE_CLOCK == pytest.approx(5e6)
+        assert MODULATOR_CLOCK == pytest.approx(2.45e6)
+        assert MODULATOR_FULL_SCALE == pytest.approx(6e-6)
+        assert OVERSAMPLING_RATIO == 128
+        assert SIGNAL_BANDWIDTH == pytest.approx(10e3)
+        assert SUPPLY_VOLTAGE == pytest.approx(3.3)
+
+    def test_noise_calibration(self):
+        # Two cascaded cells (the delay line) give the paper's 33 nA.
+        assert THERMAL_NOISE_RMS == pytest.approx(33e-9)
+        assert CELL_THERMAL_NOISE_RMS * 2**0.5 == pytest.approx(33e-9)
+
+
+class TestPaperCellConfig:
+    def test_defaults_are_reproducible(self):
+        assert paper_cell_config().seed is not None
+
+    def test_cds_on_by_default(self):
+        # Second-generation SI cells perform CDS intrinsically.
+        assert paper_cell_config().cds_enabled
+
+    def test_no_flicker_by_default(self):
+        assert paper_cell_config().flicker_corner_hz == 0.0
+
+    def test_flicker_can_be_enabled(self):
+        config = paper_cell_config(flicker_corner_hz=50e3, cds_enabled=False)
+        assert config.flicker_corner_hz == pytest.approx(50e3)
+        assert not config.cds_enabled
+
+    def test_sample_rate_passed_through(self):
+        assert paper_cell_config(sample_rate=2.45e6).sample_rate == pytest.approx(
+            2.45e6
+        )
+
+
+class TestDelayLineConfig:
+    def test_smaller_gga_bias_than_modulator_cells(self):
+        # The delay-line test structure slews at large inputs because
+        # its GGAs run at a smaller bias.
+        assert (
+            delay_line_cell_config().gga.bias_current
+            < paper_cell_config().gga.bias_current
+        )
+
+    def test_shares_noise_calibration(self):
+        assert delay_line_cell_config().thermal_noise_rms == pytest.approx(
+            paper_cell_config().thermal_noise_rms
+        )
+
+
+class TestIdealConfig:
+    def test_everything_disabled(self):
+        config = ideal_cell_config()
+        assert config.thermal_noise_rms == 0.0
+        assert config.flicker_corner_hz == 0.0
+        assert config.transmission.base_ratio == 0.0
+        assert config.injection.full_injection_current == 0.0
+        assert config.half_gain_mismatch == 0.0

@@ -1,0 +1,58 @@
+"""Tests for physical constants and derived thermal quantities."""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    BOLTZMANN,
+    ELEMENTARY_CHARGE,
+    MOS_THERMAL_GAMMA,
+    ROOM_TEMPERATURE,
+    kt,
+    thermal_voltage,
+)
+
+
+class TestConstants:
+    def test_boltzmann_value(self):
+        assert BOLTZMANN == pytest.approx(1.380649e-23)
+
+    def test_elementary_charge_value(self):
+        assert ELEMENTARY_CHARGE == pytest.approx(1.602176634e-19)
+
+    def test_mos_gamma_is_two_thirds(self):
+        assert MOS_THERMAL_GAMMA == pytest.approx(2.0 / 3.0)
+
+    def test_room_temperature(self):
+        assert ROOM_TEMPERATURE == 300.0
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        # kT/q at 300 K is about 25.85 mV.
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_scales_linearly_with_temperature(self):
+        assert thermal_voltage(600.0) == pytest.approx(2.0 * thermal_voltage(300.0))
+
+    def test_default_is_room_temperature(self):
+        assert thermal_voltage() == thermal_voltage(ROOM_TEMPERATURE)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -300.0])
+    def test_rejects_nonpositive_temperature(self, bad):
+        with pytest.raises(ValueError):
+            thermal_voltage(bad)
+
+
+class TestKt:
+    def test_room_temperature_value(self):
+        assert kt(300.0) == pytest.approx(4.141947e-21, rel=1e-5)
+
+    def test_consistent_with_thermal_voltage(self):
+        assert kt(300.0) / ELEMENTARY_CHARGE == pytest.approx(thermal_voltage(300.0))
+
+    @pytest.mark.parametrize("bad", [0.0, -10.0])
+    def test_rejects_nonpositive_temperature(self, bad):
+        with pytest.raises(ValueError):
+            kt(bad)

@@ -1,0 +1,98 @@
+"""Tests for unit and level conversions."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    amplitude_from_dbfs,
+    db_from_dynamic_range_bits,
+    db_from_power_ratio,
+    db_from_ratio,
+    dbfs_from_amplitude,
+    dynamic_range_bits_from_db,
+    power_ratio_from_db,
+    ratio_from_db,
+    rms_of_sine,
+)
+
+
+class TestAmplitudeDb:
+    def test_unity_is_zero_db(self):
+        assert db_from_ratio(1.0) == pytest.approx(0.0)
+
+    def test_factor_of_ten_is_twenty_db(self):
+        assert db_from_ratio(10.0) == pytest.approx(20.0)
+
+    def test_half_is_minus_six_db(self):
+        assert db_from_ratio(0.5) == pytest.approx(-6.0206, rel=1e-4)
+
+    def test_round_trip(self):
+        for level in (-73.2, -6.0, 0.0, 12.5):
+            assert db_from_ratio(ratio_from_db(level)) == pytest.approx(level)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_nonpositive_ratio(self, bad):
+        with pytest.raises(ValueError):
+            db_from_ratio(bad)
+
+
+class TestPowerDb:
+    def test_factor_of_ten_is_ten_db(self):
+        assert db_from_power_ratio(10.0) == pytest.approx(10.0)
+
+    def test_oversampling_128_gives_21_db(self):
+        # The paper: "Oversampling by a factor of 128 increased the
+        # dynamic range by 21 dB."
+        assert db_from_power_ratio(128.0) == pytest.approx(21.07, abs=0.01)
+
+    def test_round_trip(self):
+        assert power_ratio_from_db(db_from_power_ratio(3.7)) == pytest.approx(3.7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            db_from_power_ratio(0.0)
+
+
+class TestDynamicRangeBits:
+    def test_paper_63_db_is_about_10_5_bits(self):
+        # Table 2 reports the 63 dB measured dynamic range as 10.5 bits.
+        assert dynamic_range_bits_from_db(63.0) == pytest.approx(10.17, abs=0.02)
+
+    def test_10_5_bits_is_about_65_db(self):
+        assert db_from_dynamic_range_bits(10.5) == pytest.approx(64.97, abs=0.01)
+
+    def test_round_trip(self):
+        assert dynamic_range_bits_from_db(
+            db_from_dynamic_range_bits(13.0)
+        ) == pytest.approx(13.0)
+
+
+class TestFullScaleLevels:
+    def test_minus_6_db_of_6ua_is_about_3ua(self):
+        # The paper's modulator test input: "2-kHz 3-uA (-6 dB)" with a
+        # 6 uA 0-dB level.
+        assert amplitude_from_dbfs(-6.0206, 6e-6) == pytest.approx(3e-6, rel=1e-4)
+
+    def test_zero_db_is_full_scale(self):
+        assert amplitude_from_dbfs(0.0, 6e-6) == pytest.approx(6e-6)
+
+    def test_round_trip(self):
+        level = dbfs_from_amplitude(amplitude_from_dbfs(-40.0, 6e-6), 6e-6)
+        assert level == pytest.approx(-40.0)
+
+    def test_rejects_bad_full_scale(self):
+        with pytest.raises(ValueError):
+            amplitude_from_dbfs(-6.0, 0.0)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            dbfs_from_amplitude(0.0, 6e-6)
+
+
+class TestRmsOfSine:
+    def test_value(self):
+        assert rms_of_sine(1.0) == pytest.approx(1.0 / math.sqrt(2.0))
+
+    def test_negative_peak_gives_positive_rms(self):
+        assert rms_of_sine(-2.0) == pytest.approx(math.sqrt(2.0))
