@@ -12,16 +12,9 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.config import (
-    MODULATOR_CLOCK,
-    MODULATOR_FULL_SCALE,
-    SIGNAL_BANDWIDTH,
-    delay_line_cell_config,
-    paper_cell_config,
-)
+from repro.config import MODULATOR_CLOCK, delay_line_cell_config, paper_cell_config
 
 #: FFT length used by the full-fidelity benches (the paper's 64K).
 FULL_FFT = 1 << 16

@@ -23,7 +23,7 @@ from repro.config import DELAY_LINE_CLOCK, SUPPLY_VOLTAGE, paper_cell_config
 from repro.reporting.records import PaperComparison
 from repro.reporting.tables import Table
 from repro.si.memory_cell import ClassABMemoryCell, ClassAMemoryCell
-from repro.si.power import ClassKind, PowerModel
+from repro.si.power import PowerModel
 
 
 def test_bench_ablation_classab(benchmark):

@@ -19,7 +19,6 @@ from repro.si.cmfb import CommonModeFeedback
 from repro.si.cmff import CommonModeFeedforward
 from repro.si.differential import DifferentialSample
 from repro.si.headroom import HeadroomAnalysis
-from repro.si.integrator import SIIntegrator
 
 
 def test_bench_ablation_cmff(benchmark):

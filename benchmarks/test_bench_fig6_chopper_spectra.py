@@ -20,12 +20,7 @@ import numpy as np
 from benchmarks.conftest import FULL_FFT, run_once
 from repro.analysis.metrics import measure_tone
 from repro.analysis.spectrum import compute_spectrum
-from repro.config import (
-    MODULATOR_CLOCK,
-    MODULATOR_FULL_SCALE,
-    SIGNAL_BANDWIDTH,
-    paper_cell_config,
-)
+from repro.config import MODULATOR_CLOCK, SIGNAL_BANDWIDTH, paper_cell_config
 from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
 from repro.reporting.records import PaperComparison
 from repro.systems.stimulus import SineStimulus, coherent_frequency

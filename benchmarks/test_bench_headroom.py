@@ -10,8 +10,6 @@ asserts the feasibility claim -- plus the converse: at 1 V thresholds a
 analysis non-trivial.
 """
 
-import numpy as np
-
 from benchmarks.conftest import run_once
 from repro.devices.process import CMOS_08UM
 from repro.reporting.records import PaperComparison

@@ -27,7 +27,6 @@ from repro.config import (
     OVERSAMPLING_RATIO,
     THERMAL_NOISE_RMS,
     delay_line_cell_config,
-    paper_cell_config,
 )
 from repro.deltasigma.predictions import (
     expected_dynamic_range_db,

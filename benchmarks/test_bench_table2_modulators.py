@@ -16,8 +16,6 @@ the dynamic range from a compact level sweep, reports the power model's
 estimate, and renders the table side by side with the paper's values.
 """
 
-import numpy as np
-
 from benchmarks.conftest import SWEEP_FFT, run_once
 from repro.analysis.fitting import dynamic_range_from_sweep
 from repro.analysis.sweeps import run_amplitude_sweep

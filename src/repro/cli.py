@@ -8,10 +8,14 @@ Usage::
     python -m repro fig7         # SNDR sweep + dynamic range
     python -m repro headroom     # Eqs. (1)-(2) supply sweep
     python -m repro tradeoff     # SI vs SC comparison table
+    python -m repro erc mod2     # static rule check of a named design
     python -m repro --list       # list the commands
 
-Each command prints the paper-style table.  Full FFT lengths are used
-by default; pass ``--fast`` for a quicker, lower-resolution run.
+Each measurement command prints the paper-style table.  Full FFT
+lengths are used by default; pass ``--fast`` for a quicker,
+lower-resolution run.  ``repro erc <design>`` runs the static
+electrical-rule checker (:mod:`repro.erc`) and exits non-zero when the
+design has ERROR-severity violations.
 """
 
 from __future__ import annotations
@@ -34,6 +38,8 @@ from repro.config import (
     paper_cell_config,
 )
 from repro.deltasigma import ChopperStabilizedSIModulator, SIModulator2
+from repro.erc import Severity, build_design, run_erc
+from repro.erc.designs import DESIGNS
 from repro.reporting.tables import Table
 from repro.sc.tradeoff import ScSiTradeoff
 from repro.si import DelayLine, HeadroomAnalysis
@@ -180,6 +186,22 @@ def cmd_tradeoff(fast: bool) -> None:
           'technique for medium accuracy applications."')
 
 
+def cmd_erc(design: str, min_severity: str, strict: bool) -> int:
+    """Statically check a named design against the ERC rule set."""
+    names = sorted(DESIGNS) if design == "all" else [design]
+    exit_code = 0
+    for name in names:
+        report = run_erc(
+            build_design(name), min_severity=Severity.from_name(min_severity)
+        )
+        print(report.render_table())
+        print(report.summary())
+        if not report.ok or (strict and report.warnings):
+            exit_code = 1
+    return exit_code
+
+
+#: Measurement commands: name -> callable taking the --fast flag.
 COMMANDS: dict[str, Callable[[bool], None]] = {
     "table1": cmd_table1,
     "fig5": cmd_fig5,
@@ -190,33 +212,77 @@ COMMANDS: dict[str, Callable[[bool], None]] = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+def _first_doc_line(func: Callable[..., object]) -> str:
+    """Return the first docstring line, for --list and --help output."""
+    doc = func.__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the argument parser with one sub-command per command."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate results from the DATE 1995 switched-current paper.",
     )
     parser.add_argument(
-        "command",
-        nargs="?",
-        choices=sorted(COMMANDS),
-        help="which result to regenerate",
-    )
-    parser.add_argument(
-        "--fast",
-        action="store_true",
-        help="use shorter FFTs for a quick look",
-    )
-    parser.add_argument(
         "--list", action="store_true", help="list available commands"
     )
+    subparsers = parser.add_subparsers(dest="command", metavar="command")
+    for name in sorted(COMMANDS):
+        sub = subparsers.add_parser(
+            name,
+            help=_first_doc_line(COMMANDS[name]),
+            description=_first_doc_line(COMMANDS[name]),
+        )
+        sub.add_argument(
+            "--fast",
+            action="store_true",
+            help="use shorter FFTs for a quick look",
+        )
+    erc = subparsers.add_parser(
+        "erc",
+        help=_first_doc_line(cmd_erc),
+        description=_first_doc_line(cmd_erc),
+    )
+    erc.add_argument(
+        "design",
+        choices=sorted(DESIGNS) + ["all"],
+        help="design to check, or 'all'",
+    )
+    erc.add_argument(
+        "--min-severity",
+        choices=["info", "warning", "error"],
+        default="info",
+        help="hide violations below this severity (default: info)",
+    )
+    erc.add_argument(
+        "--strict",
+        action="store_true",
+        help="also exit non-zero on warnings",
+    )
+    return parser
+
+
+def list_commands() -> str:
+    """Return the --list text: every command with a one-line description."""
+    lines = []
+    for name in sorted(COMMANDS):
+        lines.append(f"  {name:10s} {_first_doc_line(COMMANDS[name])}")
+    lines.append(f"  {'erc':10s} {_first_doc_line(cmd_erc)}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list or args.command is None:
-        for name in sorted(COMMANDS):
-            doc = COMMANDS[name].__doc__ or ""
-            print(f"  {name:10s} {doc.strip().splitlines()[0]}")
+        print(list_commands())
         return 0
+
+    if args.command == "erc":
+        return cmd_erc(args.design, args.min_severity, args.strict)
 
     COMMANDS[args.command](args.fast)
     return 0

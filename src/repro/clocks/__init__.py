@@ -6,7 +6,18 @@ This subpackage provides the phase bookkeeping the behavioural cell
 models use to enforce correct sample/hold sequencing.
 """
 
-from repro.clocks.phases import Phase, TwoPhaseClock, ClockEvent
+from repro.clocks.phases import (
+    Phase,
+    TwoPhaseClock,
+    ClockEvent,
+    alternating_phases,
+)
 from repro.clocks.scheduler import SampledDataScheduler
 
-__all__ = ["Phase", "TwoPhaseClock", "ClockEvent", "SampledDataScheduler"]
+__all__ = [
+    "Phase",
+    "TwoPhaseClock",
+    "ClockEvent",
+    "alternating_phases",
+    "SampledDataScheduler",
+]

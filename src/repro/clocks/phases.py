@@ -19,7 +19,7 @@ from typing import Iterator
 
 from repro.errors import ClockingError, ConfigurationError
 
-__all__ = ["Phase", "ClockEvent", "TwoPhaseClock"]
+__all__ = ["Phase", "ClockEvent", "TwoPhaseClock", "alternating_phases"]
 
 
 class Phase(enum.Enum):
@@ -32,6 +32,31 @@ class Phase(enum.Enum):
     def other(self) -> "Phase":
         """Return the complementary phase."""
         return Phase.PHI2 if self is Phase.PHI1 else Phase.PHI1
+
+
+def alternating_phases(n_stages: int, start: Phase = Phase.PHI1) -> list[Phase]:
+    """Return the sample phases of ``n_stages`` cascaded memory cells.
+
+    Cascaded second-generation cells are clocked on alternating phases
+    ("a delay line realized by cascading two memory cells"): the first
+    samples on ``start``, the second on the complement, and so on.
+    The static rule checker uses this to annotate design graphs.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``n_stages`` is negative.
+    """
+    if n_stages < 0:
+        raise ConfigurationError(
+            f"n_stages must be non-negative, got {n_stages!r}"
+        )
+    phases: list[Phase] = []
+    current = start
+    for _ in range(n_stages):
+        phases.append(current)
+        current = current.other
+    return phases
 
 
 @dataclass(frozen=True)

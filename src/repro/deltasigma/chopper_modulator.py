@@ -201,3 +201,55 @@ class ChopperStabilizedSIModulator:
         """Run with a fresh state: the device-under-test interface."""
         self.reset()
         return self.run(stimulus)
+
+    def describe_graph(self, supply_voltage: float = 3.3):
+        """Return the loop's circuit graph for static rule checking.
+
+        Structurally the Fig. 3(a) loop with differentiator stages plus
+        the chopper pair: an input chopper ahead of the first stage and
+        an output chopper translating the bit stream back to baseband.
+        The chopper-pairing rule (ERC008) checks exactly this pairing.
+        """
+        from repro.clocks.phases import Phase
+        from repro.erc.graph import CircuitGraph
+
+        peak = 2.0 * self.full_scale
+        graph = CircuitGraph(
+            "ChopperStabilizedSIModulator",
+            supply_voltage=supply_voltage,
+            sample_rate=self.sample_rate,
+            full_scale=self.full_scale,
+        )
+        graph.add_node("in", "source")
+        graph.add_node("chop_in", "chopper", role="input")
+        for prefix, stage, phase in (
+            ("diff1", self._diff1, Phase.PHI1),
+            ("diff2", self._diff2, Phase.PHI2),
+        ):
+            graph.include(
+                stage.describe_subgraph(
+                    sample_phase=phase, peak_signal_current=peak
+                ),
+                prefix,
+            )
+        graph.add_node("quantizer", "quantizer", offset=self.quantizer.offset)
+        graph.add_node(
+            "dac",
+            "dac",
+            full_scale=self.dac.full_scale,
+            level_mismatch=self.dac.level_mismatch,
+        )
+        graph.add_node("chop_out", "chopper", role="output")
+        graph.add_node("out", "sink")
+        out1 = f"diff1.{self._diff1.output_node}"
+        out2 = f"diff2.{self._diff2.output_node}"
+        graph.connect("in", "chop_in")
+        graph.connect("chop_in", "diff1.cell")
+        graph.connect(out1, "diff2.cell")
+        graph.connect(out2, "quantizer")
+        graph.connect("quantizer", "dac")
+        graph.connect("quantizer", "chop_out")
+        graph.connect("chop_out", "out")
+        graph.connect("dac", "diff1.cell")
+        graph.connect("dac", "diff2.cell")
+        return graph

@@ -117,3 +117,38 @@ class SIModulator1:
         """Run with a fresh state: the device-under-test interface."""
         self.reset()
         return self.run(stimulus)
+
+    def describe_graph(self, supply_voltage: float = 3.3):
+        """Return the loop's circuit graph for static rule checking."""
+        from repro.clocks.phases import Phase
+        from repro.erc.graph import CircuitGraph
+
+        graph = CircuitGraph(
+            "SIModulator1",
+            supply_voltage=supply_voltage,
+            sample_rate=self.sample_rate,
+            full_scale=self.full_scale,
+        )
+        graph.add_node("in", "source")
+        graph.include(
+            self._integrator.describe_subgraph(
+                sample_phase=Phase.PHI1,
+                peak_signal_current=2.0 * self.full_scale,
+            ),
+            "int",
+        )
+        graph.add_node("quantizer", "quantizer", offset=self.quantizer.offset)
+        graph.add_node(
+            "dac",
+            "dac",
+            full_scale=self.dac.full_scale,
+            level_mismatch=self.dac.level_mismatch,
+        )
+        graph.add_node("out", "sink")
+        out = f"int.{self._integrator.output_node}"
+        graph.connect("in", "int.cell")
+        graph.connect(out, "quantizer")
+        graph.connect("quantizer", "dac")
+        graph.connect("quantizer", "out")
+        graph.connect("dac", "int.cell")
+        return graph

@@ -221,3 +221,52 @@ class SIModulator2:
         """
         self.reset()
         return self.run(stimulus)
+
+    def describe_graph(self, supply_voltage: float = 3.3):
+        """Return the loop's circuit graph for static rule checking.
+
+        The two integrator stages sample on alternating phases ("there
+        is delay in both integrators ... to decouple settling chain"),
+        and their cells' design swing is twice the full scale -- the
+        paper's swing-scaling target ("only require a signal range ...
+        slightly larger than twice the full-scale input range").
+        """
+        from repro.clocks.phases import Phase
+        from repro.erc.graph import CircuitGraph
+
+        peak = 2.0 * self.full_scale
+        graph = CircuitGraph(
+            "SIModulator2",
+            supply_voltage=supply_voltage,
+            sample_rate=self.sample_rate,
+            full_scale=self.full_scale,
+        )
+        graph.add_node("in", "source")
+        for prefix, stage, phase in (
+            ("int1", self._int1, Phase.PHI1),
+            ("int2", self._int2, Phase.PHI2),
+        ):
+            graph.include(
+                stage.describe_subgraph(
+                    sample_phase=phase, peak_signal_current=peak
+                ),
+                prefix,
+            )
+        graph.add_node("quantizer", "quantizer", offset=self.quantizer.offset)
+        graph.add_node(
+            "dac",
+            "dac",
+            full_scale=self.dac.full_scale,
+            level_mismatch=self.dac.level_mismatch,
+        )
+        graph.add_node("out", "sink")
+        out1 = f"int1.{self._int1.output_node}"
+        out2 = f"int2.{self._int2.output_node}"
+        graph.connect("in", "int1.cell")
+        graph.connect(out1, "int2.cell")
+        graph.connect(out2, "quantizer")
+        graph.connect("quantizer", "dac")
+        graph.connect("quantizer", "out")
+        graph.connect("dac", "int1.cell")
+        graph.connect("dac", "int2.cell")
+        return graph

@@ -1,0 +1,61 @@
+"""Static electrical-rule checking (ERC) for composed SI designs.
+
+The paper's circuits only work when a handful of *structural*
+invariants hold: cascaded memory cells must be clocked on alternating
+non-overlapping phases, the supply must satisfy the headroom equations
+(Eqs. 1-2) at the intended modulation index, differential cascades need
+common-mode control, the class-AB bias must cover the intended signal
+swing, and modulator loops need consistent full-scale references.
+Until now these were enforced only dynamically (mid-simulation, via
+:class:`~repro.errors.ClockingError` and friends) or not at all.
+
+This subpackage is the static half: every composed design exposes a
+declarative :class:`~repro.erc.graph.CircuitGraph` via a
+``describe_graph()`` hook, and :func:`~repro.erc.checker.run_erc`
+evaluates a registry of pluggable rules against that graph *without
+simulating anything* -- the same pre-flight pattern hardware generators
+use (DRC/LVS before every expensive run).  A malformed design is
+rejected in microseconds instead of after a 64K-sample simulation.
+
+Quick use::
+
+    from repro.deltasigma import SIModulator2
+    from repro.erc import run_erc
+
+    report = run_erc(SIModulator2())
+    assert report.ok, report.render_table()
+
+:class:`~repro.systems.testbench.TestBench` performs this check
+automatically before every measurement (pass ``erc=False`` to opt
+out), and ``repro erc <design>`` runs it from the shell.
+"""
+
+from repro.erc.graph import CircuitGraph, CircuitNode
+from repro.erc.rules import (
+    DEFAULT_MAX_FANOUT,
+    MAX_MODELED_MODULATION_INDEX,
+    ErcViolation,
+    Rule,
+    RuleRegistry,
+    Severity,
+    default_registry,
+)
+from repro.erc.checker import ErcReport, check_design, run_erc
+from repro.erc.designs import DESIGNS, build_design
+
+__all__ = [
+    "CircuitGraph",
+    "CircuitNode",
+    "DEFAULT_MAX_FANOUT",
+    "MAX_MODELED_MODULATION_INDEX",
+    "ErcViolation",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "default_registry",
+    "ErcReport",
+    "check_design",
+    "run_erc",
+    "DESIGNS",
+    "build_design",
+]

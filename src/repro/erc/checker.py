@@ -1,0 +1,164 @@
+"""Run the ERC rule registry over a design graph and report.
+
+The checker is the LVS/DRC analogue for this library: it takes any
+object with a ``describe_graph()`` hook (or a ready-made
+:class:`~repro.erc.graph.CircuitGraph`), evaluates every registered
+rule, and returns an :class:`ErcReport` that knows how to render
+itself as a paper-style table and whether the design is clean enough
+to simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.erc.graph import CircuitGraph
+from repro.erc.rules import (
+    ErcViolation,
+    RuleRegistry,
+    Severity,
+    default_registry,
+)
+from repro.errors import ConfigurationError, ERCError
+from repro.reporting.tables import render_table
+
+__all__ = ["ErcReport", "run_erc", "check_design"]
+
+
+@dataclass(frozen=True)
+class ErcReport:
+    """Outcome of one ERC pass over a design.
+
+    Attributes
+    ----------
+    design:
+        Name of the checked design graph.
+    violations:
+        Every violation found, in rule order.
+    """
+
+    design: str
+    violations: tuple[ErcViolation, ...]
+
+    @property
+    def errors(self) -> tuple[ErcViolation, ...]:
+        """Return the ERROR-severity violations."""
+        return tuple(v for v in self.violations if v.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[ErcViolation, ...]:
+        """Return the WARNING-severity violations."""
+        return tuple(v for v in self.violations if v.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """Return True when no ERROR-severity violation was found."""
+        return not self.errors
+
+    def filtered(self, min_severity: Severity) -> "ErcReport":
+        """Return a copy keeping only violations at or above a severity."""
+        return ErcReport(
+            design=self.design,
+            violations=tuple(
+                v for v in self.violations if v.severity >= min_severity
+            ),
+        )
+
+    def summary(self) -> str:
+        """Return a one-line pass/fail summary."""
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"ERC {verdict}: {self.design} -- {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.violations)} total"
+        )
+
+    def render_table(self) -> str:
+        """Return the violations as a paper-style text table."""
+        rows = [
+            (
+                v.rule,
+                v.severity.name,
+                v.node if v.node is not None else "<design>",
+                v.message,
+            )
+            for v in self.violations
+        ]
+        if not rows:
+            rows = [("-", "-", "-", "no violations")]
+        return render_table(
+            f"ERC report: {self.design}",
+            ("rule", "severity", "node", "message"),
+            rows,
+        )
+
+
+def _resolve_graph(design: Any) -> CircuitGraph:
+    """Return the circuit graph for a design object or graph."""
+    if isinstance(design, CircuitGraph):
+        return design
+    describe = getattr(design, "describe_graph", None)
+    if describe is None:
+        raise ConfigurationError(
+            f"{type(design).__name__} has no describe_graph() hook and is "
+            "not a CircuitGraph; ERC cannot see its structure"
+        )
+    graph = describe()
+    if not isinstance(graph, CircuitGraph):
+        raise ConfigurationError(
+            f"{type(design).__name__}.describe_graph() returned "
+            f"{type(graph).__name__}, expected CircuitGraph"
+        )
+    return graph
+
+
+def run_erc(
+    design: Any,
+    registry: RuleRegistry | None = None,
+    min_severity: Severity = Severity.INFO,
+) -> ErcReport:
+    """Statically check a design and return the report.
+
+    Parameters
+    ----------
+    design:
+        A :class:`~repro.erc.graph.CircuitGraph` or any object exposing
+        ``describe_graph()`` (the delay line, the biquad cascade, both
+        modulators, ...).
+    registry:
+        Rules to evaluate; the default eight-rule registry when omitted.
+    min_severity:
+        Violations below this severity are dropped from the report.
+    """
+    graph = _resolve_graph(design)
+    rules = registry if registry is not None else default_registry()
+    violations: list[ErcViolation] = []
+    for rule in rules:
+        violations.extend(rule.check(graph))
+    report = ErcReport(design=graph.name, violations=tuple(violations))
+    return report.filtered(min_severity)
+
+
+def check_design(
+    design: Any,
+    registry: RuleRegistry | None = None,
+) -> ErcReport:
+    """Run ERC and raise when the design has blocking violations.
+
+    Returns the report on success so callers can still inspect
+    warnings.
+
+    Raises
+    ------
+    ERCError
+        If any ERROR-severity violation was found; the exception
+        carries the report on its ``report`` attribute.
+    """
+    report = run_erc(design, registry=registry)
+    if not report.ok:
+        detail = "; ".join(str(v) for v in report.errors)
+        raise ERCError(
+            f"{report.summary()}: {detail}",
+            report=report,
+        )
+    return report

@@ -1,0 +1,108 @@
+"""Named paper designs for the ``repro erc`` command.
+
+Each factory builds the paper-faithful composition of a design and
+returns its circuit graph, annotated with the operating-point
+parameters (supply, full scale, oversampling ratio) the rules check
+against.  All of these pass ERC with zero errors -- they are the
+designs the chip actually implements -- so the command's interesting
+use is checking *modified* configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import (
+    MODULATOR_CLOCK,
+    OVERSAMPLING_RATIO,
+    SUPPLY_VOLTAGE,
+    delay_line_cell_config,
+    paper_cell_config,
+)
+from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.deltasigma.modulator1 import SIModulator1
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.erc.graph import CircuitGraph
+from repro.errors import ConfigurationError
+from repro.si.cascade import BiquadCascade
+from repro.si.delay_line import DelayLine
+
+__all__ = ["DESIGNS", "build_design"]
+
+
+def _delay_line() -> CircuitGraph:
+    """Table 1 delay line: two cascaded cells, 8 uA peak at 3.3 V."""
+    line = DelayLine(delay_line_cell_config(), n_cells=2)
+    return line.describe_graph(
+        peak_signal_current=8e-6, supply_voltage=SUPPLY_VOLTAGE
+    )
+
+
+def _modulator1() -> CircuitGraph:
+    """First-order baseline modulator loop."""
+    modulator = SIModulator1(
+        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
+    )
+    graph = modulator.describe_graph(supply_voltage=SUPPLY_VOLTAGE)
+    graph.params["oversampling_ratio"] = OVERSAMPLING_RATIO
+    return graph
+
+
+def _modulator2() -> CircuitGraph:
+    """Fig. 3(a) second-order modulator loop."""
+    modulator = SIModulator2(
+        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
+    )
+    graph = modulator.describe_graph(supply_voltage=SUPPLY_VOLTAGE)
+    graph.params["oversampling_ratio"] = OVERSAMPLING_RATIO
+    return graph
+
+
+def _chopper_modulator() -> CircuitGraph:
+    """Fig. 3(b) chopper-stabilised modulator loop."""
+    modulator = ChopperStabilizedSIModulator(
+        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
+    )
+    graph = modulator.describe_graph(supply_voltage=SUPPLY_VOLTAGE)
+    graph.params["oversampling_ratio"] = OVERSAMPLING_RATIO
+    return graph
+
+
+def _biquad_cascade() -> CircuitGraph:
+    """A sixth-order 100 kHz Butterworth band-pass SI filter."""
+    cascade = BiquadCascade(
+        center_frequency=100e3,
+        n_sections=3,
+        sample_rate=5e6,
+        config=paper_cell_config(),
+    )
+    graph = cascade.describe_graph(peak_signal_current=2e-6)
+    graph.params["supply_voltage"] = SUPPLY_VOLTAGE
+    return graph
+
+
+#: Named designs checkable from the shell via ``repro erc <name>``.
+DESIGNS: dict[str, Callable[[], CircuitGraph]] = {
+    "delay-line": _delay_line,
+    "mod1": _modulator1,
+    "mod2": _modulator2,
+    "chopper": _chopper_modulator,
+    "biquad-cascade": _biquad_cascade,
+}
+
+
+def build_design(name: str) -> CircuitGraph:
+    """Build the named design's circuit graph.
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is not a registered design.
+    """
+    try:
+        factory = DESIGNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown design {name!r}; available: {', '.join(sorted(DESIGNS))}"
+        ) from None
+    return factory()

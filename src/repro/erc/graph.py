@@ -1,0 +1,238 @@
+"""Declarative circuit graphs: the structure ERC rules are checked on.
+
+A :class:`CircuitGraph` is a tiny directed multigraph of named
+:class:`CircuitNode` instances.  It deliberately models *structure*,
+not behaviour: a node records what a block **is** (kind and electrical
+parameters), an edge records what drives what.  Design classes build
+their graph in a ``describe_graph()`` method; rules in
+:mod:`repro.erc.rules` then walk the graph without executing any
+simulation code.
+
+Node kinds used by the built-in designs and rules:
+
+``source`` / ``sink``
+    Stimulus input and measured output terminals.
+``memory_cell``
+    One SI memory cell (or the cell inside an integrator /
+    differentiator stage).  Carries the electrical parameters the
+    headroom, bias, clocking and units rules need.
+``cmff`` / ``cmfb``
+    Common-mode control stage attached to a differential signal path.
+``quantizer`` / ``dac``
+    The modulator loop's decision and feedback elements.
+``chopper``
+    A chopper switch pair; ``role`` is ``"input"`` or ``"output"``.
+``mirror``
+    A current-mirror output replication point (fan-out limited).
+
+The set is open: rules only look at kinds and parameters they know,
+so new designs can introduce new kinds freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CircuitGraph", "CircuitNode"]
+
+
+@dataclass(frozen=True)
+class CircuitNode:
+    """One block of a composed design.
+
+    Attributes
+    ----------
+    name:
+        Graph-unique identifier, e.g. ``"cell[0]"`` or ``"int1.cmff"``.
+    kind:
+        Block category (see module docstring for the built-in kinds).
+    params:
+        Electrical/structural parameters the rules inspect (phases,
+        currents, full scales, fan-out limits, ...).
+    """
+
+    name: str
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Return one parameter, or ``default`` when absent."""
+        return self.params.get(key, default)
+
+
+class CircuitGraph:
+    """A named directed graph of circuit blocks.
+
+    Parameters
+    ----------
+    name:
+        Design name shown in ERC reports.
+    params:
+        Graph-level parameters shared by all nodes (supply voltage,
+        sample rate, full scale, oversampling ratio, ...).  Node
+        parameters shadow graph parameters of the same name.
+    """
+
+    def __init__(self, name: str, **params: Any) -> None:
+        if not name:
+            raise ConfigurationError("graph name must be non-empty")
+        self.name = name
+        self.params: dict[str, Any] = dict(params)
+        self._nodes: dict[str, CircuitNode] = {}
+        self._edges: list[tuple[str, str]] = []
+
+    # -- construction --------------------------------------------------
+
+    def add_node(self, name: str, kind: str, **params: Any) -> CircuitNode:
+        """Create, register and return a node.
+
+        Raises
+        ------
+        ConfigurationError
+            If a node of the same name already exists.
+        """
+        if name in self._nodes:
+            raise ConfigurationError(f"duplicate node name {name!r}")
+        if not kind:
+            raise ConfigurationError(f"node {name!r} needs a non-empty kind")
+        node = CircuitNode(name=name, kind=kind, params=dict(params))
+        self._nodes[name] = node
+        return node
+
+    def connect(self, driver: str, receiver: str) -> None:
+        """Add a directed edge from ``driver`` to ``receiver``.
+
+        Raises
+        ------
+        ConfigurationError
+            If either endpoint is not a registered node.
+        """
+        for endpoint in (driver, receiver):
+            if endpoint not in self._nodes:
+                raise ConfigurationError(
+                    f"cannot connect unknown node {endpoint!r}"
+                )
+        self._edges.append((driver, receiver))
+
+    def chain(self, *names: str) -> None:
+        """Connect a sequence of nodes in cascade order."""
+        for driver, receiver in zip(names, names[1:]):
+            self.connect(driver, receiver)
+
+    def include(self, sub: "CircuitGraph", prefix: str) -> dict[str, str]:
+        """Copy another graph's nodes and edges under a name prefix.
+
+        Used for composition: a modulator graph includes its
+        integrators' sub-graphs.  Returns the old-name to new-name
+        mapping.  The sub-graph's graph-level parameters are merged in
+        without overriding existing keys.
+        """
+        mapping: dict[str, str] = {}
+        for node in sub.nodes():
+            new_name = f"{prefix}.{node.name}"
+            self.add_node(new_name, node.kind, **dict(node.params))
+            mapping[node.name] = new_name
+        for driver, receiver in sub.edges():
+            self.connect(mapping[driver], mapping[receiver])
+        for key, value in sub.params.items():
+            self.params.setdefault(key, value)
+        return mapping
+
+    # -- inspection ----------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> CircuitNode:
+        """Return a node by name.
+
+        Raises
+        ------
+        ConfigurationError
+            If no node of that name exists.
+        """
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"no node named {name!r}") from None
+
+    def nodes(self, kind: str | None = None) -> Iterator[CircuitNode]:
+        """Yield all nodes, optionally restricted to one kind."""
+        for node in self._nodes.values():
+            if kind is None or node.kind == kind:
+                yield node
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """Yield all ``(driver, receiver)`` edges."""
+        yield from self._edges
+
+    def successors(self, name: str) -> list[CircuitNode]:
+        """Return the nodes directly driven by ``name``."""
+        self.node(name)
+        return [self._nodes[r] for d, r in self._edges if d == name]
+
+    def predecessors(self, name: str) -> list[CircuitNode]:
+        """Return the nodes directly driving ``name``."""
+        self.node(name)
+        return [self._nodes[d] for d, r in self._edges if r == name]
+
+    def out_degree(self, name: str) -> int:
+        """Return how many receivers the node drives."""
+        self.node(name)
+        return sum(1 for d, _ in self._edges if d == name)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Return a graph-level parameter, or ``default`` when absent."""
+        return self.params.get(key, default)
+
+    def node_param(self, node: CircuitNode, key: str, default: Any = None) -> Any:
+        """Return a node parameter, falling back to the graph parameter."""
+        if key in node.params:
+            return node.params[key]
+        return self.params.get(key, default)
+
+    def cascades(self, kinds: frozenset[str] | set[str]) -> list[list[CircuitNode]]:
+        """Return maximal directed runs of nodes whose kind is in ``kinds``.
+
+        A *cascade* is a chain ``n0 -> n1 -> ... -> nk`` in which every
+        node's kind belongs to ``kinds`` and consecutive nodes are
+        directly connected.  Runs are maximal: they start at stage
+        nodes with no in-kind predecessor.  The clock-phase and CMFF
+        rules both operate on these runs.
+        """
+        kinds = frozenset(kinds)
+        stage_names = {n.name for n in self.nodes() if n.kind in kinds}
+
+        def stage_successors(name: str) -> list[str]:
+            return [s.name for s in self.successors(name) if s.name in stage_names]
+
+        def stage_predecessors(name: str) -> list[str]:
+            return [p.name for p in self.predecessors(name) if p.name in stage_names]
+
+        runs: list[list[CircuitNode]] = []
+        heads = [n for n in stage_names if not stage_predecessors(n)]
+        for head in sorted(heads):
+            run = [head]
+            seen = {head}
+            current = head
+            while True:
+                nexts = [n for n in stage_successors(current) if n not in seen]
+                if len(nexts) != 1:
+                    break
+                current = nexts[0]
+                run.append(current)
+                seen.add(current)
+            runs.append([self._nodes[n] for n in run])
+        return runs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitGraph({self.name!r}, nodes={len(self._nodes)}, "
+            f"edges={len(self._edges)})"
+        )

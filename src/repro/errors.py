@@ -34,6 +34,21 @@ class ClockingError(ReproError):
     """A sampled-data block was evaluated on the wrong clock phase."""
 
 
+class ERCError(ReproError):
+    """A static electrical-rule check found blocking violations.
+
+    Raised by :func:`repro.erc.checker.check_design` (and therefore by
+    :class:`~repro.systems.testbench.TestBench` pre-flight checking)
+    when a design graph violates an ERROR-severity rule.  The full
+    :class:`~repro.erc.checker.ErcReport` is available on
+    :attr:`report` so callers can render the violation table.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class AnalysisError(ReproError):
     """A measurement or spectral analysis could not be performed."""
 

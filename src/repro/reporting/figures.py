@@ -73,7 +73,7 @@ def sweep_series(
         raise ConfigurationError(
             f"shape mismatch: {levels.shape} vs {values.shape}"
         )
-    return [(float(l), float(v)) for l, v in zip(levels, values)]
+    return [(float(level), float(v)) for level, v in zip(levels, values)]
 
 
 def ascii_plot(
@@ -97,7 +97,9 @@ def ascii_plot(
             f"series must be equal-shaped and non-empty, got {xs.shape}, {ys.shape}"
         )
     if width < 8 or height < 4:
-        raise ConfigurationError("plot must be at least 8x4 characters")
+        raise ConfigurationError(
+            f"plot must be at least 8x4 characters, got {width}x{height}"
+        )
 
     x_min, x_max = float(np.min(xs)), float(np.max(xs))
     y_min, y_max = float(np.min(ys)), float(np.max(ys))

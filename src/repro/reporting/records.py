@@ -63,7 +63,10 @@ class PaperComparison:
             If experiment or quantity are empty.
         """
         if not experiment or not quantity:
-            raise ConfigurationError("experiment and quantity must be non-empty")
+            raise ConfigurationError(
+                "experiment and quantity must be non-empty, got "
+                f"{experiment!r} / {quantity!r}"
+            )
         self.records.append(
             ComparisonRecord(
                 experiment=experiment,

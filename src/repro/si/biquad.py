@@ -164,6 +164,47 @@ class SIBiquad:
             bp[n], lp[n] = self.step(float(data[n]))
         return bp, lp
 
+    def describe_subgraph(self, peak_signal_current: float | None = None):
+        """Return the section's circuit sub-graph for static rule checking.
+
+        Two integrator stages on alternating clock phases, with the
+        band-pass feedback loop (damping and low-pass return paths)
+        expressed as edges.  :class:`~repro.si.cascade.BiquadCascade`
+        splices one of these per section.
+        """
+        from repro.clocks.phases import Phase
+        from repro.erc.graph import CircuitGraph
+
+        graph = CircuitGraph("SIBiquad")
+        for prefix, stage, phase in (
+            ("int1", self._int1, Phase.PHI1),
+            ("int2", self._int2, Phase.PHI2),
+        ):
+            graph.include(
+                stage.describe_subgraph(
+                    sample_phase=phase,
+                    peak_signal_current=peak_signal_current,
+                ),
+                prefix,
+            )
+        out1 = f"int1.{self._int1.output_node}"
+        out2 = f"int2.{self._int2.output_node}"
+        graph.connect(out1, "int2.cell")
+        # Damping (q w1) and low-pass (w2) currents both return to the
+        # first integrator's summing input.
+        graph.connect(out1, "int1.cell")
+        graph.connect(out2, "int1.cell")
+        return graph
+
+    def describe_graph(self, peak_signal_current: float | None = None):
+        """Return the standalone circuit graph for static rule checking."""
+        graph = self.describe_subgraph(peak_signal_current)
+        graph.add_node("in", "source")
+        graph.add_node("out", "sink")
+        graph.connect("in", "int1.cell")
+        graph.connect(f"int2.{self._int2.output_node}", "out")
+        return graph
+
     def frequency_response(
         self, frequencies: np.ndarray, sample_rate: float
     ) -> np.ndarray:

@@ -112,6 +112,33 @@ class BiquadCascade:
             output[n] = self.step(float(data[n]))
         return output
 
+    def describe_graph(self, peak_signal_current: float | None = None):
+        """Return the cascade's circuit graph for static rule checking.
+
+        Each biquad section contributes its sub-graph (two integrator
+        stages plus CMFF); consecutive sections are chained band-pass
+        output to input.
+        """
+        from repro.erc.graph import CircuitGraph
+
+        graph = CircuitGraph(
+            f"BiquadCascade[order={self.order}]",
+            sample_rate=self.sample_rate,
+            center_frequency=self.center_frequency,
+        )
+        graph.add_node("in", "source")
+        previous = "in"
+        for index, section in enumerate(self.sections):
+            prefix = f"section[{index}]"
+            graph.include(
+                section.describe_subgraph(peak_signal_current), prefix
+            )
+            graph.connect(previous, f"{prefix}.int1.cell")
+            previous = f"{prefix}.int1.{section._int1.output_node}"
+        graph.add_node("out", "sink")
+        graph.connect(previous, "out")
+        return graph
+
     def frequency_response(self, frequencies: np.ndarray) -> np.ndarray:
         """Return the ideal cascade magnitude response (product of sections)."""
         freqs = np.asarray(frequencies, dtype=float)

@@ -95,6 +95,18 @@ class CommonModeFeedforward:
         result = self.apply(probe)
         return result.common_mode / test_cm
 
+    def erc_params(self) -> dict[str, float | int]:
+        """Return the structural parameters the static rule checker reads.
+
+        Designs that embed a CMFF stage attach these to the ``cmff``
+        node of their circuit graph (:mod:`repro.erc.graph`).
+        """
+        return {
+            "headroom_saturation_voltages": self.headroom_saturation_voltages,
+            "latency_samples": self.latency_samples,
+            "sense_gain": self.sense_pos.nominal_gain + self.sense_neg.nominal_gain,
+        }
+
     def differential_leakage(self, test_cm: float = 1e-6) -> float:
         """Return the CM-to-differential conversion ratio.
 

@@ -101,3 +101,43 @@ class DelayLine:
     def slew_event_fraction(self) -> float:
         """Return the largest per-cell slew fraction in the cascade."""
         return max(cell.slew_event_fraction for cell in self.cells)
+
+    def describe_graph(
+        self,
+        peak_signal_current: float = 8e-6,
+        supply_voltage: float = 3.3,
+    ):
+        """Return the declarative circuit graph for static rule checking.
+
+        The cells are annotated with alternating sample phases (first
+        cell on PHI1, second on PHI2, ...), exactly how the chip clocks
+        its cascade.  Defaults describe the Table 1 operating point:
+        8 uA peak input at the 3.3 V supply.
+        """
+        from repro.clocks.phases import alternating_phases
+        from repro.erc.graph import CircuitGraph
+
+        graph = CircuitGraph(
+            f"DelayLine[{self.n_cells}]",
+            supply_voltage=supply_voltage,
+            sample_rate=self.config.sample_rate,
+        )
+        graph.add_node("in", "source")
+        names = []
+        for index, phase in enumerate(alternating_phases(self.n_cells)):
+            name = f"cell[{index}]"
+            graph.add_node(
+                name,
+                "memory_cell",
+                sample_phase=phase,
+                read_phase=phase.other,
+                peak_signal_current=peak_signal_current,
+                differential=True,
+                integrating=False,
+                cell_class="class_ab",
+                **self.config.erc_params(),
+            )
+            names.append(name)
+        graph.add_node("out", "sink")
+        graph.chain("in", *names, "out")
+        return graph

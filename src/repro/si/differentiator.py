@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.clocks.phases import Phase
 from repro.errors import ConfigurationError
 from repro.si.cmff import CommonModeFeedforward
 from repro.si.differential import DifferentialSample
@@ -106,3 +107,41 @@ class SIDifferentiator:
         """Scalar convenience wrapper around :meth:`step`."""
         result = self.step(DifferentialSample.from_components(differential_input))
         return result.differential
+
+    def describe_subgraph(
+        self,
+        sample_phase: Phase = Phase.PHI1,
+        peak_signal_current: float | None = None,
+    ):
+        """Return this stage's circuit sub-graph for static rule checking.
+
+        Mirrors :meth:`repro.si.integrator.SIIntegrator.describe_subgraph`;
+        the differentiator's common-mode recursion is still an
+        integrator (the state crossing flips only the differential
+        component), so its cell is likewise marked ``integrating``.
+        """
+        from repro.erc.graph import CircuitGraph
+
+        config = self._cell.config
+        graph = CircuitGraph("SIDifferentiator")
+        graph.add_node(
+            "cell",
+            "memory_cell",
+            sample_phase=sample_phase,
+            read_phase=sample_phase.other,
+            peak_signal_current=peak_signal_current,
+            differential=True,
+            integrating=True,
+            cell_class="class_ab",
+            gain=self.gain,
+            **config.erc_params(),
+        )
+        if self.cmff is not None:
+            graph.add_node("cmff", "cmff", **self.cmff.erc_params())
+            graph.connect("cell", "cmff")
+        return graph
+
+    @property
+    def output_node(self) -> str:
+        """Return the name of this stage's output node in its sub-graph."""
+        return "cmff" if self.cmff is not None else "cell"

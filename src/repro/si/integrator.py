@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.clocks.phases import Phase
 from repro.errors import ConfigurationError
 from repro.si.cmff import CommonModeFeedforward
 from repro.si.differential import DifferentialSample
@@ -113,3 +114,44 @@ class SIIntegrator:
         """Scalar convenience wrapper around :meth:`step`."""
         result = self.step(DifferentialSample.from_components(differential_input))
         return result.differential
+
+    def describe_subgraph(
+        self,
+        sample_phase: Phase = Phase.PHI1,
+        peak_signal_current: float | None = None,
+    ):
+        """Return this stage's circuit sub-graph for static rule checking.
+
+        The sub-graph holds a ``cell`` node (marked ``integrating`` --
+        an SI integrator has infinite DC common-mode gain, which is
+        what the CMFF-coverage rule keys on) and, when common-mode
+        control is attached, a ``cmff`` node at the cell output.
+        Composite designs splice it in with
+        :meth:`repro.erc.graph.CircuitGraph.include`; the stage's
+        output node is ``cmff`` when present, else ``cell``.
+        """
+        from repro.erc.graph import CircuitGraph
+
+        config = self._cell.config
+        graph = CircuitGraph("SIIntegrator")
+        graph.add_node(
+            "cell",
+            "memory_cell",
+            sample_phase=sample_phase,
+            read_phase=sample_phase.other,
+            peak_signal_current=peak_signal_current,
+            differential=True,
+            integrating=True,
+            cell_class="class_ab",
+            gain=self.gain,
+            **config.erc_params(),
+        )
+        if self.cmff is not None:
+            graph.add_node("cmff", "cmff", **self.cmff.erc_params())
+            graph.connect("cell", "cmff")
+        return graph
+
+    @property
+    def output_node(self) -> str:
+        """Return the name of this stage's output node in its sub-graph."""
+        return "cmff" if self.cmff is not None else "cell"

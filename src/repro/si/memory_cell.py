@@ -180,6 +180,24 @@ class MemoryCellConfig:
         """Return a copy with noise disabled but static errors retained."""
         return replace(self, thermal_noise_rms=0.0, flicker_corner_hz=0.0)
 
+    def erc_params(self) -> dict[str, float | bool]:
+        """Return the electrical parameters the static rule checker reads.
+
+        Composite designs splice this dictionary into their
+        :class:`~repro.erc.graph.CircuitNode` parameters so the
+        headroom, class-AB-bias and units rules
+        (:mod:`repro.erc.rules`) can check the cell without
+        constructing or simulating it.
+        """
+        return {
+            "quiescent_current": self.quiescent_current,
+            "sample_rate": self.sample_rate,
+            "thermal_noise_rms": self.thermal_noise_rms,
+            "flicker_corner_hz": self.flicker_corner_hz,
+            "gga_bias_current": self.gga.bias_current,
+            "cds_enabled": self.cds_enabled,
+        }
+
 
 class _NoiseFeed:
     """Chunked per-sample noise supply for the stepping loops.

@@ -4,6 +4,11 @@ One object ties together stimulus generation, the device under test and
 the Blackman-window FFT metrology, so every bench and example measures
 in exactly the same way (64K-point FFT by default, matching "a 64K-point
 FFT using a blackman window").
+
+Before simulating, the bench runs the static electrical-rule checker
+(:mod:`repro.erc`) on any device that exposes a ``describe_graph()``
+hook and refuses to waste a 64K-sample run on a design with blocking
+violations; pass ``erc=False`` to opt out.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from repro.errors import AnalysisError
 from repro.analysis.metrics import ToneMetrics, measure_tone
 from repro.analysis.spectrum import Spectrum, compute_spectrum
 from repro.analysis.windows import WindowKind
+from repro.erc.checker import check_design
 from repro.systems.stimulus import SineStimulus, coherent_frequency
 
 __all__ = ["BenchMeasurement", "TestBench"]
@@ -79,6 +85,12 @@ class TestBench:
         FFT window; Blackman by default.
     settle_samples:
         Leading samples discarded before analysis.
+    erc:
+        Run the static electrical-rule checker on devices that expose
+        ``describe_graph()`` before simulating them, and refuse (raise
+        :class:`~repro.errors.ERCError`) when the design has blocking
+        violations.  Set to False to simulate a known-violating design
+        anyway (ablation studies do this deliberately).
     """
 
     __test__ = False
@@ -90,6 +102,7 @@ class TestBench:
         bandwidth: float | None = None,
         window_kind: WindowKind = WindowKind.BLACKMAN,
         settle_samples: int = 256,
+        erc: bool = True,
     ) -> None:
         if sample_rate <= 0.0:
             raise AnalysisError(f"sample_rate must be positive, got {sample_rate!r}")
@@ -104,6 +117,22 @@ class TestBench:
         self.bandwidth = bandwidth
         self.window_kind = window_kind
         self.settle_samples = settle_samples
+        self.erc = erc
+
+    def preflight(self, device: DeviceUnderTest) -> None:
+        """Statically check a device before simulating it.
+
+        Devices without a ``describe_graph()`` hook (plain callables)
+        are skipped -- ERC can only check declared structure.
+
+        Raises
+        ------
+        ERCError
+            If the device's design graph has ERROR-severity violations
+            and the bench was built with ``erc=True``.
+        """
+        if self.erc and hasattr(device, "describe_graph"):
+            check_design(device)
 
     def make_stimulus(self, amplitude: float, frequency: float) -> SineStimulus:
         """Return a coherent tone stimulus at the bench's settings."""
@@ -141,7 +170,11 @@ class TestBench:
         AnalysisError
             If the device returns the wrong number of samples or the
             disturbance length is wrong.
+        ERCError
+            If pre-flight checking is enabled and the device's design
+            graph has blocking violations (see :meth:`preflight`).
         """
+        self.preflight(device)
         total = self.n_samples + self.settle_samples
         stimulus = self.make_stimulus(amplitude, frequency)
         drive = stimulus.generate(total)

@@ -1,10 +1,8 @@
 """Tests for the two-phase non-overlapping clock."""
 
-import math
-
 import pytest
 
-from repro.clocks.phases import ClockEvent, Phase, TwoPhaseClock
+from repro.clocks.phases import Phase, TwoPhaseClock
 from repro.errors import ClockingError, ConfigurationError
 
 

@@ -1,6 +1,5 @@
 """Tests for the one-bit current quantiser."""
 
-import numpy as np
 import pytest
 
 from repro.deltasigma.quantizer import CurrentQuantizer

@@ -25,10 +25,10 @@ class TestSigmaLaws:
     def test_sigma_beta_magnitude(self, sampler):
         assert sampler.sigma_beta_rel(10e-6, 10e-6) == pytest.approx(0.002, rel=0.01)
 
-    @pytest.mark.parametrize("w,l", [(0.0, 1e-6), (1e-6, -1e-6)])
-    def test_rejects_bad_geometry(self, sampler, w, l):
+    @pytest.mark.parametrize("w,length", [(0.0, 1e-6), (1e-6, -1e-6)])
+    def test_rejects_bad_geometry(self, sampler, w, length):
         with pytest.raises(ConfigurationError):
-            sampler.sigma_vth(w, l)
+            sampler.sigma_vth(w, length)
 
 
 class TestSampling:

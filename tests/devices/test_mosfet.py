@@ -1,7 +1,5 @@
 """Tests for the square-law MOSFET model."""
 
-import math
-
 import pytest
 
 from repro.devices.mosfet import Mosfet, MosfetParameters
@@ -24,10 +22,10 @@ class TestParameters:
         with pytest.raises(ConfigurationError):
             MosfetParameters("x", width=1e-6, length=1e-6)
 
-    @pytest.mark.parametrize("w,l", [(0.0, 1e-6), (1e-6, 0.0), (-1e-6, 1e-6)])
-    def test_rejects_nonpositive_geometry(self, w, l):
+    @pytest.mark.parametrize("w,length", [(0.0, 1e-6), (1e-6, 0.0), (-1e-6, 1e-6)])
+    def test_rejects_nonpositive_geometry(self, w, length):
         with pytest.raises(ConfigurationError):
-            MosfetParameters("n", width=w, length=l)
+            MosfetParameters("n", width=w, length=length)
 
 
 class TestDcCharacteristics:

@@ -1,0 +1,109 @@
+"""Tests for the declarative circuit graph."""
+
+import pytest
+
+from repro.erc.graph import CircuitGraph
+from repro.errors import ConfigurationError
+
+
+def build_chain(n=3):
+    graph = CircuitGraph("chain", supply_voltage=3.3)
+    graph.add_node("in", "source")
+    names = []
+    for index in range(n):
+        names.append(f"cell[{index}]")
+        graph.add_node(names[-1], "memory_cell", index=index)
+    graph.add_node("out", "sink")
+    graph.chain("in", *names, "out")
+    return graph, names
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        graph, names = build_chain()
+        assert len(graph) == 5
+        assert names[0] in graph
+        assert graph.node(names[1]).param("index") == 1
+        assert list(graph.edges())[0] == ("in", "cell[0]")
+
+    def test_duplicate_node_rejected(self):
+        graph, _ = build_chain()
+        with pytest.raises(ConfigurationError):
+            graph.add_node("in", "source")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircuitGraph("")
+
+    def test_empty_kind_rejected(self):
+        graph = CircuitGraph("g")
+        with pytest.raises(ConfigurationError):
+            graph.add_node("a", "")
+
+    def test_connect_unknown_node_rejected(self):
+        graph, _ = build_chain()
+        with pytest.raises(ConfigurationError):
+            graph.connect("in", "nowhere")
+
+    def test_unknown_node_lookup_rejected(self):
+        graph, _ = build_chain()
+        with pytest.raises(ConfigurationError):
+            graph.node("nowhere")
+
+
+class TestTraversal:
+    def test_successors_predecessors(self):
+        graph, names = build_chain()
+        assert [n.name for n in graph.successors("in")] == [names[0]]
+        assert [n.name for n in graph.predecessors(names[1])] == [names[0]]
+        assert graph.out_degree(names[0]) == 1
+
+    def test_nodes_by_kind(self):
+        graph, names = build_chain()
+        assert [n.name for n in graph.nodes("memory_cell")] == names
+
+    def test_param_fallback(self):
+        graph, names = build_chain()
+        node = graph.node(names[0])
+        assert graph.node_param(node, "supply_voltage") == 3.3
+        assert graph.node_param(node, "absent", 7) == 7
+
+
+class TestCascades:
+    def test_chain_is_one_run(self):
+        graph, names = build_chain(4)
+        runs = graph.cascades({"memory_cell"})
+        assert [[n.name for n in run] for run in runs] == [names]
+
+    def test_interposed_node_breaks_run(self):
+        graph, names = build_chain(2)
+        graph.add_node("mid", "cmff")
+        # Rewire cell[0] -> mid -> cell[1] alongside the direct edge-free path.
+        other = CircuitGraph("broken")
+        other.add_node("a", "memory_cell")
+        other.add_node("mid", "cmff")
+        other.add_node("b", "memory_cell")
+        other.chain("a", "mid", "b")
+        runs = other.cascades({"memory_cell"})
+        assert sorted(len(run) for run in runs) == [1, 1]
+
+
+class TestInclude:
+    def test_include_prefixes_and_merges_params(self):
+        inner = CircuitGraph("inner", sample_rate=5e6)
+        inner.add_node("cell", "memory_cell")
+        inner.add_node("cmff", "cmff")
+        inner.connect("cell", "cmff")
+        outer = CircuitGraph("outer", supply_voltage=3.3)
+        mapping = outer.include(inner, "int1")
+        assert mapping == {"cell": "int1.cell", "cmff": "int1.cmff"}
+        assert "int1.cell" in outer
+        assert list(outer.edges()) == [("int1.cell", "int1.cmff")]
+        assert outer.param("sample_rate") == 5e6
+        assert outer.param("supply_voltage") == 3.3
+
+    def test_include_does_not_override_existing_params(self):
+        inner = CircuitGraph("inner", supply_voltage=1.0)
+        outer = CircuitGraph("outer", supply_voltage=3.3)
+        outer.include(inner, "sub")
+        assert outer.param("supply_voltage") == 3.3

@@ -1,0 +1,70 @@
+"""TestBench pre-flight: ERC gates simulation unless explicitly disabled."""
+
+import numpy as np
+import pytest
+
+from repro.config import MODULATOR_CLOCK, paper_cell_config
+from repro.deltasigma import SIModulator2
+from repro.erc.graph import CircuitGraph
+from repro.errors import ERCError
+from repro.systems import TestBench
+
+
+class ViolatingDevice:
+    """An identity device whose declared graph fails ERC005."""
+
+    def describe_graph(self):
+        graph = CircuitGraph("broken-device")
+        graph.add_node(
+            "c",
+            "memory_cell",
+            sample_phase="phi1",
+            quiescent_current=2.0,  # amps, i.e. a uA value missing its 1e-6
+        )
+        return graph
+
+    def __call__(self, x):
+        return np.asarray(x, dtype=float)
+
+
+def make_bench(**kwargs):
+    return TestBench(
+        sample_rate=MODULATOR_CLOCK,
+        n_samples=1 << 12,
+        settle_samples=16,
+        **kwargs,
+    )
+
+
+class TestPreflight:
+    def test_violating_device_refused(self):
+        with pytest.raises(ERCError) as excinfo:
+            make_bench().measure(ViolatingDevice(), amplitude=1e-6, frequency=100e3)
+        assert "ERC005" in str(excinfo.value)
+        assert not excinfo.value.report.ok
+
+    def test_opt_out_simulates_anyway(self):
+        result = make_bench(erc=False).measure(
+            ViolatingDevice(), amplitude=1e-6, frequency=100e3
+        )
+        assert np.isfinite(result.snr_db)
+
+    def test_plain_callable_skipped(self):
+        result = make_bench().measure(
+            lambda x: np.asarray(x, dtype=float), amplitude=1e-6, frequency=100e3
+        )
+        assert np.isfinite(result.snr_db)
+
+    def test_clean_design_simulates(self):
+        modulator = SIModulator2(
+            cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        )
+        result = make_bench().measure(modulator, amplitude=3e-6, frequency=100e3)
+        assert np.isfinite(result.sndr_db)
+
+    def test_preflight_method_direct(self):
+        bench = make_bench()
+        with pytest.raises(ERCError):
+            bench.preflight(ViolatingDevice())
+        bench.erc = False
+        bench.preflight(ViolatingDevice())  # no raise once disabled

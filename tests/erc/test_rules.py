@@ -1,0 +1,326 @@
+"""Per-rule tests: a paper-faithful pass and a malformed fail for each."""
+
+import math
+
+import pytest
+
+from repro.clocks import Phase
+from repro.erc.graph import CircuitGraph
+from repro.erc.rules import (
+    DEFAULT_MAX_FANOUT,
+    ChopperPairingRule,
+    ClassABBiasRule,
+    ClockPhaseRule,
+    CmffCoverageRule,
+    FanoutRule,
+    FullScaleRule,
+    HeadroomRule,
+    Rule,
+    RuleRegistry,
+    Severity,
+    UnitsRule,
+    default_registry,
+)
+from repro.errors import ConfigurationError
+
+
+def two_cell_line(phase1=Phase.PHI1, phase2=Phase.PHI2, **cell_params):
+    """Two cascaded class-AB cells at the paper's operating point."""
+    params = {
+        "quiescent_current": 2e-6,
+        "peak_signal_current": 8e-6,
+        "differential": True,
+        "integrating": False,
+        **cell_params,
+    }
+    graph = CircuitGraph("line", supply_voltage=3.3, sample_rate=5e6)
+    graph.add_node("c0", "memory_cell", sample_phase=phase1, read_phase=phase1.other, **params)
+    graph.add_node("c1", "memory_cell", sample_phase=phase2, read_phase=phase2.other, **params)
+    graph.connect("c0", "c1")
+    return graph
+
+
+def violations(rule, graph):
+    return list(rule.check(graph))
+
+
+class TestClockPhaseRule:
+    def test_alternating_cascade_passes(self):
+        assert violations(ClockPhaseRule(), two_cell_line()) == []
+
+    def test_same_phase_cascade_fails(self):
+        graph = two_cell_line(phase1=Phase.PHI1, phase2=Phase.PHI1)
+        found = violations(ClockPhaseRule(), graph)
+        assert len(found) == 1
+        assert found[0].rule == "ERC001"
+        assert found[0].severity is Severity.ERROR
+        assert "alternate" in found[0].message
+
+    def test_sample_equals_read_fails(self):
+        graph = CircuitGraph("bad")
+        graph.add_node(
+            "c", "memory_cell", sample_phase=Phase.PHI1, read_phase=Phase.PHI1
+        )
+        found = violations(ClockPhaseRule(), graph)
+        assert [v.rule for v in found] == ["ERC001"]
+        assert "same phase" in found[0].message
+
+    def test_missing_phase_fails(self):
+        graph = CircuitGraph("bad")
+        graph.add_node("c", "memory_cell")
+        found = violations(ClockPhaseRule(), graph)
+        assert [v.rule for v in found] == ["ERC001"]
+        assert "no sample_phase" in found[0].message
+
+
+class TestHeadroomRule:
+    def test_paper_supply_passes(self):
+        assert violations(HeadroomRule(), two_cell_line()) == []
+
+    def test_low_supply_fails(self):
+        graph = two_cell_line()
+        graph.params["supply_voltage"] = 2.0
+        found = violations(HeadroomRule(), graph)
+        assert len(found) == 2  # both cells
+        assert all(v.rule == "ERC002" for v in found)
+        assert "V_dd" in found[0].message
+
+    def test_cell_without_bias_skipped(self):
+        graph = CircuitGraph("g", supply_voltage=3.3)
+        graph.add_node("c", "memory_cell", sample_phase=Phase.PHI1)
+        assert violations(HeadroomRule(), graph) == []
+
+
+class TestCmffCoverageRule:
+    def test_covered_cascade_passes(self):
+        graph = two_cell_line()
+        graph.add_node("cm", "cmff")
+        graph.connect("c1", "cm")
+        assert violations(CmffCoverageRule(), graph) == []
+
+    def test_plain_delay_cascade_warns(self):
+        found = violations(CmffCoverageRule(), two_cell_line())
+        assert [v.rule for v in found] == ["ERC003"]
+        assert found[0].severity is Severity.WARNING
+
+    def test_integrating_cascade_errors(self):
+        graph = two_cell_line(integrating=True)
+        found = violations(CmffCoverageRule(), graph)
+        assert [v.severity for v in found] == [Severity.ERROR]
+        assert "without bound" in found[0].message
+
+    def test_single_ended_cascade_passes(self):
+        graph = two_cell_line(differential=False)
+        assert violations(CmffCoverageRule(), graph) == []
+
+
+class TestClassABBiasRule:
+    def test_paper_modulation_index_passes(self):
+        # m_i = 8 uA / 2 uA = 4, inside the modeled range.
+        assert violations(ClassABBiasRule(), two_cell_line()) == []
+
+    def test_excessive_modulation_index_fails(self):
+        graph = two_cell_line(peak_signal_current=40e-6)  # m_i = 20
+        found = violations(ClassABBiasRule(), graph)
+        assert len(found) == 2
+        assert all(v.rule == "ERC004" for v in found)
+        assert "modeled class-AB range" in found[0].message
+
+    def test_class_a_clipping_fails(self):
+        graph = two_cell_line(cell_class="class_a")  # m_i = 4 > 1
+        found = violations(ClassABBiasRule(), graph)
+        assert len(found) == 2
+        assert "class-A stage clips" in found[0].message
+
+    def test_custom_limit_respected(self):
+        graph = two_cell_line(peak_signal_current=40e-6)
+        graph.params["max_modulation_index"] = 25.0
+        assert violations(ClassABBiasRule(), graph) == []
+
+
+class TestUnitsRule:
+    def test_si_units_pass(self):
+        assert violations(UnitsRule(), two_cell_line()) == []
+
+    def test_microamp_as_amp_fails(self):
+        graph = two_cell_line(quiescent_current=2.0)
+        found = violations(UnitsRule(), graph)
+        assert all(v.rule == "ERC005" for v in found)
+        assert any("implausibly large" in v.message for v in found)
+
+    def test_nonpositive_sample_rate_fails(self):
+        graph = CircuitGraph("g", sample_rate=0.0)
+        found = violations(UnitsRule(), graph)
+        assert any("must be positive" in v.message for v in found)
+
+    def test_zero_corner_allowed_negative_rejected(self):
+        ok = CircuitGraph("g")
+        ok.add_node("c", "memory_cell", flicker_corner_hz=0.0)
+        assert violations(UnitsRule(), ok) == []
+        bad = CircuitGraph("g")
+        bad.add_node("c", "memory_cell", flicker_corner_hz=-1.0)
+        found = violations(UnitsRule(), bad)
+        assert any("non-negative" in v.message for v in found)
+
+    def test_non_finite_value_fails(self):
+        graph = CircuitGraph("g", sample_rate=math.inf)
+        found = violations(UnitsRule(), graph)
+        assert any("not finite" in v.message for v in found)
+
+    def test_fractional_osr_fails(self):
+        graph = CircuitGraph("g", oversampling_ratio=2.5)
+        found = violations(UnitsRule(), graph)
+        assert any("integer >= 4" in v.message for v in found)
+
+    def test_non_power_of_two_osr_warns(self):
+        graph = CircuitGraph("g", oversampling_ratio=96)
+        found = violations(UnitsRule(), graph)
+        assert [v.severity for v in found] == [Severity.WARNING]
+        assert "power of" in found[0].message
+
+    def test_paper_osr_passes(self):
+        graph = CircuitGraph("g", oversampling_ratio=128)
+        assert violations(UnitsRule(), graph) == []
+
+
+class TestFanoutRule:
+    def make_star(self, n_receivers, **hub_params):
+        graph = CircuitGraph("star")
+        graph.add_node("hub", "memory_cell", **hub_params)
+        for index in range(n_receivers):
+            graph.add_node(f"rx{index}", "sink")
+            graph.connect("hub", f"rx{index}")
+        return graph
+
+    def test_within_limit_passes(self):
+        assert violations(FanoutRule(), self.make_star(DEFAULT_MAX_FANOUT)) == []
+
+    def test_excess_fanout_fails(self):
+        found = violations(FanoutRule(), self.make_star(DEFAULT_MAX_FANOUT + 1))
+        assert [v.rule for v in found] == ["ERC006"]
+        assert f"at most {DEFAULT_MAX_FANOUT}" in found[0].message
+
+    def test_node_limit_overrides_default(self):
+        graph = self.make_star(6, max_fanout=6)
+        assert violations(FanoutRule(), graph) == []
+
+    def test_unlimited_kind_ignored(self):
+        graph = CircuitGraph("g")
+        graph.add_node("src", "source")
+        for index in range(8):
+            graph.add_node(f"rx{index}", "sink")
+            graph.connect("src", f"rx{index}")
+        assert violations(FanoutRule(), graph) == []
+
+
+class TestFullScaleRule:
+    def make_loop(self, dac_full_scale=6e-6, with_quantizer=True, with_dac=True):
+        graph = CircuitGraph("loop", full_scale=6e-6)
+        if with_quantizer:
+            graph.add_node("q", "quantizer")
+        if with_dac:
+            graph.add_node("dac", "dac", full_scale=dac_full_scale)
+        return graph
+
+    def test_matching_references_pass(self):
+        assert violations(FullScaleRule(), self.make_loop()) == []
+
+    def test_mismatched_dac_fails(self):
+        found = violations(FullScaleRule(), self.make_loop(dac_full_scale=3e-6))
+        assert [v.rule for v in found] == ["ERC007"]
+        assert "disagrees" in found[0].message
+
+    def test_dac_without_quantizer_fails(self):
+        found = violations(FullScaleRule(), self.make_loop(with_quantizer=False))
+        assert any("no quantizer" in v.message for v in found)
+
+    def test_quantizer_without_dac_fails(self):
+        found = violations(FullScaleRule(), self.make_loop(with_dac=False))
+        assert any("no feedback DAC" in v.message for v in found)
+
+    def test_filter_without_loop_passes(self):
+        assert violations(FullScaleRule(), two_cell_line()) == []
+
+
+class TestChopperPairingRule:
+    def make_choppers(self, roles):
+        graph = CircuitGraph("chop")
+        for index, role in enumerate(roles):
+            params = {} if role is None else {"role": role}
+            graph.add_node(f"ch{index}", "chopper", **params)
+        return graph
+
+    def test_paired_choppers_pass(self):
+        graph = self.make_choppers(["input", "output"])
+        assert violations(ChopperPairingRule(), graph) == []
+
+    def test_no_choppers_pass(self):
+        assert violations(ChopperPairingRule(), two_cell_line()) == []
+
+    def test_unpaired_input_fails(self):
+        found = violations(ChopperPairingRule(), self.make_choppers(["input"]))
+        assert [v.rule for v in found] == ["ERC008"]
+        assert found[0].node is None
+        assert "matching output" in found[0].message
+
+    def test_roleless_chopper_fails(self):
+        found = violations(ChopperPairingRule(), self.make_choppers([None]))
+        assert any("no valid role" in v.message for v in found)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_from_name(self):
+        assert Severity.from_name("warning") is Severity.WARNING
+        assert Severity.from_name("ERROR") is Severity.ERROR
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            Severity.from_name("fatal")
+
+
+class TestRuleRegistry:
+    def test_default_registry_has_eight_rules(self):
+        registry = default_registry()
+        assert len(registry) == 8
+        assert registry.codes() == [f"ERC00{i}" for i in range(1, 9)]
+
+    def test_duplicate_code_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ConfigurationError):
+            registry.register(ClockPhaseRule())
+
+    def test_get_and_unknown_code(self):
+        registry = default_registry()
+        assert registry.get("ERC002").name == "headroom"
+        with pytest.raises(ConfigurationError):
+            registry.get("ERC999")
+
+    def test_without_removes_rules(self):
+        registry = default_registry().without("ERC003", "ERC005")
+        assert len(registry) == 6
+        assert "ERC003" not in registry.codes()
+
+    def test_custom_rule_pluggable(self):
+        class NoSinksRule(Rule):
+            code = "ERC100"
+            name = "no-sinks"
+            severity = Severity.INFO
+
+            def check(self, graph):
+                for node in graph.nodes("sink"):
+                    yield self.violation("sink present", node.name)
+
+        registry = RuleRegistry([NoSinksRule()])
+        graph = CircuitGraph("g")
+        graph.add_node("out", "sink")
+        found = [v for rule in registry for v in rule.check(graph)]
+        assert [(v.rule, v.severity) for v in found] == [("ERC100", Severity.INFO)]
+
+    def test_violation_str_format(self):
+        rule = ClockPhaseRule()
+        text = str(rule.violation("broken", "cell[0]"))
+        assert text == "[ERC001/ERROR] cell[0]: broken"
+        assert str(rule.violation("broken")).startswith("[ERC001/ERROR] <design>:")

@@ -5,11 +5,8 @@ that every paper anchor is also guarded by the plain test suite (the
 full 64K-point versions live in ``benchmarks/``).
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis.metrics import measure_tone
-from repro.analysis.spectrum import compute_spectrum
 from repro.config import (
     DELAY_LINE_BANDWIDTH,
     DELAY_LINE_CLOCK,

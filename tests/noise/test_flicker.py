@@ -1,7 +1,5 @@
 """Tests for the flicker-noise source and CDS shaping."""
 
-import math
-
 import numpy as np
 import pytest
 

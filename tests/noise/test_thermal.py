@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.constants import MOS_THERMAL_GAMMA, kt
+from repro.constants import kt
 from repro.errors import ConfigurationError
 from repro.noise.thermal import MemoryCellThermalNoise
 

@@ -21,7 +21,7 @@ class TestRenderTable:
         text = render_table(
             "t", ("a", "bbbb"), [("xxxxxxxx", "y"), ("z", "w")]
         )
-        lines = [l for l in text.splitlines() if l and not set(l) <= {"-"}]
+        lines = [ln for ln in text.splitlines() if ln and not set(ln) <= {"-"}]
         # The second column starts at the same offset in every row.
         offsets = {line.index(token) for line, token in zip(lines[1:], ("bbbb", "y", "w"))}
         assert len(offsets) == 1

@@ -1,7 +1,5 @@
 """Tests for the minimum-supply analysis (Eqs. 1-2)."""
 
-import math
-
 import pytest
 
 from repro.devices.process import CMOS_08UM

@@ -1,6 +1,5 @@
 """Tests for the class-AB (and class-A baseline) memory cell."""
 
-import math
 from dataclasses import replace
 
 import numpy as np

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.si.power import ClassKind
 from repro.systems.chip import ChipOperatingPoint
 from repro.systems.chip import TestChip as Chip
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.devices.process import CMOS_08UM
 from repro.errors import ConfigurationError
 from repro.systems.low_voltage import LowVoltageDesigner
 

@@ -1,7 +1,5 @@
 """Tests for physical constants and derived thermal quantities."""
 
-import math
-
 import pytest
 
 from repro.constants import (
