@@ -5,6 +5,12 @@ prints the paper-vs-measured comparison, asserts the *shape* criteria
 from DESIGN.md, and registers its headline numbers as pytest-benchmark
 ``extra_info`` so they land in the benchmark report.
 
+Each :func:`run_once` call also records its wall time (and, when the
+bench declares its simulated sample count, samples-per-second
+throughput); the harness writes them to ``BENCH_telemetry.json`` at
+the repository root when the session ends, so CI can archive a
+machine-readable performance record next to the benchmark report.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -12,9 +18,16 @@ Run with::
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.config import MODULATOR_CLOCK, delay_line_cell_config, paper_cell_config
+
+#: Telemetry records accumulated by run_once during this session.
+_TELEMETRY_RECORDS: list[dict[str, object]] = []
 
 #: FFT length used by the full-fidelity benches (the paper's 64K).
 FULL_FFT = 1 << 16
@@ -36,10 +49,40 @@ def delay_config():
     return delay_line_cell_config()
 
 
-def run_once(benchmark, func):
+def run_once(benchmark, func, n_samples: int | None = None):
     """Run an experiment exactly once under pytest-benchmark timing.
 
     The experiments are deterministic simulations, so a single round is
     representative and keeps the harness fast.
+
+    ``n_samples`` is the total number of simulated samples the
+    experiment processes; benches that declare it get a
+    samples-per-second figure in ``BENCH_telemetry.json``.
     """
-    return benchmark.pedantic(func, rounds=1, iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, rounds=1, iterations=1)
+    wall_s = time.perf_counter() - start
+    _TELEMETRY_RECORDS.append(
+        {
+            "benchmark": getattr(benchmark, "name", None) or func.__qualname__,
+            "wall_s": wall_s,
+            "n_samples": n_samples,
+            "samples_per_second": (
+                n_samples / wall_s if n_samples and wall_s > 0.0 else None
+            ),
+        }
+    )
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the accumulated telemetry records as BENCH_telemetry.json."""
+    if not _TELEMETRY_RECORDS:
+        return
+    target = Path(session.config.rootpath) / "BENCH_telemetry.json"
+    payload = {
+        "n_benchmarks": len(_TELEMETRY_RECORDS),
+        "total_wall_s": sum(r["wall_s"] for r in _TELEMETRY_RECORDS),
+        "records": _TELEMETRY_RECORDS,
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n")

@@ -38,7 +38,7 @@ def test_bench_fig5(benchmark):
         )
         return bench.measure(modulator, amplitude=3e-6, frequency=2e3)
 
-    result = run_once(benchmark, experiment)
+    result = run_once(benchmark, experiment, n_samples=FULL_FFT)
 
     reference = MODULATOR_FULL_SCALE**2 / 2.0
     freqs, power_db = spectrum_series(result.spectrum, reference, max_points=96)

@@ -60,7 +60,9 @@ def test_bench_fig6(benchmark):
         )
         return raw_metrics, out_metrics, baseband_leak, frequency
 
-    raw_metrics, out_metrics, baseband_leak, frequency = run_once(benchmark, experiment)
+    raw_metrics, out_metrics, baseband_leak, frequency = run_once(
+        benchmark, experiment, n_samples=FULL_FFT
+    )
 
     tone_power = raw_metrics.signal_power
     comparison = PaperComparison()

@@ -58,7 +58,10 @@ def test_bench_fig7(benchmark):
             )
         return sweeps
 
-    sweeps = run_once(benchmark, experiment)
+    # Two modulators, one sweep FFT per level each.
+    sweeps = run_once(
+        benchmark, experiment, n_samples=2 * len(LEVELS_DB) * SWEEP_FFT
+    )
 
     table = Table(
         "Fig. 7: Signal/(Noise+THD) vs input level (0 dB = 6 uA)",

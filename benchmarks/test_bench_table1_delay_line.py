@@ -78,7 +78,10 @@ def test_bench_table1(benchmark):
         )
         return at_8ua, at_16ua, noise_rms, power
 
-    at_8ua, at_16ua, noise_rms, power = run_once(benchmark, experiment)
+    # Two full-FFT measurements plus the short wideband-noise run.
+    at_8ua, at_16ua, noise_rms, power = run_once(
+        benchmark, experiment, n_samples=2 * FULL_FFT + (1 << 13)
+    )
 
     snr_pp_convention = 20.0 * np.log10(16e-6 / noise_rms)
 

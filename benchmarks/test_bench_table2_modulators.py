@@ -61,7 +61,10 @@ def test_bench_table2(benchmark):
         power = chip.modulator_power()
         return results, power
 
-    dr, power = run_once(benchmark, experiment)
+    # Two modulators, one sweep FFT per level each.
+    dr, power = run_once(
+        benchmark, experiment, n_samples=2 * len(LEVELS_DB) * SWEEP_FFT
+    )
     bits = {name: (value - 1.76) / 6.02 for name, value in dr.items()}
 
     table = Table(

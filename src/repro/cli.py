@@ -9,13 +9,18 @@ Usage::
     python -m repro headroom     # Eqs. (1)-(2) supply sweep
     python -m repro tradeoff     # SI vs SC comparison table
     python -m repro erc mod2     # static rule check of a named design
+    python -m repro trace mod2   # traced run: spans, probes, dynamic rules
     python -m repro --list       # list the commands
 
 Each measurement command prints the paper-style table.  Full FFT
 lengths are used by default; pass ``--fast`` for a quicker,
 lower-resolution run.  ``repro erc <design>`` runs the static
 electrical-rule checker (:mod:`repro.erc`) and exits non-zero when the
-design has ERROR-severity violations.
+design has ERROR-severity violations; ``repro trace <design>`` runs a
+telemetry-instrumented simulation (:mod:`repro.telemetry`) and exits
+non-zero when a dynamic rule raises an ERROR event -- e.g. driven with
+``--overdrive 5`` the observed modulation index leaves the modeled
+class-AB range even though the declared design passes static ERC.
 """
 
 from __future__ import annotations
@@ -201,6 +206,54 @@ def cmd_erc(design: str, min_severity: str, strict: bool) -> int:
     return exit_code
 
 
+def cmd_trace(
+    design: str,
+    fast: bool = False,
+    samples: int | None = None,
+    overdrive: float = 1.0,
+    supply: float | None = None,
+    json_path: str | None = None,
+    strict: bool = False,
+) -> int:
+    """Run a traced simulation; print span, probe and event tables."""
+    from repro.telemetry import TelemetrySession, build_trace_setup, export_jsonl
+
+    setup = build_trace_setup(design)
+    n_samples = samples if samples is not None else (1 << 14 if fast else 1 << 16)
+    session = TelemetrySession(setup.name)
+    device = setup.build()
+    # Attach before the bench does so --supply reaches the probe
+    # metadata; the bench's auto-attach then finds the probes existing.
+    device.attach_telemetry(session, supply_voltage=supply)
+    bench = TestBench(
+        sample_rate=setup.sample_rate,
+        n_samples=n_samples,
+        bandwidth=setup.bandwidth,
+        telemetry=session,
+    )
+    result = bench.measure(
+        device,
+        amplitude=overdrive * setup.amplitude,
+        frequency=setup.frequency,
+    )
+    print(f"{setup.name}: {setup.description}")
+    print(
+        f"drive: {overdrive * setup.amplitude * 1e6:.2f} uA peak at "
+        f"{result.stimulus.frequency / 1e3:.3f} kHz, "
+        f"{n_samples} analysed samples"
+    )
+    print(session.render_span_tree())
+    print(session.render_probe_table())
+    print(session.render_event_table())
+    print(session.summary())
+    if json_path is not None:
+        target = export_jsonl(session, json_path)
+        print(f"trace written to {target}")
+    if not session.ok or (strict and session.warning_events):
+        return 1
+    return 0
+
+
 #: Measurement commands: name -> callable taking the --fast flag.
 COMMANDS: dict[str, Callable[[bool], None]] = {
     "table1": cmd_table1,
@@ -260,6 +313,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also exit non-zero on warnings",
     )
+    trace = subparsers.add_parser(
+        "trace",
+        help=_first_doc_line(cmd_trace),
+        description=_first_doc_line(cmd_trace),
+    )
+    from repro.telemetry.designs import TRACE_ALIASES, TRACE_DESIGNS
+
+    trace.add_argument(
+        "design",
+        choices=sorted(TRACE_DESIGNS) + sorted(TRACE_ALIASES),
+        help="design to trace",
+    )
+    trace.add_argument(
+        "--fast",
+        action="store_true",
+        help="use a shorter run (16K samples instead of 64K)",
+    )
+    trace.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analysed sample count (overrides --fast)",
+    )
+    trace.add_argument(
+        "--overdrive",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="scale the nominal stimulus amplitude by X (default: 1.0)",
+    )
+    trace.add_argument(
+        "--supply",
+        type=float,
+        default=None,
+        metavar="V",
+        help="supply voltage for the dynamic headroom rule (default: 3.3)",
+    )
+    trace.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also export the trace as JSONL to PATH",
+    )
+    trace.add_argument(
+        "--strict",
+        action="store_true",
+        help="also exit non-zero on WARNING events",
+    )
     return parser
 
 
@@ -269,6 +372,7 @@ def list_commands() -> str:
     for name in sorted(COMMANDS):
         lines.append(f"  {name:10s} {_first_doc_line(COMMANDS[name])}")
     lines.append(f"  {'erc':10s} {_first_doc_line(cmd_erc)}")
+    lines.append(f"  {'trace':10s} {_first_doc_line(cmd_trace)}")
     return "\n".join(lines)
 
 
@@ -283,6 +387,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "erc":
         return cmd_erc(args.design, args.min_severity, args.strict)
+
+    if args.command == "trace":
+        return cmd_trace(
+            args.design,
+            fast=args.fast,
+            samples=args.samples,
+            overdrive=args.overdrive,
+            supply=args.supply,
+            json_path=args.json_path,
+            strict=args.strict,
+        )
 
     COMMANDS[args.command](args.fast)
     return 0

@@ -35,6 +35,7 @@ exposed.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -124,6 +125,41 @@ class ChopperStabilizedSIModulator:
         self.dac = dac if dac is not None else FeedbackDac(full_scale=full_scale)
         self._diff1 = SIDifferentiator(gain=1.0, config=base, seed_offset=303)
         self._diff2 = SIDifferentiator(gain=1.0, config=base, seed_offset=404)
+        self._telemetry = None
+        self._telemetry_name = "chopper"
+
+    def attach_telemetry(
+        self,
+        session,
+        name: str = "chopper",
+        supply_voltage: float | None = None,
+    ) -> None:
+        """Attach probes and trace subsequent :meth:`run` calls.
+
+        Mirrors :meth:`repro.deltasigma.modulator2.SIModulator2
+        .attach_telemetry`, with differentiator stages; a traced run
+        also records the chopper pair as structural stages.
+        """
+        self._telemetry = session
+        self._telemetry_name = name
+        self._diff1.attach_telemetry(
+            session,
+            f"{name}.diff1",
+            full_scale=2.0 * self.full_scale,
+            supply_voltage=supply_voltage,
+        )
+        self._diff2.attach_telemetry(
+            session,
+            f"{name}.diff2",
+            full_scale=2.0 * self.full_scale,
+            supply_voltage=supply_voltage,
+        )
+
+    def detach_telemetry(self) -> None:
+        """Drop the session and every loop probe."""
+        self._telemetry = None
+        self._diff1.detach_telemetry()
+        self._diff2.detach_telemetry()
 
     @property
     def realizes_eq3(self) -> bool:
@@ -162,30 +198,67 @@ class ChopperStabilizedSIModulator:
         quantizer = self.quantizer
         dac = self.dac
 
-        chop_sign = 1.0
-        for n in range(n_samples):
-            u = chop_sign * float(data[n])
+        session = self._telemetry
+        if session is None:
+            span_context = nullcontext()
+        else:
+            span_context = session.span(
+                self._telemetry_name,
+                samples=n_samples,
+                device="ChopperStabilizedSIModulator",
+                order=2,
+                chopped=True,
+            )
+        with span_context:
+            chop_sign = 1.0
+            for n in range(n_samples):
+                u = chop_sign * float(data[n])
 
-            w1 = diff1.state
-            w2 = diff2.state
-            decision = quantizer.decide(w2.differential)
-            feedback = dac.convert(decision)
-            fb_sample = DifferentialSample.from_components(feedback)
+                w1 = diff1.state
+                w2 = diff2.state
+                decision = quantizer.decide(w2.differential)
+                feedback = dac.convert(decision)
+                fb_sample = DifferentialSample.from_components(feedback)
 
-            u_sample = DifferentialSample.from_components(u)
-            s1 = (u_sample - fb_sample).scaled(-a1)
-            s2 = fb_sample.scaled(b2) - w1.scaled(a2)
-            diff1.step(s1)
-            diff2.step(s2)
+                u_sample = DifferentialSample.from_components(u)
+                s1 = (u_sample - fb_sample).scaled(-a1)
+                s2 = fb_sample.scaled(b2) - w1.scaled(a2)
+                diff1.step(s1)
+                diff2.step(s2)
 
-            ideal_level = decision * self.full_scale
-            raw_output[n] = ideal_level
-            output[n] = chop_sign * ideal_level
-            decisions[n] = decision
-            if record_states:
-                state1[n] = w1.differential
-                state2[n] = w2.differential
-            chop_sign = -chop_sign
+                ideal_level = decision * self.full_scale
+                raw_output[n] = ideal_level
+                output[n] = chop_sign * ideal_level
+                decisions[n] = decision
+                if record_states:
+                    state1[n] = w1.differential
+                    state2[n] = w2.differential
+                chop_sign = -chop_sign
+
+            if session is not None:
+                name = self._telemetry_name
+                full_scale = self.full_scale
+                session.probe(f"{name}.input", full_scale=full_scale).observe_array(
+                    data
+                )
+                session.probe(f"{name}.bitstream", full_scale=full_scale).observe_array(
+                    output
+                )
+                session.record("chopper_in", samples=n_samples, role="chopper")
+                session.record(
+                    "differentiator1",
+                    samples=n_samples,
+                    phase="PHI1",
+                    role="differentiator",
+                )
+                session.record(
+                    "differentiator2",
+                    samples=n_samples,
+                    phase="PHI2",
+                    role="differentiator",
+                )
+                session.record("quantizer+dac", samples=n_samples, role="quantizer")
+                session.record("chopper_out", samples=n_samples, role="chopper")
 
         if record_states:
             return ChopperModulatorTrace(

@@ -78,11 +78,41 @@ class SIModulator1:
         self.quantizer = quantizer if quantizer is not None else CurrentQuantizer()
         self.dac = dac if dac is not None else FeedbackDac(full_scale=full_scale)
         self._integrator = SIIntegrator(gain=1.0, config=base, seed_offset=505)
+        self._telemetry = None
+        self._telemetry_name = "modulator1"
 
     @property
     def order(self) -> int:
         """Return the noise-shaping order (1)."""
         return 1
+
+    def attach_telemetry(
+        self,
+        session,
+        name: str = "modulator1",
+        supply_voltage: float | None = None,
+    ) -> None:
+        """Attach probes and trace subsequent :meth:`run` calls.
+
+        The integrator's cell and CMFF probes use twice the full scale
+        as reference -- the loop's designed state swing ("slightly
+        larger than twice the full-scale input range").  A traced run
+        additionally records ``<name>.input`` and ``<name>.bitstream``
+        probes against the modulator full scale.
+        """
+        self._telemetry = session
+        self._telemetry_name = name
+        self._integrator.attach_telemetry(
+            session,
+            f"{name}.int",
+            full_scale=2.0 * self.full_scale,
+            supply_voltage=supply_voltage,
+        )
+
+    def detach_telemetry(self) -> None:
+        """Drop the session and every loop probe."""
+        self._telemetry = None
+        self._integrator.detach_telemetry()
 
     def reset(self) -> None:
         """Zero the loop state."""
@@ -96,6 +126,32 @@ class SIModulator1:
             raise ConfigurationError(
                 f"stimulus must be 1-D, got shape {data.shape}"
             )
+        session = self._telemetry
+        if session is None:
+            return self._run_loop(data)
+        name = self._telemetry_name
+        with session.span(
+            name,
+            samples=data.shape[0],
+            device="SIModulator1",
+            order=self.order,
+        ):
+            output = self._run_loop(data)
+            session.probe(f"{name}.input", full_scale=self.full_scale).observe_array(
+                data
+            )
+            session.probe(
+                f"{name}.bitstream", full_scale=self.full_scale
+            ).observe_array(output)
+            session.record(
+                "integrator", samples=data.shape[0], phase="PHI1", role="integrator"
+            )
+            session.record(
+                "quantizer+dac", samples=data.shape[0], phase="PHI2", role="quantizer"
+            )
+        return output
+
+    def _run_loop(self, data: np.ndarray) -> np.ndarray:
         n_samples = data.shape[0]
         output = np.empty(n_samples)
         integrator = self._integrator

@@ -32,6 +32,7 @@ have level mismatch.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -133,6 +134,43 @@ class SIModulator2:
         self.dac = dac if dac is not None else FeedbackDac(full_scale=full_scale)
         self._int1 = SIIntegrator(gain=1.0, config=base, seed_offset=101)
         self._int2 = SIIntegrator(gain=1.0, config=base, seed_offset=202)
+        self._telemetry = None
+        self._telemetry_name = "modulator2"
+
+    def attach_telemetry(
+        self,
+        session,
+        name: str = "modulator2",
+        supply_voltage: float | None = None,
+    ) -> None:
+        """Attach probes and trace subsequent :meth:`run` calls.
+
+        Both integrator stages get cell and CMFF-residual probes
+        referenced to twice the full scale (the designed state swing);
+        a traced run additionally records ``<name>.input`` and
+        ``<name>.bitstream`` probes plus one structural stage record
+        per loop element with its clock phase.
+        """
+        self._telemetry = session
+        self._telemetry_name = name
+        self._int1.attach_telemetry(
+            session,
+            f"{name}.int1",
+            full_scale=2.0 * self.full_scale,
+            supply_voltage=supply_voltage,
+        )
+        self._int2.attach_telemetry(
+            session,
+            f"{name}.int2",
+            full_scale=2.0 * self.full_scale,
+            supply_voltage=supply_voltage,
+        )
+
+    def detach_telemetry(self) -> None:
+        """Drop the session and every loop probe."""
+        self._telemetry = None
+        self._int1.detach_telemetry()
+        self._int2.detach_telemetry()
 
     @property
     def realizes_eq3(self) -> bool:
@@ -186,24 +224,53 @@ class SIModulator2:
         dac = self.dac
         full_scale = self.full_scale
 
-        for n in range(n_samples):
-            w1 = int1.state
-            w2 = int2.state
-            decision = quantizer.decide(w2.differential)
-            feedback = dac.convert(decision)
-            fb_sample = DifferentialSample.from_components(feedback)
+        session = self._telemetry
+        if session is None:
+            span_context = nullcontext()
+        else:
+            span_context = session.span(
+                self._telemetry_name,
+                samples=n_samples,
+                device="SIModulator2",
+                order=2,
+            )
+        with span_context:
+            for n in range(n_samples):
+                w1 = int1.state
+                w2 = int2.state
+                decision = quantizer.decide(w2.differential)
+                feedback = dac.convert(decision)
+                fb_sample = DifferentialSample.from_components(feedback)
 
-            x_sample = DifferentialSample.from_components(float(data[n]))
-            u1 = (x_sample - fb_sample).scaled(a1)
-            u2 = w1.scaled(a2) - fb_sample.scaled(b2)
-            int1.step(u1)
-            int2.step(u2)
+                x_sample = DifferentialSample.from_components(float(data[n]))
+                u1 = (x_sample - fb_sample).scaled(a1)
+                u2 = w1.scaled(a2) - fb_sample.scaled(b2)
+                int1.step(u1)
+                int2.step(u2)
 
-            output[n] = decision * full_scale
-            decisions[n] = decision
-            if record_states:
-                state1[n] = w1.differential
-                state2[n] = w2.differential
+                output[n] = decision * full_scale
+                decisions[n] = decision
+                if record_states:
+                    state1[n] = w1.differential
+                    state2[n] = w2.differential
+
+            if session is not None:
+                name = self._telemetry_name
+                session.probe(f"{name}.input", full_scale=full_scale).observe_array(
+                    data
+                )
+                session.probe(f"{name}.bitstream", full_scale=full_scale).observe_array(
+                    output
+                )
+                session.record(
+                    "integrator1", samples=n_samples, phase="PHI1", role="integrator"
+                )
+                session.record(
+                    "integrator2", samples=n_samples, phase="PHI2", role="integrator"
+                )
+                session.record(
+                    "quantizer+dac", samples=n_samples, role="quantizer"
+                )
 
         if record_states:
             return ModulatorTrace(

@@ -49,6 +49,18 @@ class ERCError(ReproError):
         self.report = report
 
 
+class TelemetryError(ReproError):
+    """The telemetry API was misused.
+
+    Raised on span lifecycle violations (finishing a span that never
+    started, starting one twice, recording outside any open span) and
+    on invalid probe parameters (non-positive full scale or clip
+    limit).  Dynamic *rule* findings are never exceptions -- they are
+    :class:`~repro.telemetry.events.TelemetryEvent` records on the
+    session.
+    """
+
+
 class AnalysisError(ReproError):
     """A measurement or spectral analysis could not be performed."""
 

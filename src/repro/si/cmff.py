@@ -24,9 +24,14 @@ each axis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.devices.current_mirror import CurrentMirror
 from repro.si.differential import DifferentialSample
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.probes import SignalProbe
+    from repro.telemetry.session import TelemetrySession
 
 __all__ = ["CommonModeFeedforward"]
 
@@ -64,6 +69,34 @@ class CommonModeFeedforward:
     #: within the same sample.
     latency_samples: int = 0
 
+    #: Probe observing the residual output common mode; attached via
+    #: :meth:`attach_telemetry`, None (zero overhead) otherwise.
+    _probe: "SignalProbe | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def attach_telemetry(
+        self, session: "TelemetrySession", name: str, reference_current: float
+    ) -> "SignalProbe":
+        """Register a probe on the residual common mode after correction.
+
+        ``reference_current`` is the probe's full scale: the signal
+        level the residual is judged against by the DYN003 rule (a
+        working CMFF stage nulls the common mode to the mirror matching
+        error, a small fraction of the signal).
+        """
+        probe = session.probe(
+            name,
+            full_scale=reference_current,
+            kind="cmff_residual",
+        )
+        self._probe = probe
+        return probe
+
+    def detach_telemetry(self) -> None:
+        """Drop the probe; subsequent samples observe nothing."""
+        self._probe = None
+
     def sensed_common_mode(self, sample: DifferentialSample) -> float:
         """Return the common-mode current measured by the sense mirrors."""
         return self.sense_pos.copy(sample.pos) + self.sense_neg.copy(sample.neg)
@@ -77,10 +110,13 @@ class CommonModeFeedforward:
         it into a differential error.
         """
         i_cm = self.sensed_common_mode(sample)
-        return DifferentialSample(
+        result = DifferentialSample(
             pos=sample.pos - self.subtract_pos.copy(i_cm),
             neg=sample.neg - self.subtract_neg.copy(i_cm),
         )
+        if self._probe is not None:
+            self._probe.observe(result.common_mode)
+        return result
 
     def common_mode_rejection(self, test_cm: float = 1e-6) -> float:
         """Return the CM-to-CM rejection ratio (output CM over input CM).

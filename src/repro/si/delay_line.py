@@ -47,6 +47,8 @@ class DelayLine:
         for index in range(n_cells):
             seed = None if base.seed is None else base.seed + index
             self.cells.append(ClassABMemoryCell(replace(base, seed=seed)))
+        self._telemetry = None
+        self._telemetry_name = "delay_line"
 
     @property
     def n_cells(self) -> int:
@@ -71,6 +73,38 @@ class DelayLine:
         """Return whether the cascade inverts overall."""
         return self.config.inverting and (len(self.cells) % 2 == 1)
 
+    def attach_telemetry(
+        self,
+        session,
+        name: str = "delay_line",
+        full_scale: float | None = None,
+        supply_voltage: float | None = None,
+        clip_limit: float | None = None,
+    ) -> None:
+        """Attach a probe per cascaded cell and trace :meth:`run`.
+
+        Each cell's probe (``<name>.cell[i]``) observes its input
+        differential current; a traced :meth:`run` additionally opens a
+        device span with one structural stage record per cell carrying
+        its clock phase (first cell on PHI1, second on PHI2, ...).
+        """
+        self._telemetry = session
+        self._telemetry_name = name
+        for index, cell in enumerate(self.cells):
+            cell.attach_telemetry(
+                session,
+                f"{name}.cell[{index}]",
+                full_scale=full_scale,
+                supply_voltage=supply_voltage,
+                clip_limit=clip_limit,
+            )
+
+    def detach_telemetry(self) -> None:
+        """Drop the session and every cell probe."""
+        self._telemetry = None
+        for cell in self.cells:
+            cell.detach_telemetry()
+
     def reset(self) -> None:
         """Reset every cell in the cascade."""
         for cell in self.cells:
@@ -91,11 +125,38 @@ class DelayLine:
         transient).
         """
         data = np.asarray(differential_input, dtype=float)
+        session = self._telemetry
+        if session is None:
+            return self._run_loop(data)
+        from repro.clocks.phases import alternating_phases
+
+        with session.span(
+            self._telemetry_name,
+            samples=data.shape[0],
+            device="DelayLine",
+            n_cells=self.n_cells,
+        ):
+            output = self._run_loop(data)
+            for index, phase in enumerate(alternating_phases(self.n_cells)):
+                session.record(
+                    f"cell[{index}]",
+                    samples=data.shape[0],
+                    phase=phase.name,
+                    role="memory_cell",
+                )
+        return output
+
+    def _run_loop(self, data: np.ndarray) -> np.ndarray:
         output = np.empty_like(data)
         for n in range(data.shape[0]):
             result = self.step(DifferentialSample.from_components(float(data[n])))
             output[n] = result.differential
         return output
+
+    def __call__(self, differential_input: np.ndarray) -> np.ndarray:
+        """Run with a fresh state: the device-under-test interface."""
+        self.reset()
+        return self.run(differential_input)
 
     @property
     def slew_event_fraction(self) -> float:

@@ -86,6 +86,35 @@ class SIDifferentiator:
         """Return the fraction of periods in which the cell slewed."""
         return self._cell.slew_event_fraction
 
+    def attach_telemetry(
+        self,
+        session,
+        name: str,
+        full_scale: float | None = None,
+        supply_voltage: float | None = None,
+        clip_limit: float | None = None,
+    ):
+        """Attach probes to the state-holding cell and the CMFF stage.
+
+        Mirrors :meth:`repro.si.integrator.SIIntegrator.attach_telemetry`.
+        """
+        probe = self._cell.attach_telemetry(
+            session,
+            f"{name}.cell",
+            full_scale=full_scale,
+            supply_voltage=supply_voltage,
+            clip_limit=clip_limit,
+        )
+        if self.cmff is not None and full_scale is not None:
+            self.cmff.attach_telemetry(session, f"{name}.cmff", full_scale)
+        return probe
+
+    def detach_telemetry(self) -> None:
+        """Drop every probe this stage attached."""
+        self._cell.detach_telemetry()
+        if self.cmff is not None:
+            self.cmff.detach_telemetry()
+
     def reset(self) -> None:
         """Zero the block state."""
         self._cell.reset()

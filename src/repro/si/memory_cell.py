@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -45,6 +46,10 @@ from repro.noise.flicker import FlickerNoiseSource
 from repro.si.differential import DifferentialSample
 from repro.si.errors_model import ChargeInjectionResidue, TransmissionError
 from repro.si.gga import GroundedGateAmplifier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.probes import SignalProbe
+    from repro.telemetry.session import TelemetrySession
 
 __all__ = [
     "class_ab_split",
@@ -262,11 +267,48 @@ class ClassABMemoryCell:
         self._stored = DifferentialSample(0.0, 0.0)
         self._slew_events = 0
         self._steps = 0
+        self._probe: SignalProbe | None = None
 
     @property
     def stored(self) -> DifferentialSample:
         """Return the currently stored sample."""
         return self._stored
+
+    def attach_telemetry(
+        self,
+        session: "TelemetrySession",
+        name: str,
+        full_scale: float | None = None,
+        supply_voltage: float | None = None,
+        clip_limit: float | None = None,
+    ) -> "SignalProbe":
+        """Register a probe on this cell's input differential current.
+
+        The probe carries the metadata the dynamic headroom and
+        class-AB rules (DYN002/DYN004) need: the quiescent current and
+        the supply the cell runs from (the paper's 3.3 V default when
+        omitted).  Returns the probe; :meth:`detach_telemetry` restores
+        the zero-overhead untraced path.
+        """
+        from repro.config import SUPPLY_VOLTAGE
+
+        probe = session.probe(
+            name,
+            full_scale=full_scale,
+            clip_limit=clip_limit,
+            kind="memory_cell",
+            cell_class="class_ab",
+            quiescent_current=self.config.quiescent_current,
+            supply_voltage=(
+                supply_voltage if supply_voltage is not None else SUPPLY_VOLTAGE
+            ),
+        )
+        self._probe = probe
+        return probe
+
+    def detach_telemetry(self) -> None:
+        """Drop the probe; subsequent steps observe nothing."""
+        self._probe = None
 
     @property
     def slew_event_fraction(self) -> float:
@@ -305,6 +347,9 @@ class ClassABMemoryCell:
         """
         config = self.config
         held = self._stored
+
+        if self._probe is not None:
+            self._probe.observe(sample.differential)
 
         pos, slew_pos = self._store_half(held.pos, sample.pos)
         neg, slew_neg = self._store_half(held.neg, sample.neg)
@@ -365,6 +410,41 @@ class ClassAMemoryCell:
         self._stored = DifferentialSample(0.0, 0.0)
         self._clip_events = 0
         self._steps = 0
+        self._probe: SignalProbe | None = None
+
+    def attach_telemetry(
+        self,
+        session: "TelemetrySession",
+        name: str,
+        full_scale: float | None = None,
+        supply_voltage: float | None = None,
+        clip_limit: float | None = None,
+    ) -> "SignalProbe":
+        """Register a probe on this cell's input differential current.
+
+        A class-A cell hard-clips at its bias current, so the clip
+        limit defaults to the bias; ``cell_class`` metadata exempts it
+        from the class-AB modulation-index rule.
+        """
+        from repro.config import SUPPLY_VOLTAGE
+
+        probe = session.probe(
+            name,
+            full_scale=full_scale,
+            clip_limit=clip_limit if clip_limit is not None else self.bias_current,
+            kind="memory_cell",
+            cell_class="class_a",
+            quiescent_current=self.config.quiescent_current,
+            supply_voltage=(
+                supply_voltage if supply_voltage is not None else SUPPLY_VOLTAGE
+            ),
+        )
+        self._probe = probe
+        return probe
+
+    def detach_telemetry(self) -> None:
+        """Drop the probe; subsequent steps observe nothing."""
+        self._probe = None
 
     @property
     def bias_current(self) -> float:
@@ -398,6 +478,8 @@ class ClassAMemoryCell:
     def step(self, sample: DifferentialSample) -> DifferentialSample:
         """Advance one clock period (see :meth:`ClassABMemoryCell.step`)."""
         held = self._stored
+        if self._probe is not None:
+            self._probe.observe(sample.differential)
         pos, clip_pos = self._store_half(held.pos, sample.pos)
         neg, clip_neg = self._store_half(held.neg, sample.neg)
 

@@ -15,7 +15,9 @@ can be made against a yield target.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +25,9 @@ from repro.errors import ConfigurationError
 from repro.devices.current_mirror import CurrentMirror
 from repro.devices.mismatch import PelgromMismatch
 from repro.si.cmff import CommonModeFeedforward
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.session import TelemetrySession
 
 __all__ = ["MonteCarloSummary", "CmffMonteCarlo"]
 
@@ -69,12 +74,17 @@ class CmffMonteCarlo:
         The Pelgrom sampler (seeded for reproducibility).
     n_trials:
         Draws per evaluation.
+    telemetry:
+        Optional telemetry session; when set, each statistics call is
+        wrapped in a span counting trials as its samples, so sweeps
+        report trials-per-second throughput.
     """
 
     def __init__(
         self,
         mismatch: PelgromMismatch | None = None,
         n_trials: int = 500,
+        telemetry: "TelemetrySession | None" = None,
     ) -> None:
         if n_trials < 10:
             raise ConfigurationError(f"n_trials must be >= 10, got {n_trials!r}")
@@ -84,6 +94,14 @@ class CmffMonteCarlo:
             else PelgromMismatch(rng=np.random.default_rng(1234))
         )
         self.n_trials = n_trials
+        self.telemetry = telemetry
+
+    def _span(self, name: str, samples: int | None = None, **attrs: object):
+        """Return a telemetry span counting trials, or a no-op."""
+        if self.telemetry is None:
+            return nullcontext()
+        count = self.n_trials if samples is None else samples
+        return self.telemetry.span(name, samples=count, **attrs)
 
     def _draw_cmff(self, width: float, length: float) -> CommonModeFeedforward:
         """Return a CMFF instance with one draw of mirror mismatch."""
@@ -111,12 +129,13 @@ class CmffMonteCarlo:
             raise ConfigurationError(
                 f"geometry must be positive, got {width!r} x {length!r}"
             )
-        samples = np.array(
-            [
-                self._draw_cmff(width, length).common_mode_rejection()
-                for _ in range(self.n_trials)
-            ]
-        )
+        with self._span("mc.rejection", width=width, length=length):
+            samples = np.array(
+                [
+                    self._draw_cmff(width, length).common_mode_rejection()
+                    for _ in range(self.n_trials)
+                ]
+            )
         return MonteCarloSummary.from_samples(samples)
 
     def leakage_statistics(self, width: float, length: float) -> MonteCarloSummary:
@@ -125,12 +144,13 @@ class CmffMonteCarlo:
             raise ConfigurationError(
                 f"geometry must be positive, got {width!r} x {length!r}"
             )
-        samples = np.array(
-            [
-                self._draw_cmff(width, length).differential_leakage()
-                for _ in range(self.n_trials)
-            ]
-        )
+        with self._span("mc.leakage", width=width, length=length):
+            samples = np.array(
+                [
+                    self._draw_cmff(width, length).differential_leakage()
+                    for _ in range(self.n_trials)
+                ]
+            )
         return MonteCarloSummary.from_samples(samples)
 
     def area_sweep(
@@ -141,10 +161,15 @@ class CmffMonteCarlo:
         Areas are in square micrometres; the aspect ratio fixes W/L.
         """
         results = []
-        for area in areas_um2:
-            if area <= 0.0:
-                raise ConfigurationError(f"area must be positive, got {area!r}")
-            length = np.sqrt(area / aspect_ratio) * 1e-6
-            width = aspect_ratio * length
-            results.append((area, self.rejection_statistics(width, length)))
+        with self._span(
+            "mc.area_sweep",
+            samples=len(areas_um2) * self.n_trials,
+            n_areas=len(areas_um2),
+        ):
+            for area in areas_um2:
+                if area <= 0.0:
+                    raise ConfigurationError(f"area must be positive, got {area!r}")
+                length = np.sqrt(area / aspect_ratio) * 1e-6
+                width = aspect_ratio * length
+                results.append((area, self.rejection_statistics(width, length)))
         return results

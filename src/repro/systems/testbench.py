@@ -9,6 +9,14 @@ Before simulating, the bench runs the static electrical-rule checker
 (:mod:`repro.erc`) on any device that exposes a ``describe_graph()``
 hook and refuses to waste a 64K-sample run on a design with blocking
 violations; pass ``erc=False`` to opt out.
+
+The runtime counterpart is the ``telemetry=`` knob: pass a
+:class:`~repro.telemetry.session.TelemetrySession` and the bench opens
+``measure -> stimulus / device / analysis`` spans, auto-attaches any
+device exposing ``attach_telemetry()``, and evaluates the dynamic
+rules (:mod:`repro.telemetry.monitor`) over the observed signals after
+each measurement.  The default (``telemetry=None``) runs the exact
+untraced code path.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.analysis.spectrum import Spectrum, compute_spectrum
 from repro.analysis.windows import WindowKind
 from repro.erc.checker import check_design
 from repro.systems.stimulus import SineStimulus, coherent_frequency
+from repro.telemetry.session import TelemetrySession
 
 __all__ = ["BenchMeasurement", "TestBench"]
 
@@ -91,6 +100,12 @@ class TestBench:
         :class:`~repro.errors.ERCError`) when the design has blocking
         violations.  Set to False to simulate a known-violating design
         anyway (ablation studies do this deliberately).
+    telemetry:
+        Optional telemetry session.  When set, :meth:`measure` traces
+        each measurement (spans for stimulus generation, the device
+        run and the spectral analysis), auto-attaches devices exposing
+        ``attach_telemetry()`` and evaluates the dynamic rules after
+        the run.  None (the default) disables tracing entirely.
     """
 
     __test__ = False
@@ -103,6 +118,7 @@ class TestBench:
         window_kind: WindowKind = WindowKind.BLACKMAN,
         settle_samples: int = 256,
         erc: bool = True,
+        telemetry: TelemetrySession | None = None,
     ) -> None:
         if sample_rate <= 0.0:
             raise AnalysisError(f"sample_rate must be positive, got {sample_rate!r}")
@@ -118,6 +134,7 @@ class TestBench:
         self.window_kind = window_kind
         self.settle_samples = settle_samples
         self.erc = erc
+        self.telemetry = telemetry
 
     def preflight(self, device: DeviceUnderTest) -> None:
         """Statically check a device before simulating it.
@@ -168,8 +185,9 @@ class TestBench:
         Raises
         ------
         AnalysisError
-            If the device returns the wrong number of samples or the
-            disturbance length is wrong.
+            If the device returns the wrong number of samples, or the
+            disturbance is not a real-valued 1-D array of the right
+            length.
         ERCError
             If pre-flight checking is enabled and the device's design
             graph has blocking violations (see :meth:`preflight`).
@@ -177,20 +195,78 @@ class TestBench:
         self.preflight(device)
         total = self.n_samples + self.settle_samples
         stimulus = self.make_stimulus(amplitude, frequency)
-        drive = stimulus.generate(total)
-        if extra_input is not None:
-            extra = np.asarray(extra_input, dtype=float)
-            if extra.shape[0] != total:
-                raise AnalysisError(
-                    f"extra_input must have {total} samples, got {extra.shape[0]}"
-                )
-            drive = drive + extra
+        session = self.telemetry
 
+        if session is None:
+            drive = self._make_drive(stimulus, extra_input, total)
+            output = self._run_device(device, drive, total)
+            return self._analyse(stimulus, output)
+
+        if hasattr(device, "attach_telemetry"):
+            device.attach_telemetry(session)
+        with session.span(
+            "measure",
+            samples=self.n_samples,
+            device=type(device).__name__,
+            amplitude=amplitude,
+            frequency=stimulus.frequency,
+        ):
+            with session.span("stimulus", samples=total):
+                drive = self._make_drive(stimulus, extra_input, total)
+            with session.span("device", samples=total):
+                output = self._run_device(device, drive, total)
+            with session.span("analysis", samples=self.n_samples):
+                measurement = self._analyse(stimulus, output)
+        session.evaluate_rules()
+        return measurement
+
+    def _make_drive(
+        self,
+        stimulus: SineStimulus,
+        extra_input: np.ndarray | None,
+        total: int,
+    ) -> np.ndarray:
+        """Generate the drive array, validating any extra disturbance."""
+        drive = stimulus.generate(total)
+        if extra_input is None:
+            return drive
+        extra = np.asarray(extra_input)
+        if extra.ndim != 1:
+            raise AnalysisError(
+                f"extra_input must be 1-D, got shape {extra.shape}"
+            )
+        if np.iscomplexobj(extra):
+            raise AnalysisError(
+                "extra_input must be real-valued current samples, got "
+                f"complex dtype {extra.dtype}"
+            )
+        try:
+            extra = extra.astype(float)
+        except (TypeError, ValueError) as exc:
+            raise AnalysisError(
+                f"extra_input must be numeric, got dtype {extra.dtype}"
+            ) from exc
+        if extra.shape[0] != total:
+            raise AnalysisError(
+                f"extra_input must have {total} samples, got {extra.shape[0]}"
+            )
+        return drive + extra
+
+    def _run_device(
+        self, device: DeviceUnderTest, drive: np.ndarray, total: int
+    ) -> np.ndarray:
+        """Run the device and validate its output length."""
         output = np.asarray(device(drive), dtype=float)
         if output.shape[0] != total:
             raise AnalysisError(
                 f"device returned {output.shape[0]} samples, expected {total}"
             )
+        return output
+
+    def _analyse(
+        self, stimulus: SineStimulus, output: np.ndarray
+    ) -> BenchMeasurement:
+        """Window, transform and extract metrics from the raw output."""
         analysed = output[self.settle_samples :]
         spectrum = compute_spectrum(
             analysed, self.sample_rate, window_kind=self.window_kind

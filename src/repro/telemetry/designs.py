@@ -1,0 +1,143 @@
+"""Named runnable designs for the ``repro trace`` command.
+
+The ERC command checks *declared* graphs (:mod:`repro.erc.designs`);
+the trace command needs the matching *runnable* devices plus their
+paper operating points (clock, bandwidth, stimulus).  Each setup
+builds a fresh device so repeated traces are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.config import (
+    DELAY_LINE_BANDWIDTH,
+    DELAY_LINE_CLOCK,
+    MODULATOR_CLOCK,
+    SIGNAL_BANDWIDTH,
+    delay_line_cell_config,
+    paper_cell_config,
+)
+from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.deltasigma.modulator1 import SIModulator1
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.errors import ConfigurationError
+from repro.si.delay_line import DelayLine
+
+__all__ = ["TraceSetup", "TRACE_DESIGNS", "TRACE_ALIASES", "build_trace_setup"]
+
+
+@dataclass(frozen=True)
+class TraceSetup:
+    """One traceable design with its paper operating point.
+
+    Attributes
+    ----------
+    name:
+        Canonical design name.
+    description:
+        One-line description for ``repro trace --help``.
+    build:
+        Factory returning a fresh device (callable with
+        ``attach_telemetry``/``describe_graph`` hooks).
+    sample_rate:
+        Clock frequency in hertz.
+    bandwidth:
+        Analysis bandwidth in hertz.
+    amplitude:
+        Nominal stimulus peak amplitude in amperes.
+    frequency:
+        Nominal stimulus frequency in hertz.
+    """
+
+    name: str
+    description: str
+    build: Callable[[], Any]
+    sample_rate: float
+    bandwidth: float
+    amplitude: float
+    frequency: float
+
+
+def _delay_line() -> DelayLine:
+    return DelayLine(delay_line_cell_config(), n_cells=2)
+
+
+def _modulator1() -> SIModulator1:
+    return SIModulator1(cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK))
+
+
+def _modulator2() -> SIModulator2:
+    return SIModulator2(cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK))
+
+
+def _chopper() -> ChopperStabilizedSIModulator:
+    return ChopperStabilizedSIModulator(
+        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
+    )
+
+
+#: Traceable designs by canonical name.
+TRACE_DESIGNS: dict[str, TraceSetup] = {
+    "delay-line": TraceSetup(
+        name="delay-line",
+        description="Table 1 delay line at 8 uA / 5 kHz",
+        build=_delay_line,
+        sample_rate=DELAY_LINE_CLOCK,
+        bandwidth=DELAY_LINE_BANDWIDTH,
+        amplitude=8e-6,
+        frequency=5e3,
+    ),
+    "modulator1": TraceSetup(
+        name="modulator1",
+        description="first-order baseline modulator at -6 dB / 2 kHz",
+        build=_modulator1,
+        sample_rate=MODULATOR_CLOCK,
+        bandwidth=SIGNAL_BANDWIDTH,
+        amplitude=3e-6,
+        frequency=2e3,
+    ),
+    "modulator2": TraceSetup(
+        name="modulator2",
+        description="Fig. 3(a) second-order modulator at -6 dB / 2 kHz",
+        build=_modulator2,
+        sample_rate=MODULATOR_CLOCK,
+        bandwidth=SIGNAL_BANDWIDTH,
+        amplitude=3e-6,
+        frequency=2e3,
+    ),
+    "chopper": TraceSetup(
+        name="chopper",
+        description="Fig. 3(b) chopper-stabilised modulator at -6 dB / 2 kHz",
+        build=_chopper,
+        sample_rate=MODULATOR_CLOCK,
+        bandwidth=SIGNAL_BANDWIDTH,
+        amplitude=3e-6,
+        frequency=2e3,
+    ),
+}
+
+#: Accepted aliases (the ERC command's short names keep working here).
+TRACE_ALIASES: dict[str, str] = {
+    "mod1": "modulator1",
+    "mod2": "modulator2",
+}
+
+
+def build_trace_setup(name: str) -> TraceSetup:
+    """Return the trace setup for a design name or alias.
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is not a registered traceable design.
+    """
+    canonical = TRACE_ALIASES.get(name, name)
+    try:
+        return TRACE_DESIGNS[canonical]
+    except KeyError:
+        available = sorted(set(TRACE_DESIGNS) | set(TRACE_ALIASES))
+        raise ConfigurationError(
+            f"unknown traceable design {name!r}; available: {', '.join(available)}"
+        ) from None

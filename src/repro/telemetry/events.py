@@ -1,0 +1,50 @@
+"""Dynamic-rule events, sharing the ERC severity model.
+
+A :class:`TelemetryEvent` is the runtime counterpart of an
+:class:`~repro.erc.rules.ErcViolation`: the same ``DYNxxx`` code /
+severity / source / message shape, but produced by the dynamic-rule
+monitor from *observed* signals rather than from declared structure.
+Reusing :class:`~repro.erc.rules.Severity` keeps one severity ordering
+across static and dynamic checks, so reports and exit codes compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.erc.rules import Severity
+
+__all__ = ["TelemetryEvent", "Severity"]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One dynamic rule firing against observed signals.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule code, e.g. ``"DYN002"``.
+    severity:
+        Shared ERC severity; ERROR means the run's results are not
+        trustworthy (a signal left the modeled operating region).
+    source:
+        Name of the probe (or span) that triggered the event, or None
+        for session-level events.
+    message:
+        Human-readable description with the observed values.
+    sample_index:
+        Observation index at which the condition first occurred, when
+        known (e.g. the first clipped sample).
+    """
+
+    rule: str
+    severity: Severity
+    source: str | None
+    message: str
+    sample_index: int | None = None
+
+    def __str__(self) -> str:
+        where = self.source if self.source is not None else "<session>"
+        at = f" @ sample {self.sample_index}" if self.sample_index is not None else ""
+        return f"[{self.rule}/{self.severity.name}] {where}{at}: {self.message}"

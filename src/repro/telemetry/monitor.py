@@ -1,0 +1,272 @@
+"""Dynamic rule monitor: ERC's runtime counterpart.
+
+The static checker (:mod:`repro.erc`) can only verify what a design
+*declares* -- the headroom rule checks the declared peak signal, the
+class-AB rule the declared modulation index.  The dynamic monitor
+closes the loop: it evaluates the same physical rules against the
+signals a simulation actually *observed* through its probes, so a
+design that declares an 8 uA peak but is driven at 30 uA is caught at
+run time even though its graph passes ERC.
+
+Rules mirror their static cousins where one exists:
+
+=======  ================  ==========================================
+code     name              observed condition
+=======  ================  ==========================================
+DYN001   clip              samples beyond a probe's clip limit
+DYN002   headroom          observed peak violates Eqs. (1)-(2) at the
+                           cell's supply (static: ERC002)
+DYN003   cmff-residual     CMFF residual common mode not small
+                           against its reference
+DYN004   class-ab-bias     observed modulation index beyond the
+                           modeled class-AB range (static: ERC004)
+=======  ================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.erc.rules import MAX_MODELED_MODULATION_INDEX, Severity
+from repro.si.headroom import HeadroomAnalysis
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.probes import SignalProbe
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.session import TelemetrySession
+
+__all__ = [
+    "DynamicRule",
+    "ClipRule",
+    "ObservedHeadroomRule",
+    "CmffResidualRule",
+    "ObservedClassABRule",
+    "DynamicRuleMonitor",
+    "default_monitor",
+]
+
+
+def _positive_meta(probe: SignalProbe, key: str) -> float | None:
+    """Return a probe metadata value as a positive float, else None."""
+    value = probe.meta.get(key)
+    if isinstance(value, (int, float)) and not isinstance(value, bool) and value > 0.0:
+        return float(value)
+    return None
+
+
+class DynamicRule:
+    """Base class for dynamic rules evaluated over a session's probes."""
+
+    #: Stable identifier, e.g. ``"DYN001"``.
+    code: str = "DYN000"
+    #: Short kebab-case name.
+    name: str = "abstract"
+    #: Default severity of this rule's events.
+    severity: Severity = Severity.ERROR
+    #: One-line description for documentation and ``repro trace``.
+    description: str = ""
+
+    def check(self, session: "TelemetrySession") -> Iterator[TelemetryEvent]:
+        """Yield the events this rule raises against the session."""
+        raise NotImplementedError
+
+    def event(
+        self,
+        message: str,
+        source: str | None = None,
+        severity: Severity | None = None,
+        sample_index: int | None = None,
+    ) -> TelemetryEvent:
+        """Build an event tagged with this rule's code."""
+        return TelemetryEvent(
+            rule=self.code,
+            severity=self.severity if severity is None else severity,
+            source=source,
+            message=message,
+            sample_index=sample_index,
+        )
+
+
+class ClipRule(DynamicRule):
+    """DYN001: observed samples beyond a probe's clip limit.
+
+    Any clipped sample is a WARNING (the statistics past that point are
+    extrapolating); more than :attr:`ERROR_FRACTION` of the run clipped
+    is an ERROR -- the measurement characterises the clip, not the
+    circuit.
+    """
+
+    code = "DYN001"
+    name = "clip"
+    severity = Severity.WARNING
+    description = "observed samples stay inside each probe's clip limit"
+
+    #: Clip fraction at which the event escalates to ERROR.
+    ERROR_FRACTION: float = 0.01
+
+    def check(self, session: "TelemetrySession") -> Iterator[TelemetryEvent]:
+        for probe in session.probes.values():
+            if probe.clip_limit is None or not probe.clip_count:
+                continue
+            fraction = probe.clip_fraction
+            severity = (
+                Severity.ERROR if fraction > self.ERROR_FRACTION else Severity.WARNING
+            )
+            yield self.event(
+                f"{probe.clip_count} of {probe.count} samples "
+                f"({100.0 * fraction:.2f}%) beyond the clip limit "
+                f"{probe.clip_limit:.3g} A",
+                source=probe.name,
+                severity=severity,
+                sample_index=probe.first_clip_index,
+            )
+
+
+class ObservedHeadroomRule(DynamicRule):
+    """DYN002: observed swings must fit the supply per Eqs. (1)-(2).
+
+    The runtime counterpart of ERC002: the modulation index is taken
+    from the *observed* peak current over the cell's quiescent current,
+    and the paper's minimum-supply equations are evaluated at that
+    operating point.
+    """
+
+    code = "DYN002"
+    name = "headroom"
+    severity = Severity.ERROR
+    description = "observed peaks satisfy Eqs. (1)-(2) at the supply"
+
+    def check(self, session: "TelemetrySession") -> Iterator[TelemetryEvent]:
+        analysis = HeadroomAnalysis()
+        for probe in session.probes.values():
+            if probe.meta.get("kind") != "memory_cell" or not probe.count:
+                continue
+            quiescent = _positive_meta(probe, "quiescent_current")
+            supply = _positive_meta(probe, "supply_voltage")
+            if quiescent is None or supply is None:
+                continue
+            modulation_index = probe.peak / quiescent
+            budget = analysis.evaluate(modulation_index)
+            if not budget.feasible_at(supply):
+                yield self.event(
+                    f"observed peak {probe.peak:.3g} A is modulation index "
+                    f"{modulation_index:.1f}, needing V_dd >= "
+                    f"{budget.vdd_min:.2f} V ({budget.binding_constraint} "
+                    f"binds) but the supply is {supply:.2f} V",
+                    source=probe.name,
+                )
+
+
+class CmffResidualRule(DynamicRule):
+    """DYN003: the CMFF residual common mode must stay small.
+
+    A working CMFF stage (Fig. 2) nulls the common mode to the mirror
+    matching error; a residual RMS beyond :attr:`WARNING_FRACTION` of
+    the probe's reference means the common-mode control is degraded
+    (mismatched mirrors, or an accumulating residue upstream).
+    """
+
+    code = "DYN003"
+    name = "cmff-residual"
+    severity = Severity.WARNING
+    description = "CMFF residual common mode small against its reference"
+
+    #: Residual RMS over reference at which the event fires.
+    WARNING_FRACTION: float = 0.05
+
+    def check(self, session: "TelemetrySession") -> Iterator[TelemetryEvent]:
+        for probe in session.probes.values():
+            if probe.meta.get("kind") != "cmff_residual" or not probe.count:
+                continue
+            if probe.full_scale is None:
+                continue
+            ratio = probe.rms / probe.full_scale
+            if ratio > self.WARNING_FRACTION:
+                yield self.event(
+                    f"residual common-mode RMS {probe.rms:.3g} A is "
+                    f"{100.0 * ratio:.1f}% of the {probe.full_scale:.3g} A "
+                    "reference; common-mode control is degraded",
+                    source=probe.name,
+                )
+
+
+class ObservedClassABRule(DynamicRule):
+    """DYN004: the observed modulation index must stay in the modeled range.
+
+    The runtime counterpart of ERC004: class-AB signals may exceed the
+    quiescent current, but beyond
+    :data:`~repro.erc.rules.MAX_MODELED_MODULATION_INDEX` the
+    square-law split and GGA drive-margin models extrapolate and the
+    simulated numbers stop being trustworthy.
+    """
+
+    code = "DYN004"
+    name = "class-ab-bias"
+    severity = Severity.ERROR
+    description = "observed modulation index within the modeled class-AB range"
+
+    def check(self, session: "TelemetrySession") -> Iterator[TelemetryEvent]:
+        for probe in session.probes.values():
+            if probe.meta.get("kind") != "memory_cell" or not probe.count:
+                continue
+            if probe.meta.get("cell_class", "class_ab") != "class_ab":
+                continue
+            quiescent = _positive_meta(probe, "quiescent_current")
+            if quiescent is None:
+                continue
+            limit = (
+                _positive_meta(probe, "max_modulation_index")
+                or MAX_MODELED_MODULATION_INDEX
+            )
+            modulation_index = probe.peak / quiescent
+            if modulation_index > limit:
+                yield self.event(
+                    f"observed modulation index {modulation_index:.1f} "
+                    f"(peak {probe.peak:.3g} A over quiescent "
+                    f"{quiescent:.3g} A) exceeds the modeled class-AB "
+                    f"range of {limit:g}",
+                    source=probe.name,
+                )
+
+
+class DynamicRuleMonitor:
+    """An ordered collection of dynamic rules evaluated over a session.
+
+    Parameters
+    ----------
+    rules:
+        Rules to evaluate, in order.
+    """
+
+    def __init__(self, rules: Iterable[DynamicRule] = ()) -> None:
+        self.rules: list[DynamicRule] = list(rules)
+
+    def __iter__(self) -> Iterator[DynamicRule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def evaluate(self, session: "TelemetrySession") -> tuple[TelemetryEvent, ...]:
+        """Run every rule over the session's probes; return the events.
+
+        Evaluation is a pure function of the current probe statistics,
+        so re-evaluating after more observations replaces (rather than
+        duplicates) the event list a caller stores.
+        """
+        events: list[TelemetryEvent] = []
+        for rule in self.rules:
+            events.extend(rule.check(session))
+        return tuple(events)
+
+
+def default_monitor() -> DynamicRuleMonitor:
+    """Return a monitor holding the four built-in dynamic rules."""
+    return DynamicRuleMonitor(
+        [
+            ClipRule(),
+            ObservedHeadroomRule(),
+            CmffResidualRule(),
+            ObservedClassABRule(),
+        ]
+    )

@@ -106,3 +106,92 @@ class TestValidation:
         bench = Bench(sample_rate=1e6, n_samples=1 << 12)
         with pytest.raises(AnalysisError):
             bench.measure(lambda x: x, 1e-6, 5e3, extra_input=np.zeros(4))
+
+    def test_rejects_2d_extra_input(self):
+        bench = Bench(sample_rate=1e6, n_samples=1 << 12, settle_samples=0)
+        bad = np.zeros((1 << 12, 1))
+        with pytest.raises(AnalysisError, match="1-D"):
+            bench.measure(lambda x: x, 1e-6, 5e3, extra_input=bad)
+
+    def test_rejects_complex_extra_input(self):
+        bench = Bench(sample_rate=1e6, n_samples=1 << 12, settle_samples=0)
+        bad = np.zeros(1 << 12, dtype=complex)
+        with pytest.raises(AnalysisError, match="complex"):
+            bench.measure(lambda x: x, 1e-6, 5e3, extra_input=bad)
+
+    def test_rejects_non_numeric_extra_input(self):
+        bench = Bench(sample_rate=1e6, n_samples=1 << 12, settle_samples=0)
+        bad = np.array(["a"] * (1 << 12))
+        with pytest.raises(AnalysisError, match="numeric"):
+            bench.measure(lambda x: x, 1e-6, 5e3, extra_input=bad)
+
+    def test_integer_extra_input_still_accepted(self):
+        bench = Bench(sample_rate=1e6, n_samples=1 << 12, settle_samples=0)
+        extra = np.zeros(1 << 12, dtype=np.int64)
+        result = bench.measure(lambda x: x, 1e-6, 5e3, extra_input=extra)
+        assert result.snr_db > 100.0
+
+
+class TestTelemetryKnob:
+    def _session(self):
+        from repro.telemetry import TelemetrySession
+
+        return TelemetrySession("bench-test")
+
+    def test_disabled_by_default(self):
+        bench = Bench(sample_rate=1e6, n_samples=1 << 12)
+        assert bench.telemetry is None
+
+    def test_measure_opens_span_hierarchy(self):
+        session = self._session()
+        bench = Bench(
+            sample_rate=1e6, n_samples=1 << 12, settle_samples=0, telemetry=session
+        )
+        bench.measure(lambda x: x, amplitude=1e-6, frequency=5e3)
+        assert len(session.roots) == 1
+        root = session.roots[0]
+        assert root.name == "measure"
+        assert [child.name for child in root.children] == [
+            "stimulus",
+            "device",
+            "analysis",
+        ]
+        assert root.duration_s is not None and root.duration_s > 0.0
+        assert root.samples == 1 << 12
+
+    def test_measure_auto_attaches_device(self):
+        from repro.config import delay_line_cell_config
+        from repro.si.delay_line import DelayLine
+
+        session = self._session()
+        bench = Bench(
+            sample_rate=5e6,
+            n_samples=1 << 12,
+            settle_samples=0,
+            telemetry=session,
+        )
+        line = DelayLine(delay_line_cell_config(), n_cells=2)
+        bench.measure(line, amplitude=8e-6, frequency=5e3)
+        assert "delay_line.cell[0]" in session.probes
+        assert session.probes["delay_line.cell[0]"].count == 1 << 12
+        # The bench evaluates the dynamic rules after the run.
+        assert session.events == ()
+        assert session.ok
+
+    def test_traced_output_matches_untraced(self):
+        from repro.config import delay_line_cell_config
+        from repro.si.delay_line import DelayLine
+
+        config = delay_line_cell_config(seed=7)
+        session = self._session()
+        traced_bench = Bench(
+            sample_rate=5e6, n_samples=1 << 12, settle_samples=0, telemetry=session
+        )
+        plain_bench = Bench(sample_rate=5e6, n_samples=1 << 12, settle_samples=0)
+        traced = traced_bench.measure(
+            DelayLine(config, n_cells=2), amplitude=8e-6, frequency=5e3
+        )
+        plain = plain_bench.measure(
+            DelayLine(config, n_cells=2), amplitude=8e-6, frequency=5e3
+        )
+        np.testing.assert_array_equal(traced.output, plain.output)

@@ -1,0 +1,95 @@
+"""Tests for the JSONL trace exporter."""
+
+import json
+
+import numpy as np
+
+from repro.telemetry import TelemetrySession, export_jsonl
+
+
+def _traced_session():
+    session = TelemetrySession("export-test")
+    with session.span("measure", samples=64):
+        with session.span("device", samples=64):
+            session.record("phase", phase="PHI1")
+    probe = session.probe(
+        "cell",
+        full_scale=6e-6,
+        kind="memory_cell",
+        quiescent_current=2e-6,
+        supply_voltage=2.0,
+    )
+    probe.observe_array(np.array([8e-6, -8e-6]))
+    session.evaluate_rules()
+    return session
+
+
+def _load(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestExport:
+    def test_record_types_in_order(self, tmp_path):
+        path = export_jsonl(_traced_session(), tmp_path / "trace.jsonl")
+        types = [record["type"] for record in _load(path)]
+        assert types[0] == "session"
+        assert types.count("span") == 3
+        assert types.count("probe") == 1
+        assert "event" in types
+        # Grouped: session, then spans, then probes, then events.
+        assert types == sorted(
+            types, key=["session", "span", "probe", "event"].index
+        )
+
+    def test_session_header_counts(self, tmp_path):
+        path = export_jsonl(_traced_session(), tmp_path / "trace.jsonl")
+        header = _load(path)[0]
+        assert header["name"] == "export-test"
+        assert header["n_spans"] == 3
+        assert header["n_probes"] == 1
+        assert header["ok"] is False
+
+    def test_span_parent_links_rebuild_the_tree(self, tmp_path):
+        path = export_jsonl(_traced_session(), tmp_path / "trace.jsonl")
+        spans = {
+            record["id"]: record
+            for record in _load(path)
+            if record["type"] == "span"
+        }
+        roots = [span for span in spans.values() if span["parent"] is None]
+        assert [span["name"] for span in roots] == ["measure"]
+        by_parent = {}
+        for span in spans.values():
+            by_parent.setdefault(span["parent"], []).append(span["name"])
+        assert by_parent[roots[0]["id"]] == ["device"]
+
+    def test_structural_span_serialises_null_duration(self, tmp_path):
+        path = export_jsonl(_traced_session(), tmp_path / "trace.jsonl")
+        phase = next(
+            record
+            for record in _load(path)
+            if record["type"] == "span" and record["name"] == "phase"
+        )
+        assert phase["duration_s"] is None
+        assert phase["attrs"]["phase"] == "PHI1"
+
+    def test_probe_record_round_trips_statistics(self, tmp_path):
+        session = _traced_session()
+        path = export_jsonl(session, tmp_path / "trace.jsonl")
+        record = next(r for r in _load(path) if r["type"] == "probe")
+        probe = session.probes["cell"]
+        assert record["name"] == "cell"
+        assert record["count"] == probe.count
+        assert record["rms"] == probe.rms
+        assert record["meta"]["kind"] == "memory_cell"
+
+    def test_event_record_carries_rule_and_severity(self, tmp_path):
+        path = export_jsonl(_traced_session(), tmp_path / "trace.jsonl")
+        events = [r for r in _load(path) if r["type"] == "event"]
+        assert {event["rule"] for event in events} == {"DYN002"}
+        assert all(event["severity"] == "ERROR" for event in events)
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = export_jsonl(_traced_session(), tmp_path / "trace.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)

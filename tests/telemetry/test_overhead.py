@@ -1,0 +1,71 @@
+"""Telemetry overhead smoke tests.
+
+The design target is <10% overhead when tracing and *zero* when
+disabled (the hot loops only test ``self._probe is not None``).  Timing
+in CI is noisy, so the traced-run assertion uses a lenient 1.5x bound:
+it catches accidental O(n) waveform storage or per-sample span work
+without flaking on scheduler jitter.
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import delay_line_cell_config
+from repro.si.delay_line import DelayLine
+from repro.telemetry import TelemetrySession
+
+N_SAMPLES = 1 << 13
+
+
+def _run(line, data):
+    line.reset()
+    return line.run(data)
+
+
+def _best_of(func, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestOverhead:
+    def test_disabled_telemetry_leaves_hot_path_untouched(self):
+        line = DelayLine(delay_line_cell_config(), n_cells=2)
+        assert line._telemetry is None
+        for cell in line.cells:
+            assert cell._probe is None
+
+    def test_traced_run_within_bound(self):
+        data = 4e-6 * np.sin(
+            2.0 * np.pi * 8.0 * np.arange(N_SAMPLES) / N_SAMPLES
+        )
+        config = delay_line_cell_config(seed=3)
+
+        plain = DelayLine(config, n_cells=2)
+        traced = DelayLine(config, n_cells=2)
+        traced.attach_telemetry(TelemetrySession("overhead"))
+
+        _run(plain, data)  # warm caches before timing
+        t_plain = _best_of(lambda: _run(plain, data))
+        t_traced = _best_of(lambda: _run(traced, data))
+        assert t_traced <= max(1.5 * t_plain, t_plain + 0.05), (
+            f"traced {t_traced * 1e3:.1f} ms vs plain {t_plain * 1e3:.1f} ms"
+        )
+
+    def test_probe_state_is_constant_size(self):
+        # Tracing must not buffer the waveform: probe state is a handful
+        # of scalars regardless of run length.
+        session = TelemetrySession("size")
+        line = DelayLine(delay_line_cell_config(), n_cells=2)
+        line.attach_telemetry(session)
+        _run(line, np.zeros(N_SAMPLES))
+        for probe in session.probes.values():
+            assert not any(
+                isinstance(getattr(probe, slot), (list, np.ndarray))
+                for slot in probe.__slots__
+                if slot != "meta"
+            )

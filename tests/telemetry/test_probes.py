@@ -1,0 +1,126 @@
+"""Tests for streaming signal probes against closed-form signals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import SignalProbe
+
+
+class TestStreamingStatistics:
+    def test_sine_statistics_match_closed_form(self):
+        # A full-period sine: min=-A, max=+A, mean=0, rms=A/sqrt(2).
+        amplitude = 3e-6
+        n = 4096
+        values = amplitude * np.sin(2.0 * np.pi * np.arange(n) / n)
+        probe = SignalProbe("sine", full_scale=6e-6)
+        probe.observe_array(values)
+        assert probe.count == n
+        assert probe.minimum == pytest.approx(-amplitude, rel=1e-5)
+        assert probe.maximum == pytest.approx(amplitude, rel=1e-5)
+        assert probe.mean == pytest.approx(0.0, abs=1e-12)
+        assert probe.rms == pytest.approx(amplitude / math.sqrt(2.0), rel=1e-6)
+        assert probe.peak == pytest.approx(amplitude, rel=1e-5)
+        assert probe.swing_fraction == pytest.approx(0.5, rel=1e-5)
+
+    def test_scalar_and_array_paths_agree(self):
+        values = np.linspace(-1.0, 2.0, 101)
+        streaming = SignalProbe("scalar")
+        for value in values:
+            streaming.observe(float(value))
+        batched = SignalProbe("batch")
+        batched.observe_array(values)
+        assert streaming.count == batched.count
+        assert streaming.minimum == pytest.approx(batched.minimum)
+        assert streaming.maximum == pytest.approx(batched.maximum)
+        assert streaming.mean == pytest.approx(batched.mean)
+        assert streaming.rms == pytest.approx(batched.rms)
+
+    def test_accumulates_across_batches(self):
+        probe = SignalProbe("acc")
+        probe.observe_array(np.array([1.0, 2.0]))
+        probe.observe_array(np.array([-4.0]))
+        assert probe.count == 3
+        assert probe.minimum == -4.0
+        assert probe.maximum == 2.0
+        assert probe.rms == pytest.approx(math.sqrt((1 + 4 + 16) / 3))
+
+    def test_empty_probe_statistics(self):
+        probe = SignalProbe("empty", full_scale=1e-6)
+        assert probe.count == 0
+        assert math.isnan(probe.minimum)
+        assert math.isnan(probe.rms)
+        assert probe.peak == 0.0
+        assert probe.swing_fraction == 0.0
+
+    def test_no_full_scale_means_no_swing(self):
+        probe = SignalProbe("raw")
+        probe.observe(1.0)
+        assert probe.swing_fraction is None
+
+    def test_no_waveform_storage(self):
+        # The whole point: observing a long signal keeps O(1) state.
+        probe = SignalProbe("stream")
+        probe.observe_array(np.ones(100_000))
+        assert not any(
+            isinstance(getattr(probe, slot), np.ndarray)
+            for slot in probe.__slots__
+        )
+
+
+class TestClipping:
+    def test_clip_count_and_first_index(self):
+        probe = SignalProbe("clip", clip_limit=1.0)
+        probe.observe_array(np.array([0.5, 0.9, 1.5, 0.2, -1.2]))
+        assert probe.clip_count == 2
+        assert probe.first_clip_index == 2
+        assert probe.clip_fraction == pytest.approx(2 / 5)
+
+    def test_first_clip_index_spans_batches(self):
+        probe = SignalProbe("clip", clip_limit=1.0)
+        probe.observe_array(np.zeros(10))
+        probe.observe_array(np.array([0.0, 2.0]))
+        assert probe.first_clip_index == 11
+
+    def test_scalar_clip_detection(self):
+        probe = SignalProbe("clip", clip_limit=1.0)
+        probe.observe(0.5)
+        probe.observe(-3.0)
+        assert probe.clip_count == 1
+        assert probe.first_clip_index == 1
+
+    def test_no_limit_never_clips(self):
+        probe = SignalProbe("free")
+        probe.observe_array(np.array([1e6]))
+        assert probe.clip_count == 0
+        assert probe.first_clip_index is None
+
+
+class TestValidation:
+    def test_rejects_non_positive_full_scale(self):
+        with pytest.raises(TelemetryError):
+            SignalProbe("bad", full_scale=0.0)
+
+    def test_rejects_non_positive_clip_limit(self):
+        with pytest.raises(TelemetryError):
+            SignalProbe("bad", clip_limit=-1.0)
+
+    def test_rejects_2d_observe_array(self):
+        probe = SignalProbe("bad")
+        with pytest.raises(TelemetryError):
+            probe.observe_array(np.zeros((4, 4)))
+
+
+class TestRecord:
+    def test_as_record_is_flat_and_json_ready(self):
+        probe = SignalProbe(
+            "cell", full_scale=6e-6, clip_limit=8e-6, kind="memory_cell"
+        )
+        probe.observe_array(np.array([1e-6, -2e-6]))
+        record = probe.as_record()
+        assert record["name"] == "cell"
+        assert record["count"] == 2
+        assert record["meta"] == {"kind": "memory_cell"}
+        assert record["swing_fraction"] == pytest.approx(2e-6 / 6e-6)

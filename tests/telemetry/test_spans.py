@@ -1,0 +1,128 @@
+"""Tests for telemetry spans: nesting, timing, rendering."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import Span, TelemetrySession, render_span_tree
+
+
+class TestSpanLifecycle:
+    def test_start_finish_measures_time(self):
+        span = Span("work")
+        span.start()
+        span.finish()
+        assert span.duration_s is not None
+        assert span.duration_s >= 0.0
+
+    def test_double_start_rejected(self):
+        span = Span("work")
+        span.start()
+        with pytest.raises(TelemetryError):
+            span.start()
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(TelemetryError):
+            Span("work").finish()
+
+    def test_double_finish_rejected(self):
+        span = Span("work")
+        span.start()
+        span.finish()
+        with pytest.raises(TelemetryError):
+            span.finish()
+
+    def test_samples_per_second(self):
+        span = Span("work", samples=1000)
+        span.start()
+        span.finish()
+        assert span.samples_per_second == pytest.approx(
+            1000 / span.duration_s
+        )
+
+    def test_untimed_span_has_no_throughput(self):
+        span = Span("structural", samples=100)
+        assert span.duration_s is None
+        assert span.samples_per_second is None
+
+
+class TestSessionNesting:
+    def test_spans_nest_by_context(self):
+        session = TelemetrySession()
+        with session.span("outer"):
+            with session.span("inner"):
+                with session.span("innermost"):
+                    pass
+            with session.span("sibling"):
+                pass
+        assert len(session.roots) == 1
+        outer = session.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        assert outer.children[0].children[0].name == "innermost"
+
+    def test_sequential_roots(self):
+        session = TelemetrySession()
+        with session.span("first"):
+            pass
+        with session.span("second"):
+            pass
+        assert [r.name for r in session.roots] == ["first", "second"]
+
+    def test_current_span_tracks_stack(self):
+        session = TelemetrySession()
+        assert session.current_span is None
+        with session.span("outer") as outer:
+            assert session.current_span is outer
+            with session.span("inner") as inner:
+                assert session.current_span is inner
+            assert session.current_span is outer
+        assert session.current_span is None
+
+    def test_span_closed_on_exception(self):
+        session = TelemetrySession()
+        with pytest.raises(RuntimeError):
+            with session.span("doomed"):
+                raise RuntimeError("boom")
+        assert session.current_span is None
+        assert session.roots[0].duration_s is not None
+
+    def test_record_requires_open_span(self):
+        session = TelemetrySession()
+        with pytest.raises(TelemetryError):
+            session.record("orphan")
+
+    def test_record_attaches_structural_child(self):
+        session = TelemetrySession()
+        with session.span("device", samples=64):
+            child = session.record("phase", samples=32, phase="PHI1")
+        assert child.duration_s is None
+        assert child.samples == 32
+        assert child.attrs["phase"] == "PHI1"
+        assert session.roots[0].children == [child]
+
+    def test_walk_depth_first(self):
+        session = TelemetrySession()
+        with session.span("a"):
+            with session.span("b"):
+                session.record("c")
+            with session.span("d"):
+                pass
+        names = [(depth, s.name) for depth, s in session.roots[0].walk()]
+        assert names == [(0, "a"), (1, "b"), (2, "c"), (1, "d")]
+
+
+class TestRendering:
+    def test_render_tree_indents_and_marks_untimed(self):
+        session = TelemetrySession()
+        with session.span("run", samples=100):
+            session.record("stage", samples=50)
+        text = render_span_tree(session.roots)
+        assert "run" in text
+        assert "  stage" in text
+        lines = [line for line in text.splitlines() if "stage" in line]
+        assert "-" in lines[0]
+
+    def test_session_render_matches_module_function(self):
+        session = TelemetrySession()
+        with session.span("run"):
+            pass
+        assert session.render_span_tree() == render_span_tree(session.roots)
