@@ -7,9 +7,19 @@ from DESIGN.md, and registers its headline numbers as pytest-benchmark
 
 Each :func:`run_once` call also records its wall time (and, when the
 bench declares its simulated sample count, samples-per-second
-throughput); the harness writes them to ``BENCH_telemetry.json`` at
+throughput); the harness merges them into ``BENCH_telemetry.json`` at
 the repository root when the session ends, so CI can archive a
 machine-readable performance record next to the benchmark report.
+
+The document is written with
+:func:`repro.metrics.manifest.write_bench_telemetry`: records are
+keyed by benchmark name and *merged* with any existing document, so a
+partial run (CI benchmarking a single file, a developer re-running one
+bench) updates its own entries without clobbering the other
+benchmarks' records -- the old harness rewrote the whole file and left
+``n_benchmarks: 1`` behind.  The document carries a provenance stamp
+(git SHA, timestamp, versions, argv) plus the legacy top-level keys as
+a back-compat alias.
 
 Run with::
 
@@ -18,13 +28,13 @@ Run with::
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.config import MODULATOR_CLOCK, delay_line_cell_config, paper_cell_config
+from repro.metrics.manifest import write_bench_telemetry
 
 #: Telemetry records accumulated by run_once during this session.
 _TELEMETRY_RECORDS: list[dict[str, object]] = []
@@ -76,13 +86,8 @@ def run_once(benchmark, func, n_samples: int | None = None):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write the accumulated telemetry records as BENCH_telemetry.json."""
+    """Merge the session's telemetry records into BENCH_telemetry.json."""
     if not _TELEMETRY_RECORDS:
         return
     target = Path(session.config.rootpath) / "BENCH_telemetry.json"
-    payload = {
-        "n_benchmarks": len(_TELEMETRY_RECORDS),
-        "total_wall_s": sum(r["wall_s"] for r in _TELEMETRY_RECORDS),
-        "records": _TELEMETRY_RECORDS,
-    }
-    target.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench_telemetry(target, _TELEMETRY_RECORDS)

@@ -12,8 +12,6 @@ clock, input level and analysis bandwidth, then checks the THD/SNR
 shape and that visible harmonics exist above the noise floor.
 """
 
-import numpy as np
-
 from benchmarks.conftest import FULL_FFT, run_once
 from repro.config import (
     MODULATOR_CLOCK,
@@ -22,7 +20,8 @@ from repro.config import (
     paper_cell_config,
 )
 from repro.deltasigma.modulator2 import SIModulator2
-from repro.reporting.figures import ascii_plot, spectrum_series
+from repro.metrics.spectral import harmonic_visibility_db, spectrum_view
+from repro.reporting.figures import ascii_plot
 from repro.reporting.records import PaperComparison
 from repro.systems.testbench import TestBench
 
@@ -40,14 +39,12 @@ def test_bench_fig5(benchmark):
 
     result = run_once(benchmark, experiment, n_samples=FULL_FFT)
 
-    reference = MODULATOR_FULL_SCALE**2 / 2.0
-    freqs, power_db = spectrum_series(result.spectrum, reference, max_points=96)
-    mask = freqs > 0
+    log_freqs, power_db = spectrum_view(result.spectrum, MODULATOR_FULL_SCALE)
     print()
     print(
         ascii_plot(
-            np.log10(freqs[mask]),
-            power_db[mask],
+            log_freqs,
+            power_db,
             title=(
                 "Fig. 5: SI modulator output spectrum "
                 "(dB re full scale vs log10 frequency)"
@@ -70,13 +67,8 @@ def test_bench_fig5(benchmark):
         f"{result.snr_db:.1f} dB",
         50.0 < result.snr_db < 62.0,
     )
-    # "Visible" means the harmonic's lobe stands above the noise in the
-    # same number of bins, not above the whole band's integrated noise.
-    lobe_bins = 2 * result.spectrum.window.main_lobe_bins + 1
-    band_bins = result.spectrum.bin_of(SIGNAL_BANDWIDTH)
-    noise_per_lobe = result.metrics.noise_power * lobe_bins / max(band_bins, 1)
-    visibility_db = 10.0 * np.log10(
-        max(result.metrics.harmonic_power, 1e-30) / max(noise_per_lobe, 1e-30)
+    visibility_db = harmonic_visibility_db(
+        result.metrics, result.spectrum, SIGNAL_BANDWIDTH
     )
     comparison.add(
         "Fig. 5",

@@ -28,6 +28,7 @@ from repro.config import (
     paper_cell_config,
 )
 from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.metrics.spectral import db_to_bits
 from repro.deltasigma.modulator2 import SIModulator2
 from repro.reporting.figures import ascii_plot
 from repro.reporting.records import PaperComparison
@@ -88,7 +89,7 @@ def test_bench_fig7(benchmark):
         name: dynamic_range_from_sweep(sweep, max_level_db=-10.0)
         for name, sweep in sweeps.items()
     }
-    bits = {name: (value - 1.76) / 6.02 for name, value in dr.items()}
+    bits = {name: db_to_bits(value) for name, value in dr.items()}
     worst_gap = float(
         np.max(np.abs(sweeps["non-chopper"].sndr_db - sweeps["chopper"].sndr_db))
     )

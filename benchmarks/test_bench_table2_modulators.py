@@ -28,6 +28,7 @@ from repro.config import (
     paper_cell_config,
 )
 from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.metrics.spectral import db_to_bits
 from repro.deltasigma.modulator2 import SIModulator2
 from repro.reporting.records import PaperComparison
 from repro.reporting.tables import Table
@@ -65,7 +66,7 @@ def test_bench_table2(benchmark):
     dr, power = run_once(
         benchmark, experiment, n_samples=2 * len(LEVELS_DB) * SWEEP_FFT
     )
-    bits = {name: (value - 1.76) / 6.02 for name, value in dr.items()}
+    bits = {name: db_to_bits(value) for name, value in dr.items()}
 
     table = Table(
         "Table 2. Performance of the SI Modulators",

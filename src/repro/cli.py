@@ -10,6 +10,8 @@ Usage::
     python -m repro tradeoff     # SI vs SC comparison table
     python -m repro erc mod2     # static rule check of a named design
     python -m repro trace mod2   # traced run: spans, probes, dynamic rules
+    python -m repro report mod2 --json out.json   # paper-metrics manifest
+    python -m repro compare out.json --strict     # diff vs golden baseline
     python -m repro --list       # list the commands
 
 Each measurement command prints the paper-style table.  Full FFT
@@ -21,6 +23,13 @@ telemetry-instrumented simulation (:mod:`repro.telemetry`) and exits
 non-zero when a dynamic rule raises an ERROR event -- e.g. driven with
 ``--overdrive 5`` the observed modulation index leaves the modeled
 class-AB range even though the declared design passes static ERC.
+
+``repro report <design>`` measures a design at its paper operating
+point and emits a run manifest (:mod:`repro.metrics`): every headline
+number of the paper as a typed, provenance-stamped record.  ``repro
+compare <manifest>`` diffs such a manifest against a committed golden
+baseline in ``baselines/`` and the paper's published values, exiting
+non-zero when a gated metric regressed past its tolerance.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from repro.config import (
 from repro.deltasigma import ChopperStabilizedSIModulator, SIModulator2
 from repro.erc import Severity, build_design, run_erc
 from repro.erc.designs import DESIGNS
+from repro.metrics.spectral import db_to_bits
 from repro.reporting.tables import Table
 from repro.sc.tradeoff import ScSiTradeoff
 from repro.si import DelayLine, HeadroomAnalysis
@@ -150,7 +160,7 @@ def cmd_fig7(fast: bool) -> None:
         )
     print(table.render())
     for name, dr in drs.items():
-        print(f"dynamic range ({name}): {dr:.1f} dB = {(dr - 1.76) / 6.02:.1f} bits "
+        print(f"dynamic range ({name}): {dr:.1f} dB = {db_to_bits(dr):.1f} bits "
               "(paper: ~63 dB / 10.5 bits)")
 
 
@@ -252,6 +262,66 @@ def cmd_trace(
     if not session.ok or (strict and session.warning_events):
         return 1
     return 0
+
+
+def cmd_report(
+    design: str,
+    fast: bool = False,
+    samples: int | None = None,
+    sweep: bool = True,
+    noise_scale: float = 1.0,
+    mismatch: float = 0.0,
+    json_path: str | None = None,
+    markdown_path: str | None = None,
+    argv: list[str] | None = None,
+) -> int:
+    """Measure a design and emit its paper-metrics run manifest."""
+    from repro.metrics import build_report, collect_provenance
+
+    n_samples = samples if samples is not None else (1 << 14 if fast else 1 << 16)
+    manifest = build_report(
+        design,
+        n_samples=n_samples,
+        sweep=sweep,
+        noise_scale=noise_scale,
+        mismatch=mismatch,
+        provenance=collect_provenance(argv=argv),
+    )
+    print(manifest.render_table())
+    if json_path is not None:
+        target = manifest.write_json(json_path)
+        print(f"manifest written to {target}")
+    if markdown_path is not None:
+        from pathlib import Path
+
+        Path(markdown_path).write_text(manifest.render_markdown())
+        print(f"markdown report written to {markdown_path}")
+    return 0
+
+
+def cmd_compare(
+    manifest_path: str,
+    baseline_path: str | None = None,
+    strict: bool = False,
+) -> int:
+    """Diff a run manifest against a golden baseline; exit 1 on regression."""
+    from repro.errors import MetricsError
+    from repro.metrics import compare_manifests, load_manifest
+
+    try:
+        current = load_manifest(manifest_path)
+        baseline = load_manifest(
+            baseline_path
+            if baseline_path is not None
+            else f"baselines/{current.design}.json"
+        )
+    except MetricsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = compare_manifests(current, baseline)
+    print(report.render_table())
+    print(report.summary())
+    return report.exit_code(strict=strict)
 
 
 #: Measurement commands: name -> callable taking the --fast flag.
@@ -363,6 +433,85 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also exit non-zero on WARNING events",
     )
+    from repro.metrics.report import REPORT_DESIGNS
+
+    report = subparsers.add_parser(
+        "report",
+        help=_first_doc_line(cmd_report),
+        description=_first_doc_line(cmd_report),
+    )
+    report.add_argument(
+        "design",
+        choices=list(REPORT_DESIGNS),
+        help="design to measure and report",
+    )
+    report.add_argument(
+        "--fast",
+        action="store_true",
+        help="use a shorter run (16K samples instead of 64K)",
+    )
+    report.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analysed sample count (overrides --fast)",
+    )
+    report.add_argument(
+        "--no-sweep",
+        dest="sweep",
+        action="store_false",
+        help="skip the dynamic-range sweep (modulator designs)",
+    )
+    report.add_argument(
+        "--noise-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="scale the cells' thermal noise by X (degradation knob)",
+    )
+    report.add_argument(
+        "--mismatch",
+        type=float,
+        default=0.0,
+        metavar="M",
+        help="inject a half-circuit gain mismatch of M (degradation knob)",
+    )
+    report.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the run manifest as JSON to PATH",
+    )
+    report.add_argument(
+        "--markdown",
+        dest="markdown_path",
+        default=None,
+        metavar="PATH",
+        help="also write a Markdown report to PATH",
+    )
+    compare = subparsers.add_parser(
+        "compare",
+        help=_first_doc_line(cmd_compare),
+        description=_first_doc_line(cmd_compare),
+    )
+    compare.add_argument(
+        "manifest",
+        help="run manifest JSON to check (from `repro report --json`)",
+    )
+    compare.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="golden manifest to diff against "
+        "(default: baselines/<design>.json)",
+    )
+    compare.add_argument(
+        "--strict",
+        action="store_true",
+        help="also exit non-zero on warnings and config mismatches",
+    )
     return parser
 
 
@@ -373,6 +522,8 @@ def list_commands() -> str:
         lines.append(f"  {name:10s} {_first_doc_line(COMMANDS[name])}")
     lines.append(f"  {'erc':10s} {_first_doc_line(cmd_erc)}")
     lines.append(f"  {'trace':10s} {_first_doc_line(cmd_trace)}")
+    lines.append(f"  {'report':10s} {_first_doc_line(cmd_report)}")
+    lines.append(f"  {'compare':10s} {_first_doc_line(cmd_compare)}")
     return "\n".join(lines)
 
 
@@ -397,6 +548,24 @@ def main(argv: list[str] | None = None) -> int:
             supply=args.supply,
             json_path=args.json_path,
             strict=args.strict,
+        )
+
+    if args.command == "report":
+        return cmd_report(
+            args.design,
+            fast=args.fast,
+            samples=args.samples,
+            sweep=args.sweep,
+            noise_scale=args.noise_scale,
+            mismatch=args.mismatch,
+            json_path=args.json_path,
+            markdown_path=args.markdown_path,
+            argv=["repro", *argv] if argv is not None else None,
+        )
+
+    if args.command == "compare":
+        return cmd_compare(
+            args.manifest, baseline_path=args.baseline, strict=args.strict
         )
 
     COMMANDS[args.command](args.fast)

@@ -61,6 +61,17 @@ class TelemetryError(ReproError):
     """
 
 
+class MetricsError(ReproError):
+    """The paper-metrics layer was misused or fed malformed data.
+
+    Raised on unknown metric names, non-finite metric values, malformed
+    run manifests and baseline files, and invalid comparison requests.
+    A metric *regression* is never an exception -- it is a
+    :class:`~repro.metrics.compare.MetricDiff` in the comparison
+    report, surfaced as a process exit code by ``repro compare``.
+    """
+
+
 class AnalysisError(ReproError):
     """A measurement or spectral analysis could not be performed."""
 

@@ -1,0 +1,219 @@
+"""Metric extractors: from existing machinery to typed records.
+
+Each extractor takes something the library already computes -- a
+:class:`~repro.analysis.metrics.ToneMetrics`, an amplitude sweep, a
+telemetry session -- and files the paper's evaluation numbers into a
+:class:`~repro.metrics.registry.MetricRegistry`, tagged with the
+provenance of the span/probe/sweep that produced them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.fitting import dynamic_range_from_sweep
+from repro.analysis.metrics import ToneMetrics
+from repro.analysis.sweeps import AmplitudeSweepResult
+from repro.errors import MetricsError
+from repro.metrics.records import MetricRecord
+from repro.metrics.registry import MetricRegistry
+from repro.metrics.spectral import db_to_bits, enob_bits
+from repro.telemetry.session import TelemetrySession
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "tone_records",
+    "sweep_records",
+    "fit_delay_line_error",
+    "delay_line_error_records",
+    "telemetry_event_records",
+    "throughput_records",
+]
+
+#: Dynamic-rule code -> metric name, mirroring repro.telemetry.monitor.
+DYN_METRIC_NAMES: dict[str, str] = {
+    "DYN001": "dyn001_clip_events",
+    "DYN002": "dyn002_headroom_events",
+    "DYN003": "dyn003_cmff_events",
+    "DYN004": "dyn004_classab_events",
+}
+
+
+def tone_records(
+    registry: MetricRegistry,
+    metrics: ToneMetrics,
+    provenance: str | None = "span:measure/analysis",
+) -> list[MetricRecord]:
+    """File the Fig. 5-style single-tone numbers: THD, SNR, SNDR, ENOB."""
+    return [
+        registry.record("thd_db", metrics.thd_db, provenance),
+        registry.record("snr_db", metrics.snr_db, provenance),
+        registry.record("sndr_db", metrics.sndr_db, provenance),
+        registry.record("enob_bits", enob_bits(metrics.sndr_db), provenance),
+        registry.record(
+            "signal_amplitude_ua", metrics.signal_amplitude * 1e6, provenance
+        ),
+    ]
+
+
+def sweep_records(
+    registry: MetricRegistry,
+    sweep: AmplitudeSweepResult,
+    max_level_db: float = -10.0,
+) -> list[MetricRecord]:
+    """File the Fig. 7 / Table 2 dynamic-range numbers from a sweep."""
+    dr_db = dynamic_range_from_sweep(sweep, max_level_db=max_level_db)
+    levels = sweep.levels_db
+    provenance = (
+        f"sweep:levels={levels[0]:.0f}..{levels[-1]:.0f}dB,n={levels.shape[0]}"
+    )
+    return [
+        registry.record("dr_db", dr_db, provenance),
+        registry.record("dr_bits", db_to_bits(dr_db), provenance),
+    ]
+
+
+def fit_delay_line_error(
+    stimulus: np.ndarray,
+    output: np.ndarray,
+    delay_samples: int,
+    inverting: bool = False,
+) -> tuple[float, float]:
+    """Fit the Table 1 static errors of a delay line run.
+
+    Least-squares fit of ``output[n] = gain * ideal[n] + offset`` where
+    ``ideal`` is the stimulus delayed by the line's nominal delay (and
+    sign-flipped for an inverting cascade).  Returns
+    ``(gain_error, offset)`` with ``gain_error = gain - 1``; an ideal
+    delay line yields (0, 0) to machine precision.
+
+    Parameters
+    ----------
+    stimulus:
+        The drive samples, including any settling prefix.
+    output:
+        The *aligned* output samples: ``output[n]`` is the device
+        response to ``stimulus[n]``'s time step.
+    delay_samples:
+        The line's nominal delay in clock periods.
+    inverting:
+        Whether the cascade inverts overall.
+
+    Raises
+    ------
+    MetricsError
+        If the arrays are unusable or too short for the fit.
+    """
+    x = np.asarray(stimulus, dtype=float)
+    y = np.asarray(output, dtype=float)
+    if x.ndim != 1 or y.ndim != 1:
+        raise MetricsError(
+            f"stimulus and output must be 1-D, got {x.shape} and {y.shape}"
+        )
+    if x.shape[0] != y.shape[0]:
+        raise MetricsError(
+            f"stimulus and output lengths differ: {x.shape[0]} vs {y.shape[0]}"
+        )
+    if delay_samples < 0:
+        raise MetricsError(
+            f"delay_samples must be non-negative, got {delay_samples!r}"
+        )
+    if x.shape[0] - delay_samples < 16:
+        raise MetricsError(
+            f"need at least 16 post-delay samples, got {x.shape[0] - delay_samples}"
+        )
+    ideal = x[: x.shape[0] - delay_samples]
+    if inverting:
+        ideal = -ideal
+    observed = y[delay_samples:]
+    if float(np.ptp(ideal)) == 0.0:
+        raise MetricsError("stimulus is constant; cannot fit gain and offset")
+    gain, offset = np.polyfit(ideal, observed, 1)
+    return float(gain) - 1.0, float(offset)
+
+
+def delay_line_error_records(
+    registry: MetricRegistry,
+    stimulus: np.ndarray,
+    output: np.ndarray,
+    delay_samples: int,
+    inverting: bool = False,
+    provenance: str | None = "fit:delay-line-linear",
+) -> list[MetricRecord]:
+    """File the Table 1 gain/offset errors of a delay-line run."""
+    gain_error, offset = fit_delay_line_error(
+        stimulus, output, delay_samples, inverting=inverting
+    )
+    return [
+        registry.record("gain_error", gain_error, provenance),
+        registry.record("offset_ua", offset * 1e6, provenance),
+    ]
+
+
+def telemetry_event_records(
+    registry: MetricRegistry, session: TelemetrySession
+) -> list[MetricRecord]:
+    """File the DYN001-DYN004 event counts of a traced run.
+
+    Every rule files a count (zero included): a baseline asserting
+    "zero clip events" can then catch a run that starts clipping.
+    """
+    counts = {name: 0 for name in DYN_METRIC_NAMES.values()}
+    sources: dict[str, list[str]] = {name: [] for name in DYN_METRIC_NAMES.values()}
+    for event in session.events:
+        metric_name = DYN_METRIC_NAMES.get(event.rule)
+        if metric_name is None:
+            continue
+        counts[metric_name] += 1
+        if event.source is not None and event.source not in sources[metric_name]:
+            sources[metric_name].append(event.source)
+    records = []
+    for code, metric_name in DYN_METRIC_NAMES.items():
+        probe_list = ",".join(sources[metric_name])
+        provenance = f"rule:{code}" + (f" probes:{probe_list}" if probe_list else "")
+        records.append(
+            registry.record(metric_name, float(counts[metric_name]), provenance)
+        )
+    return records
+
+
+def _find_spans(roots: list[Span], name: str) -> list[Span]:
+    """Return every span named ``name`` anywhere in a span forest."""
+    found = []
+    for root in roots:
+        for _depth, span in root.walk():
+            if span.name == name:
+                found.append(span)
+    return found
+
+
+def throughput_records(
+    registry: MetricRegistry, session: TelemetrySession
+) -> list[MetricRecord]:
+    """File wall time and throughput from a traced session's spans.
+
+    ``wall_s`` is the total duration of the ``measure`` spans (the
+    whole stimulus/device/analysis pipeline); ``samples_per_s`` is the
+    device-simulation throughput, samples over time inside the
+    ``device`` spans only, the number the ROADMAP's "fast as the
+    hardware allows" goal tracks.
+    """
+    records = []
+    measures = _find_spans(session.roots, "measure")
+    if measures:
+        wall = sum(span.duration_s or 0.0 for span in measures)
+        records.append(
+            registry.record("wall_s", wall, f"span:measure x{len(measures)}")
+        )
+    devices = _find_spans(session.roots, "device")
+    device_time = sum(span.duration_s or 0.0 for span in devices)
+    device_samples = sum(span.samples or 0 for span in devices)
+    if device_samples and device_time > 0.0:
+        records.append(
+            registry.record(
+                "samples_per_s",
+                device_samples / device_time,
+                f"span:device x{len(devices)}",
+            )
+        )
+    return records

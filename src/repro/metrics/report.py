@@ -1,0 +1,230 @@
+"""Run reports: measure a named design and emit its run manifest.
+
+This is the engine behind ``repro report <design>``: it drives the
+design at its paper operating point through a telemetry-instrumented
+:class:`~repro.systems.testbench.TestBench`, runs the compact
+dynamic-range sweep behind the Table 2 rows, evaluates the power
+model, and files everything into a registry whose specs already carry
+the paper's reference values -- returning a
+:class:`~repro.metrics.manifest.RunManifest` ready to print, write, or
+diff against a committed baseline.
+
+Degradation knobs (``noise_scale``, ``mismatch``) rewrite the cell
+configuration before the device is built, so a CI job can verify the
+regression gate actually fires: doubling the thermal noise drops SNDR
+by ~5 dB, far past the 0.75 dB baseline tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.sweeps import run_amplitude_sweep
+from repro.config import MODULATOR_FULL_SCALE
+from repro.errors import MetricsError
+from repro.metrics.extractors import (
+    delay_line_error_records,
+    sweep_records,
+    telemetry_event_records,
+    throughput_records,
+    tone_records,
+)
+from repro.metrics.manifest import RunManifest, manifest_from_registry
+from repro.metrics.provenance import Provenance
+from repro.metrics.registry import registry_for
+from repro.si.memory_cell import MemoryCellConfig
+from repro.si.power import ClassKind
+from repro.systems.chip import TestChip
+from repro.systems.stimulus import coherent_frequency
+from repro.systems.testbench import TestBench
+from repro.telemetry.designs import (
+    TRACE_ALIASES,
+    TRACE_DESIGNS,
+    ConfigTransform,
+    build_trace_setup,
+)
+from repro.telemetry.session import TelemetrySession
+
+__all__ = ["REPORT_DESIGNS", "build_report"]
+
+#: Designs ``repro report`` accepts (the runnable trace designs).
+REPORT_DESIGNS: tuple[str, ...] = tuple(sorted(TRACE_DESIGNS) + sorted(TRACE_ALIASES))
+
+#: Input levels of the compact dynamic-range sweep (dB re full scale);
+#: the -10 dB cap keeps the fit in the noise-limited linear region.
+SWEEP_LEVELS_DB: tuple[float, ...] = (-50.0, -40.0, -30.0, -20.0, -10.0)
+
+#: Modulation index the power model evaluates modulators at.
+MODULATOR_POWER_INDEX = 3.0
+
+#: Modulation index the power model evaluates the delay line at.
+DELAY_LINE_POWER_INDEX = 4.0
+
+
+def _degrade_transform(
+    noise_scale: float, mismatch: float
+) -> ConfigTransform | None:
+    """Return a cell-config transform applying the degradation knobs."""
+    if noise_scale == 1.0 and mismatch == 0.0:
+        return None
+
+    def transform(config: MemoryCellConfig) -> MemoryCellConfig:
+        return replace(
+            config,
+            thermal_noise_rms=config.thermal_noise_rms * noise_scale,
+            half_gain_mismatch=mismatch,
+        )
+
+    return transform
+
+
+def build_report(
+    design: str,
+    n_samples: int = 1 << 16,
+    sweep: bool = True,
+    noise_scale: float = 1.0,
+    mismatch: float = 0.0,
+    provenance: Provenance | None = None,
+) -> RunManifest:
+    """Measure a named design and return its run manifest.
+
+    Parameters
+    ----------
+    design:
+        A runnable design name or alias (``modulator2``, ``mod2``,
+        ``chopper``, ``delay-line``, ...).
+    n_samples:
+        FFT length of the main measurement (the paper's 64K by
+        default); the dynamic-range sweep uses half this length.
+    sweep:
+        Run the compact Table 2 dynamic-range sweep (modulator designs
+        only; the delay line reports the Table 1 error fits instead).
+    noise_scale:
+        Multiplier on the cells' thermal-noise rms -- the degradation
+        knob CI uses to prove the gate fires (>1 degrades SNDR).
+    mismatch:
+        Half-circuit gain mismatch injected into the cells (0 on the
+        calibrated chip; >0 degrades even-order cancellation).
+    provenance:
+        Attribution block; collected from the current process when
+        omitted.
+
+    Raises
+    ------
+    MetricsError
+        If the degradation knobs are out of range (design-name errors
+        raise :class:`~repro.errors.ConfigurationError` from the
+        trace-design lookup).
+    """
+    if noise_scale < 0.0:
+        raise MetricsError(
+            f"noise_scale must be non-negative, got {noise_scale!r}"
+        )
+    if not -1.0 < mismatch < 1.0:
+        raise MetricsError(f"mismatch must be in (-1, 1), got {mismatch!r}")
+
+    setup = build_trace_setup(design)
+    registry = registry_for(setup.name)
+    transform = _degrade_transform(noise_scale, mismatch)
+
+    session = TelemetrySession(setup.name)
+    device = setup.build(transform)
+    device.attach_telemetry(session)
+    bench = TestBench(
+        sample_rate=setup.sample_rate,
+        n_samples=n_samples,
+        bandwidth=setup.bandwidth,
+        telemetry=session,
+    )
+    result = bench.measure(
+        device, amplitude=setup.amplitude, frequency=setup.frequency
+    )
+    tone_records(registry, result.metrics, provenance="span:measure/analysis")
+
+    config: dict[str, object] = {
+        "design": setup.name,
+        "n_samples": n_samples,
+        "sample_rate": setup.sample_rate,
+        "bandwidth": setup.bandwidth,
+        "amplitude": setup.amplitude,
+        "frequency": setup.frequency,
+        "noise_scale": noise_scale,
+        "mismatch": mismatch,
+    }
+
+    # The device's (possibly transformed) cell configuration drives the
+    # power model: modulators expose .cell_config, the delay line .config.
+    cell_config = getattr(device, "cell_config", None) or getattr(
+        device, "config", None
+    )
+    chip = TestChip(cell_config if isinstance(cell_config, MemoryCellConfig) else None)
+
+    if setup.name == "delay-line":
+        # Table 1: static gain/offset errors against the ideal delayed
+        # stimulus, fitted over the analysed (post-settle) samples.
+        total = n_samples + bench.settle_samples
+        drive = result.stimulus.generate(total)
+        delay_line_error_records(
+            registry,
+            drive[bench.settle_samples :],
+            result.output,
+            delay_samples=device.delay_samples,
+            inverting=device.inverting,
+        )
+        # Table 1 noise rows: wideband output noise of a zero-input run
+        # and the paper's peak-to-peak SNR convention against it.
+        quiet = setup.build(transform)
+        noise_rms = float(np.std(quiet(np.zeros(1 << 13))[2:]))
+        registry.record("noise_rms_na", noise_rms * 1e9, "run:zero-input 8K")
+        if noise_rms > 0.0:
+            registry.record(
+                "snr_pp_db",
+                20.0 * math.log10(2.0 * setup.amplitude / noise_rms),
+                "run:zero-input 8K",
+            )
+        power = chip.delay_line_power(modulation_index=DELAY_LINE_POWER_INDEX)
+        n_cells = 2
+        power_index = DELAY_LINE_POWER_INDEX
+    else:
+        power = chip.modulator_power(modulation_index=MODULATOR_POWER_INDEX)
+        n_cells = 8
+        power_index = MODULATOR_POWER_INDEX
+        if sweep:
+            sweep_device = setup.build(transform)
+            # The 8K floor keeps the 2 kHz tone clear of the Blackman
+            # window's DC lobe at the modulator clock.
+            sweep_n = max(1 << 13, n_samples // 2)
+            sweep_result = run_amplitude_sweep(
+                sweep_device,
+                levels_db=SWEEP_LEVELS_DB,
+                full_scale=MODULATOR_FULL_SCALE,
+                signal_frequency=coherent_frequency(
+                    setup.frequency, setup.sample_rate, sweep_n
+                ),
+                sample_rate=setup.sample_rate,
+                n_samples=sweep_n,
+                bandwidth=setup.bandwidth,
+                settle_samples=256,
+            )
+            sweep_records(registry, sweep_result)
+            config["sweep_levels_db"] = list(SWEEP_LEVELS_DB)
+            config["sweep_n_samples"] = sweep_n
+
+    registry.record(
+        "power_mw", power * 1e3, f"model:power n_cells={n_cells}"
+    )
+    cell_power = chip.power_model().cell_power(
+        ClassKind.CLASS_AB, modulation_index=power_index
+    )
+    registry.record(
+        "power_per_cell_uw",
+        cell_power * 1e6,
+        f"model:power class-AB m_i={power_index:g}",
+    )
+
+    telemetry_event_records(registry, session)
+    throughput_records(registry, session)
+    return manifest_from_registry(registry, config=config, provenance=provenance)

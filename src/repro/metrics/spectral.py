@@ -1,0 +1,107 @@
+"""Shared spectral arithmetic for the paper's headline numbers.
+
+The dB-to-bits conversion behind "about 10.5 bits", the full-scale
+reference power behind every "dB re full scale" plot and the
+harmonic-visibility criterion of the Fig. 5 bench used to be repeated
+inline across ``benchmarks/test_bench_fig5_spectrum.py``,
+``test_bench_fig7_snr_sweep.py`` and the CLI; they live here once so
+the benches, the CLI and the metric extractors cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.metrics import ToneMetrics
+from repro.analysis.spectrum import Spectrum
+from repro.errors import MetricsError
+from repro.reporting.figures import spectrum_series
+
+__all__ = [
+    "db_to_bits",
+    "bits_to_db",
+    "enob_bits",
+    "full_scale_reference_power",
+    "harmonic_visibility_db",
+    "spectrum_view",
+]
+
+
+def db_to_bits(value_db: float) -> float:
+    """Convert an SNDR/DR figure in dB to effective bits.
+
+    The standard converter identity ``bits = (dB - 1.76) / 6.02``; the
+    paper's "dynamic range ... about 10.5 bits" is its 63 dB figure
+    through this formula.
+    """
+    return (value_db - 1.76) / 6.02
+
+
+def bits_to_db(bits: float) -> float:
+    """Convert effective bits to the equivalent SNDR/DR in dB."""
+    return bits * 6.02 + 1.76
+
+
+def enob_bits(sndr_db: float) -> float:
+    """Return the effective number of bits implied by a measured SNDR."""
+    return db_to_bits(sndr_db)
+
+
+def full_scale_reference_power(full_scale: float) -> float:
+    """Return the power of a full-scale tone, the 0 dB plot reference.
+
+    Raises
+    ------
+    MetricsError
+        If the full-scale amplitude is not positive.
+    """
+    if full_scale <= 0.0:
+        raise MetricsError(
+            f"full_scale must be positive, got {full_scale!r}"
+        )
+    return full_scale**2 / 2.0
+
+
+def harmonic_visibility_db(
+    metrics: ToneMetrics, spectrum: Spectrum, bandwidth: float
+) -> float:
+    """Return how far the harmonic energy stands above the noise floor.
+
+    "Visible" in the Fig. 5 sense: the harmonic lobes are compared
+    against the noise falling in the *same number of bins*, not against
+    the whole band's integrated noise -- the comparison a reader makes
+    looking at the plotted spectrum.
+
+    Raises
+    ------
+    MetricsError
+        If the bandwidth is not positive.
+    """
+    if bandwidth <= 0.0:
+        raise MetricsError(f"bandwidth must be positive, got {bandwidth!r}")
+    lobe_bins = 2 * spectrum.window.main_lobe_bins + 1
+    band_bins = spectrum.bin_of(bandwidth)
+    noise_per_lobe = metrics.noise_power * lobe_bins / max(band_bins, 1)
+    return 10.0 * math.log10(
+        max(metrics.harmonic_power, 1e-30) / max(noise_per_lobe, 1e-30)
+    )
+
+
+def spectrum_view(
+    spectrum: Spectrum,
+    full_scale: float,
+    max_points: int = 96,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (log10 frequency, dB re full scale) series for plotting.
+
+    The peak-hold decimation of
+    :func:`repro.reporting.figures.spectrum_series` against the
+    full-scale reference, with the DC bin dropped -- exactly the view
+    the Fig. 5/6 benches render as ASCII plots.
+    """
+    reference = full_scale_reference_power(full_scale)
+    freqs, power_db = spectrum_series(spectrum, reference, max_points=max_points)
+    mask = freqs > 0.0
+    return np.log10(freqs[mask]), power_db[mask]

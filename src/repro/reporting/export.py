@@ -99,7 +99,12 @@ def write_comparison_json(
     -------
     The resolved output path.
     """
+    # Imported lazily: repro.metrics imports repro.reporting helpers at
+    # package-import time, so a module-level import would be circular.
+    from repro.metrics.provenance import collect_provenance
+
     payload = {
+        "provenance": collect_provenance().as_dict(),
         "records": [
             {
                 "experiment": record.experiment,

@@ -22,9 +22,12 @@ untraced code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # import cycle: repro.metrics.report drives this bench
+    from repro.metrics.registry import MetricRegistry
 
 from repro.errors import AnalysisError
 from repro.analysis.metrics import ToneMetrics, measure_tone
@@ -106,6 +109,12 @@ class TestBench:
         run and the spectral analysis), auto-attaches devices exposing
         ``attach_telemetry()`` and evaluates the dynamic rules after
         the run.  None (the default) disables tracing entirely.
+    metrics:
+        Optional :class:`~repro.metrics.registry.MetricRegistry`.  When
+        set, every :meth:`measure` call files its single-tone numbers
+        (THD/SNR/SNDR/ENOB/amplitude) into the registry, so a bench
+        script accumulates a run manifest as a side effect of
+        measuring.  None (the default) files nothing.
     """
 
     __test__ = False
@@ -119,6 +128,7 @@ class TestBench:
         settle_samples: int = 256,
         erc: bool = True,
         telemetry: TelemetrySession | None = None,
+        metrics: "MetricRegistry | None" = None,
     ) -> None:
         if sample_rate <= 0.0:
             raise AnalysisError(f"sample_rate must be positive, got {sample_rate!r}")
@@ -135,6 +145,7 @@ class TestBench:
         self.settle_samples = settle_samples
         self.erc = erc
         self.telemetry = telemetry
+        self.metrics = metrics
 
     def preflight(self, device: DeviceUnderTest) -> None:
         """Statically check a device before simulating it.
@@ -200,7 +211,9 @@ class TestBench:
         if session is None:
             drive = self._make_drive(stimulus, extra_input, total)
             output = self._run_device(device, drive, total)
-            return self._analyse(stimulus, output)
+            measurement = self._analyse(stimulus, output)
+            self._file_metrics(measurement)
+            return measurement
 
         if hasattr(device, "attach_telemetry"):
             device.attach_telemetry(session)
@@ -218,7 +231,18 @@ class TestBench:
             with session.span("analysis", samples=self.n_samples):
                 measurement = self._analyse(stimulus, output)
         session.evaluate_rules()
+        self._file_metrics(measurement)
         return measurement
+
+    def _file_metrics(self, measurement: BenchMeasurement) -> None:
+        """File the tone numbers into the bench's metric registry."""
+        if self.metrics is None:
+            return
+        # Imported lazily: repro.metrics.report drives this bench, so a
+        # module-level import would be circular.
+        from repro.metrics.extractors import tone_records
+
+        tone_records(self.metrics, measurement.metrics)
 
     def _make_drive(
         self,

@@ -24,8 +24,20 @@ from repro.deltasigma.modulator1 import SIModulator1
 from repro.deltasigma.modulator2 import SIModulator2
 from repro.errors import ConfigurationError
 from repro.si.delay_line import DelayLine
+from repro.si.memory_cell import MemoryCellConfig
 
-__all__ = ["TraceSetup", "TRACE_DESIGNS", "TRACE_ALIASES", "build_trace_setup"]
+__all__ = [
+    "ConfigTransform",
+    "TraceSetup",
+    "TRACE_DESIGNS",
+    "TRACE_ALIASES",
+    "build_trace_setup",
+]
+
+#: Optional rewrite of a design's cell configuration, applied before
+#: the device is built -- how ``repro report`` injects degradations
+#: (extra noise, half-circuit mismatch) without new device classes.
+ConfigTransform = Callable[[MemoryCellConfig], MemoryCellConfig]
 
 
 @dataclass(frozen=True)
@@ -40,7 +52,9 @@ class TraceSetup:
         One-line description for ``repro trace --help``.
     build:
         Factory returning a fresh device (callable with
-        ``attach_telemetry``/``describe_graph`` hooks).
+        ``attach_telemetry``/``describe_graph`` hooks); accepts an
+        optional :data:`ConfigTransform` rewriting the cell
+        configuration before construction.
     sample_rate:
         Clock frequency in hertz.
     bandwidth:
@@ -53,29 +67,36 @@ class TraceSetup:
 
     name: str
     description: str
-    build: Callable[[], Any]
+    build: Callable[..., Any]
     sample_rate: float
     bandwidth: float
     amplitude: float
     frequency: float
 
 
-def _delay_line() -> DelayLine:
-    return DelayLine(delay_line_cell_config(), n_cells=2)
+def _transformed(
+    config: MemoryCellConfig, transform: ConfigTransform | None
+) -> MemoryCellConfig:
+    return config if transform is None else transform(config)
 
 
-def _modulator1() -> SIModulator1:
-    return SIModulator1(cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK))
+def _delay_line(transform: ConfigTransform | None = None) -> DelayLine:
+    return DelayLine(_transformed(delay_line_cell_config(), transform), n_cells=2)
 
 
-def _modulator2() -> SIModulator2:
-    return SIModulator2(cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK))
+def _modulator1(transform: ConfigTransform | None = None) -> SIModulator1:
+    config = _transformed(paper_cell_config(sample_rate=MODULATOR_CLOCK), transform)
+    return SIModulator1(cell_config=config)
 
 
-def _chopper() -> ChopperStabilizedSIModulator:
-    return ChopperStabilizedSIModulator(
-        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
-    )
+def _modulator2(transform: ConfigTransform | None = None) -> SIModulator2:
+    config = _transformed(paper_cell_config(sample_rate=MODULATOR_CLOCK), transform)
+    return SIModulator2(cell_config=config)
+
+
+def _chopper(transform: ConfigTransform | None = None) -> ChopperStabilizedSIModulator:
+    config = _transformed(paper_cell_config(sample_rate=MODULATOR_CLOCK), transform)
+    return ChopperStabilizedSIModulator(cell_config=config)
 
 
 #: Traceable designs by canonical name.

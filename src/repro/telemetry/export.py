@@ -62,8 +62,16 @@ def _jsonable(value: object) -> object:
 def export_jsonl(session: TelemetrySession, path: str | Path) -> Path:
     """Write the session's spans, probes and events as JSONL.
 
+    The session header carries a provenance stamp (git SHA, timestamp,
+    interpreter/numpy versions, argv) so an archived trace can always
+    be traced back to the tree and process that produced it.
+
     Returns the resolved output path.
     """
+    # Imported lazily: repro.metrics imports repro.telemetry modules at
+    # package-import time, so a module-level import would be circular.
+    from repro.metrics.provenance import collect_provenance
+
     records: list[dict[str, object]] = [
         {
             "type": "session",
@@ -72,6 +80,7 @@ def export_jsonl(session: TelemetrySession, path: str | Path) -> Path:
             "n_probes": len(session.probes),
             "n_events": len(session.events),
             "ok": session.ok,
+            "provenance": collect_provenance().as_dict(),
         }
     ]
     records.extend(_span_records(session.roots))

@@ -45,13 +45,14 @@ class TestListing:
     def test_list_flag_names_every_command(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        for name in list(COMMANDS) + ["erc", "trace"]:
+        for name in list(COMMANDS) + ["erc", "trace", "report", "compare"]:
             assert name in out
 
     def test_list_has_one_line_descriptions(self):
         lines = [line for line in list_commands().splitlines() if line.strip()]
-        # One line per measurement command plus the erc and trace commands.
-        assert len(lines) == len(COMMANDS) + 2
+        # One line per measurement command plus the erc, trace, report
+        # and compare commands.
+        assert len(lines) == len(COMMANDS) + 4
         for line in lines:
             name, _, description = line.strip().partition(" ")
             assert description.strip(), f"{name} has no description"

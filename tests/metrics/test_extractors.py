@@ -1,0 +1,127 @@
+"""Tests for the metric extractors against closed-form signals.
+
+A noiseless coherent sine and an ideal (identity-with-delay) device
+have exactly known metrics, so the extractors can be checked against
+analytic answers rather than against the simulator's own output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.errors import MetricsError
+from repro.metrics import (
+    MetricRegistry,
+    delay_line_error_records,
+    fit_delay_line_error,
+    telemetry_event_records,
+    throughput_records,
+    tone_records,
+)
+from repro.telemetry.session import TelemetrySession
+
+
+def _pure_tone_metrics(n=8192, rate=1e6, cycles=256, amplitude=3e-6):
+    t = np.arange(n) / rate
+    frequency = cycles * rate / n
+    samples = amplitude * np.sin(2.0 * np.pi * frequency * t)
+    spectrum = compute_spectrum(samples, rate)
+    return measure_tone(spectrum, fundamental_frequency=frequency)
+
+
+class TestToneRecords:
+    def test_pure_sine_recovers_amplitude_and_huge_snr(self):
+        registry = MetricRegistry()
+        metrics = _pure_tone_metrics(amplitude=3e-6)
+        records = tone_records(registry, metrics)
+        by_name = {record.name: record for record in records}
+        # A noiseless coherent sine: amplitude recovered exactly, noise
+        # floor at numerical precision -> SNR far beyond any converter.
+        assert by_name["signal_amplitude_ua"].value == pytest.approx(3.0, rel=1e-6)
+        assert by_name["snr_db"].value > 100.0
+        assert by_name["sndr_db"].value > 100.0
+
+    def test_enob_matches_the_identity(self):
+        registry = MetricRegistry()
+        metrics = _pure_tone_metrics()
+        tone_records(registry, metrics)
+        sndr = registry.get("sndr_db").value
+        assert registry.get("enob_bits").value == pytest.approx(
+            (sndr - 1.76) / 6.02
+        )
+
+    def test_provenance_tag_filed(self):
+        registry = MetricRegistry()
+        tone_records(registry, _pure_tone_metrics(), provenance="span:test")
+        assert registry.get("snr_db").provenance == "span:test"
+
+
+class TestDelayLineFit:
+    def test_ideal_delay_line_has_zero_error(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(0.0, 1e-6, 4096)
+        y = np.roll(x, 2)
+        gain_error, offset = fit_delay_line_error(x, y, delay_samples=2)
+        # np.roll wraps two samples; the fit over 4094 aligned points
+        # still lands at machine precision.
+        assert gain_error == pytest.approx(0.0, abs=1e-3)
+        assert offset == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_gain_and_offset_recovered(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0.0, 1e-6, 4096)
+        y = np.concatenate([np.zeros(3), 0.98 * x[:-3] + 5e-8])
+        gain_error, offset = fit_delay_line_error(x, y, delay_samples=3)
+        assert gain_error == pytest.approx(-0.02, abs=1e-9)
+        assert offset == pytest.approx(5e-8, abs=1e-12)
+
+    def test_inverting_cascade(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(0.0, 1e-6, 1024)
+        y = np.concatenate([np.zeros(1), -x[:-1]])
+        gain_error, offset = fit_delay_line_error(
+            x, y, delay_samples=1, inverting=True
+        )
+        assert gain_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_records_filed_in_microamps(self):
+        registry = MetricRegistry()
+        x = np.sin(np.linspace(0.0, 20.0, 2048)) * 1e-6
+        y = np.concatenate([np.zeros(1), x[:-1] + 2e-8])
+        records = delay_line_error_records(registry, x, y, delay_samples=1)
+        by_name = {record.name: record for record in records}
+        assert by_name["offset_ua"].value == pytest.approx(0.02, abs=1e-3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MetricsError, match="lengths differ"):
+            fit_delay_line_error(np.zeros(64), np.zeros(65), delay_samples=1)
+
+    def test_constant_stimulus_rejected(self):
+        with pytest.raises(MetricsError, match="constant"):
+            fit_delay_line_error(np.ones(64), np.ones(64), delay_samples=1)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MetricsError, match="at least 16"):
+            fit_delay_line_error(np.zeros(8), np.zeros(8), delay_samples=0)
+
+
+class TestTelemetryExtractors:
+    def test_quiet_session_files_zero_counts(self):
+        registry = MetricRegistry()
+        session = TelemetrySession("test")
+        records = telemetry_event_records(registry, session)
+        assert len(records) == 4
+        assert all(record.value == 0.0 for record in records)
+
+    def test_span_durations_become_throughput(self):
+        registry = MetricRegistry()
+        session = TelemetrySession("test")
+        with session.span("measure", samples=1024):
+            with session.span("device", samples=1024):
+                pass
+        records = throughput_records(registry, session)
+        names = {record.name for record in records}
+        assert "wall_s" in names
+        assert "samples_per_s" in names
+        assert registry.get("wall_s").gate is False

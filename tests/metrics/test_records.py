@@ -1,0 +1,83 @@
+"""Tests for the typed metric records and their serialization."""
+
+import math
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import Direction, MetricRecord, MetricSpec
+
+
+class TestDirection:
+    def test_from_name_roundtrip(self):
+        for member in Direction:
+            assert Direction.from_name(member.value) is member
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(MetricsError, match="unknown direction"):
+            Direction.from_name("sideways")
+
+
+class TestMetricSpec:
+    def test_record_carries_spec_fields(self):
+        spec = MetricSpec(
+            name="sndr_db",
+            unit="dB",
+            description="test",
+            direction=Direction.HIGHER,
+            tolerance=0.75,
+            paper_value=58.0,
+            paper_tolerance=8.0,
+        )
+        record = spec.record(53.2, provenance="span:measure/analysis")
+        assert record.name == "sndr_db"
+        assert record.value == 53.2
+        assert record.direction is Direction.HIGHER
+        assert record.tolerance == 0.75
+        assert record.provenance == "span:measure/analysis"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetricsError, match="non-empty"):
+            MetricSpec(name="", unit="dB", description="x")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(MetricsError, match="non-negative"):
+            MetricSpec(name="x", unit="dB", description="x", tolerance=-1.0)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_value_rejected(self, bad):
+        spec = MetricSpec(name="x", unit="dB", description="x")
+        with pytest.raises(MetricsError, match="finite"):
+            spec.record(bad)
+
+
+class TestMetricRecord:
+    def _record(self, value=53.0, paper=58.0, band=8.0):
+        spec = MetricSpec(
+            name="sndr_db",
+            unit="dB",
+            description="test",
+            direction=Direction.HIGHER,
+            tolerance=0.75,
+            paper_value=paper,
+            paper_tolerance=band,
+        )
+        return spec.record(value)
+
+    def test_matches_paper_inside_band(self):
+        assert self._record(value=53.0).matches_paper is True
+
+    def test_matches_paper_outside_band(self):
+        assert self._record(value=40.0).matches_paper is False
+
+    def test_matches_paper_none_without_reference(self):
+        assert self._record(paper=None, band=None).matches_paper is None
+
+    def test_dict_roundtrip(self):
+        record = self._record()
+        clone = MetricRecord.from_dict(record.as_dict())
+        assert clone == record
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(MetricsError):
+            MetricRecord.from_dict({"name": "x"})

@@ -1,0 +1,85 @@
+"""Tests for the shared spectral arithmetic helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.errors import MetricsError
+from repro.metrics import (
+    bits_to_db,
+    db_to_bits,
+    enob_bits,
+    full_scale_reference_power,
+    harmonic_visibility_db,
+    spectrum_view,
+)
+
+
+class TestBitConversions:
+    def test_paper_dynamic_range(self):
+        # "about 10.5 bits" from the paper's 63 dB figure.
+        assert db_to_bits(63.0) == pytest.approx(10.17, abs=0.01)
+        assert db_to_bits(65.0) == pytest.approx(10.5, abs=0.01)
+
+    def test_roundtrip(self):
+        for value in (-10.0, 0.0, 58.0, 63.0):
+            assert bits_to_db(db_to_bits(value)) == pytest.approx(value)
+
+    def test_enob_is_sndr_through_the_identity(self):
+        assert enob_bits(53.3) == pytest.approx((53.3 - 1.76) / 6.02)
+
+
+class TestFullScaleReference:
+    def test_sine_power(self):
+        # A full-scale sine has power A^2/2.
+        assert full_scale_reference_power(6e-6) == pytest.approx(1.8e-11)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(MetricsError, match="positive"):
+            full_scale_reference_power(0.0)
+
+
+def _tone_spectrum(
+    n=4096, rate=1e6, cycles=128, amplitude=1e-6, noise=0.0, hd3=0.0
+):
+    t = np.arange(n) / rate
+    frequency = cycles * rate / n
+    samples = amplitude * np.sin(2.0 * np.pi * frequency * t)
+    if hd3:
+        samples = samples + hd3 * amplitude * np.sin(
+            2.0 * np.pi * 3.0 * frequency * t
+        )
+    if noise:
+        samples = samples + np.random.default_rng(7).normal(0.0, noise, n)
+    spectrum = compute_spectrum(samples, rate)
+    metrics = measure_tone(spectrum, fundamental_frequency=frequency)
+    return spectrum, metrics
+
+
+class TestHarmonicVisibility:
+    def test_injected_harmonic_stands_out(self):
+        _, pure = _tone_spectrum(noise=1e-9)
+        spectrum, distorted = _tone_spectrum(noise=1e-9, hd3=0.01)
+        pure_vis = harmonic_visibility_db(pure, spectrum, 5e5)
+        distorted_vis = harmonic_visibility_db(distorted, spectrum, 5e5)
+        # A -40 dB third harmonic towers over the tiny noise floor; the
+        # pure tone's "harmonics" are just noise in the harmonic bins.
+        assert distorted_vis > pure_vis + 20.0
+        assert distorted_vis > 30.0
+
+    def test_rejects_non_positive_bandwidth(self):
+        spectrum, metrics = _tone_spectrum(noise=1e-9)
+        with pytest.raises(MetricsError, match="bandwidth"):
+            harmonic_visibility_db(metrics, spectrum, 0.0)
+
+
+class TestSpectrumView:
+    def test_masks_dc_and_converts_to_db(self):
+        spectrum, _ = _tone_spectrum()
+        log_freqs, power_db = spectrum_view(spectrum, 1e-6, max_points=64)
+        assert log_freqs.shape == power_db.shape
+        assert np.all(np.isfinite(log_freqs))
+        # The full-scale tone's peak sits near 0 dB re full scale (a
+        # few dB low: the window spreads the tone across its lobe bins).
+        assert -6.0 < power_db.max() < 1.0
