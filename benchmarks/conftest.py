@@ -59,7 +59,12 @@ def delay_config():
     return delay_line_cell_config()
 
 
-def run_once(benchmark, func, n_samples: int | None = None):
+def run_once(
+    benchmark,
+    func,
+    n_samples: int | None = None,
+    extra: dict[str, object] | None = None,
+):
     """Run an experiment exactly once under pytest-benchmark timing.
 
     The experiments are deterministic simulations, so a single round is
@@ -67,22 +72,39 @@ def run_once(benchmark, func, n_samples: int | None = None):
 
     ``n_samples`` is the total number of simulated samples the
     experiment processes; benches that declare it get a
-    samples-per-second figure in ``BENCH_telemetry.json``.
+    samples-per-second figure in ``BENCH_telemetry.json``.  ``extra``
+    fields (e.g. a vectorized-vs-scalar ``speedup``) are merged into
+    the bench's telemetry record, where the CI benchmark gate
+    (``repro bench-gate``) can enforce floors on them.
     """
     start = time.perf_counter()
     result = benchmark.pedantic(func, rounds=1, iterations=1)
     wall_s = time.perf_counter() - start
-    _TELEMETRY_RECORDS.append(
-        {
-            "benchmark": getattr(benchmark, "name", None) or func.__qualname__,
-            "wall_s": wall_s,
-            "n_samples": n_samples,
-            "samples_per_second": (
-                n_samples / wall_s if n_samples and wall_s > 0.0 else None
-            ),
-        }
-    )
+    record: dict[str, object] = {
+        "benchmark": getattr(benchmark, "name", None) or func.__qualname__,
+        "wall_s": wall_s,
+        "n_samples": n_samples,
+        "samples_per_second": (
+            n_samples / wall_s if n_samples and wall_s > 0.0 else None
+        ),
+    }
+    if extra:
+        record.update(extra)
+    _TELEMETRY_RECORDS.append(record)
     return result
+
+
+def record_extra(benchmark_name: str, **fields: object) -> None:
+    """Amend the most recent telemetry record for a named benchmark.
+
+    Benches that compute derived figures (speedups, ratios) after the
+    timed section use this to attach them to the record ``run_once``
+    already filed.
+    """
+    for record in reversed(_TELEMETRY_RECORDS):
+        if record.get("benchmark") == benchmark_name:
+            record.update(fields)
+            return
 
 
 def pytest_sessionfinish(session, exitstatus):

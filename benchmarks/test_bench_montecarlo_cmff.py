@@ -12,7 +12,6 @@ import math
 import numpy as np
 
 from benchmarks.conftest import run_once
-from repro.devices.mismatch import PelgromMismatch
 from repro.reporting.records import PaperComparison
 from repro.reporting.tables import Table
 from repro.systems.montecarlo import CmffMonteCarlo
@@ -22,10 +21,10 @@ AREAS_UM2 = [4.0, 16.0, 64.0, 256.0]
 
 def test_bench_montecarlo_cmff(benchmark):
     def experiment():
-        study = CmffMonteCarlo(
-            mismatch=PelgromMismatch(rng=np.random.default_rng(42)),
-            n_trials=400,
-        )
+        # The injected generator pins the draw stream: re-runs, the
+        # vectorized path and SeedSequence-spawned shards all
+        # reproduce these numbers exactly.
+        study = CmffMonteCarlo(rng=np.random.default_rng(42), n_trials=400)
         return study.area_sweep(AREAS_UM2)
 
     results = run_once(benchmark, experiment)

@@ -1,0 +1,174 @@
+"""Extension: wall-time of the vectorized batch engine vs the scalar loop.
+
+The runtime engine (:mod:`repro.runtime`) promises two things: results
+bit-identical to the scalar simulation loops, and a large wall-time
+win from executing all sweep lanes (or Monte-Carlo trials) through one
+NumPy batch.  This bench measures both on the two workloads CI gates:
+
+* the CMFF Monte-Carlo area sweep (trial-parallel draws), and
+* the modulator-2 SNDR-vs-level sweep (lane-parallel batch runners,
+  sharded through a ``--jobs 4`` :class:`SweepExecutor`).
+
+The measured speedups land in ``BENCH_telemetry.json`` where
+``repro bench-gate`` enforces the committed floor -- a vectorized path
+silently falling back to the scalar loop fails CI, not just feels
+slow.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.sweeps import run_amplitude_sweep
+from repro.config import (
+    MODULATOR_CLOCK,
+    MODULATOR_FULL_SCALE,
+    SIGNAL_BANDWIDTH,
+    paper_cell_config,
+)
+from repro.deltasigma import SIModulator2
+from repro.devices.mismatch import PelgromMismatch
+from repro.reporting.records import PaperComparison
+from repro.reporting.tables import Table
+from repro.runtime import SweepExecutor
+from repro.runtime.sweeps import run_sweep, sweep_spec_for_design
+from repro.systems.montecarlo import CmffMonteCarlo
+from repro.systems.stimulus import coherent_frequency
+
+#: Floor on the vectorized-vs-scalar speedup both benches assert (the
+#: committed ``baselines/bench.json`` gates the same figure in CI).
+MIN_SPEEDUP = 5.0
+
+#: Monte-Carlo workload: mirror areas and trials per area.
+AREAS_UM2 = [4.0, 16.0, 64.0, 256.0]
+N_TRIALS = 2000
+
+#: SNDR-sweep workload: lanes and samples per lane.
+SWEEP_LANES = 33
+SWEEP_SAMPLES = 1 << 13
+
+
+def _montecarlo_study(vectorized: bool) -> CmffMonteCarlo:
+    return CmffMonteCarlo(
+        mismatch=PelgromMismatch(rng=np.random.default_rng(42)),
+        n_trials=N_TRIALS,
+        vectorized=vectorized,
+    )
+
+
+def test_bench_runtime_speedup_montecarlo(benchmark):
+    t0 = time.perf_counter()
+    scalar_results = _montecarlo_study(vectorized=False).area_sweep(AREAS_UM2)
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    vector_results = _montecarlo_study(vectorized=True).area_sweep(AREAS_UM2)
+    vector_s = time.perf_counter() - t0
+    speedup = scalar_s / vector_s
+
+    run_once(
+        benchmark,
+        lambda: _montecarlo_study(vectorized=True).area_sweep(AREAS_UM2),
+        n_samples=len(AREAS_UM2) * N_TRIALS,
+        extra={"speedup": speedup, "scalar_wall_s": scalar_s},
+    )
+
+    table = Table(
+        f"CMFF Monte Carlo, {len(AREAS_UM2)} areas x {N_TRIALS} trials",
+        ("path", "wall", "speedup"),
+    )
+    table.add_row("scalar loop", f"{scalar_s:.3f} s", "1.0x")
+    table.add_row("vectorized", f"{vector_s:.3f} s", f"{speedup:.1f}x")
+    print()
+    print(table.render())
+
+    comparison = PaperComparison()
+    comparison.add(
+        "runtime engine",
+        "vectorized MC identical to scalar loop",
+        "bit-identical summaries",
+        "identical" if vector_results == scalar_results else "DIVERGED",
+        vector_results == scalar_results,
+    )
+    comparison.add(
+        "runtime engine",
+        "vectorized MC wall-time win",
+        f">= {MIN_SPEEDUP:.0f}x",
+        f"{speedup:.1f}x",
+        speedup >= MIN_SPEEDUP,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["speedup"] = speedup
+    assert comparison.all_shapes_hold
+
+
+def test_bench_runtime_speedup_snr_sweep(benchmark):
+    levels = tuple(float(x) for x in np.linspace(-50.0, 0.0, SWEEP_LANES))
+    frequency = coherent_frequency(2e3, MODULATOR_CLOCK, SWEEP_SAMPLES)
+
+    t0 = time.perf_counter()
+    modulator = SIModulator2(
+        cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
+    )
+    scalar_result = run_amplitude_sweep(
+        modulator,
+        levels_db=list(levels),
+        full_scale=MODULATOR_FULL_SCALE,
+        signal_frequency=frequency,
+        sample_rate=MODULATOR_CLOCK,
+        n_samples=SWEEP_SAMPLES,
+        bandwidth=SIGNAL_BANDWIDTH,
+        settle_samples=256,
+    )
+    scalar_s = time.perf_counter() - t0
+
+    spec = sweep_spec_for_design(
+        "modulator2", n_samples=2 * SWEEP_SAMPLES, levels_db=levels
+    )
+    t0 = time.perf_counter()
+    batch_result = run_sweep(spec, executor=SweepExecutor(jobs=4))
+    batch_s = time.perf_counter() - t0
+    speedup = scalar_s / batch_s
+
+    run_once(
+        benchmark,
+        lambda: run_sweep(spec, executor=SweepExecutor(jobs=4)),
+        n_samples=SWEEP_LANES * (SWEEP_SAMPLES + 256),
+        extra={"speedup": speedup, "scalar_wall_s": scalar_s},
+    )
+
+    table = Table(
+        f"modulator-2 SNDR sweep, {SWEEP_LANES} lanes x "
+        f"{SWEEP_SAMPLES} samples (--jobs 4)",
+        ("path", "wall", "speedup"),
+    )
+    table.add_row("scalar loop", f"{scalar_s:.2f} s", "1.0x")
+    table.add_row("batch engine", f"{batch_s:.2f} s", f"{speedup:.1f}x")
+    print()
+    print(table.render())
+
+    identical = (
+        scalar_result.metrics == batch_result.metrics
+        and np.array_equal(scalar_result.sndr_db, batch_result.sndr_db)
+    )
+    comparison = PaperComparison()
+    comparison.add(
+        "runtime engine",
+        "batch sweep identical to scalar sweep",
+        "bit-identical metrics",
+        "identical" if identical else "DIVERGED",
+        identical,
+    )
+    comparison.add(
+        "runtime engine",
+        "batch sweep wall-time win",
+        f">= {MIN_SPEEDUP:.0f}x",
+        f"{speedup:.1f}x",
+        speedup >= MIN_SPEEDUP,
+    )
+    print(comparison.render())
+
+    benchmark.extra_info["speedup"] = speedup
+    assert comparison.all_shapes_hold

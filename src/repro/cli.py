@@ -12,6 +12,8 @@ Usage::
     python -m repro trace mod2   # traced run: spans, probes, dynamic rules
     python -m repro report mod2 --json out.json   # paper-metrics manifest
     python -m repro compare out.json --strict     # diff vs golden baseline
+    python -m repro sweep mod2 --jobs 4           # parallel batched DR sweep
+    python -m repro bench-gate                    # benchmark regression gate
     python -m repro --list       # list the commands
 
 Each measurement command prints the paper-style table.  Full FFT
@@ -41,6 +43,7 @@ from typing import Callable
 import numpy as np
 
 from repro.analysis.fitting import dynamic_range_from_sweep
+from repro.errors import AnalysisError
 from repro.analysis.sweeps import run_amplitude_sweep
 from repro.config import (
     DELAY_LINE_BANDWIDTH,
@@ -264,6 +267,110 @@ def cmd_trace(
     return 0
 
 
+def cmd_sweep(
+    design: str,
+    fast: bool = False,
+    samples: int | None = None,
+    levels: list[float] | None = None,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: str | None = None,
+    json_path: str | None = None,
+) -> int:
+    """Run a dynamic-range sweep through the parallel batch engine."""
+    import json
+
+    from repro.runtime import ResultCache, SweepExecutor
+    from repro.runtime.sweeps import (
+        DEFAULT_LEVELS_DB,
+        run_sweep,
+        sweep_spec_for_design,
+    )
+
+    n_samples = samples if samples is not None else (1 << 13 if fast else 1 << 15)
+    spec = sweep_spec_for_design(
+        design,
+        n_samples=2 * n_samples,  # spec halves the main FFT length
+        levels_db=tuple(levels) if levels else DEFAULT_LEVELS_DB,
+    )
+    result_cache = ResultCache(cache_dir) if cache else None
+    result = run_sweep(
+        spec, executor=SweepExecutor(jobs=jobs), cache=result_cache
+    )
+    table = Table(
+        f"{spec.design}: SNDR vs input level "
+        f"({spec.n_samples} samples/lane, {jobs} job(s))",
+        ("level", "SNR", "THD", "SNDR"),
+    )
+    for index, level in enumerate(spec.levels_db):
+        metrics = result.metrics[index]
+        table.add_row(
+            f"{level:.0f} dB",
+            f"{metrics.snr_db:.1f} dB",
+            f"{metrics.thd_db:.1f} dB",
+            f"{metrics.sndr_db:.1f} dB",
+        )
+    print(table.render())
+    try:
+        dr: float | None = dynamic_range_from_sweep(result, max_level_db=-10.0)
+    except AnalysisError:
+        # Spot-checking a couple of levels leaves too few points in the
+        # linear region to fit; the per-level table above still stands.
+        dr = None
+        print("dynamic range: n/a (too few levels to fit the linear region)")
+    else:
+        print(
+            f"dynamic range: {dr:.1f} dB = {db_to_bits(dr):.1f} bits "
+            "(paper: ~63 dB / 10.5 bits)"
+        )
+    if result_cache is not None:
+        print(
+            f"cache: {result_cache.hits} hit(s), "
+            f"{result_cache.misses} miss(es) in {result_cache.directory}"
+        )
+    if json_path is not None:
+        payload = {
+            "design": spec.design,
+            "levels_db": list(spec.levels_db),
+            "n_samples": spec.n_samples,
+            "snr_db": [m.snr_db for m in result.metrics],
+            "thd_db": [m.thd_db for m in result.metrics],
+            "sndr_db": [m.sndr_db for m in result.metrics],
+            "dynamic_range_db": dr,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"sweep written to {json_path}")
+    return 0
+
+
+def cmd_bench_gate(
+    telemetry_path: str = "BENCH_telemetry.json",
+    baseline_path: str = "baselines/bench.json",
+    tolerance: float | None = None,
+) -> int:
+    """Check benchmark telemetry against the committed wall-time baseline."""
+    from repro.errors import MetricsError
+    from repro.metrics import run_bench_gate
+
+    try:
+        report = run_bench_gate(
+            telemetry_path, baseline_path, tolerance=tolerance
+        )
+    except MetricsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_table())
+    print(report.summary())
+    if report.extra_benchmarks:
+        print(
+            f"(not gated: {len(report.extra_benchmarks)} benchmark(s) "
+            "without a baseline entry)"
+        )
+    return report.exit_code()
+
+
 def cmd_report(
     design: str,
     fast: bool = False,
@@ -271,6 +378,9 @@ def cmd_report(
     sweep: bool = True,
     noise_scale: float = 1.0,
     mismatch: float = 0.0,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: str | None = None,
     json_path: str | None = None,
     markdown_path: str | None = None,
     argv: list[str] | None = None,
@@ -285,6 +395,9 @@ def cmd_report(
         sweep=sweep,
         noise_scale=noise_scale,
         mismatch=mismatch,
+        jobs=jobs,
+        use_cache=cache,
+        cache_dir=cache_dir,
         provenance=collect_provenance(argv=argv),
     )
     print(manifest.render_table())
@@ -478,6 +591,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a half-circuit gain mismatch of M (degradation knob)",
     )
     report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the dynamic-range sweep "
+        "(bit-identical manifests at any value; default: 1)",
+    )
+    report.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="skip the on-disk sweep result cache",
+    )
+    report.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="sweep cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    report.add_argument(
         "--json",
         dest="json_path",
         default=None,
@@ -490,6 +623,88 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write a Markdown report to PATH",
+    )
+    sweep = subparsers.add_parser(
+        "sweep",
+        help=_first_doc_line(cmd_sweep),
+        description=_first_doc_line(cmd_sweep),
+    )
+    sweep.add_argument(
+        "design",
+        choices=list(REPORT_DESIGNS),
+        help="design to sweep",
+    )
+    sweep.add_argument(
+        "--fast",
+        action="store_true",
+        help="use shorter lanes (8K samples instead of 32K)",
+    )
+    sweep.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="samples per lane (overrides --fast)",
+    )
+    sweep.add_argument(
+        "--levels",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="DB",
+        help="input levels in dB re full scale (default: the report sweep)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes sharding the lanes (default: 1)",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="skip the on-disk result cache",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    sweep.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the sweep table as JSON to PATH",
+    )
+    bench_gate = subparsers.add_parser(
+        "bench-gate",
+        help=_first_doc_line(cmd_bench_gate),
+        description=_first_doc_line(cmd_bench_gate),
+    )
+    bench_gate.add_argument(
+        "--telemetry",
+        dest="telemetry_path",
+        default="BENCH_telemetry.json",
+        metavar="PATH",
+        help="benchmark telemetry document (default: BENCH_telemetry.json)",
+    )
+    bench_gate.add_argument(
+        "--baseline",
+        dest="baseline_path",
+        default="baselines/bench.json",
+        metavar="PATH",
+        help="committed wall-time baseline (default: baselines/bench.json)",
+    )
+    bench_gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fractional wall-time headroom (default: the baseline's, 0.25)",
     )
     compare = subparsers.add_parser(
         "compare",
@@ -524,6 +739,8 @@ def list_commands() -> str:
     lines.append(f"  {'trace':10s} {_first_doc_line(cmd_trace)}")
     lines.append(f"  {'report':10s} {_first_doc_line(cmd_report)}")
     lines.append(f"  {'compare':10s} {_first_doc_line(cmd_compare)}")
+    lines.append(f"  {'sweep':10s} {_first_doc_line(cmd_sweep)}")
+    lines.append(f"  {'bench-gate':10s} {_first_doc_line(cmd_bench_gate)}")
     return "\n".join(lines)
 
 
@@ -558,9 +775,31 @@ def main(argv: list[str] | None = None) -> int:
             sweep=args.sweep,
             noise_scale=args.noise_scale,
             mismatch=args.mismatch,
+            jobs=args.jobs,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
             json_path=args.json_path,
             markdown_path=args.markdown_path,
             argv=["repro", *argv] if argv is not None else None,
+        )
+
+    if args.command == "sweep":
+        return cmd_sweep(
+            args.design,
+            fast=args.fast,
+            samples=args.samples,
+            levels=args.levels,
+            jobs=args.jobs,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            json_path=args.json_path,
+        )
+
+    if args.command == "bench-gate":
+        return cmd_bench_gate(
+            telemetry_path=args.telemetry_path,
+            baseline_path=args.baseline_path,
+            tolerance=args.tolerance,
         )
 
     if args.command == "compare":

@@ -90,6 +90,16 @@ class PelgromMismatch:
         self.abeta = abeta
         self._rng = rng if rng is not None else np.random.default_rng()
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """Return the sampler's generator (shared with bulk consumers).
+
+        The vectorized Monte-Carlo path (:mod:`repro.runtime.montecarlo`)
+        draws variate blocks straight from this generator so scalar and
+        batch evaluations consume one stream in the same order.
+        """
+        return self._rng
+
     def sigma_vth(self, width: float, length: float) -> float:
         """Return the threshold-offset standard deviation for a geometry.
 

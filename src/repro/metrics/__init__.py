@@ -20,6 +20,12 @@ Typical use::
     raise SystemExit(report.exit_code(strict=True))
 """
 
+from repro.metrics.benchgate import (
+    BenchGateReport,
+    BenchGateRow,
+    compare_bench_telemetry,
+    run_bench_gate,
+)
 from repro.metrics.compare import (
     CompareReport,
     DiffStatus,
@@ -74,6 +80,10 @@ __all__ = [
     "MetricDiff",
     "DiffStatus",
     "compare_manifests",
+    "BenchGateReport",
+    "BenchGateRow",
+    "compare_bench_telemetry",
+    "run_bench_gate",
     "REPORT_DESIGNS",
     "build_report",
     "tone_records",

@@ -22,8 +22,6 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.analysis.sweeps import run_amplitude_sweep
-from repro.config import MODULATOR_FULL_SCALE
 from repro.errors import MetricsError
 from repro.metrics.extractors import (
     delay_line_error_records,
@@ -35,10 +33,12 @@ from repro.metrics.extractors import (
 from repro.metrics.manifest import RunManifest, manifest_from_registry
 from repro.metrics.provenance import Provenance
 from repro.metrics.registry import registry_for
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import SweepExecutor
+from repro.runtime.sweeps import run_sweep, sweep_spec_for_design
 from repro.si.memory_cell import MemoryCellConfig
 from repro.si.power import ClassKind
 from repro.systems.chip import TestChip
-from repro.systems.stimulus import coherent_frequency
 from repro.systems.testbench import TestBench
 from repro.telemetry.designs import (
     TRACE_ALIASES,
@@ -88,6 +88,9 @@ def build_report(
     noise_scale: float = 1.0,
     mismatch: float = 0.0,
     provenance: Provenance | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: str | None = None,
 ) -> RunManifest:
     """Measure a named design and return its run manifest.
 
@@ -111,6 +114,16 @@ def build_report(
     provenance:
         Attribution block; collected from the current process when
         omitted.
+    jobs:
+        Worker-process count for the dynamic-range sweep (the batch
+        engine is bit-identical at any value, so manifests do not
+        change with ``jobs``).
+    use_cache:
+        Memoise the sweep in the on-disk result cache; repeated
+        reports on an unchanged config skip the sweep recomputation.
+    cache_dir:
+        Cache directory (defaults to ``$REPRO_CACHE_DIR`` or
+        ``.repro-cache``); only read when ``use_cache`` is set.
 
     Raises
     ------
@@ -193,25 +206,26 @@ def build_report(
         n_cells = 8
         power_index = MODULATOR_POWER_INDEX
         if sweep:
-            sweep_device = setup.build(transform)
-            # The 8K floor keeps the 2 kHz tone clear of the Blackman
-            # window's DC lobe at the modulator clock.
-            sweep_n = max(1 << 13, n_samples // 2)
-            sweep_result = run_amplitude_sweep(
-                sweep_device,
+            # The batch engine runs one lane per level, bit-identical
+            # to driving a fresh device through run_amplitude_sweep
+            # (the 8K floor keeps the 2 kHz tone clear of the Blackman
+            # window's DC lobe at the modulator clock).
+            spec = sweep_spec_for_design(
+                setup.name,
+                n_samples=n_samples,
                 levels_db=SWEEP_LEVELS_DB,
-                full_scale=MODULATOR_FULL_SCALE,
-                signal_frequency=coherent_frequency(
-                    setup.frequency, setup.sample_rate, sweep_n
-                ),
-                sample_rate=setup.sample_rate,
-                n_samples=sweep_n,
-                bandwidth=setup.bandwidth,
-                settle_samples=256,
+                noise_scale=noise_scale,
+                mismatch=mismatch,
+            )
+            sweep_result = run_sweep(
+                spec,
+                executor=SweepExecutor(jobs=jobs),
+                cache=ResultCache(cache_dir) if use_cache else None,
+                telemetry=session,
             )
             sweep_records(registry, sweep_result)
             config["sweep_levels_db"] = list(SWEEP_LEVELS_DB)
-            config["sweep_n_samples"] = sweep_n
+            config["sweep_n_samples"] = spec.n_samples
 
     registry.record(
         "power_mw", power * 1e3, f"model:power n_cells={n_cells}"

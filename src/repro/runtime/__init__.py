@@ -1,0 +1,73 @@
+"""Batch-execution engine: vectorized lanes, parallel shards, result cache.
+
+The per-sample device loops in :mod:`repro.si` and
+:mod:`repro.deltasigma` are exact but slow: every amplitude-sweep
+level and every Monte-Carlo trial re-runs the same Python loop.  This
+package executes *independent lanes* (sweep points, Monte-Carlo draws,
+process corners) side by side:
+
+* :mod:`repro.runtime.kernels` -- the elementwise class-AB store
+  pipeline (translinear split, transmission error, charge injection,
+  two-regime GGA settling) evaluated on whole lane arrays;
+* :mod:`repro.runtime.batch` -- batch runners that lower a scalar
+  device (memory cell, delay line, biquad cascade, all three
+  modulators) into fused kernel calls, bit-identical to the scalar
+  loop;
+* :mod:`repro.runtime.executor` -- :class:`SweepExecutor`, sharding
+  lanes across a ``ProcessPoolExecutor`` with chunking, per-task
+  timeouts and deterministic ``SeedSequence.spawn`` seeding;
+* :mod:`repro.runtime.cache` -- a keyed on-disk cache so repeated
+  reports on unchanged configs skip recomputation;
+* :mod:`repro.runtime.sweeps` -- the batched amplitude sweep behind
+  ``repro sweep`` and ``repro report --jobs``;
+* :mod:`repro.runtime.montecarlo` -- vectorized CMFF mismatch trials.
+
+The determinism contract (see ``docs/RUNTIME.md``): for supported
+configurations the batch engine reproduces the scalar path *bit for
+bit*, at any ``--jobs`` value.
+"""
+
+from repro.runtime.batch import (
+    BatchBiquadCascade,
+    BatchChopper,
+    BatchClassABCell,
+    BatchDelayLine,
+    BatchModulator1,
+    BatchModulator2,
+    BatchUnsupported,
+    batch_runner_for,
+    iter_cells,
+)
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import ShardContext, SweepExecutor, SweepTimeoutError
+from repro.runtime.kernels import CellKernel, store_batch
+from repro.runtime.montecarlo import (
+    cmff_imbalance_draws,
+    cmff_leakage_samples,
+    cmff_rejection_samples,
+)
+from repro.runtime.sweeps import SweepSpec, run_sweep, sweep_spec_for_design
+
+__all__ = [
+    "BatchBiquadCascade",
+    "BatchChopper",
+    "BatchClassABCell",
+    "BatchDelayLine",
+    "BatchModulator1",
+    "BatchModulator2",
+    "BatchUnsupported",
+    "CellKernel",
+    "ResultCache",
+    "ShardContext",
+    "SweepExecutor",
+    "SweepSpec",
+    "SweepTimeoutError",
+    "batch_runner_for",
+    "cmff_imbalance_draws",
+    "cmff_leakage_samples",
+    "cmff_rejection_samples",
+    "iter_cells",
+    "run_sweep",
+    "store_batch",
+    "sweep_spec_for_design",
+]

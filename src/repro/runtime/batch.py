@@ -1,0 +1,661 @@
+"""Batch runners: scalar devices lowered onto the fused lane kernel.
+
+A *batch runner* takes a freshly built scalar device (memory cell,
+delay line, biquad cascade, or one of the three modulators), reads its
+configuration, and simulates ``n_lanes`` independent runs side by
+side: one :func:`repro.runtime.kernels.store_batch` call per clock
+period stores every fused half-circuit of every lane at once, instead
+of two Python calls per cell per lane.
+
+Lane semantics reproduce the amplitude-sweep convention of
+:func:`repro.analysis.sweeps.run_amplitude_sweep`: one device object
+processes the lanes *sequentially*, with :meth:`reset` between lanes.
+``reset`` zeroes the loop state but keeps the noise generators
+running, so lane ``k`` consumes the noise-stream slice
+``[k * total, (k + 1) * total)`` of each cell -- the batch runners
+replicate exactly that slicing (``lane_offset`` shifts it for sharded
+execution), which is what makes the batch output bit-identical to the
+scalar loop.
+
+Configurations the kernel cannot reproduce exactly raise
+:class:`BatchUnsupported` at lowering time; callers fall back to the
+scalar loop (see :mod:`repro.runtime.sweeps`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.modulator1 import SIModulator1
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.runtime.kernels import CellKernel, store_batch
+from repro.si.cascade import BiquadCascade
+from repro.si.cmff import CommonModeFeedforward
+from repro.si.delay_line import DelayLine
+from repro.si.memory_cell import ClassABMemoryCell, MemoryCellConfig, _NoiseFeed
+
+__all__ = [
+    "BatchUnsupported",
+    "BatchClassABCell",
+    "BatchDelayLine",
+    "BatchBiquadCascade",
+    "BatchModulator1",
+    "BatchModulator2",
+    "BatchChopper",
+    "batch_runner_for",
+    "iter_cells",
+]
+
+
+class BatchUnsupported(Exception):
+    """The device configuration has no bit-exact batch lowering."""
+
+
+def _halves(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split differential values into (pos, neg) half-circuit currents.
+
+    Elementwise transliteration of
+    :meth:`repro.si.differential.DifferentialSample.from_components`
+    at zero common mode: ``pos = 0.0 + half``, ``neg = 0.0 - half``.
+    """
+    half = 0.5 * values
+    return 0.0 + half, 0.0 - half
+
+
+class _FusedCellBank:
+    """State, noise and slew tallies of fused cells across lanes.
+
+    The bank holds one ``(2 * n_cells, n_lanes)`` state array (rows
+    alternate pos/neg per cell) and pre-draws each cell's noise stream
+    for every lane, preserving the scalar chunk order through
+    :meth:`_NoiseFeed.take`.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[MemoryCellConfig],
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
+        if not configs:
+            raise BatchUnsupported("no cells to fuse")
+        for config in configs:
+            if config.seed is None and config.thermal_noise_rms > 0.0:
+                raise BatchUnsupported(
+                    "unseeded noise generator; a fresh batch feed cannot "
+                    "replay the device's stream"
+                )
+        kernels = [CellKernel.from_config(config) for config in configs]
+        if any(kernel != kernels[0] for kernel in kernels[1:]):
+            raise BatchUnsupported(
+                "fused cells must share one electrical configuration"
+            )
+        self.kernel = kernels[0]
+        self.n_cells = len(configs)
+        self.n_lanes = n_lanes
+        self.n_steps = n_steps
+        self.state = np.zeros((2 * self.n_cells, n_lanes))
+        self.slew_counts = np.zeros((self.n_cells, n_lanes), dtype=np.int64)
+        self._step_index = 0
+
+        # Per-cell noise, sliced lane-major exactly as a sequentially
+        # reused scalar device would consume it; `lane_offset` skips
+        # the lanes a preceding shard owns.
+        noise = np.empty((self.n_cells, n_lanes, n_steps))
+        for index, config in enumerate(configs):
+            feed = _NoiseFeed(config)
+            if lane_offset:
+                feed.take(lane_offset * n_steps)
+            noise[index] = feed.take(n_lanes * n_steps).reshape(n_lanes, n_steps)
+        # Pre-assemble the per-step additive rows: +0.5*n on pos rows,
+        # -(0.5*n) on neg rows (a - b == a + (-b) bitwise).
+        half = 0.5 * noise
+        self._noise_add = np.empty((n_steps, 2 * self.n_cells, n_lanes))
+        self._noise_add[:, 0::2, :] = half.transpose(2, 0, 1)
+        self._noise_add[:, 1::2, :] = -half.transpose(2, 0, 1)
+
+        mismatch = self.kernel.mismatch
+        self._mismatch_factors: np.ndarray | None = None
+        if mismatch != 0.0:
+            factors = np.empty((2 * self.n_cells, 1))
+            factors[0::2] = 1.0 + 0.5 * mismatch
+            factors[1::2] = 1.0 - 0.5 * mismatch
+            self._mismatch_factors = factors
+
+    def store(self, targets: np.ndarray) -> None:
+        """Store one period's targets for every fused half and lane."""
+        settled, slewed = store_batch(self.state, targets, self.kernel)
+        if self._mismatch_factors is not None:
+            settled = settled * self._mismatch_factors
+        settled += self._noise_add[self._step_index]
+        self.state = settled
+        self.slew_counts += slewed[0::2] | slewed[1::2]
+        self._step_index += 1
+
+
+def _check_quantizer(quantizer: CurrentQuantizer) -> CurrentQuantizer:
+    """Reject quantiser configs with no bit-exact lowering, eagerly.
+
+    Called from runner constructors so an unsupported configuration
+    refuses before any lane work starts, not mid-run.
+    """
+    if quantizer.metastability_band > 0.0:
+        raise BatchUnsupported(
+            "metastability_band > 0 draws per-decision randomness; "
+            "no bit-exact batch lowering"
+        )
+    return quantizer
+
+
+class _BatchQuantizer:
+    """Per-lane sign quantiser with offset and hysteresis state."""
+
+    def __init__(self, quantizer: CurrentQuantizer, n_lanes: int) -> None:
+        _check_quantizer(quantizer)
+        self.offset = quantizer.offset
+        self.hysteresis = quantizer.hysteresis
+        # The scalar quantiser resets _last_decision to integer 1; the
+        # float lane vector produces identical arithmetic.
+        self.last = np.ones(n_lanes)
+
+    def decide(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (decision array of +/-1.0, boolean positive mask)."""
+        threshold = self.offset - self.hysteresis * self.last
+        effective = values - threshold
+        mask = effective >= 0.0
+        decisions = np.where(mask, 1.0, -1.0)
+        self.last = decisions
+        return decisions, mask
+
+
+def _dac_levels(dac: FeedbackDac) -> tuple[float, float]:
+    """Return the (positive, negative) DAC levels, rejecting noisy DACs."""
+    if dac.reference_noise_rms > 0.0:
+        raise BatchUnsupported(
+            "reference_noise_rms > 0 draws per-conversion randomness; "
+            "no bit-exact batch lowering"
+        )
+    return dac._level_pos, dac._level_neg
+
+
+class _CmffStage:
+    """Precomputed common-mode feedforward wiring for one integrator."""
+
+    def __init__(self, cmff: CommonModeFeedforward) -> None:
+        # Mirror copies evaluate gain*i + g_out*dv with dv = 0.0; the
+        # conductance terms are kept (they are +/-0.0) so the batch
+        # addition sequence matches the scalar one bitwise.
+        self.sense_pos_gain = cmff.sense_pos.gain
+        self.sense_neg_gain = cmff.sense_neg.gain
+        self.subtract_pos_gain = cmff.subtract_pos.gain
+        self.subtract_neg_gain = cmff.subtract_neg.gain
+        self.sense_pos_bias = cmff.sense_pos.output_conductance * 0.0
+        self.sense_neg_bias = cmff.sense_neg.output_conductance * 0.0
+        self.subtract_pos_bias = cmff.subtract_pos.output_conductance * 0.0
+        self.subtract_neg_bias = cmff.subtract_neg.output_conductance * 0.0
+
+    def apply(
+        self, pos: np.ndarray, neg: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Subtract the sensed common mode from both halves."""
+        i_cm = (self.sense_pos_gain * pos + self.sense_pos_bias) + (
+            self.sense_neg_gain * neg + self.sense_neg_bias
+        )
+        out_pos = pos - (self.subtract_pos_gain * i_cm + self.subtract_pos_bias)
+        out_neg = neg - (self.subtract_neg_gain * i_cm + self.subtract_neg_bias)
+        return out_pos, out_neg
+
+
+class _IntegratorStage:
+    """Wiring of one SI integrator/differentiator around a bank row pair."""
+
+    def __init__(
+        self,
+        bank: _FusedCellBank,
+        row: int,
+        gain: float,
+        cmff: CommonModeFeedforward | None,
+        crossed: bool,
+    ) -> None:
+        self.bank = bank
+        self.row = row
+        self.gain = gain
+        self.cmff = _CmffStage(cmff) if cmff is not None else None
+        self.crossed = crossed
+
+    def state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the (pos, neg) state rows as of the start of the period."""
+        return self.bank.state[self.row], self.bank.state[self.row + 1]
+
+    def targets(
+        self, sample_pos: np.ndarray, sample_neg: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return the cell store targets for one input sample."""
+        state_pos, state_neg = self.state()
+        if self.crossed:
+            state_pos, state_neg = state_neg, state_pos
+        if self.gain != 1.0:
+            # Scaling by exactly 1.0 is the identity in IEEE-754, so
+            # the common unit-gain case skips the multiplies.
+            sample_pos = sample_pos * self.gain
+            sample_neg = sample_neg * self.gain
+        target_pos = state_pos + sample_pos
+        target_neg = state_neg + sample_neg
+        if self.cmff is not None:
+            target_pos, target_neg = self.cmff.apply(target_pos, target_neg)
+        return target_pos, target_neg
+
+
+def _check_shape(stimuli: np.ndarray, n_lanes: int, n_steps: int) -> np.ndarray:
+    data = np.asarray(stimuli, dtype=float)
+    if data.shape != (n_lanes, n_steps):
+        raise ValueError(
+            f"stimuli must have shape ({n_lanes}, {n_steps}), got {data.shape}"
+        )
+    return data
+
+
+def _transposed_halves(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return step-major contiguous (pos, neg) stimulus half matrices."""
+    pos, neg = _halves(data)
+    return np.ascontiguousarray(pos.T), np.ascontiguousarray(neg.T)
+
+
+class BatchClassABCell:
+    """Vectorized :meth:`ClassABMemoryCell.run` over a lane axis."""
+
+    def __init__(
+        self,
+        cell: ClassABMemoryCell,
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
+        self.n_lanes = n_lanes
+        self.n_steps = n_steps
+        self.inverting = cell.config.inverting
+        self._bank = _FusedCellBank([cell.config], n_lanes, n_steps, lane_offset)
+
+    @property
+    def slew_counts(self) -> np.ndarray:
+        """Per-lane slew event counts (shape ``(n_lanes,)``)."""
+        return self._bank.slew_counts[0]
+
+    def run(self, stimuli: np.ndarray) -> np.ndarray:
+        """Run every lane; returns the differential outputs (lanes, steps)."""
+        data = _check_shape(stimuli, self.n_lanes, self.n_steps)
+        pos_t, neg_t = _transposed_halves(data)
+        output = np.empty((self.n_steps, self.n_lanes))
+        bank = self._bank
+        targets = np.empty((2, self.n_lanes))
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            for n in range(self.n_steps):
+                held_pos = bank.state[0]
+                held_neg = bank.state[1]
+                if self.inverting:
+                    output[n] = np.negative(held_pos) - np.negative(held_neg)
+                else:
+                    output[n] = held_pos - held_neg
+                targets[0] = pos_t[n]
+                targets[1] = neg_t[n]
+                bank.store(targets)
+        return np.ascontiguousarray(output.T)
+
+
+class BatchDelayLine:
+    """Vectorized :class:`DelayLine` run over a lane axis.
+
+    Every cell's store target depends only on the *previous* period's
+    states (each ``step`` returns the held sample from before the
+    store), so the whole cascade fuses into a single kernel call per
+    period.
+    """
+
+    def __init__(
+        self,
+        line: DelayLine,
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
+        self.n_lanes = n_lanes
+        self.n_steps = n_steps
+        configs = [cell.config for cell in line.cells]
+        self._inverting = [config.inverting for config in configs]
+        self._bank = _FusedCellBank(configs, n_lanes, n_steps, lane_offset)
+
+    def run(self, stimuli: np.ndarray) -> np.ndarray:
+        """Run every lane; returns the differential outputs (lanes, steps)."""
+        data = _check_shape(stimuli, self.n_lanes, self.n_steps)
+        pos_t, neg_t = _transposed_halves(data)
+        output = np.empty((self.n_steps, self.n_lanes))
+        bank = self._bank
+        n_cells = bank.n_cells
+        targets = np.empty((2 * n_cells, self.n_lanes))
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            for n in range(self.n_steps):
+                value_pos: np.ndarray = pos_t[n]
+                value_neg: np.ndarray = neg_t[n]
+                for cell in range(n_cells):
+                    targets[2 * cell] = value_pos
+                    targets[2 * cell + 1] = value_neg
+                    held_pos = bank.state[2 * cell]
+                    held_neg = bank.state[2 * cell + 1]
+                    if self._inverting[cell]:
+                        value_pos = np.negative(held_pos)
+                        value_neg = np.negative(held_neg)
+                    else:
+                        value_pos = held_pos
+                        value_neg = held_neg
+                output[n] = value_pos - value_neg
+                bank.store(targets)
+        return np.ascontiguousarray(output.T)
+
+
+class BatchBiquadCascade:
+    """Vectorized :class:`BiquadCascade` band-pass run over a lane axis."""
+
+    def __init__(
+        self,
+        cascade: BiquadCascade,
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
+        self.n_lanes = n_lanes
+        self.n_steps = n_steps
+        configs: list[MemoryCellConfig] = []
+        self._coefficients: list[tuple[float, float, float]] = []
+        stages: list[tuple[CommonModeFeedforward | None, float]] = []
+        for section in cascade.sections:
+            self._coefficients.append((section.k1, section.k2, section.q))
+            for integrator in (section._int1, section._int2):
+                configs.append(integrator._cell.config)
+                stages.append((integrator.cmff, integrator.gain))
+        self._bank = _FusedCellBank(configs, n_lanes, n_steps, lane_offset)
+        self._stages = [
+            _IntegratorStage(self._bank, 2 * index, gain, cmff, crossed=False)
+            for index, (cmff, gain) in enumerate(stages)
+        ]
+
+    def run(self, stimuli: np.ndarray) -> np.ndarray:
+        """Run every lane; returns the band-pass outputs (lanes, steps)."""
+        data = _check_shape(stimuli, self.n_lanes, self.n_steps)
+        stim_t = np.ascontiguousarray(data.T)
+        output = np.empty((self.n_steps, self.n_lanes))
+        bank = self._bank
+        targets = np.empty((2 * bank.n_cells, self.n_lanes))
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            for n in range(self.n_steps):
+                signal: np.ndarray = stim_t[n]
+                for index, (k1, k2, q) in enumerate(self._coefficients):
+                    stage1 = self._stages[2 * index]
+                    stage2 = self._stages[2 * index + 1]
+                    w1_pos, w1_neg = stage1.state()
+                    w2_pos, w2_neg = stage2.state()
+                    w1 = w1_pos - w1_neg
+                    w2 = w2_pos - w2_neg
+                    u1 = k1 * (signal - q * w1 - w2)
+                    u2 = k2 * w1
+                    u1_pos, u1_neg = _halves(u1)
+                    u2_pos, u2_neg = _halves(u2)
+                    row = 4 * index
+                    targets[row], targets[row + 1] = stage1.targets(u1_pos, u1_neg)
+                    targets[row + 2], targets[row + 3] = stage2.targets(
+                        u2_pos, u2_neg
+                    )
+                    signal = w1
+                output[n] = signal
+                bank.store(targets)
+        return np.ascontiguousarray(output.T)
+
+
+class BatchModulator1:
+    """Vectorized first-order loop (:class:`SIModulator1`) over lanes."""
+
+    def __init__(
+        self,
+        modulator: SIModulator1,
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
+        self.n_lanes = n_lanes
+        self.n_steps = n_steps
+        self.full_scale = modulator.full_scale
+        self.a = modulator.a
+        integrator = modulator._integrator
+        self._bank = _FusedCellBank(
+            [integrator._cell.config], n_lanes, n_steps, lane_offset
+        )
+        self._stage = _IntegratorStage(
+            self._bank, 0, integrator.gain, integrator.cmff, crossed=False
+        )
+        self._quantizer_source = _check_quantizer(modulator.quantizer)
+        self._dac_levels = _dac_levels(modulator.dac)
+
+    def run(self, stimuli: np.ndarray) -> np.ndarray:
+        """Run every lane; returns the bit-stream outputs (lanes, steps)."""
+        data = _check_shape(stimuli, self.n_lanes, self.n_steps)
+        stim_t = np.ascontiguousarray(data.T)
+        quantizer = _BatchQuantizer(self._quantizer_source, self.n_lanes)
+        level_pos, level_neg = self._dac_levels
+        output = np.empty((self.n_steps, self.n_lanes))
+        bank = self._bank
+        targets = np.empty((2, self.n_lanes))
+        a = self.a
+        full_scale = self.full_scale
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            for n in range(self.n_steps):
+                w_pos, w_neg = self._stage.state()
+                decisions, mask = quantizer.decide(w_pos - w_neg)
+                feedback = np.where(mask, level_pos, level_neg)
+                u_pos, u_neg = _halves(a * (stim_t[n] - feedback))
+                targets[0], targets[1] = self._stage.targets(u_pos, u_neg)
+                output[n] = decisions * full_scale
+                bank.store(targets)
+        return np.ascontiguousarray(output.T)
+
+
+class BatchModulator2:
+    """Vectorized second-order loop (:class:`SIModulator2`) over lanes.
+
+    Both integrators step from pre-period states, so their four
+    half-circuits fuse into one kernel call per period.
+    """
+
+    def __init__(
+        self,
+        modulator: SIModulator2,
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
+        self.n_lanes = n_lanes
+        self.n_steps = n_steps
+        self.full_scale = modulator.full_scale
+        self.a1 = modulator.a1
+        self.a2 = modulator.a2
+        self.b2 = modulator.b2
+        int1 = modulator._int1
+        int2 = modulator._int2
+        self._bank = _FusedCellBank(
+            [int1._cell.config, int2._cell.config], n_lanes, n_steps, lane_offset
+        )
+        self._stage1 = _IntegratorStage(
+            self._bank, 0, int1.gain, int1.cmff, crossed=False
+        )
+        self._stage2 = _IntegratorStage(
+            self._bank, 2, int2.gain, int2.cmff, crossed=False
+        )
+        self._quantizer_source = _check_quantizer(modulator.quantizer)
+        self._dac_levels = _dac_levels(modulator.dac)
+
+    def run(self, stimuli: np.ndarray) -> np.ndarray:
+        """Run every lane; returns the bit-stream outputs (lanes, steps)."""
+        data = _check_shape(stimuli, self.n_lanes, self.n_steps)
+        pos_t, neg_t = _transposed_halves(data)
+        quantizer = _BatchQuantizer(self._quantizer_source, self.n_lanes)
+        level_pos, level_neg = self._dac_levels
+        output = np.empty((self.n_steps, self.n_lanes))
+        bank = self._bank
+        targets = np.empty((4, self.n_lanes))
+        a1, a2, b2 = self.a1, self.a2, self.b2
+        full_scale = self.full_scale
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            for n in range(self.n_steps):
+                w1_pos, w1_neg = self._stage1.state()
+                w2_pos, w2_neg = self._stage2.state()
+                decisions, mask = quantizer.decide(w2_pos - w2_neg)
+                feedback = np.where(mask, level_pos, level_neg)
+                fb_pos, fb_neg = _halves(feedback)
+                u1_pos = (pos_t[n] - fb_pos) * a1
+                u1_neg = (neg_t[n] - fb_neg) * a1
+                u2_pos = w1_pos * a2 - fb_pos * b2
+                u2_neg = w1_neg * a2 - fb_neg * b2
+                targets[0], targets[1] = self._stage1.targets(u1_pos, u1_neg)
+                targets[2], targets[3] = self._stage2.targets(u2_pos, u2_neg)
+                output[n] = decisions * full_scale
+                bank.store(targets)
+        return np.ascontiguousarray(output.T)
+
+
+class BatchChopper:
+    """Vectorized chopper-stabilised loop over lanes."""
+
+    def __init__(
+        self,
+        modulator: ChopperStabilizedSIModulator,
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
+        self.n_lanes = n_lanes
+        self.n_steps = n_steps
+        self.full_scale = modulator.full_scale
+        self.a1 = modulator.a1
+        self.a2 = modulator.a2
+        self.b2 = modulator.b2
+        diff1 = modulator._diff1
+        diff2 = modulator._diff2
+        self._bank = _FusedCellBank(
+            [diff1._cell.config, diff2._cell.config], n_lanes, n_steps, lane_offset
+        )
+        self._stage1 = _IntegratorStage(
+            self._bank, 0, diff1.gain, diff1.cmff, crossed=True
+        )
+        self._stage2 = _IntegratorStage(
+            self._bank, 2, diff2.gain, diff2.cmff, crossed=True
+        )
+        self._quantizer_source = _check_quantizer(modulator.quantizer)
+        self._dac_levels = _dac_levels(modulator.dac)
+
+    def run(self, stimuli: np.ndarray) -> np.ndarray:
+        """Run every lane; returns the post-chopper outputs (lanes, steps)."""
+        data = _check_shape(stimuli, self.n_lanes, self.n_steps)
+        # The input chopper multiplies sample n by (-1)^n; multiplying
+        # by +/-1.0 is exact, so pre-chopping the whole matrix equals
+        # the scalar per-sample product.
+        signs = np.where(np.arange(self.n_steps) % 2 == 0, 1.0, -1.0)
+        chopped = signs[np.newaxis, :] * data
+        stim_t = np.ascontiguousarray(chopped.T)
+        quantizer = _BatchQuantizer(self._quantizer_source, self.n_lanes)
+        level_pos, level_neg = self._dac_levels
+        raw = np.empty((self.n_steps, self.n_lanes))
+        bank = self._bank
+        targets = np.empty((4, self.n_lanes))
+        a1, a2, b2 = self.a1, self.a2, self.b2
+        neg_a1 = -a1
+        full_scale = self.full_scale
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            for n in range(self.n_steps):
+                w1_pos, w1_neg = self._stage1.state()
+                w2_pos, w2_neg = self._stage2.state()
+                decisions, mask = quantizer.decide(w2_pos - w2_neg)
+                feedback = np.where(mask, level_pos, level_neg)
+                fb_pos, fb_neg = _halves(feedback)
+                u_pos, u_neg = _halves(stim_t[n])
+                s1_pos = (u_pos - fb_pos) * neg_a1
+                s1_neg = (u_neg - fb_neg) * neg_a1
+                s2_pos = fb_pos * b2 - w1_pos * a2
+                s2_neg = fb_neg * b2 - w1_neg * a2
+                targets[0], targets[1] = self._stage1.targets(s1_pos, s1_neg)
+                targets[2], targets[3] = self._stage2.targets(s2_pos, s2_neg)
+                raw[n] = decisions * full_scale
+                bank.store(targets)
+        # Output chopper: again an exact +/-1.0 product per sample.
+        output = signs[:, np.newaxis] * raw
+        return np.ascontiguousarray(output.T)
+
+
+def iter_cells(device: object) -> list[ClassABMemoryCell]:
+    """Return the memory cells of a supported device, in noise order.
+
+    Used by the scalar fallback path to fast-forward noise streams for
+    sharded lanes; the order matches each device's construction order.
+
+    Raises
+    ------
+    BatchUnsupported
+        If the device type is not recognised.
+    """
+    if isinstance(device, ClassABMemoryCell):
+        return [device]
+    if isinstance(device, DelayLine):
+        return list(device.cells)
+    if isinstance(device, BiquadCascade):
+        return [
+            integrator._cell
+            for section in device.sections
+            for integrator in (section._int1, section._int2)
+        ]
+    if isinstance(device, SIModulator1):
+        return [device._integrator._cell]
+    if isinstance(device, SIModulator2):
+        return [device._int1._cell, device._int2._cell]
+    if isinstance(device, ChopperStabilizedSIModulator):
+        return [device._diff1._cell, device._diff2._cell]
+    raise BatchUnsupported(f"no batch lowering for {type(device).__name__}")
+
+
+def batch_runner_for(
+    device: object, n_lanes: int, n_steps: int, lane_offset: int = 0
+) -> "BatchClassABCell | BatchDelayLine | BatchBiquadCascade | BatchModulator1 | BatchModulator2 | BatchChopper":
+    """Lower a freshly built scalar device onto its batch runner.
+
+    Raises
+    ------
+    BatchUnsupported
+        If the device type or configuration has no bit-exact lowering.
+    """
+    if n_lanes < 1 or n_steps < 1:
+        raise ValueError(
+            f"n_lanes and n_steps must be >= 1, got {n_lanes!r}, {n_steps!r}"
+        )
+    # Probed devices observe every period inside the scalar loop; the
+    # batch lowering bypasses those callbacks, so keep probe semantics
+    # by falling back to the scalar path.
+    if any(cell._probe is not None for cell in iter_cells(device)):
+        raise BatchUnsupported(
+            "device has telemetry probes attached; scalar path keeps "
+            "per-sample probe semantics"
+        )
+    if isinstance(device, ClassABMemoryCell):
+        return BatchClassABCell(device, n_lanes, n_steps, lane_offset)
+    if isinstance(device, DelayLine):
+        return BatchDelayLine(device, n_lanes, n_steps, lane_offset)
+    if isinstance(device, BiquadCascade):
+        return BatchBiquadCascade(device, n_lanes, n_steps, lane_offset)
+    if isinstance(device, SIModulator1):
+        return BatchModulator1(device, n_lanes, n_steps, lane_offset)
+    if isinstance(device, SIModulator2):
+        return BatchModulator2(device, n_lanes, n_steps, lane_offset)
+    if isinstance(device, ChopperStabilizedSIModulator):
+        return BatchChopper(device, n_lanes, n_steps, lane_offset)
+    raise BatchUnsupported(f"no batch lowering for {type(device).__name__}")

@@ -1,0 +1,124 @@
+"""Keyed on-disk result cache for sweep and report runs.
+
+A cache entry is addressed by the SHA-256 of a canonical-JSON key
+describing everything that determines the result (design name, sample
+counts, degradation knobs, engine version).  Payloads are float64
+arrays stored with ``np.savez`` next to a small JSON meta file; reads
+reconstruct them bit for bit, which is what lets ``repro report`` and
+``repro compare`` skip recomputation without perturbing manifests.
+
+Entries are written atomically (temp file + ``os.replace``) so an
+interrupted run never leaves a half-written entry, and any unreadable
+or mismatched entry is treated as a miss and overwritten on the next
+store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ResultCache"]
+
+#: Bump when the cached payload layout or the batch engine's numeric
+#: contract changes; stale-version entries then miss instead of lying.
+CACHE_SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_DEFAULT_DIRNAME = ".repro-cache"
+
+
+def _canonical_key(key: dict[str, Any]) -> str:
+    """Return the canonical JSON encoding used for hashing."""
+    return json.dumps(key, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Content-addressed store of named float64 arrays.
+
+    Parameters
+    ----------
+    directory:
+        Cache root.  Defaults to ``$REPRO_CACHE_DIR`` when set, else
+        ``.repro-cache`` under the current working directory.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+        if directory is None:
+            directory = os.environ.get(_ENV_DIR) or _DEFAULT_DIRNAME
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_digest(key: dict[str, Any]) -> str:
+        """Return the hex digest addressing ``key``."""
+        payload = _canonical_key(
+            {"schema": CACHE_SCHEMA_VERSION, "key": key}
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _paths(self, digest: str) -> tuple[Path, Path]:
+        return (
+            self.directory / f"{digest}.npz",
+            self.directory / f"{digest}.json",
+        )
+
+    def load(self, key: dict[str, Any]) -> dict[str, np.ndarray] | None:
+        """Return the cached arrays for ``key``, or ``None`` on a miss.
+
+        Corrupt, partial or stale entries are misses, never errors.
+        """
+        digest = self.key_digest(key)
+        data_path, meta_path = self._paths(digest)
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            if meta.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            if meta.get("key") != _canonical_key(key):
+                raise ValueError("key collision")
+            with np.load(data_path) as archive:
+                arrays = {name: archive[name].copy() for name in archive.files}
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return arrays
+
+    def store(self, key: dict[str, Any], arrays: dict[str, np.ndarray]) -> None:
+        """Persist ``arrays`` under ``key`` atomically."""
+        digest = self.key_digest(key)
+        data_path, meta_path = self._paths(digest)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp_data = data_path.with_suffix(".npz.tmp")
+        with open(tmp_data, "wb") as handle:
+            np.savez(handle, **{k: np.asarray(v) for k, v in arrays.items()})
+        os.replace(tmp_data, data_path)
+        meta = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": _canonical_key(key),
+        }
+        tmp_meta = meta_path.with_suffix(".json.tmp")
+        tmp_meta.write_text(
+            json.dumps(meta, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp_meta, meta_path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; return the number of files removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.iterdir():
+            if path.suffix in {".npz", ".json"} or path.name.endswith(".tmp"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
+        return removed

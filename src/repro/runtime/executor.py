@@ -1,0 +1,199 @@
+"""Parallel shard executor for lane-parallel sweeps.
+
+:class:`SweepExecutor` splits a list of work items (sweep lanes,
+Monte-Carlo trials) into contiguous chunks and runs one worker call per
+chunk, either inline or on a ``ProcessPoolExecutor``.  Three properties
+matter more than raw speed:
+
+* **Determinism** -- chunk boundaries depend only on the item count and
+  the configured job/chunk settings, never on scheduling; each chunk
+  receives a :class:`ShardContext` carrying its lane offset and a
+  ``SeedSequence`` spawned from ``(seed, call_index, chunk_index)``, so
+  any randomness a worker draws is a pure function of the executor
+  configuration.  Results are reassembled in submission order.
+* **Honesty about cores** -- the effective process count is clamped to
+  ``min(jobs, os.cpu_count(), n_chunks)``.  On a single-core host a
+  ``--jobs 4`` request runs inline (one fully vectorized pass) instead
+  of paying fork-and-pickle overhead for no parallelism.
+* **Bounded failure** -- a per-chunk timeout turns a hung worker into a
+  :class:`SweepTimeoutError` instead of a silent stall.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ShardContext", "SweepExecutor", "SweepTimeoutError"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+class SweepTimeoutError(RuntimeError):
+    """A sharded worker exceeded the executor's per-chunk timeout."""
+
+
+@dataclass(frozen=True)
+class ShardContext:
+    """Deterministic execution context handed to each worker chunk.
+
+    Attributes
+    ----------
+    shard_index:
+        Position of this chunk in the submission order.
+    n_shards:
+        Total number of chunks for this ``map`` call.
+    lane_offset:
+        Index of the chunk's first item within the full item list;
+        lane-sliced noise streams fast-forward by this many lanes.
+    n_lanes:
+        Number of items in this chunk.
+    seed_entropy:
+        Entropy tuple for ``np.random.SeedSequence``; spawned from the
+        executor seed, the ``map`` call index and the shard index, so a
+        worker can build a private, reproducible ``Generator``.
+    """
+
+    shard_index: int
+    n_shards: int
+    lane_offset: int
+    n_lanes: int
+    seed_entropy: tuple[int, ...]
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """Return the shard's private ``SeedSequence``."""
+        return np.random.SeedSequence(self.seed_entropy)
+
+
+class SweepExecutor:
+    """Shard work items across processes with deterministic chunking.
+
+    Parameters
+    ----------
+    jobs:
+        Requested worker-process count.  ``1`` always runs inline; the
+        effective count is additionally clamped to the host's CPU count
+        and the chunk count.
+    chunk_size:
+        Items per worker call.  ``None`` derives
+        ``ceil(n_items / effective_jobs)`` so one chunk lands on each
+        worker.
+    timeout_s:
+        Per-chunk wall-clock timeout in seconds (``None`` disables).
+    seed:
+        Root seed for the per-shard ``SeedSequence`` spawning.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        chunk_size: int | None = None,
+        timeout_s: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size!r}"
+            )
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {timeout_s!r}"
+            )
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.timeout_s = timeout_s
+        self.seed = seed
+        self._call_index = 0
+
+    def plan(self, n_items: int) -> list[tuple[int, int]]:
+        """Return the ``(offset, length)`` chunk plan for ``n_items``.
+
+        The plan depends only on ``n_items``, the executor
+        configuration and the host's CPU count -- never on scheduling.
+        The default chunk size divides the items over the *effective*
+        process count, so a ``--jobs 4`` request on a single-core host
+        yields one chunk (one fully vectorized pass) instead of four
+        undersized ones; any layout produces bit-identical results, the
+        chunking only sets the vectorization width per worker call.
+        """
+        if n_items <= 0:
+            return []
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            workers = max(1, min(self.jobs, os.cpu_count() or 1))
+            size = -(-n_items // workers)
+        chunks: list[tuple[int, int]] = []
+        offset = 0
+        while offset < n_items:
+            length = min(size, n_items - offset)
+            chunks.append((offset, length))
+            offset += length
+        return chunks
+
+    def effective_jobs(self, n_chunks: int) -> int:
+        """Return the process count actually used for ``n_chunks``."""
+        return max(1, min(self.jobs, os.cpu_count() or 1, n_chunks))
+
+    def map(
+        self,
+        worker: Callable[[Sequence[_ItemT], ShardContext], _ResultT],
+        items: Sequence[_ItemT],
+    ) -> list[_ResultT]:
+        """Run ``worker`` over chunked ``items``; return per-chunk results.
+
+        ``worker`` must be picklable (a module-level function) when more
+        than one process is used.  Results are returned in chunk order
+        regardless of completion order.
+        """
+        chunks = self.plan(len(items))
+        call_index = self._call_index
+        self._call_index += 1
+        contexts = [
+            ShardContext(
+                shard_index=index,
+                n_shards=len(chunks),
+                lane_offset=offset,
+                n_lanes=length,
+                seed_entropy=(self.seed, call_index, index),
+            )
+            for index, (offset, length) in enumerate(chunks)
+        ]
+        payloads = [
+            items[offset : offset + length] for offset, length in chunks
+        ]
+        n_processes = self.effective_jobs(len(chunks))
+        if n_processes <= 1:
+            return [
+                worker(payload, context)
+                for payload, context in zip(payloads, contexts)
+            ]
+        with ProcessPoolExecutor(max_workers=n_processes) as pool:
+            futures = [
+                pool.submit(worker, payload, context)
+                for payload, context in zip(payloads, contexts)
+            ]
+            results: list[_ResultT] = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout=self.timeout_s))
+                except FuturesTimeoutError as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    raise SweepTimeoutError(
+                        f"shard {index}/{len(futures)} exceeded "
+                        f"{self.timeout_s!r} s"
+                    ) from exc
+            return results

@@ -1,0 +1,137 @@
+"""Elementwise batch kernel for the class-AB store pipeline.
+
+One :func:`store_batch` call performs, for every element of a lane
+array at once, exactly what
+:meth:`repro.si.memory_cell.ClassABMemoryCell._store_half` performs
+for one half-circuit current: translinear class-AB split, transmission
+error, charge-injection residue, and the two-regime (slew + linear)
+GGA settling law.
+
+Bit-exactness is the design constraint, not an optimisation target:
+every arithmetic expression below reproduces the scalar source
+operation for operation (same association, same branch structure via
+``np.where``), so a batch of N lanes returns the same 64-bit floats as
+N scalar loops.  The only transcendental in the pipeline is ``exp``,
+which the scalar path routes through ``np.exp`` for exactly this
+reason (see :func:`repro.si.gga._exp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.si.memory_cell import MemoryCellConfig
+
+__all__ = ["CellKernel", "store_batch"]
+
+
+@dataclass(frozen=True)
+class CellKernel:
+    """Scalar constants of one cell's store pipeline.
+
+    Every field is precomputed with the same expression the scalar
+    model evaluates per sample, so the per-element arithmetic in
+    :func:`store_batch` starts from identical 64-bit values.
+    """
+
+    #: ``I_Q ** 2``, the translinear product invariant.
+    iq_squared: float
+    #: Transmission error: effective ratio, reference current, floor.
+    trans_ratio: float
+    trans_iq: float
+    trans_floor: float
+    #: Charge injection: residual at quiescent, reference current, floor.
+    inj_residual: float
+    inj_iq: float
+    inj_floor: float
+    #: GGA settling: phase kick, bias (= slew threshold), tau fraction,
+    #: drive-margin floor.
+    kick: float
+    bias: float
+    tau_fraction: float
+    margin_floor: float
+    #: Half-circuit gain mismatch (0 disables the factor pass).
+    mismatch: float
+
+    @classmethod
+    def from_config(cls, config: MemoryCellConfig) -> "CellKernel":
+        """Extract the kernel constants from a cell configuration."""
+        iq = config.quiescent_current
+        trans = config.transmission
+        inj = config.injection
+        gga = config.gga
+        return cls(
+            iq_squared=iq * iq,
+            trans_ratio=trans.effective_ratio,
+            trans_iq=trans.quiescent_current,
+            trans_floor=1e-3 * trans.quiescent_current,
+            inj_residual=inj.residual_at_quiescent,
+            inj_iq=inj.quiescent_current,
+            inj_floor=1e-3 * inj.quiescent_current,
+            kick=gga.phase_kick_fraction,
+            bias=gga.bias_current,
+            tau_fraction=gga.settling_tau_fraction,
+            margin_floor=gga.drive_margin_floor,
+            mismatch=config.half_gain_mismatch,
+        )
+
+
+def store_batch(
+    previous: np.ndarray, target: np.ndarray, kernel: CellKernel
+) -> tuple[np.ndarray, np.ndarray]:
+    """Store ``target`` over ``previous`` elementwise; return (settled, slewed).
+
+    Vectorized transliteration of ``_store_half``: both inputs are
+    arrays of half-circuit currents of identical shape (typically
+    ``(rows, lanes)`` with one row per fused half-circuit).  The
+    returned ``settled`` array holds the stored currents and ``slewed``
+    the boolean slew flags.
+
+    The untaken branches of the scalar ``if`` cascade are evaluated for
+    every element and selected with ``np.where``; their arguments are
+    clamped where an untaken branch could overflow (``exp`` of a large
+    positive number), which cannot change any selected value.
+    """
+    # Class-AB translinear split: only the n-device current feeds the
+    # error models.  Both branch expressions are well defined for every
+    # input (root >= |half| + margin at these current scales).
+    half = 0.5 * target
+    root = np.sqrt(half * half + kernel.iq_squared)
+    device_n = np.where(
+        half >= 0.0, half + root, kernel.iq_squared / (root - half)
+    )
+    magnitude_n = np.abs(device_n)
+
+    # Transmission error, then charge-injection residue, exactly in the
+    # scalar order (apply, then +=).
+    epsilon = kernel.trans_ratio * np.sqrt(
+        kernel.trans_iq / np.maximum(magnitude_n, kernel.trans_floor)
+    )
+    value = target * (1.0 - epsilon)
+    value = value + kernel.inj_residual * np.sqrt(
+        np.maximum(magnitude_n, kernel.inj_floor) / kernel.inj_iq
+    )
+
+    # Two-regime GGA settling.  The scalar delta == 0 shortcut needs no
+    # special case here: it lands in the small-step branch with a zero
+    # residual, reproducing settled == value exactly (the pipeline
+    # guarantees value is never -0.0, so the sign of zero is safe).
+    delta = value - previous + kernel.kick * value
+    margin = np.maximum(1.0 - np.abs(value) / kernel.bias, kernel.margin_floor)
+    n_tau = margin / kernel.tau_fraction
+    magnitude = np.abs(delta)
+    sign = np.where(delta > 0.0, 1.0, -1.0)
+
+    small = delta * np.exp(-n_tau)
+    slew_time = (magnitude - kernel.bias) / kernel.bias
+    full = sign * (magnitude - kernel.bias * n_tau)
+    # Clamp keeps exp() finite on elements where the full-slew branch
+    # is the one selected; selected values are unaffected.
+    partial = sign * kernel.bias * np.exp(-np.maximum(n_tau - slew_time, 0.0))
+
+    slewed = magnitude > kernel.bias
+    residual = np.where(slewed, np.where(slew_time >= n_tau, full, partial), small)
+    settled = value - residual
+    return settled, slewed

@@ -1,0 +1,332 @@
+"""Batched amplitude sweeps: lanes, shards and the result cache.
+
+This is the engine behind ``repro sweep`` and
+``repro report --jobs``: it runs the same experiment as
+:func:`repro.analysis.sweeps.run_amplitude_sweep` -- one lane per
+input level -- but executes all lanes of a shard through the batch
+runners of :mod:`repro.runtime.batch` and shards lanes across a
+:class:`~repro.runtime.executor.SweepExecutor`.
+
+Determinism contract (``docs/RUNTIME.md``):
+
+* the scalar sweep runs its levels against *one* device instance, so
+  lane ``k`` consumes the ``k``-th slice of every cell's noise stream;
+  a shard starting at ``lane_offset`` fast-forwards each stream by
+  exactly ``lane_offset * total_samples`` draws before running, which
+  makes the result independent of the shard layout -- and bit-identical
+  to the scalar loop;
+* configurations the batch engine cannot reproduce exactly (per-decision
+  randomness: quantizer metastability, DAC reference noise, attached
+  probes) fall back to the scalar device per lane, with the same
+  noise-stream fast-forward;
+* a cache entry stores the five :class:`ToneMetrics` fields per lane as
+  float64 arrays, so a hit reconstructs the sweep result bit for bit.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.analysis.metrics import ToneMetrics, measure_tone
+from repro.analysis.spectrum import compute_spectrum
+from repro.analysis.sweeps import AmplitudeSweepResult
+from repro.analysis.windows import WindowKind
+from repro.config import MODULATOR_FULL_SCALE
+from repro.errors import AnalysisError
+from repro.runtime.batch import BatchUnsupported, batch_runner_for, iter_cells
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import ShardContext, SweepExecutor
+from repro.si.memory_cell import MemoryCellConfig
+from repro.systems.stimulus import coherent_frequency
+from repro.telemetry.designs import build_trace_setup
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.session import TelemetrySession
+
+__all__ = ["SweepSpec", "run_sweep", "sweep_spec_for_design"]
+
+#: Default input levels (dB re full scale) -- the compact Table 2
+#: dynamic-range sweep of ``repro report``.
+DEFAULT_LEVELS_DB: tuple[float, ...] = (-50.0, -40.0, -30.0, -20.0, -10.0)
+
+#: The five ToneMetrics fields, in constructor order; the cache stores
+#: one float64 array per field.
+_METRIC_FIELDS: tuple[str, ...] = (
+    "fundamental_frequency",
+    "signal_power",
+    "harmonic_power",
+    "noise_power",
+    "bandwidth",
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Complete, picklable description of one amplitude sweep.
+
+    The spec is both the worker payload (it travels to sharded
+    processes) and the cache key (every field that can change the
+    result is here, nothing else).
+    """
+
+    design: str
+    levels_db: tuple[float, ...]
+    full_scale: float
+    signal_frequency: float
+    sample_rate: float
+    n_samples: int
+    bandwidth: float
+    window: str = WindowKind.BLACKMAN.value
+    settle_samples: int = 256
+    noise_scale: float = 1.0
+    mismatch: float = 0.0
+
+    def cache_key(self) -> dict[str, Any]:
+        """Return the cache-key dict addressing this sweep's result."""
+        return {
+            "kind": "amplitude-sweep",
+            "design": self.design,
+            "levels_db": list(self.levels_db),
+            "full_scale": self.full_scale,
+            "signal_frequency": self.signal_frequency,
+            "sample_rate": self.sample_rate,
+            "n_samples": self.n_samples,
+            "bandwidth": self.bandwidth,
+            "window": self.window,
+            "settle_samples": self.settle_samples,
+            "noise_scale": self.noise_scale,
+            "mismatch": self.mismatch,
+        }
+
+
+def sweep_spec_for_design(
+    design: str,
+    n_samples: int = 1 << 16,
+    levels_db: Sequence[float] = DEFAULT_LEVELS_DB,
+    noise_scale: float = 1.0,
+    mismatch: float = 0.0,
+) -> SweepSpec:
+    """Return the report-equivalent sweep spec for a named design.
+
+    Mirrors the sweep section of :func:`repro.metrics.report.build_report`:
+    half the main FFT length (8K floor), a bin-centred tone, 256 settle
+    samples.
+    """
+    setup = build_trace_setup(design)
+    sweep_n = max(1 << 13, n_samples // 2)
+    return SweepSpec(
+        design=setup.name,
+        levels_db=tuple(float(level) for level in levels_db),
+        full_scale=MODULATOR_FULL_SCALE,
+        signal_frequency=coherent_frequency(
+            setup.frequency, setup.sample_rate, sweep_n
+        ),
+        sample_rate=setup.sample_rate,
+        n_samples=sweep_n,
+        bandwidth=setup.bandwidth,
+        settle_samples=256,
+        noise_scale=noise_scale,
+        mismatch=mismatch,
+    )
+
+
+def _build_device(spec: SweepSpec) -> Any:
+    """Build a fresh device for the spec, with degradations applied.
+
+    Replays the transform of ``repro.metrics.report._degrade_transform``
+    so a sharded worker reconstructs the identical device.
+    """
+    setup = build_trace_setup(spec.design)
+    if spec.noise_scale == 1.0 and spec.mismatch == 0.0:
+        return setup.build(None)
+
+    def transform(config: MemoryCellConfig) -> MemoryCellConfig:
+        return replace(
+            config,
+            thermal_noise_rms=config.thermal_noise_rms * spec.noise_scale,
+            half_gain_mismatch=spec.mismatch,
+        )
+
+    return setup.build(transform)
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    """One worker's contribution: per-lane metrics plus bookkeeping."""
+
+    metrics: tuple[ToneMetrics, ...]
+    wall_s: float
+    engine: str
+
+
+def _run_lane_chunk(
+    spec: SweepSpec, levels: Sequence[float], context: ShardContext
+) -> _ShardResult:
+    """Run one contiguous block of sweep lanes; module-level for pickling."""
+    started = time.perf_counter()
+    total = spec.n_samples + spec.settle_samples
+    t = np.arange(total) / spec.sample_rate
+    carrier = np.sin(2.0 * np.pi * spec.signal_frequency * t)
+    amplitudes = [
+        spec.full_scale * 10.0 ** (level_db / 20.0) for level_db in levels
+    ]
+    stimuli = np.empty((len(levels), total))
+    for lane, amplitude in enumerate(amplitudes):
+        stimuli[lane] = amplitude * carrier
+
+    device = _build_device(spec)
+    try:
+        runner = batch_runner_for(
+            device,
+            n_lanes=len(levels),
+            n_steps=total,
+            lane_offset=context.lane_offset,
+        )
+        outputs = runner.run(stimuli)
+        engine = "batch"
+    except BatchUnsupported:
+        if context.lane_offset:
+            for cell in iter_cells(device):
+                cell._noise.take(context.lane_offset * total)
+        outputs = np.empty((len(levels), total))
+        for lane in range(stimuli.shape[0]):
+            outputs[lane] = np.asarray(device(stimuli[lane]), dtype=float)
+        engine = "scalar"
+
+    window = WindowKind(spec.window)
+    metrics = []
+    for lane in range(outputs.shape[0]):
+        spectrum = compute_spectrum(
+            outputs[lane, spec.settle_samples :],
+            spec.sample_rate,
+            window_kind=window,
+        )
+        metrics.append(
+            measure_tone(
+                spectrum,
+                fundamental_frequency=spec.signal_frequency,
+                bandwidth=spec.bandwidth,
+            )
+        )
+    return _ShardResult(
+        metrics=tuple(metrics),
+        wall_s=time.perf_counter() - started,
+        engine=engine,
+    )
+
+
+def _result_from_metrics(
+    spec: SweepSpec, metrics: Sequence[ToneMetrics]
+) -> AmplitudeSweepResult:
+    """Assemble the scalar-compatible sweep result object."""
+    levels = np.asarray(list(spec.levels_db), dtype=float)
+    return AmplitudeSweepResult(
+        levels_db=levels,
+        sndr_db=np.array([m.sndr_db for m in metrics]),
+        snr_db=np.array([m.snr_db for m in metrics]),
+        thd_db=np.array([m.thd_db for m in metrics]),
+        metrics=tuple(metrics),
+    )
+
+
+def _metrics_to_arrays(
+    metrics: Sequence[ToneMetrics],
+) -> dict[str, np.ndarray]:
+    return {
+        field: np.array([getattr(m, field) for m in metrics], dtype=float)
+        for field in _METRIC_FIELDS
+    }
+
+
+def _metrics_from_arrays(
+    arrays: dict[str, np.ndarray], n_lanes: int
+) -> tuple[ToneMetrics, ...] | None:
+    if set(_METRIC_FIELDS) - set(arrays):
+        return None
+    columns = [np.asarray(arrays[field], dtype=float) for field in _METRIC_FIELDS]
+    if any(column.shape != (n_lanes,) for column in columns):
+        return None
+    return tuple(
+        ToneMetrics(*(float(column[lane]) for column in columns))
+        for lane in range(n_lanes)
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    executor: SweepExecutor | None = None,
+    cache: ResultCache | None = None,
+    telemetry: "TelemetrySession | None" = None,
+) -> AmplitudeSweepResult:
+    """Run an amplitude sweep through the batch engine.
+
+    Parameters
+    ----------
+    spec:
+        The sweep description (see :func:`sweep_spec_for_design`).
+    executor:
+        Shard executor; ``None`` runs a single inline shard.
+    cache:
+        Result cache; a hit skips computation entirely and reconstructs
+        the result bit for bit from the stored metric arrays.
+    telemetry:
+        Optional session; the sweep is wrapped in a ``sweep`` span with
+        per-shard child records, which existing manifest extractors
+        ignore (they read only ``measure``/``device`` spans).
+
+    Raises
+    ------
+    AnalysisError
+        If the spec has no levels.
+    """
+    if len(spec.levels_db) == 0:
+        raise AnalysisError("spec.levels_db must contain at least one level")
+    if executor is None:
+        executor = SweepExecutor(jobs=1)
+
+    if cache is not None:
+        arrays = cache.load(spec.cache_key())
+        if arrays is not None:
+            metrics = _metrics_from_arrays(arrays, len(spec.levels_db))
+            if metrics is not None:
+                if telemetry is not None:
+                    with telemetry.span(
+                        "sweep",
+                        samples=len(spec.levels_db) * spec.n_samples,
+                        design=spec.design,
+                        cache="hit",
+                    ):
+                        pass
+                return _result_from_metrics(spec, metrics)
+
+    worker = functools.partial(_run_lane_chunk, spec)
+    levels = list(spec.levels_db)
+    if telemetry is not None:
+        with telemetry.span(
+            "sweep",
+            samples=len(levels) * spec.n_samples,
+            design=spec.design,
+            cache="miss" if cache is not None else "off",
+            jobs=executor.jobs,
+        ) as span:
+            shards = executor.map(worker, levels)
+            for index, shard in enumerate(shards):
+                span.record(
+                    f"shard{index}",
+                    samples=len(shard.metrics) * spec.n_samples,
+                    wall_s=shard.wall_s,
+                    engine=shard.engine,
+                )
+    else:
+        shards = executor.map(worker, levels)
+
+    metrics = tuple(m for shard in shards for m in shard.metrics)
+    if cache is not None:
+        cache.store(spec.cache_key(), _metrics_to_arrays(metrics))
+    return _result_from_metrics(spec, metrics)

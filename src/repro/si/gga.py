@@ -27,12 +27,25 @@ for whatever phase time is left.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
 __all__ = ["GroundedGateAmplifier", "SettlingResult"]
+
+
+def _exp(x: float) -> float:
+    """Exponential through numpy's scalar kernel.
+
+    The batch-execution engine (:mod:`repro.runtime`) evaluates the
+    settling law with ``np.exp`` on whole lane arrays; numpy's scalar
+    and vector exponentials are bit-identical to each other but not to
+    ``math.exp``, so the scalar path must route through numpy for the
+    vectorized path to stay bit-exact.
+    """
+    return float(np.exp(x))
 
 
 @dataclass(frozen=True)
@@ -188,7 +201,7 @@ class GroundedGateAmplifier:
         sign = 1.0 if delta > 0.0 else -1.0
 
         if magnitude <= self.slew_current_threshold:
-            residual = delta * math.exp(-n_tau_total)
+            residual = delta * _exp(-n_tau_total)
             return SettlingResult(
                 settled_current=target_current - residual,
                 slewed=False,
@@ -209,7 +222,7 @@ class GroundedGateAmplifier:
             )
 
         remaining_tau = n_tau_total - slew_time_in_tau
-        residual = sign * self.slew_current_threshold * math.exp(-remaining_tau)
+        residual = sign * self.slew_current_threshold * _exp(-remaining_tau)
         return SettlingResult(
             settled_current=target_current - residual,
             slewed=True,

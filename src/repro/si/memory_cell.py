@@ -249,6 +249,27 @@ class _NoiseFeed:
         self._index += 1
         return value
 
+    def take(self, count: int) -> np.ndarray:
+        """Return the next ``count`` noise samples as one array.
+
+        Bulk equivalent of :meth:`next` for the batch-execution engine:
+        the returned array is bit-identical to ``count`` sequential
+        :meth:`next` calls (refills happen at the same chunk
+        boundaries), and the feed position advances identically, so
+        scalar and batched consumers can be interleaved freely.
+        """
+        out = np.empty(count)
+        filled = 0
+        while filled < count:
+            if self._index >= self._buffer.shape[0]:
+                self._refill()
+            available = self._buffer.shape[0] - self._index
+            n = min(count - filled, available)
+            out[filled : filled + n] = self._buffer[self._index : self._index + n]
+            self._index += n
+            filled += n
+        return out
+
 
 class ClassABMemoryCell:
     """Stateful behavioural model of the Fig. 1 memory cell.

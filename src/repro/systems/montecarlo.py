@@ -24,6 +24,11 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.devices.current_mirror import CurrentMirror
 from repro.devices.mismatch import PelgromMismatch
+from repro.runtime.montecarlo import (
+    cmff_imbalance_draws,
+    cmff_leakage_samples,
+    cmff_rejection_samples,
+)
 from repro.si.cmff import CommonModeFeedforward
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -78,6 +83,17 @@ class CmffMonteCarlo:
         Optional telemetry session; when set, each statistics call is
         wrapped in a span counting trials as its samples, so sweeps
         report trials-per-second throughput.
+    rng:
+        Generator for the default Pelgrom sampler when ``mismatch`` is
+        omitted; lets parallel shards inject ``SeedSequence``-spawned
+        generators for reproducible, non-overlapping streams.
+    seed:
+        Seed for the default sampler's generator when neither
+        ``mismatch`` nor ``rng`` is given.
+    vectorized:
+        Evaluate whole trial blocks through
+        :mod:`repro.runtime.montecarlo` (bit-identical to the scalar
+        loop, which remains available with ``vectorized=False``).
     """
 
     def __init__(
@@ -85,16 +101,55 @@ class CmffMonteCarlo:
         mismatch: PelgromMismatch | None = None,
         n_trials: int = 500,
         telemetry: "TelemetrySession | None" = None,
+        rng: np.random.Generator | None = None,
+        seed: int = 1234,
+        vectorized: bool = True,
     ) -> None:
         if n_trials < 10:
             raise ConfigurationError(f"n_trials must be >= 10, got {n_trials!r}")
-        self.mismatch = (
-            mismatch
-            if mismatch is not None
-            else PelgromMismatch(rng=np.random.default_rng(1234))
-        )
+        if mismatch is not None and rng is not None:
+            raise ConfigurationError(
+                "pass either a mismatch sampler or an rng, not both"
+            )
+        if mismatch is None:
+            generator = rng if rng is not None else np.random.default_rng(seed)
+            mismatch = PelgromMismatch(rng=generator)
+        self.mismatch = mismatch
         self.n_trials = n_trials
         self.telemetry = telemetry
+        self.vectorized = vectorized
+
+    def spawn(self, n_shards: int, seed: int = 0) -> list["CmffMonteCarlo"]:
+        """Return independent child studies for parallel sharding.
+
+        Each child inherits the Pelgrom coefficients and trial count but
+        draws from its own ``SeedSequence``-spawned generator, so a
+        sharded run is reproducible for a given ``(seed, n_shards)``
+        regardless of scheduling.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``n_shards`` is not positive.
+        """
+        if n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {n_shards!r}"
+            )
+        children = np.random.SeedSequence(seed).spawn(n_shards)
+        return [
+            CmffMonteCarlo(
+                mismatch=PelgromMismatch(
+                    avt=self.mismatch.avt,
+                    abeta=self.mismatch.abeta,
+                    rng=np.random.default_rng(child),
+                ),
+                n_trials=self.n_trials,
+                telemetry=self.telemetry,
+                vectorized=self.vectorized,
+            )
+            for child in children
+        ]
 
     def _span(self, name: str, samples: int | None = None, **attrs: object):
         """Return a telemetry span counting trials, or a no-op."""
@@ -102,6 +157,15 @@ class CmffMonteCarlo:
             return nullcontext()
         count = self.n_trials if samples is None else samples
         return self.telemetry.span(name, samples=count, **attrs)
+
+    def _draw_errors(self, width: float, length: float) -> np.ndarray:
+        """Draw ``(n_trials, 4)`` mirror imbalances from the shared stream."""
+        return cmff_imbalance_draws(
+            self.mismatch.sigma_vth(width, length),
+            self.mismatch.sigma_beta_rel(width, length),
+            self.n_trials,
+            self.mismatch.rng,
+        )
 
     def _draw_cmff(self, width: float, length: float) -> CommonModeFeedforward:
         """Return a CMFF instance with one draw of mirror mismatch."""
@@ -130,12 +194,17 @@ class CmffMonteCarlo:
                 f"geometry must be positive, got {width!r} x {length!r}"
             )
         with self._span("mc.rejection", width=width, length=length):
-            samples = np.array(
-                [
-                    self._draw_cmff(width, length).common_mode_rejection()
-                    for _ in range(self.n_trials)
-                ]
-            )
+            if self.vectorized:
+                samples = cmff_rejection_samples(
+                    self._draw_errors(width, length)
+                )
+            else:
+                samples = np.array(
+                    [
+                        self._draw_cmff(width, length).common_mode_rejection()
+                        for _ in range(self.n_trials)
+                    ]
+                )
         return MonteCarloSummary.from_samples(samples)
 
     def leakage_statistics(self, width: float, length: float) -> MonteCarloSummary:
@@ -145,12 +214,15 @@ class CmffMonteCarlo:
                 f"geometry must be positive, got {width!r} x {length!r}"
             )
         with self._span("mc.leakage", width=width, length=length):
-            samples = np.array(
-                [
-                    self._draw_cmff(width, length).differential_leakage()
-                    for _ in range(self.n_trials)
-                ]
-            )
+            if self.vectorized:
+                samples = cmff_leakage_samples(self._draw_errors(width, length))
+            else:
+                samples = np.array(
+                    [
+                        self._draw_cmff(width, length).differential_leakage()
+                        for _ in range(self.n_trials)
+                    ]
+                )
         return MonteCarloSummary.from_samples(samples)
 
     def area_sweep(

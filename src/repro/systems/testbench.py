@@ -27,7 +27,10 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 if TYPE_CHECKING:  # import cycle: repro.metrics.report drives this bench
+    from repro.analysis.sweeps import AmplitudeSweepResult
     from repro.metrics.registry import MetricRegistry
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.executor import SweepExecutor
 
 from repro.errors import AnalysisError
 from repro.analysis.metrics import ToneMetrics, measure_tone
@@ -115,6 +118,13 @@ class TestBench:
         (THD/SNR/SNDR/ENOB/amplitude) into the registry, so a bench
         script accumulates a run manifest as a side effect of
         measuring.  None (the default) files nothing.
+    executor:
+        Optional :class:`~repro.runtime.executor.SweepExecutor` used by
+        :meth:`measure_amplitude_sweep`; None runs a single inline
+        shard through the batch engine.
+    cache:
+        Optional :class:`~repro.runtime.cache.ResultCache`; sweep
+        results are reconstructed bit for bit on a key hit.
     """
 
     __test__ = False
@@ -129,6 +139,8 @@ class TestBench:
         erc: bool = True,
         telemetry: TelemetrySession | None = None,
         metrics: "MetricRegistry | None" = None,
+        executor: "SweepExecutor | None" = None,
+        cache: "ResultCache | None" = None,
     ) -> None:
         if sample_rate <= 0.0:
             raise AnalysisError(f"sample_rate must be positive, got {sample_rate!r}")
@@ -146,6 +158,8 @@ class TestBench:
         self.erc = erc
         self.telemetry = telemetry
         self.metrics = metrics
+        self.executor = executor
+        self.cache = cache
 
     def preflight(self, device: DeviceUnderTest) -> None:
         """Statically check a device before simulating it.
@@ -233,6 +247,61 @@ class TestBench:
         session.evaluate_rules()
         self._file_metrics(measurement)
         return measurement
+
+    def measure_amplitude_sweep(
+        self,
+        design: str,
+        levels_db: "tuple[float, ...] | None" = None,
+        noise_scale: float = 1.0,
+        mismatch: float = 0.0,
+    ) -> "AmplitudeSweepResult":
+        """Run a dynamic-range sweep of a named design at bench settings.
+
+        Executes through the batch engine (:mod:`repro.runtime`): one
+        lane per level, sharded across the bench's ``executor`` and
+        memoised in its ``cache`` when configured.  Bit-identical to
+        driving :func:`repro.analysis.sweeps.run_amplitude_sweep` with
+        a freshly built device at the same operating point.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``design`` is not a runnable trace design.
+        """
+        # Imported lazily: repro.runtime.sweeps drives devices from
+        # repro.systems, so a module-level import would be circular.
+        from repro.config import MODULATOR_FULL_SCALE
+        from repro.runtime.sweeps import DEFAULT_LEVELS_DB, SweepSpec, run_sweep
+        from repro.telemetry.designs import build_trace_setup
+
+        setup = build_trace_setup(design)
+        spec = SweepSpec(
+            design=setup.name,
+            levels_db=(
+                tuple(float(level) for level in levels_db)
+                if levels_db is not None
+                else DEFAULT_LEVELS_DB
+            ),
+            full_scale=MODULATOR_FULL_SCALE,
+            signal_frequency=coherent_frequency(
+                setup.frequency, self.sample_rate, self.n_samples
+            ),
+            sample_rate=self.sample_rate,
+            n_samples=self.n_samples,
+            bandwidth=(
+                self.bandwidth if self.bandwidth is not None else setup.bandwidth
+            ),
+            window=self.window_kind.value,
+            settle_samples=self.settle_samples,
+            noise_scale=noise_scale,
+            mismatch=mismatch,
+        )
+        return run_sweep(
+            spec,
+            executor=self.executor,
+            cache=self.cache,
+            telemetry=self.telemetry,
+        )
 
     def _file_metrics(self, measurement: BenchMeasurement) -> None:
         """File the tone numbers into the bench's metric registry."""

@@ -134,6 +134,29 @@ class SignalProbe:
                 self.clip_count += n_clipped
         self.count += data.shape[0]
 
+    def merge(self, other: "SignalProbe") -> None:
+        """Fold another probe's accumulated statistics into this one.
+
+        The parallel sweep runner observes signals on worker-local
+        probes (a :class:`SignalProbe` pickles cleanly) and absorbs
+        them into the session probe afterwards; merging in worker
+        submission order yields the same statistics as observing the
+        concatenated streams directly.  ``other``'s clip index is
+        shifted by this probe's current count so ``first_clip_index``
+        keeps indexing the merged observation order.
+        """
+        if other.count == 0:
+            return
+        if other.first_clip_index is not None:
+            if self.first_clip_index is None:
+                self.first_clip_index = self.count + other.first_clip_index
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self._sum += other._sum
+        self._sum_squares += other._sum_squares
+        self.clip_count += other.clip_count
+        self.count += other.count
+
     @property
     def minimum(self) -> float:
         """Return the smallest observed sample (NaN before any sample)."""

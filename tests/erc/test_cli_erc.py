@@ -45,14 +45,16 @@ class TestListing:
     def test_list_flag_names_every_command(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        for name in list(COMMANDS) + ["erc", "trace", "report", "compare"]:
+        for name in list(COMMANDS) + [
+            "erc", "trace", "report", "compare", "sweep", "bench-gate"
+        ]:
             assert name in out
 
     def test_list_has_one_line_descriptions(self):
         lines = [line for line in list_commands().splitlines() if line.strip()]
-        # One line per measurement command plus the erc, trace, report
-        # and compare commands.
-        assert len(lines) == len(COMMANDS) + 4
+        # One line per measurement command plus the erc, trace,
+        # report, compare, sweep and bench-gate commands.
+        assert len(lines) == len(COMMANDS) + 6
         for line in lines:
             name, _, description = line.strip().partition(" ")
             assert description.strip(), f"{name} has no description"

@@ -1,0 +1,197 @@
+"""Bit-exact equivalence of the batch runners against the scalar loops.
+
+The whole value of :mod:`repro.runtime.batch` rests on one claim: for
+every supported device, running N lanes through the vectorized runner
+produces *byte-identical* output to driving the same freshly built
+scalar device lane by lane (reset between lanes, the noise stream
+running on).  These tests assert that claim with ``tobytes()`` -- no
+tolerance, ever -- across noise on/off, mismatch, and every device
+type, plus the refusal cases where a bit-exact lowering is impossible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    MODULATOR_CLOCK,
+    delay_line_cell_config,
+    paper_cell_config,
+)
+from dataclasses import replace
+from repro.deltasigma import (
+    ChopperStabilizedSIModulator,
+    SIModulator1,
+    SIModulator2,
+)
+from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.runtime.batch import BatchUnsupported, batch_runner_for, iter_cells
+from repro.si import DelayLine
+from repro.si.cascade import BiquadCascade
+from repro.si.memory_cell import ClassABMemoryCell
+
+N_LANES = 3
+N_STEPS = 400
+
+
+def _stimuli(n_lanes: int = N_LANES, n_steps: int = N_STEPS) -> np.ndarray:
+    t = np.arange(n_steps)
+    carrier = np.sin(2.0 * np.pi * 13.0 * t / n_steps)
+    amplitudes = 3e-6 * 10.0 ** (-np.arange(n_lanes, dtype=float) * 0.5)
+    return amplitudes[:, None] * carrier[None, :]
+
+
+def _scalar_lanes(device, stimuli: np.ndarray) -> np.ndarray:
+    """The reference semantics: lane-sequential runs on one device."""
+    outputs = np.empty_like(stimuli)
+    for lane in range(stimuli.shape[0]):
+        device.reset()
+        outputs[lane] = device.run(stimuli[lane])
+    return outputs
+
+
+def _assert_bit_identical(device, stimuli: np.ndarray) -> None:
+    runner = batch_runner_for(
+        device, n_lanes=stimuli.shape[0], n_steps=stimuli.shape[1]
+    )
+    batch = runner.run(stimuli)
+    scalar = _scalar_lanes(device, stimuli)
+    assert batch.tobytes() == scalar.tobytes()
+
+
+class TestDeviceEquivalence:
+    def test_memory_cell(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        _assert_bit_identical(ClassABMemoryCell(config), _stimuli())
+
+    def test_memory_cell_noiseless(self):
+        config = replace(
+            paper_cell_config(sample_rate=MODULATOR_CLOCK),
+            thermal_noise_rms=0.0,
+        )
+        _assert_bit_identical(ClassABMemoryCell(config), _stimuli())
+
+    def test_memory_cell_with_mismatch(self):
+        config = replace(
+            paper_cell_config(sample_rate=MODULATOR_CLOCK),
+            half_gain_mismatch=0.01,
+        )
+        _assert_bit_identical(ClassABMemoryCell(config), _stimuli())
+
+    def test_delay_line(self):
+        line = DelayLine(delay_line_cell_config(), n_cells=2)
+        _assert_bit_identical(line, _stimuli())
+
+    def test_biquad_cascade(self):
+        cascade = BiquadCascade(
+            center_frequency=10e3,
+            n_sections=2,
+            sample_rate=MODULATOR_CLOCK,
+            config=paper_cell_config(sample_rate=MODULATOR_CLOCK),
+        )
+        _assert_bit_identical(cascade, _stimuli())
+
+    def test_modulator1(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        _assert_bit_identical(SIModulator1(cell_config=config), _stimuli())
+
+    def test_modulator2(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        _assert_bit_identical(SIModulator2(cell_config=config), _stimuli())
+
+    def test_chopper(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        _assert_bit_identical(
+            ChopperStabilizedSIModulator(cell_config=config), _stimuli()
+        )
+
+    def test_modulator2_with_degradations(self):
+        config = replace(
+            paper_cell_config(sample_rate=MODULATOR_CLOCK),
+            thermal_noise_rms=66e-9,
+            half_gain_mismatch=0.02,
+        )
+        _assert_bit_identical(SIModulator2(cell_config=config), _stimuli())
+
+
+class TestLaneOffset:
+    def test_offset_runner_matches_tail_lanes(self):
+        # A shard starting at lane_offset=k must reproduce lanes k..N of
+        # the full run exactly -- this is what makes the sharded sweep
+        # independent of its chunk layout.
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        stimuli = _stimuli(n_lanes=5)
+        full = batch_runner_for(
+            SIModulator2(cell_config=config), 5, N_STEPS
+        ).run(stimuli)
+        tail = batch_runner_for(
+            SIModulator2(cell_config=config), 3, N_STEPS, lane_offset=2
+        ).run(stimuli[2:])
+        assert tail.tobytes() == full[2:].tobytes()
+
+
+class TestBatchShapeProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_lanes=st.integers(min_value=1, max_value=6),
+        n_steps=st.integers(min_value=8, max_value=96),
+        amplitude=st.floats(min_value=1e-8, max_value=6e-6),
+    )
+    def test_memory_cell_any_shape(self, n_lanes, n_steps, amplitude):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        t = np.arange(n_steps)
+        carrier = np.sin(2.0 * np.pi * 3.0 * t / max(n_steps, 1))
+        scales = np.linspace(1.0, 0.25, n_lanes)
+        stimuli = amplitude * scales[:, None] * carrier[None, :]
+        _assert_bit_identical(ClassABMemoryCell(config), stimuli)
+
+
+class TestRefusals:
+    def test_unknown_device(self):
+        with pytest.raises(BatchUnsupported):
+            batch_runner_for(object(), 2, 16)
+
+    def test_bad_shape_arguments(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        with pytest.raises(ValueError):
+            batch_runner_for(ClassABMemoryCell(config), 0, 16)
+
+    def test_unseeded_noise_refused(self):
+        # A fresh batch noise feed cannot replay an unseeded device
+        # stream, so the lowering must refuse rather than diverge.
+        config = replace(
+            paper_cell_config(sample_rate=MODULATOR_CLOCK), seed=None
+        )
+        with pytest.raises(BatchUnsupported):
+            batch_runner_for(ClassABMemoryCell(config), 2, 16)
+
+    def test_unseeded_noiseless_allowed(self):
+        config = replace(
+            paper_cell_config(sample_rate=MODULATOR_CLOCK),
+            seed=None,
+            thermal_noise_rms=0.0,
+        )
+        _assert_bit_identical(ClassABMemoryCell(config), _stimuli())
+
+    def test_metastable_quantizer_refused(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        modulator = SIModulator2(
+            cell_config=config,
+            quantizer=CurrentQuantizer(metastability_band=1e-9, seed=1),
+        )
+        with pytest.raises(BatchUnsupported):
+            batch_runner_for(modulator, 2, 16)
+
+    def test_probed_device_refused(self):
+        from repro.telemetry.session import TelemetrySession
+
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        modulator = SIModulator2(cell_config=config)
+        modulator.attach_telemetry(TelemetrySession("probe-guard"))
+        with pytest.raises(BatchUnsupported):
+            batch_runner_for(modulator, 2, 16)
+
+    def test_iter_cells_counts(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        assert len(iter_cells(SIModulator2(cell_config=config))) == 2
+        assert len(iter_cells(DelayLine(delay_line_cell_config()))) == 2

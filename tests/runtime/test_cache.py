@@ -1,0 +1,91 @@
+"""ResultCache: hits, misses, invalidation, corruption tolerance."""
+
+import json
+
+import numpy as np
+
+from repro.runtime.cache import ResultCache
+
+
+def _arrays():
+    return {
+        "a": np.linspace(0.0, 1.0, 5),
+        "b": np.array([1.0, -0.0, np.pi]),
+    }
+
+
+class TestRoundTrip:
+    def test_miss_then_hit_bit_exact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = {"design": "modulator2", "n": 8192}
+        assert cache.load(key) is None
+        cache.store(key, _arrays())
+        loaded = cache.load(key)
+        assert loaded is not None
+        for name, array in _arrays().items():
+            assert loaded[name].tobytes() == array.tobytes()
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_changes_invalidate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store({"design": "modulator2", "n": 8192}, _arrays())
+        assert cache.load({"design": "modulator2", "n": 4096}) is None
+        assert cache.load({"design": "chopper", "n": 8192}) is None
+
+    def test_key_order_is_canonical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store({"a": 1, "b": 2}, _arrays())
+        assert cache.load({"b": 2, "a": 1}) is not None
+
+    def test_env_dir_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "env-cache"
+
+
+class TestCorruption:
+    def test_corrupt_meta_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = {"k": 1}
+        cache.store(key, _arrays())
+        meta = tmp_path / f"{cache.key_digest(key)}.json"
+        meta.write_text("{ not json")
+        assert cache.load(key) is None
+
+    def test_corrupt_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = {"k": 1}
+        cache.store(key, _arrays())
+        data = tmp_path / f"{cache.key_digest(key)}.npz"
+        data.write_bytes(b"\x00" * 16)
+        assert cache.load(key) is None
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = {"k": 1}
+        cache.store(key, _arrays())
+        meta = tmp_path / f"{cache.key_digest(key)}.json"
+        stale = json.loads(meta.read_text())
+        stale["schema"] = -1
+        meta.write_text(json.dumps(stale))
+        assert cache.load(key) is None
+
+    def test_store_overwrites_corrupt_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = {"k": 1}
+        cache.store(key, _arrays())
+        (tmp_path / f"{cache.key_digest(key)}.npz").write_bytes(b"junk")
+        cache.store(key, _arrays())
+        assert cache.load(key) is not None
+
+
+class TestClear:
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store({"k": 1}, _arrays())
+        cache.store({"k": 2}, _arrays())
+        assert cache.clear() == 4  # two .npz + two .json
+        assert cache.load({"k": 1}) is None
+
+    def test_clear_missing_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "nope").clear() == 0

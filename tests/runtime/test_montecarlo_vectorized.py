@@ -1,0 +1,115 @@
+"""Vectorized Monte Carlo: parity with the scalar loop, shard spawning."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mismatch import PelgromMismatch
+from repro.errors import ConfigurationError
+from repro.runtime.montecarlo import (
+    cmff_imbalance_draws,
+    cmff_leakage_samples,
+    cmff_rejection_samples,
+)
+from repro.systems.montecarlo import CmffMonteCarlo
+
+WIDTH, LENGTH = 8e-6, 2e-6
+AREAS = [4.0, 64.0]
+
+
+def _study(vectorized: bool, seed: int = 42, n_trials: int = 50) -> CmffMonteCarlo:
+    return CmffMonteCarlo(
+        rng=np.random.default_rng(seed), n_trials=n_trials, vectorized=vectorized
+    )
+
+
+class TestScalarParity:
+    def test_rejection_identical(self):
+        assert _study(True).rejection_statistics(WIDTH, LENGTH) == _study(
+            False
+        ).rejection_statistics(WIDTH, LENGTH)
+
+    def test_leakage_identical(self):
+        assert _study(True).leakage_statistics(WIDTH, LENGTH) == _study(
+            False
+        ).leakage_statistics(WIDTH, LENGTH)
+
+    def test_area_sweep_identical(self):
+        assert _study(True).area_sweep(AREAS) == _study(False).area_sweep(AREAS)
+
+    def test_draws_consume_identical_stream(self):
+        # The block draw must advance the generator exactly as the
+        # scalar per-trial (vth, beta) x 4 order does: statistics after
+        # the call must match too.
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        mismatch = PelgromMismatch(rng=rng_b)
+        cmff_imbalance_draws(
+            mismatch.sigma_vth(WIDTH, LENGTH),
+            mismatch.sigma_beta_rel(WIDTH, LENGTH),
+            10,
+            rng_a,
+        )
+        for _ in range(40):
+            mismatch.sample_pair_imbalance(WIDTH, LENGTH)
+        assert rng_a.random() == rng_b.random()
+
+
+class TestSpawn:
+    def test_spawn_is_reproducible(self):
+        a = [
+            child.rejection_statistics(WIDTH, LENGTH)
+            for child in _study(True).spawn(3, seed=5)
+        ]
+        b = [
+            child.rejection_statistics(WIDTH, LENGTH)
+            for child in _study(True).spawn(3, seed=5)
+        ]
+        assert a == b
+
+    def test_spawned_shards_are_independent(self):
+        children = _study(True).spawn(2, seed=5)
+        assert children[0].rejection_statistics(WIDTH, LENGTH) != children[
+            1
+        ].rejection_statistics(WIDTH, LENGTH)
+
+    def test_spawn_inherits_configuration(self):
+        parent = CmffMonteCarlo(
+            mismatch=PelgromMismatch(avt=5e-9, abeta=0.01e-6), n_trials=25
+        )
+        child = parent.spawn(1)[0]
+        assert child.mismatch.avt == 5e-9
+        assert child.n_trials == 25
+
+    def test_spawn_rejects_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            _study(True).spawn(0)
+
+
+class TestConstruction:
+    def test_mismatch_and_rng_are_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            CmffMonteCarlo(
+                mismatch=PelgromMismatch(), rng=np.random.default_rng(0)
+            )
+
+    def test_seed_default_is_reproducible(self):
+        a = CmffMonteCarlo(seed=9, n_trials=20).rejection_statistics(
+            WIDTH, LENGTH
+        )
+        b = CmffMonteCarlo(seed=9, n_trials=20).rejection_statistics(
+            WIDTH, LENGTH
+        )
+        assert a == b
+
+
+class TestKernels:
+    def test_sample_shapes(self):
+        errors = cmff_imbalance_draws(1e-3, 1e-3, 17, np.random.default_rng(0))
+        assert errors.shape == (17, 4)
+        assert cmff_rejection_samples(errors).shape == (17,)
+        assert cmff_leakage_samples(errors).shape == (17,)
+
+    def test_perfect_mirrors_reject_everything(self):
+        errors = np.zeros((5, 4))
+        assert np.all(cmff_rejection_samples(errors) == 0.0)
+        assert np.all(cmff_leakage_samples(errors) == 0.0)

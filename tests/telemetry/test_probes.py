@@ -124,3 +124,54 @@ class TestRecord:
         assert record["count"] == 2
         assert record["meta"] == {"kind": "memory_cell"}
         assert record["swing_fraction"] == pytest.approx(2e-6 / 6e-6)
+
+
+class TestMerge:
+    def test_merge_equals_concatenated_observation(self):
+        values = np.linspace(-2.0, 2.0, 501)
+        whole = SignalProbe("whole", full_scale=4.0, clip_limit=1.5)
+        whole.observe_array(values)
+        left = SignalProbe("left", full_scale=4.0, clip_limit=1.5)
+        right = SignalProbe("right", full_scale=4.0, clip_limit=1.5)
+        left.observe_array(values[:200])
+        right.observe_array(values[200:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.minimum == whole.minimum
+        assert left.maximum == whole.maximum
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.rms == pytest.approx(whole.rms)
+        assert left.clip_count == whole.clip_count
+        assert left.first_clip_index == whole.first_clip_index
+
+    def test_merge_shifts_first_clip_index(self):
+        left = SignalProbe("left", clip_limit=1.0)
+        right = SignalProbe("right", clip_limit=1.0)
+        left.observe_array(np.array([0.1, 0.2, 0.3]))
+        right.observe_array(np.array([0.4, 9.0]))
+        left.merge(right)
+        assert left.first_clip_index == 4
+
+    def test_merge_keeps_earlier_clip(self):
+        left = SignalProbe("left", clip_limit=1.0)
+        right = SignalProbe("right", clip_limit=1.0)
+        left.observe_array(np.array([5.0]))
+        right.observe_array(np.array([7.0]))
+        left.merge(right)
+        assert left.first_clip_index == 0
+        assert left.clip_count == 2
+
+    def test_merge_empty_is_identity(self):
+        probe = SignalProbe("p")
+        probe.observe_array(np.array([1.0, 2.0]))
+        before = probe.as_record()
+        probe.merge(SignalProbe("empty"))
+        assert probe.as_record() == before
+
+    def test_merge_into_empty(self):
+        empty = SignalProbe("empty", clip_limit=1.0)
+        full = SignalProbe("full", clip_limit=1.0)
+        full.observe_array(np.array([0.5, 3.0]))
+        empty.merge(full)
+        assert empty.count == 2
+        assert empty.first_clip_index == 1

@@ -48,3 +48,115 @@ class TestFastCommands:
     def test_fig6_fast(self, capsys):
         assert main(["fig6", "--fast"]) == 0
         assert "chopper" in capsys.readouterr().out.lower()
+
+
+class TestSweepCommand:
+    def test_sweep_fast(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "modulator2",
+                    "--samples",
+                    "4096",
+                    "--levels",
+                    "-20",
+                    "-6",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "SNDR" in output
+        assert "-20 dB" in output
+        assert "cache" not in output.lower() or "off" in output.lower()
+
+    def test_sweep_cache_round_trip(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "modulator2",
+            "--samples",
+            "4096",
+            "--levels",
+            "-6",
+            "--cache-dir",
+            str(tmp_path),
+            "--json",
+            str(tmp_path / "sweep.json"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "hit" in warm.lower()
+        assert (tmp_path / "sweep.json").exists()
+        # The numbers table must be identical either way.
+        cold_rows = [line for line in cold.splitlines() if "dB" in line]
+        warm_rows = [line for line in warm.splitlines() if "dB" in line]
+        assert cold_rows == warm_rows
+
+
+class TestBenchGateCommand:
+    def _write(self, path, payload):
+        import json
+
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_gate_passes_within_baseline(self, capsys, tmp_path):
+        telemetry = self._write(
+            tmp_path / "telemetry.json",
+            {
+                "schema": "repro.metrics/bench-telemetry/v1",
+                "records": [{"benchmark": "bench_a", "wall_s": 1.0}],
+            },
+        )
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {
+                "schema": "repro.metrics/bench-baseline/v1",
+                "tolerance": 0.25,
+                "benchmarks": {"bench_a": {"wall_s": 1.0}},
+            },
+        )
+        assert main(["bench-gate", "--telemetry", telemetry, "--baseline", baseline]) == 0
+        assert "within baseline" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, capsys, tmp_path):
+        telemetry = self._write(
+            tmp_path / "telemetry.json",
+            {
+                "schema": "repro.metrics/bench-telemetry/v1",
+                "records": [{"benchmark": "bench_a", "wall_s": 2.0}],
+            },
+        )
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {
+                "schema": "repro.metrics/bench-baseline/v1",
+                "benchmarks": {"bench_a": {"wall_s": 1.0}},
+            },
+        )
+        assert main(["bench-gate", "--telemetry", telemetry, "--baseline", baseline]) == 1
+
+    def test_gate_missing_telemetry_is_an_error(self, tmp_path):
+        baseline = self._write(
+            tmp_path / "baseline.json",
+            {
+                "schema": "repro.metrics/bench-baseline/v1",
+                "benchmarks": {},
+            },
+        )
+        assert (
+            main(
+                [
+                    "bench-gate",
+                    "--telemetry",
+                    str(tmp_path / "missing.json"),
+                    "--baseline",
+                    baseline,
+                ]
+            )
+            == 2
+        )
