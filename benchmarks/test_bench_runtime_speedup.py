@@ -32,6 +32,7 @@ from repro.devices.mismatch import PelgromMismatch
 from repro.reporting.records import PaperComparison
 from repro.reporting.tables import Table
 from repro.runtime import SweepExecutor
+from repro.runtime.single import force_scalar
 from repro.runtime.sweeps import run_sweep, sweep_spec_for_design
 from repro.systems.montecarlo import CmffMonteCarlo
 from repro.systems.stimulus import coherent_frequency
@@ -108,20 +109,24 @@ def test_bench_runtime_speedup_snr_sweep(benchmark):
     levels = tuple(float(x) for x in np.linspace(-50.0, 0.0, SWEEP_LANES))
     frequency = coherent_frequency(2e3, MODULATOR_CLOCK, SWEEP_SAMPLES)
 
+    # force_scalar pins the per-sample parity oracle: without it the
+    # lane runs would take the single-run fast path, and the measured
+    # figure would be batch-vs-fast-path, not batch-vs-scalar-loop.
     t0 = time.perf_counter()
     modulator = SIModulator2(
         cell_config=paper_cell_config(sample_rate=MODULATOR_CLOCK)
     )
-    scalar_result = run_amplitude_sweep(
-        modulator,
-        levels_db=list(levels),
-        full_scale=MODULATOR_FULL_SCALE,
-        signal_frequency=frequency,
-        sample_rate=MODULATOR_CLOCK,
-        n_samples=SWEEP_SAMPLES,
-        bandwidth=SIGNAL_BANDWIDTH,
-        settle_samples=256,
-    )
+    with force_scalar():
+        scalar_result = run_amplitude_sweep(
+            modulator,
+            levels_db=list(levels),
+            full_scale=MODULATOR_FULL_SCALE,
+            signal_frequency=frequency,
+            sample_rate=MODULATOR_CLOCK,
+            n_samples=SWEEP_SAMPLES,
+            bandwidth=SIGNAL_BANDWIDTH,
+            settle_samples=256,
+        )
     scalar_s = time.perf_counter() - t0
 
     spec = sweep_spec_for_design(

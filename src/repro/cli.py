@@ -383,12 +383,18 @@ def cmd_report(
     cache_dir: str | None = None,
     json_path: str | None = None,
     markdown_path: str | None = None,
+    profile: bool = False,
     argv: list[str] | None = None,
 ) -> int:
     """Measure a design and emit its paper-metrics run manifest."""
     from repro.metrics import build_report, collect_provenance
 
     n_samples = samples if samples is not None else (1 << 14 if fast else 1 << 16)
+    session = None
+    if profile:
+        from repro.telemetry.session import TelemetrySession
+
+        session = TelemetrySession(design)
     manifest = build_report(
         design,
         n_samples=n_samples,
@@ -399,8 +405,11 @@ def cmd_report(
         use_cache=cache,
         cache_dir=cache_dir,
         provenance=collect_provenance(argv=argv),
+        session=session,
     )
     print(manifest.render_table())
+    if session is not None:
+        print(session.render_span_tree())
     if json_path is not None:
         target = manifest.write_json(json_path)
         print(f"manifest written to {target}")
@@ -599,6 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical manifests at any value; default: 1)",
     )
     report.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the traced span tree (wall time per stage) after "
+        "the manifest",
+    )
+    report.add_argument(
         "--no-cache",
         dest="cache",
         action="store_false",
@@ -780,6 +795,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
             json_path=args.json_path,
             markdown_path=args.markdown_path,
+            profile=args.profile,
             argv=["repro", *argv] if argv is not None else None,
         )
 

@@ -210,30 +210,38 @@ class ChopperStabilizedSIModulator:
                 chopped=True,
             )
         with span_context:
-            chop_sign = 1.0
-            for n in range(n_samples):
-                u = chop_sign * float(data[n])
+            fast = None
+            if not record_states:
+                from repro.runtime.single import run_single
 
-                w1 = diff1.state
-                w2 = diff2.state
-                decision = quantizer.decide(w2.differential)
-                feedback = dac.convert(decision)
-                fb_sample = DifferentialSample.from_components(feedback)
+                fast = run_single(self, data)
+            if fast is not None:
+                output = fast
+            else:
+                chop_sign = 1.0
+                for n in range(n_samples):
+                    u = chop_sign * float(data[n])
 
-                u_sample = DifferentialSample.from_components(u)
-                s1 = (u_sample - fb_sample).scaled(-a1)
-                s2 = fb_sample.scaled(b2) - w1.scaled(a2)
-                diff1.step(s1)
-                diff2.step(s2)
+                    w1 = diff1.state
+                    w2 = diff2.state
+                    decision = quantizer.decide(w2.differential)
+                    feedback = dac.convert(decision)
+                    fb_sample = DifferentialSample.from_components(feedback)
 
-                ideal_level = decision * self.full_scale
-                raw_output[n] = ideal_level
-                output[n] = chop_sign * ideal_level
-                decisions[n] = decision
-                if record_states:
-                    state1[n] = w1.differential
-                    state2[n] = w2.differential
-                chop_sign = -chop_sign
+                    u_sample = DifferentialSample.from_components(u)
+                    s1 = (u_sample - fb_sample).scaled(-a1)
+                    s2 = fb_sample.scaled(b2) - w1.scaled(a2)
+                    diff1.step(s1)
+                    diff2.step(s2)
+
+                    ideal_level = decision * self.full_scale
+                    raw_output[n] = ideal_level
+                    output[n] = chop_sign * ideal_level
+                    decisions[n] = decision
+                    if record_states:
+                        state1[n] = w1.differential
+                        state2[n] = w2.differential
+                    chop_sign = -chop_sign
 
             if session is not None:
                 name = self._telemetry_name

@@ -18,9 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import ConfigurationError
+from repro.noise.streams import GaussianStream
 
 __all__ = ["FeedbackDac"]
 
@@ -63,7 +62,7 @@ class FeedbackDac:
                 "reference_noise_rms must be non-negative, "
                 f"got {self.reference_noise_rms!r}"
             )
-        self._rng = np.random.default_rng(self.seed)
+        self._stream = GaussianStream(self.reference_noise_rms, self.seed)
         self._level_pos = self.full_scale * (1.0 + 0.5 * self.level_mismatch)
         self._level_neg = -self.full_scale * (1.0 - 0.5 * self.level_mismatch)
 
@@ -82,5 +81,5 @@ class FeedbackDac:
         else:
             raise ConfigurationError(f"decision must be +1 or -1, got {decision!r}")
         if self.reference_noise_rms > 0.0:
-            level += float(self._rng.normal(0.0, self.reference_noise_rms))
+            level += self._stream.next()
         return level

@@ -152,6 +152,11 @@ class SIModulator1:
         return output
 
     def _run_loop(self, data: np.ndarray) -> np.ndarray:
+        from repro.runtime.single import run_single
+
+        fast = run_single(self, data)
+        if fast is not None:
+            return fast
         n_samples = data.shape[0]
         output = np.empty(n_samples)
         integrator = self._integrator

@@ -20,9 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import ConfigurationError
+from repro.noise.streams import UniformStream
 
 __all__ = ["CurrentQuantizer"]
 
@@ -60,19 +59,31 @@ class CurrentQuantizer:
                 "metastability_band must be non-negative, "
                 f"got {self.metastability_band!r}"
             )
-        self._rng = np.random.default_rng(self.seed)
+        self._stream = UniformStream(self.seed)
         self._last_decision = 1
 
     def reset(self) -> None:
-        """Forget the hysteresis state."""
+        """Forget the hysteresis state (the metastability stream keeps running)."""
         self._last_decision = 1
 
     def decide(self, input_current: float) -> int:
-        """Return the decision, +1 or -1, for one input sample."""
+        """Return the decision, +1 or -1, for one input sample.
+
+        When a metastability band is configured, one uniform draw is
+        consumed per decision *unconditionally* (it only affects the
+        outcome inside the band).  That makes the stream position a
+        pure function of the step count, which is what lets the batch
+        engine slice the stream per lane and reproduce this loop bit
+        for bit (see :mod:`repro.noise.streams`).
+        """
         threshold = self.offset - self.hysteresis * self._last_decision
         effective = input_current - threshold
-        if self.metastability_band > 0.0 and abs(effective) < self.metastability_band:
-            decision = 1 if self._rng.random() < 0.5 else -1
+        if self.metastability_band > 0.0:
+            draw = self._stream.next()
+            if abs(effective) < self.metastability_band:
+                decision = 1 if draw < 0.5 else -1
+            else:
+                decision = 1 if effective >= 0.0 else -1
         else:
             decision = 1 if effective >= 0.0 else -1
         self._last_decision = decision

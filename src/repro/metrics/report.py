@@ -91,6 +91,7 @@ def build_report(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir: str | None = None,
+    session: TelemetrySession | None = None,
 ) -> RunManifest:
     """Measure a named design and return its run manifest.
 
@@ -124,6 +125,11 @@ def build_report(
     cache_dir:
         Cache directory (defaults to ``$REPRO_CACHE_DIR`` or
         ``.repro-cache``); only read when ``use_cache`` is set.
+    session:
+        Telemetry session to trace the run into; a caller-supplied
+        session (``repro report --profile``) keeps the recorded spans
+        readable after the report returns.  A fresh internal session is
+        used when omitted.
 
     Raises
     ------
@@ -143,7 +149,8 @@ def build_report(
     registry = registry_for(setup.name)
     transform = _degrade_transform(noise_scale, mismatch)
 
-    session = TelemetrySession(setup.name)
+    if session is None:
+        session = TelemetrySession(setup.name)
     device = setup.build(transform)
     device.attach_telemetry(session)
     bench = TestBench(

@@ -22,6 +22,7 @@ from repro.noise.quantization import (
     sqnr_second_order_db,
     inband_noise_fraction,
 )
+from repro.noise.streams import UniformStream, GaussianStream
 
 __all__ = [
     "NoiseSource",
@@ -34,4 +35,6 @@ __all__ = [
     "QuantizationNoiseModel",
     "sqnr_second_order_db",
     "inband_noise_fraction",
+    "UniformStream",
+    "GaussianStream",
 ]

@@ -13,6 +13,10 @@ process corners) side by side:
   device (memory cell, delay line, biquad cascade, all three
   modulators) into fused kernel calls, bit-identical to the scalar
   loop;
+* :mod:`repro.runtime.single` -- the lane-of-1 single-run fast path:
+  fused pure-Python loops (no per-sample allocations or dispatch) that
+  every device ``run`` method tries first, bit-identical to the scalar
+  loop, with :func:`force_scalar` as the parity oracle;
 * :mod:`repro.runtime.executor` -- :class:`SweepExecutor`, sharding
   lanes across a ``ProcessPoolExecutor`` with chunking, per-task
   timeouts and deterministic ``SeedSequence.spawn`` seeding;
@@ -36,11 +40,13 @@ from repro.runtime.batch import (
     BatchModulator2,
     BatchUnsupported,
     batch_runner_for,
+    fast_forward_streams,
     iter_cells,
 )
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import ShardContext, SweepExecutor, SweepTimeoutError
 from repro.runtime.kernels import CellKernel, store_batch
+from repro.runtime.single import consume_fallbacks, force_scalar, run_single
 from repro.runtime.montecarlo import (
     cmff_imbalance_draws,
     cmff_leakage_samples,
@@ -64,9 +70,13 @@ __all__ = [
     "SweepTimeoutError",
     "batch_runner_for",
     "cmff_imbalance_draws",
+    "fast_forward_streams",
     "cmff_leakage_samples",
     "cmff_rejection_samples",
+    "consume_fallbacks",
+    "force_scalar",
     "iter_cells",
+    "run_single",
     "run_sweep",
     "store_batch",
     "sweep_spec_for_design",

@@ -17,14 +17,19 @@ replicate exactly that slicing (``lane_offset`` shifts it for sharded
 execution), which is what makes the batch output bit-identical to the
 scalar loop.
 
-Configurations the kernel cannot reproduce exactly raise
+Randomised loop elements (quantiser metastability, DAC reference
+noise) lower through the same pre-drawn stream slicing as the cell
+noise, and attached :class:`~repro.telemetry.probes.SignalProbe`\\ s
+are fed lane-major through ``observe_array`` after the run.  Only
+configurations the kernel genuinely cannot reproduce -- unseeded
+randomness, which a fresh batch stream cannot replay -- raise
 :class:`BatchUnsupported` at lowering time; callers fall back to the
 scalar loop (see :mod:`repro.runtime.sweeps`).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -33,11 +38,15 @@ from repro.deltasigma.dac import FeedbackDac
 from repro.deltasigma.modulator1 import SIModulator1
 from repro.deltasigma.modulator2 import SIModulator2
 from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.noise.streams import GaussianStream, UniformStream
 from repro.runtime.kernels import CellKernel, store_batch
 from repro.si.cascade import BiquadCascade
 from repro.si.cmff import CommonModeFeedforward
 from repro.si.delay_line import DelayLine
 from repro.si.memory_cell import ClassABMemoryCell, MemoryCellConfig, _NoiseFeed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.probes import SignalProbe
 
 __all__ = [
     "BatchUnsupported",
@@ -48,6 +57,7 @@ __all__ = [
     "BatchModulator2",
     "BatchChopper",
     "batch_runner_for",
+    "fast_forward_streams",
     "iter_cells",
 ]
 
@@ -82,6 +92,7 @@ class _FusedCellBank:
         n_lanes: int,
         n_steps: int,
         lane_offset: int = 0,
+        probes: "Sequence[tuple[SignalProbe | None, SignalProbe | None]] | None" = None,
     ) -> None:
         if not configs:
             raise BatchUnsupported("no cells to fuse")
@@ -128,8 +139,35 @@ class _FusedCellBank:
             factors[1::2] = 1.0 - 0.5 * mismatch
             self._mismatch_factors = factors
 
+        # Lowered telemetry probes: the targets passed to store() are
+        # exactly what the scalar loop observes (the cell probe sees the
+        # post-CMFF target differential, the CMFF probe its common
+        # mode), so buffer those per step and feed them lane-major into
+        # observe_array at flush time.
+        self._probe_specs: list[tuple[int, "SignalProbe", bool]] = []
+        if probes is not None:
+            for index, (cell_probe, cmff_probe) in enumerate(probes):
+                if cell_probe is not None:
+                    self._probe_specs.append((2 * index, cell_probe, False))
+                if cmff_probe is not None:
+                    self._probe_specs.append((2 * index, cmff_probe, True))
+        self._probe_bufs = [
+            np.empty((n_steps, n_lanes)) for _ in self._probe_specs
+        ]
+
     def store(self, targets: np.ndarray) -> None:
         """Store one period's targets for every fused half and lane."""
+        for spec_index, (row, _probe, is_common_mode) in enumerate(
+            self._probe_specs
+        ):
+            if is_common_mode:
+                self._probe_bufs[spec_index][self._step_index] = 0.5 * (
+                    targets[row] + targets[row + 1]
+                )
+            else:
+                self._probe_bufs[spec_index][self._step_index] = (
+                    targets[row] - targets[row + 1]
+                )
         settled, slewed = store_batch(self.state, targets, self.kernel)
         if self._mismatch_factors is not None:
             settled = settled * self._mismatch_factors
@@ -138,31 +176,71 @@ class _FusedCellBank:
         self.slew_counts += slewed[0::2] | slewed[1::2]
         self._step_index += 1
 
+    def flush_probes(self) -> None:
+        """Feed the buffered observations into the attached probes.
+
+        Lane-major order -- lane 0's steps, then lane 1's -- matching a
+        scalar device reused sequentially across lanes.  Counts,
+        extrema and clip statistics are exact; mean and RMS agree with
+        the elementwise path to summation-order rounding.
+        """
+        for (_row, probe, _is_cm), buffer in zip(
+            self._probe_specs, self._probe_bufs
+        ):
+            probe.observe_array(np.ascontiguousarray(buffer.T).reshape(-1))
+
 
 def _check_quantizer(quantizer: CurrentQuantizer) -> CurrentQuantizer:
     """Reject quantiser configs with no bit-exact lowering, eagerly.
 
     Called from runner constructors so an unsupported configuration
-    refuses before any lane work starts, not mid-run.
+    refuses before any lane work starts, not mid-run.  A seeded
+    metastability band lowers exactly (the scalar quantiser consumes
+    one uniform draw per decision unconditionally, so the stream slices
+    per lane); only *unseeded* randomness has no replayable stream.
     """
-    if quantizer.metastability_band > 0.0:
+    if type(quantizer) is not CurrentQuantizer:
         raise BatchUnsupported(
-            "metastability_band > 0 draws per-decision randomness; "
-            "no bit-exact batch lowering"
+            f"no bit-exact lowering for quantizer subclass "
+            f"{type(quantizer).__name__}"
+        )
+    if quantizer.metastability_band > 0.0 and quantizer.seed is None:
+        raise BatchUnsupported(
+            "unseeded metastability randomness; a fresh batch stream "
+            "cannot replay the device's draws"
         )
     return quantizer
 
 
 class _BatchQuantizer:
-    """Per-lane sign quantiser with offset and hysteresis state."""
+    """Per-lane sign quantiser with offset, hysteresis and metastability."""
 
-    def __init__(self, quantizer: CurrentQuantizer, n_lanes: int) -> None:
+    def __init__(
+        self,
+        quantizer: CurrentQuantizer,
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
         _check_quantizer(quantizer)
         self.offset = quantizer.offset
         self.hysteresis = quantizer.hysteresis
+        self.band = quantizer.metastability_band
         # The scalar quantiser resets _last_decision to integer 1; the
         # float lane vector produces identical arithmetic.
         self.last = np.ones(n_lanes)
+        self._step = 0
+        # One uniform draw per decision, sliced lane-major exactly like
+        # the cell noise feeds (the scalar decide() draws even outside
+        # the band, making the stream position a pure step count).
+        self._draws: np.ndarray | None = None
+        if self.band > 0.0:
+            stream = UniformStream(quantizer.seed)
+            if lane_offset:
+                stream.skip(lane_offset * n_steps)
+            self._draws = stream.take(n_lanes * n_steps).reshape(
+                n_lanes, n_steps
+            )
 
     def decide(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Return (decision array of +/-1.0, boolean positive mask)."""
@@ -170,18 +248,67 @@ class _BatchQuantizer:
         effective = values - threshold
         mask = effective >= 0.0
         decisions = np.where(mask, 1.0, -1.0)
+        if self._draws is not None:
+            random_decisions = np.where(
+                self._draws[:, self._step] < 0.5, 1.0, -1.0
+            )
+            decisions = np.where(
+                np.abs(effective) < self.band, random_decisions, decisions
+            )
+            mask = decisions > 0.0
+        self._step += 1
         self.last = decisions
         return decisions, mask
 
 
-def _dac_levels(dac: FeedbackDac) -> tuple[float, float]:
-    """Return the (positive, negative) DAC levels, rejecting noisy DACs."""
-    if dac.reference_noise_rms > 0.0:
+class _BatchDac:
+    """Per-lane 1-bit DAC with optional sliced reference-noise stream."""
+
+    def __init__(
+        self,
+        dac: FeedbackDac,
+        n_lanes: int,
+        n_steps: int,
+        lane_offset: int = 0,
+    ) -> None:
+        _check_dac(dac)
+        self.level_pos = dac._level_pos
+        self.level_neg = dac._level_neg
+        self._step = 0
+        self._noise: np.ndarray | None = None
+        if dac.reference_noise_rms > 0.0:
+            stream = GaussianStream(dac.reference_noise_rms, dac.seed)
+            if lane_offset:
+                stream.skip(lane_offset * n_steps)
+            self._noise = stream.take(n_lanes * n_steps).reshape(
+                n_lanes, n_steps
+            )
+
+    def convert(self, mask: np.ndarray) -> np.ndarray:
+        """Return per-lane feedback currents for a decision mask."""
+        feedback = np.where(mask, self.level_pos, self.level_neg)
+        if self._noise is not None:
+            feedback = feedback + self._noise[:, self._step]
+        self._step += 1
+        return feedback
+
+
+def _check_dac(dac: FeedbackDac) -> FeedbackDac:
+    """Reject DAC configs with no bit-exact lowering, eagerly.
+
+    Seeded reference noise lowers exactly (one Gaussian draw per
+    conversion, sliced per lane); only unseeded noise refuses.
+    """
+    if type(dac) is not FeedbackDac:
         raise BatchUnsupported(
-            "reference_noise_rms > 0 draws per-conversion randomness; "
-            "no bit-exact batch lowering"
+            f"no bit-exact lowering for DAC subclass {type(dac).__name__}"
         )
-    return dac._level_pos, dac._level_neg
+    if dac.reference_noise_rms > 0.0 and dac.seed is None:
+        raise BatchUnsupported(
+            "unseeded reference noise; a fresh batch stream cannot "
+            "replay the device's draws"
+        )
+    return dac
 
 
 class _CmffStage:
@@ -252,6 +379,37 @@ class _IntegratorStage:
         return target_pos, target_neg
 
 
+def _feed_loop_probes(
+    modulator: object, stimuli: np.ndarray, output: np.ndarray
+) -> None:
+    """Feed a modulator's top-level ``input``/``bitstream`` probes.
+
+    The scalar ``run()`` telemetry block observes the stimulus and the
+    reconstructed bit stream once per run; lane ``k`` of a batch is run
+    ``k`` of the scalar sweep, so feeding whole lanes in lane order
+    reproduces the scalar probe state exactly.
+    """
+    session = getattr(modulator, "_telemetry", None)
+    if session is None:
+        return
+    name = modulator._telemetry_name  # type: ignore[attr-defined]
+    full_scale = modulator.full_scale  # type: ignore[attr-defined]
+    input_probe = session.probe(f"{name}.input", full_scale=full_scale)
+    bitstream_probe = session.probe(f"{name}.bitstream", full_scale=full_scale)
+    for lane in range(stimuli.shape[0]):
+        input_probe.observe_array(stimuli[lane])
+        bitstream_probe.observe_array(output[lane])
+
+
+def _stage_probes(stage: object) -> "tuple[SignalProbe | None, SignalProbe | None]":
+    """Return one integrator/differentiator's (cell, CMFF) probe pair."""
+    cmff = stage.cmff  # type: ignore[attr-defined]
+    return (
+        stage._cell._probe,  # type: ignore[attr-defined]
+        cmff._probe if cmff is not None else None,
+    )
+
+
 def _check_shape(stimuli: np.ndarray, n_lanes: int, n_steps: int) -> np.ndarray:
     data = np.asarray(stimuli, dtype=float)
     if data.shape != (n_lanes, n_steps):
@@ -280,7 +438,13 @@ class BatchClassABCell:
         self.n_lanes = n_lanes
         self.n_steps = n_steps
         self.inverting = cell.config.inverting
-        self._bank = _FusedCellBank([cell.config], n_lanes, n_steps, lane_offset)
+        self._bank = _FusedCellBank(
+            [cell.config],
+            n_lanes,
+            n_steps,
+            lane_offset,
+            probes=[(cell._probe, None)],
+        )
 
     @property
     def slew_counts(self) -> np.ndarray:
@@ -305,6 +469,7 @@ class BatchClassABCell:
                 targets[0] = pos_t[n]
                 targets[1] = neg_t[n]
                 bank.store(targets)
+        bank.flush_probes()
         return np.ascontiguousarray(output.T)
 
 
@@ -328,7 +493,13 @@ class BatchDelayLine:
         self.n_steps = n_steps
         configs = [cell.config for cell in line.cells]
         self._inverting = [config.inverting for config in configs]
-        self._bank = _FusedCellBank(configs, n_lanes, n_steps, lane_offset)
+        self._bank = _FusedCellBank(
+            configs,
+            n_lanes,
+            n_steps,
+            lane_offset,
+            probes=[(cell._probe, None) for cell in line.cells],
+        )
 
     def run(self, stimuli: np.ndarray) -> np.ndarray:
         """Run every lane; returns the differential outputs (lanes, steps)."""
@@ -355,6 +526,7 @@ class BatchDelayLine:
                         value_neg = held_neg
                 output[n] = value_pos - value_neg
                 bank.store(targets)
+        bank.flush_probes()
         return np.ascontiguousarray(output.T)
 
 
@@ -373,12 +545,16 @@ class BatchBiquadCascade:
         configs: list[MemoryCellConfig] = []
         self._coefficients: list[tuple[float, float, float]] = []
         stages: list[tuple[CommonModeFeedforward | None, float]] = []
+        probes: list[tuple["SignalProbe | None", "SignalProbe | None"]] = []
         for section in cascade.sections:
             self._coefficients.append((section.k1, section.k2, section.q))
             for integrator in (section._int1, section._int2):
                 configs.append(integrator._cell.config)
                 stages.append((integrator.cmff, integrator.gain))
-        self._bank = _FusedCellBank(configs, n_lanes, n_steps, lane_offset)
+                probes.append(_stage_probes(integrator))
+        self._bank = _FusedCellBank(
+            configs, n_lanes, n_steps, lane_offset, probes=probes
+        )
         self._stages = [
             _IntegratorStage(self._bank, 2 * index, gain, cmff, crossed=False)
             for index, (cmff, gain) in enumerate(stages)
@@ -413,6 +589,7 @@ class BatchBiquadCascade:
                     signal = w1
                 output[n] = signal
                 bank.store(targets)
+        bank.flush_probes()
         return np.ascontiguousarray(output.T)
 
 
@@ -430,22 +607,32 @@ class BatchModulator1:
         self.n_steps = n_steps
         self.full_scale = modulator.full_scale
         self.a = modulator.a
+        self._lane_offset = lane_offset
+        self._modulator = modulator
         integrator = modulator._integrator
         self._bank = _FusedCellBank(
-            [integrator._cell.config], n_lanes, n_steps, lane_offset
+            [integrator._cell.config],
+            n_lanes,
+            n_steps,
+            lane_offset,
+            probes=[_stage_probes(integrator)],
         )
         self._stage = _IntegratorStage(
             self._bank, 0, integrator.gain, integrator.cmff, crossed=False
         )
         self._quantizer_source = _check_quantizer(modulator.quantizer)
-        self._dac_levels = _dac_levels(modulator.dac)
+        self._dac_source = _check_dac(modulator.dac)
 
     def run(self, stimuli: np.ndarray) -> np.ndarray:
         """Run every lane; returns the bit-stream outputs (lanes, steps)."""
         data = _check_shape(stimuli, self.n_lanes, self.n_steps)
         stim_t = np.ascontiguousarray(data.T)
-        quantizer = _BatchQuantizer(self._quantizer_source, self.n_lanes)
-        level_pos, level_neg = self._dac_levels
+        quantizer = _BatchQuantizer(
+            self._quantizer_source, self.n_lanes, self.n_steps, self._lane_offset
+        )
+        dac = _BatchDac(
+            self._dac_source, self.n_lanes, self.n_steps, self._lane_offset
+        )
         output = np.empty((self.n_steps, self.n_lanes))
         bank = self._bank
         targets = np.empty((2, self.n_lanes))
@@ -455,12 +642,15 @@ class BatchModulator1:
             for n in range(self.n_steps):
                 w_pos, w_neg = self._stage.state()
                 decisions, mask = quantizer.decide(w_pos - w_neg)
-                feedback = np.where(mask, level_pos, level_neg)
+                feedback = dac.convert(mask)
                 u_pos, u_neg = _halves(a * (stim_t[n] - feedback))
                 targets[0], targets[1] = self._stage.targets(u_pos, u_neg)
                 output[n] = decisions * full_scale
                 bank.store(targets)
-        return np.ascontiguousarray(output.T)
+        bank.flush_probes()
+        result = np.ascontiguousarray(output.T)
+        _feed_loop_probes(self._modulator, data, result)
+        return result
 
 
 class BatchModulator2:
@@ -483,10 +673,16 @@ class BatchModulator2:
         self.a1 = modulator.a1
         self.a2 = modulator.a2
         self.b2 = modulator.b2
+        self._lane_offset = lane_offset
+        self._modulator = modulator
         int1 = modulator._int1
         int2 = modulator._int2
         self._bank = _FusedCellBank(
-            [int1._cell.config, int2._cell.config], n_lanes, n_steps, lane_offset
+            [int1._cell.config, int2._cell.config],
+            n_lanes,
+            n_steps,
+            lane_offset,
+            probes=[_stage_probes(int1), _stage_probes(int2)],
         )
         self._stage1 = _IntegratorStage(
             self._bank, 0, int1.gain, int1.cmff, crossed=False
@@ -495,14 +691,18 @@ class BatchModulator2:
             self._bank, 2, int2.gain, int2.cmff, crossed=False
         )
         self._quantizer_source = _check_quantizer(modulator.quantizer)
-        self._dac_levels = _dac_levels(modulator.dac)
+        self._dac_source = _check_dac(modulator.dac)
 
     def run(self, stimuli: np.ndarray) -> np.ndarray:
         """Run every lane; returns the bit-stream outputs (lanes, steps)."""
         data = _check_shape(stimuli, self.n_lanes, self.n_steps)
         pos_t, neg_t = _transposed_halves(data)
-        quantizer = _BatchQuantizer(self._quantizer_source, self.n_lanes)
-        level_pos, level_neg = self._dac_levels
+        quantizer = _BatchQuantizer(
+            self._quantizer_source, self.n_lanes, self.n_steps, self._lane_offset
+        )
+        dac = _BatchDac(
+            self._dac_source, self.n_lanes, self.n_steps, self._lane_offset
+        )
         output = np.empty((self.n_steps, self.n_lanes))
         bank = self._bank
         targets = np.empty((4, self.n_lanes))
@@ -513,7 +713,7 @@ class BatchModulator2:
                 w1_pos, w1_neg = self._stage1.state()
                 w2_pos, w2_neg = self._stage2.state()
                 decisions, mask = quantizer.decide(w2_pos - w2_neg)
-                feedback = np.where(mask, level_pos, level_neg)
+                feedback = dac.convert(mask)
                 fb_pos, fb_neg = _halves(feedback)
                 u1_pos = (pos_t[n] - fb_pos) * a1
                 u1_neg = (neg_t[n] - fb_neg) * a1
@@ -523,7 +723,10 @@ class BatchModulator2:
                 targets[2], targets[3] = self._stage2.targets(u2_pos, u2_neg)
                 output[n] = decisions * full_scale
                 bank.store(targets)
-        return np.ascontiguousarray(output.T)
+        bank.flush_probes()
+        result = np.ascontiguousarray(output.T)
+        _feed_loop_probes(self._modulator, data, result)
+        return result
 
 
 class BatchChopper:
@@ -542,10 +745,16 @@ class BatchChopper:
         self.a1 = modulator.a1
         self.a2 = modulator.a2
         self.b2 = modulator.b2
+        self._lane_offset = lane_offset
+        self._modulator = modulator
         diff1 = modulator._diff1
         diff2 = modulator._diff2
         self._bank = _FusedCellBank(
-            [diff1._cell.config, diff2._cell.config], n_lanes, n_steps, lane_offset
+            [diff1._cell.config, diff2._cell.config],
+            n_lanes,
+            n_steps,
+            lane_offset,
+            probes=[_stage_probes(diff1), _stage_probes(diff2)],
         )
         self._stage1 = _IntegratorStage(
             self._bank, 0, diff1.gain, diff1.cmff, crossed=True
@@ -554,7 +763,7 @@ class BatchChopper:
             self._bank, 2, diff2.gain, diff2.cmff, crossed=True
         )
         self._quantizer_source = _check_quantizer(modulator.quantizer)
-        self._dac_levels = _dac_levels(modulator.dac)
+        self._dac_source = _check_dac(modulator.dac)
 
     def run(self, stimuli: np.ndarray) -> np.ndarray:
         """Run every lane; returns the post-chopper outputs (lanes, steps)."""
@@ -565,8 +774,12 @@ class BatchChopper:
         signs = np.where(np.arange(self.n_steps) % 2 == 0, 1.0, -1.0)
         chopped = signs[np.newaxis, :] * data
         stim_t = np.ascontiguousarray(chopped.T)
-        quantizer = _BatchQuantizer(self._quantizer_source, self.n_lanes)
-        level_pos, level_neg = self._dac_levels
+        quantizer = _BatchQuantizer(
+            self._quantizer_source, self.n_lanes, self.n_steps, self._lane_offset
+        )
+        dac = _BatchDac(
+            self._dac_source, self.n_lanes, self.n_steps, self._lane_offset
+        )
         raw = np.empty((self.n_steps, self.n_lanes))
         bank = self._bank
         targets = np.empty((4, self.n_lanes))
@@ -578,7 +791,7 @@ class BatchChopper:
                 w1_pos, w1_neg = self._stage1.state()
                 w2_pos, w2_neg = self._stage2.state()
                 decisions, mask = quantizer.decide(w2_pos - w2_neg)
-                feedback = np.where(mask, level_pos, level_neg)
+                feedback = dac.convert(mask)
                 fb_pos, fb_neg = _halves(feedback)
                 u_pos, u_neg = _halves(stim_t[n])
                 s1_pos = (u_pos - fb_pos) * neg_a1
@@ -589,9 +802,12 @@ class BatchChopper:
                 targets[2], targets[3] = self._stage2.targets(s2_pos, s2_neg)
                 raw[n] = decisions * full_scale
                 bank.store(targets)
+        bank.flush_probes()
         # Output chopper: again an exact +/-1.0 product per sample.
         output = signs[:, np.newaxis] * raw
-        return np.ascontiguousarray(output.T)
+        result = np.ascontiguousarray(output.T)
+        _feed_loop_probes(self._modulator, data, result)
+        return result
 
 
 def iter_cells(device: object) -> list[ClassABMemoryCell]:
@@ -624,9 +840,47 @@ def iter_cells(device: object) -> list[ClassABMemoryCell]:
     raise BatchUnsupported(f"no batch lowering for {type(device).__name__}")
 
 
+def _device_streams(device: object) -> list[object]:
+    """Return every live random stream a device run consumes, in order.
+
+    Cell noise feeds first (construction order), then the quantiser
+    metastability stream and the DAC reference-noise stream when those
+    draws are active.
+    """
+    streams: list[object] = [cell._noise for cell in iter_cells(device)]
+    quantizer = getattr(device, "quantizer", None)
+    if (
+        isinstance(quantizer, CurrentQuantizer)
+        and quantizer.metastability_band > 0.0
+    ):
+        streams.append(quantizer._stream)
+    dac = getattr(device, "dac", None)
+    if isinstance(dac, FeedbackDac) and dac.reference_noise_rms > 0.0:
+        streams.append(dac._stream)
+    return streams
+
+
+def fast_forward_streams(device: object, count: int) -> None:
+    """Advance every random stream of ``device`` by ``count`` draws.
+
+    Used by the scalar fallback of sharded sweeps: a shard at
+    ``lane_offset`` skips ``lane_offset * total_samples`` draws of each
+    stream (cell noise, quantiser metastability, DAC reference noise)
+    so its lanes consume the same slices a single sequential device
+    would.
+    """
+    if count <= 0:
+        return
+    for stream in _device_streams(device):
+        stream.take(count)  # type: ignore[attr-defined]
+
+
 def batch_runner_for(
     device: object, n_lanes: int, n_steps: int, lane_offset: int = 0
-) -> "BatchClassABCell | BatchDelayLine | BatchBiquadCascade | BatchModulator1 | BatchModulator2 | BatchChopper":
+) -> (
+    "BatchClassABCell | BatchDelayLine | BatchBiquadCascade"
+    " | BatchModulator1 | BatchModulator2 | BatchChopper"
+):
     """Lower a freshly built scalar device onto its batch runner.
 
     Raises
@@ -637,14 +891,6 @@ def batch_runner_for(
     if n_lanes < 1 or n_steps < 1:
         raise ValueError(
             f"n_lanes and n_steps must be >= 1, got {n_lanes!r}, {n_steps!r}"
-        )
-    # Probed devices observe every period inside the scalar loop; the
-    # batch lowering bypasses those callbacks, so keep probe semantics
-    # by falling back to the scalar path.
-    if any(cell._probe is not None for cell in iter_cells(device)):
-        raise BatchUnsupported(
-            "device has telemetry probes attached; scalar path keeps "
-            "per-sample probe semantics"
         )
     if isinstance(device, ClassABMemoryCell):
         return BatchClassABCell(device, n_lanes, n_steps, lane_offset)

@@ -7,10 +7,11 @@ arrays stored with ``np.savez`` next to a small JSON meta file; reads
 reconstruct them bit for bit, which is what lets ``repro report`` and
 ``repro compare`` skip recomputation without perturbing manifests.
 
-Entries are written atomically (temp file + ``os.replace``) so an
-interrupted run never leaves a half-written entry, and any unreadable
-or mismatched entry is treated as a miss and overwritten on the next
-store.
+Entries are written atomically (per-process-unique temp file +
+``os.replace``) so an interrupted run never leaves a half-written
+entry and two concurrent writers of the same entry never interleave
+into each other's temp files, and any unreadable or mismatched entry
+is treated as a miss and overwritten on the next store.
 """
 
 from __future__ import annotations
@@ -18,10 +19,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import uuid
 from pathlib import Path
 from typing import Any
 
 import numpy as np
+
+from repro import __version__
 
 __all__ = ["ResultCache"]
 
@@ -57,9 +61,18 @@ class ResultCache:
 
     @staticmethod
     def key_digest(key: dict[str, Any]) -> str:
-        """Return the hex digest addressing ``key``."""
+        """Return the hex digest addressing ``key``.
+
+        The package version is part of the digest: any release may
+        change numeric behaviour, and a stale entry that silently
+        outlives an upgrade would defeat the bit-exact contract.
+        """
         payload = _canonical_key(
-            {"schema": CACHE_SCHEMA_VERSION, "key": key}
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "version": __version__,
+                "key": key,
+            }
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -95,19 +108,32 @@ class ResultCache:
         digest = self.key_digest(key)
         data_path, meta_path = self._paths(digest)
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp_data = data_path.with_suffix(".npz.tmp")
-        with open(tmp_data, "wb") as handle:
-            np.savez(handle, **{k: np.asarray(v) for k, v in arrays.items()})
-        os.replace(tmp_data, data_path)
+        # Temp names carry the pid and a uuid: concurrent writers of
+        # the same entry (sharded sweeps, parallel CI jobs) each write
+        # their own file, and whoever replaces last wins whole.
+        unique = f"{os.getpid()}-{uuid.uuid4().hex}"
+        tmp_data = data_path.with_suffix(f".{unique}.npz.tmp")
+        try:
+            with open(tmp_data, "wb") as handle:
+                np.savez(
+                    handle, **{k: np.asarray(v) for k, v in arrays.items()}
+                )
+            os.replace(tmp_data, data_path)
+        finally:
+            tmp_data.unlink(missing_ok=True)
         meta = {
             "schema": CACHE_SCHEMA_VERSION,
             "key": _canonical_key(key),
         }
-        tmp_meta = meta_path.with_suffix(".json.tmp")
-        tmp_meta.write_text(
-            json.dumps(meta, sort_keys=True, indent=2) + "\n", encoding="utf-8"
-        )
-        os.replace(tmp_meta, meta_path)
+        tmp_meta = meta_path.with_suffix(f".{unique}.json.tmp")
+        try:
+            tmp_meta.write_text(
+                json.dumps(meta, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp_meta, meta_path)
+        finally:
+            tmp_meta.unlink(missing_ok=True)
 
     def clear(self) -> int:
         """Delete every cache entry; return the number of files removed."""

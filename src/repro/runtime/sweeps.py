@@ -15,10 +15,12 @@ Determinism contract (``docs/RUNTIME.md``):
   exactly ``lane_offset * total_samples`` draws before running, which
   makes the result independent of the shard layout -- and bit-identical
   to the scalar loop;
-* configurations the batch engine cannot reproduce exactly (per-decision
-  randomness: quantizer metastability, DAC reference noise, attached
-  probes) fall back to the scalar device per lane, with the same
-  noise-stream fast-forward;
+* seeded quantizer metastability, seeded DAC reference noise and
+  attached probes all lower through the batch engine (streams sliced
+  per lane, probes fed lane-major); only configurations with no
+  replayable randomness (unseeded streams, exotic device subclasses)
+  fall back to the scalar device per lane, with every stream -- cell
+  noise, metastability, reference noise -- fast-forwarded identically;
 * a cache entry stores the five :class:`ToneMetrics` fields per lane as
   float64 arrays, so a hit reconstructs the sweep result bit for bit.
 """
@@ -39,7 +41,11 @@ from repro.analysis.sweeps import AmplitudeSweepResult
 from repro.analysis.windows import WindowKind
 from repro.config import MODULATOR_FULL_SCALE
 from repro.errors import AnalysisError
-from repro.runtime.batch import BatchUnsupported, batch_runner_for, iter_cells
+from repro.runtime.batch import (
+    BatchUnsupported,
+    batch_runner_for,
+    fast_forward_streams,
+)
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import ShardContext, SweepExecutor
 from repro.si.memory_cell import MemoryCellConfig
@@ -191,9 +197,7 @@ def _run_lane_chunk(
         outputs = runner.run(stimuli)
         engine = "batch"
     except BatchUnsupported:
-        if context.lane_offset:
-            for cell in iter_cells(device):
-                cell._noise.take(context.lane_offset * total)
+        fast_forward_streams(device, context.lane_offset * total)
         outputs = np.empty((len(levels), total))
         for lane in range(stimuli.shape[0]):
             outputs[lane] = np.asarray(device(stimuli[lane]), dtype=float)

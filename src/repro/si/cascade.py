@@ -107,6 +107,11 @@ class BiquadCascade:
             raise ConfigurationError(
                 f"stimulus must be 1-D, got shape {data.shape}"
             )
+        from repro.runtime.single import run_single
+
+        fast = run_single(self, data)
+        if fast is not None:
+            return fast
         output = np.empty_like(data)
         for n in range(data.shape[0]):
             output[n] = self.step(float(data[n]))

@@ -147,6 +147,11 @@ class DelayLine:
         return output
 
     def _run_loop(self, data: np.ndarray) -> np.ndarray:
+        from repro.runtime.single import run_single
+
+        fast = run_single(self, data)
+        if fast is not None:
+            return fast
         output = np.empty_like(data)
         for n in range(data.shape[0]):
             result = self.step(DifferentialSample.from_components(float(data[n])))

@@ -397,6 +397,11 @@ class ClassABMemoryCell:
         common-mode input is taken as zero.
         """
         data = np.asarray(differential_input, dtype=float)
+        from repro.runtime.single import run_single
+
+        fast = run_single(self, data)
+        if fast is not None:
+            return fast
         output = np.empty_like(data)
         for n in range(data.shape[0]):
             result = self.step(DifferentialSample.from_components(float(data[n])))

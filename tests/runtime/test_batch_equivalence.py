@@ -24,6 +24,7 @@ from repro.deltasigma import (
     SIModulator1,
     SIModulator2,
 )
+from repro.deltasigma.dac import FeedbackDac
 from repro.deltasigma.quantizer import CurrentQuantizer
 from repro.runtime.batch import BatchUnsupported, batch_runner_for, iter_cells
 from repro.si import DelayLine
@@ -113,6 +114,73 @@ class TestDeviceEquivalence:
         )
         _assert_bit_identical(SIModulator2(cell_config=config), _stimuli())
 
+    def test_modulator2_metastable_quantizer(self):
+        # Seeded metastability lowers: the batch quantizer pre-draws the
+        # whole uniform stream and slices it lane-major.
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        _assert_bit_identical(
+            SIModulator2(
+                cell_config=config,
+                quantizer=CurrentQuantizer(metastability_band=8e-8, seed=11),
+            ),
+            _stimuli(),
+        )
+
+    def test_modulator2_noisy_dac(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        _assert_bit_identical(
+            SIModulator2(
+                cell_config=config,
+                dac=FeedbackDac(reference_noise_rms=3e-8, seed=12),
+            ),
+            _stimuli(),
+        )
+
+    def test_chopper_metastable_and_noisy(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        _assert_bit_identical(
+            ChopperStabilizedSIModulator(
+                cell_config=config,
+                quantizer=CurrentQuantizer(
+                    offset=1e-8, hysteresis=2e-8, metastability_band=8e-8, seed=13
+                ),
+                dac=FeedbackDac(level_mismatch=0.01, reference_noise_rms=3e-8, seed=14),
+            ),
+            _stimuli(),
+        )
+
+    def test_probed_modulator_lowers(self):
+        # Attached probes no longer refuse: the batch runner buffers the
+        # scalar loop's observation targets and feeds them lane-major,
+        # so counts and extrema match the scalar run exactly.
+        from repro.telemetry.session import TelemetrySession
+
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        stimuli = _stimuli()
+
+        scalar_session = TelemetrySession("probe-scalar")
+        scalar_device = SIModulator2(cell_config=config)
+        scalar_device.attach_telemetry(scalar_session)
+        scalar = _scalar_lanes(scalar_device, stimuli)
+
+        batch_session = TelemetrySession("probe-batch")
+        batch_device = SIModulator2(cell_config=config)
+        batch_device.attach_telemetry(batch_session)
+        batch = batch_runner_for(
+            batch_device, n_lanes=stimuli.shape[0], n_steps=stimuli.shape[1]
+        ).run(stimuli)
+
+        assert batch.tobytes() == scalar.tobytes()
+        assert sorted(batch_session.probes) == sorted(scalar_session.probes)
+        for name, expected in scalar_session.probes.items():
+            lowered = batch_session.probes[name]
+            assert lowered.count == expected.count
+            assert lowered.minimum == expected.minimum
+            assert lowered.maximum == expected.maximum
+            assert lowered.clip_fraction == expected.clip_fraction
+            assert lowered.rms == pytest.approx(expected.rms, rel=1e-12)
+            assert lowered.mean == pytest.approx(expected.mean, rel=1e-9, abs=1e-24)
+
 
 class TestLaneOffset:
     def test_offset_runner_matches_tail_lanes(self):
@@ -173,21 +241,37 @@ class TestRefusals:
         )
         _assert_bit_identical(ClassABMemoryCell(config), _stimuli())
 
-    def test_metastable_quantizer_refused(self):
+    def test_unseeded_metastability_refused(self):
+        # Seeded metastability lowers (see TestDeviceEquivalence); an
+        # unseeded band has no replayable stream, so it must refuse.
         config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
         modulator = SIModulator2(
             cell_config=config,
-            quantizer=CurrentQuantizer(metastability_band=1e-9, seed=1),
+            quantizer=CurrentQuantizer(metastability_band=1e-9, seed=None),
         )
         with pytest.raises(BatchUnsupported):
             batch_runner_for(modulator, 2, 16)
 
-    def test_probed_device_refused(self):
-        from repro.telemetry.session import TelemetrySession
+    def test_unseeded_dac_noise_refused(self):
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        modulator = SIModulator2(
+            cell_config=config,
+            dac=FeedbackDac(reference_noise_rms=1e-9, seed=None),
+        )
+        with pytest.raises(BatchUnsupported):
+            batch_runner_for(modulator, 2, 16)
+
+    def test_quantizer_subclass_refused(self):
+        # Exact-type checks: a DitheredQuantizer draws extra randomness
+        # the lowering does not model, so it must refuse rather than
+        # silently drop the dither.
+        from repro.deltasigma.dither import DitheredQuantizer
 
         config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
-        modulator = SIModulator2(cell_config=config)
-        modulator.attach_telemetry(TelemetrySession("probe-guard"))
+        modulator = SIModulator2(
+            cell_config=config,
+            quantizer=DitheredQuantizer(dither_rms=1e-8, seed=3),
+        )
         with pytest.raises(BatchUnsupported):
             batch_runner_for(modulator, 2, 16)
 

@@ -1,9 +1,12 @@
 """ResultCache: hits, misses, invalidation, corruption tolerance."""
 
 import json
+import os
+import unittest.mock
 
 import numpy as np
 
+import repro.runtime.cache as cache_module
 from repro.runtime.cache import ResultCache
 
 
@@ -89,3 +92,48 @@ class TestClear:
 
     def test_clear_missing_directory(self, tmp_path):
         assert ResultCache(tmp_path / "nope").clear() == 0
+
+
+class TestVersionedKey:
+    def test_digest_includes_package_version(self, monkeypatch):
+        # A release may change numeric behaviour, so upgrading the
+        # package must invalidate every pre-upgrade entry.
+        key = {"k": 1}
+        digest_now = ResultCache.key_digest(key)
+        monkeypatch.setattr(cache_module, "__version__", "0.0.0-test")
+        assert ResultCache.key_digest(key) != digest_now
+
+    def test_version_bump_is_a_miss(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        key = {"k": 1}
+        cache.store(key, _arrays())
+        assert cache.load(key) is not None
+        monkeypatch.setattr(cache_module, "__version__", "0.0.0-test")
+        assert cache.load(key) is None
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store({"k": 1}, _arrays())
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_temp_names_are_process_unique(self, tmp_path):
+        # Two concurrent writers of the same entry must never share a
+        # temp file; the name embeds the pid plus a fresh uuid.
+        cache = ResultCache(tmp_path)
+        digest = cache.key_digest({"k": 1})
+        seen = set()
+        original_replace = os.replace
+
+        def spying_replace(src, dst):
+            seen.add(str(src))
+            return original_replace(src, dst)
+
+        with unittest.mock.patch("os.replace", spying_replace):
+            cache.store({"k": 1}, _arrays())
+            cache.store({"k": 1}, _arrays())
+        assert len(seen) == 4  # 2 stores x (data + meta), all distinct
+        assert all(f"{os.getpid()}-" in name for name in seen)
+        assert all(digest in name for name in seen)

@@ -4,6 +4,7 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import TelemetryError
 from repro.telemetry import SignalProbe
@@ -175,3 +176,79 @@ class TestMerge:
         empty.merge(full)
         assert empty.count == 2
         assert empty.first_clip_index == 1
+
+
+class TestChunkingProperty:
+    """Probe statistics must not depend on how a stream is chunked.
+
+    This is the contract the batch engine's probe lowering rests on:
+    feeding per-chunk arrays through :meth:`observe_array` (in stream
+    order, any chunk sizes, including empty chunks) is equivalent to
+    element-wise :meth:`observe`.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e-5,
+                max_value=1e-5,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=64,
+        ),
+        cuts=st.lists(
+            st.integers(min_value=0, max_value=64), max_size=6
+        ),
+        clip_limit=st.one_of(
+            st.none(), st.floats(min_value=1e-7, max_value=1e-5)
+        ),
+    )
+    def test_any_chunking_matches_elementwise(self, values, cuts, clip_limit):
+        data = np.asarray(values, dtype=float)
+        bounds = sorted({min(c, data.shape[0]) for c in cuts})
+        edges = [0, *bounds, data.shape[0]]
+
+        elementwise = SignalProbe("elementwise", clip_limit=clip_limit)
+        for value in data:
+            elementwise.observe(float(value))
+
+        chunked = SignalProbe("chunked", clip_limit=clip_limit)
+        for start, stop in zip(edges[:-1], edges[1:]):
+            chunked.observe_array(data[start:stop])
+
+        assert chunked.count == elementwise.count
+        assert chunked.minimum == elementwise.minimum
+        assert chunked.maximum == elementwise.maximum
+        assert chunked.mean == pytest.approx(
+            elementwise.mean, rel=1e-9, abs=1e-22
+        )
+        assert chunked.rms == pytest.approx(
+            elementwise.rms, rel=1e-9, abs=1e-22
+        )
+        assert chunked.clip_count == elementwise.clip_count
+        assert chunked.first_clip_index == elementwise.first_clip_index
+
+    def test_empty_chunks_are_no_ops(self):
+        probe = SignalProbe("empty-chunks")
+        probe.observe_array(np.empty(0))
+        assert probe.count == 0
+        assert math.isnan(probe.minimum)
+        probe.observe_array(np.array([2.0]))
+        probe.observe_array(np.empty(0))
+        assert probe.count == 1
+        assert probe.minimum == 2.0
+
+    def test_merge_from_and_into_empty_probe(self):
+        target = SignalProbe("target")
+        target.merge(SignalProbe("fresh"))
+        assert target.count == 0
+        assert math.isnan(target.rms)
+        source = SignalProbe("source")
+        source.observe_array(np.array([-1.0, 3.0]))
+        target.merge(source)
+        assert target.count == 2
+        assert target.minimum == -1.0
+        assert target.maximum == 3.0
