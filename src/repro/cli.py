@@ -9,6 +9,7 @@ Usage::
     python -m repro headroom     # Eqs. (1)-(2) supply sweep
     python -m repro tradeoff     # SI vs SC comparison table
     python -m repro erc mod2     # static rule check of a named design
+    python -m repro lint src     # determinism/lowerability lint of the source
     python -m repro trace mod2   # traced run: spans, probes, dynamic rules
     python -m repro report mod2 --json out.json   # paper-metrics manifest
     python -m repro compare out.json --strict     # diff vs golden baseline
@@ -217,6 +218,48 @@ def cmd_erc(design: str, min_severity: str, strict: bool) -> int:
         if not report.ok or (strict and report.warnings):
             exit_code = 1
     return exit_code
+
+
+def cmd_lint(
+    paths: list[str],
+    min_severity: str = "info",
+    strict: bool = False,
+    select: str | None = None,
+    ignore: str | None = None,
+    baseline: str | None = "baselines/staticcheck.json",
+    json_path: str | None = None,
+) -> int:
+    """Statically check source files for determinism/lowerability contracts."""
+    from repro.errors import ConfigurationError
+    from repro.staticcheck import run_lint
+
+    def split_codes(raw: str | None) -> list[str] | None:
+        if raw is None:
+            return None
+        return [code.strip() for code in raw.split(",") if code.strip()]
+
+    try:
+        report = run_lint(
+            paths,
+            select=split_codes(select),
+            ignore=split_codes(ignore),
+            baseline=baseline,
+            min_severity=Severity.from_name(min_severity),
+        )
+    except ConfigurationError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_table())
+    if report.suppressed:
+        print(
+            f"{len(report.suppressed)} finding(s) suppressed by "
+            f"{baseline} (see reasons there)"
+        )
+    print(report.summary())
+    if json_path is not None:
+        target = report.write_json(json_path)
+        print(f"lint report written to {target}")
+    return report.exit_code(strict)
 
 
 def cmd_trace(
@@ -505,6 +548,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also exit non-zero on warnings",
     )
+    lint = subparsers.add_parser(
+        "lint",
+        help=_first_doc_line(cmd_lint),
+        description=_first_doc_line(cmd_lint),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--min-severity",
+        choices=["info", "warning", "error"],
+        default="info",
+        help="hide findings below this severity (default: info)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also exit non-zero on warnings",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. SC001,SC010)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="baselines/staticcheck.json",
+        metavar="PATH",
+        help="suppression baseline (default: baselines/staticcheck.json)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the suppression baseline entirely",
+    )
+    lint.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the findings as a JSON document",
+    )
     trace = subparsers.add_parser(
         "trace",
         help=_first_doc_line(cmd_trace),
@@ -751,6 +846,7 @@ def list_commands() -> str:
     for name in sorted(COMMANDS):
         lines.append(f"  {name:10s} {_first_doc_line(COMMANDS[name])}")
     lines.append(f"  {'erc':10s} {_first_doc_line(cmd_erc)}")
+    lines.append(f"  {'lint':10s} {_first_doc_line(cmd_lint)}")
     lines.append(f"  {'trace':10s} {_first_doc_line(cmd_trace)}")
     lines.append(f"  {'report':10s} {_first_doc_line(cmd_report)}")
     lines.append(f"  {'compare':10s} {_first_doc_line(cmd_compare)}")
@@ -770,6 +866,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "erc":
         return cmd_erc(args.design, args.min_severity, args.strict)
+
+    if args.command == "lint":
+        return cmd_lint(
+            args.paths,
+            min_severity=args.min_severity,
+            strict=args.strict,
+            select=args.select,
+            ignore=args.ignore,
+            baseline=None if args.no_baseline else args.baseline,
+            json_path=args.json_path,
+        )
 
     if args.command == "trace":
         return cmd_trace(

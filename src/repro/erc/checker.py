@@ -10,7 +10,6 @@ to simulate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 from repro.erc.graph import CircuitGraph
@@ -21,13 +20,12 @@ from repro.erc.rules import (
     default_registry,
 )
 from repro.errors import ConfigurationError, ERCError
-from repro.reporting.tables import render_table
+from repro.findings import Report, render_findings_table
 
 __all__ = ["ErcReport", "run_erc", "check_design"]
 
 
-@dataclass(frozen=True)
-class ErcReport:
+class ErcReport(Report[ErcViolation]):
     """Outcome of one ERC pass over a design.
 
     Attributes
@@ -36,60 +34,44 @@ class ErcReport:
         Name of the checked design graph.
     violations:
         Every violation found, in rule order.
+
+    The partitions (:attr:`errors`, :attr:`warnings`, :attr:`ok`), the
+    summary line and the exit-code gate come from the shared
+    :class:`repro.findings.Report` skeleton, so ``repro erc`` and
+    ``repro lint`` render and gate identically.
     """
 
-    design: str
-    violations: tuple[ErcViolation, ...]
+    label = "ERC"
+    noun = "violation"
+
+    def __init__(
+        self, design: str, violations: tuple[ErcViolation, ...] = ()
+    ) -> None:
+        super().__init__(design, violations)
 
     @property
-    def errors(self) -> tuple[ErcViolation, ...]:
-        """Return the ERROR-severity violations."""
-        return tuple(v for v in self.violations if v.severity is Severity.ERROR)
+    def design(self) -> str:
+        """Name of the checked design graph."""
+        return self.subject
 
     @property
-    def warnings(self) -> tuple[ErcViolation, ...]:
-        """Return the WARNING-severity violations."""
-        return tuple(v for v in self.violations if v.severity is Severity.WARNING)
-
-    @property
-    def ok(self) -> bool:
-        """Return True when no ERROR-severity violation was found."""
-        return not self.errors
-
-    def filtered(self, min_severity: Severity) -> "ErcReport":
-        """Return a copy keeping only violations at or above a severity."""
-        return ErcReport(
-            design=self.design,
-            violations=tuple(
-                v for v in self.violations if v.severity >= min_severity
-            ),
-        )
-
-    def summary(self) -> str:
-        """Return a one-line pass/fail summary."""
-        verdict = "PASS" if self.ok else "FAIL"
-        return (
-            f"ERC {verdict}: {self.design} -- {len(self.errors)} error(s), "
-            f"{len(self.warnings)} warning(s), {len(self.violations)} total"
-        )
+    def violations(self) -> tuple[ErcViolation, ...]:
+        """Every violation found, in rule order."""
+        return self.findings
 
     def render_table(self) -> str:
         """Return the violations as a paper-style text table."""
-        rows = [
-            (
+        return render_findings_table(
+            f"ERC report: {self.design}",
+            ("rule", "severity", "node", "message"),
+            self.violations,
+            lambda v: (
                 v.rule,
                 v.severity.name,
                 v.node if v.node is not None else "<design>",
                 v.message,
-            )
-            for v in self.violations
-        ]
-        if not rows:
-            rows = [("-", "-", "-", "no violations")]
-        return render_table(
-            f"ERC report: {self.design}",
-            ("rule", "severity", "node", "message"),
-            rows,
+            ),
+            empty="no violations",
         )
 
 

@@ -32,13 +32,13 @@ ERC008   chopper-pairing             Fig. 3(b): input and output choppers
 
 from __future__ import annotations
 
-import enum
 import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.erc.graph import CircuitGraph, CircuitNode
 from repro.errors import ConfigurationError
+from repro.findings import Severity
 from repro.si.headroom import HeadroomAnalysis
 
 __all__ = [
@@ -71,31 +71,6 @@ MAX_MODELED_MODULATION_INDEX: float = 8.0
 #: one more output branch, and past a handful the added drain
 #: capacitance breaks the settling budget.
 DEFAULT_MAX_FANOUT: int = 4
-
-
-class Severity(enum.IntEnum):
-    """Severity of an ERC violation; ordered so comparisons work."""
-
-    INFO = 10
-    WARNING = 20
-    ERROR = 30
-
-    @classmethod
-    def from_name(cls, name: str) -> "Severity":
-        """Return the severity named by a case-insensitive string.
-
-        Raises
-        ------
-        ConfigurationError
-            If the name is not a severity.
-        """
-        try:
-            return cls[name.upper()]
-        except KeyError:
-            raise ConfigurationError(
-                f"unknown severity {name!r}; expected one of "
-                f"{[s.name.lower() for s in cls]}"
-            ) from None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,161 @@
+"""Shared findings plumbing for the repo's static checkers.
+
+Two rule engines gate this repository: ``repro erc`` checks *device
+graphs* (:mod:`repro.erc`) and ``repro lint`` checks the *source code*
+itself (:mod:`repro.staticcheck`).  Both express results the same way
+-- a flat list of findings, each carrying a stable rule code and a
+severity -- and both must render and gate identically, so the severity
+enum, the pass/fail verdict, the exit-code convention and the report
+skeleton live here, in one module neither engine owns.
+
+The gate convention, shared by both CLI verbs:
+
+* exit ``0`` -- no ERROR-severity finding (warnings allowed);
+* exit ``1`` -- at least one ERROR, or any WARNING under ``--strict``;
+* exit ``2`` -- the checker itself could not run (bad arguments,
+  unreadable baseline, ...); raised as exceptions, mapped in the CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generic, Protocol, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Severity",
+    "SeverityFinding",
+    "Report",
+    "gate_exit_code",
+]
+
+
+class Severity(enum.IntEnum):
+    """Severity of a finding; ordered so comparisons work."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        """Return the severity named by a case-insensitive string.
+
+        Raises
+        ------
+        ConfigurationError
+            If the name is not a severity.
+        """
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+class SeverityFinding(Protocol):
+    """Structural type every checker finding satisfies."""
+
+    @property
+    def rule(self) -> str: ...
+
+    @property
+    def severity(self) -> Severity: ...
+
+    @property
+    def message(self) -> str: ...
+
+
+F = TypeVar("F", bound=SeverityFinding)
+
+
+def gate_exit_code(
+    errors: Sequence[object], warnings: Sequence[object], strict: bool = False
+) -> int:
+    """Return the shared CLI gate code for a findings partition."""
+    if errors:
+        return 1
+    if strict and warnings:
+        return 1
+    return 0
+
+
+class Report(Generic[F]):
+    """Common skeleton of one checker pass over one subject.
+
+    Subclasses set :attr:`label` (the word in front of the verdict,
+    ``"ERC"`` or ``"LINT"``) and :attr:`noun` (what a finding is
+    called in the summary line), and may re-expose :attr:`subject` and
+    :attr:`findings` under domain names (``design``/``violations``).
+    """
+
+    #: Verdict prefix in :meth:`summary` (``"ERC"``, ``"LINT"``).
+    label: str = "CHECK"
+    #: What a finding is called in the summary line.
+    noun: str = "finding"
+
+    def __init__(self, subject: str, findings: Sequence[F]) -> None:
+        self.subject = subject
+        self.findings: tuple[F, ...] = tuple(findings)
+
+    # -- partitions ----------------------------------------------------
+
+    @property
+    def errors(self) -> tuple[F, ...]:
+        """Return the ERROR-severity findings."""
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[F, ...]:
+        """Return the WARNING-severity findings."""
+        return tuple(f for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """Return True when no ERROR-severity finding was found."""
+        return not self.errors
+
+    def filtered(self: "ReportT", min_severity: Severity) -> "ReportT":
+        """Return a copy keeping only findings at or above a severity."""
+        return type(self)(
+            self.subject,
+            tuple(f for f in self.findings if f.severity >= min_severity),
+        )
+
+    # -- rendering and gating ------------------------------------------
+
+    def summary(self) -> str:
+        """Return a one-line pass/fail summary."""
+        verdict = "PASS" if self.ok else "FAIL"
+        return (
+            f"{self.label} {verdict}: {self.subject} -- "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.findings)} total"
+        )
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Return the shared CLI gate code (see module docstring)."""
+        return gate_exit_code(self.errors, self.warnings, strict=strict)
+
+
+#: Bound for :meth:`Report.filtered`'s self-type.
+ReportT = TypeVar("ReportT", bound="Report[Any]")
+
+
+def render_findings_table(
+    title: str,
+    columns: Sequence[str],
+    findings: Sequence[F],
+    row: Callable[[F], Sequence[str]],
+    empty: str = "no findings",
+) -> str:
+    """Render findings as the paper-style table both checkers print."""
+    from repro.reporting.tables import render_table
+
+    rows = [tuple(row(f)) for f in findings]
+    if not rows:
+        rows = [tuple("-" for _ in columns[:-1]) + (empty,)]
+    return render_table(title, tuple(columns), rows)

@@ -46,6 +46,15 @@ from repro.runtime.batch import (
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import ShardContext, SweepExecutor, SweepTimeoutError
 from repro.runtime.kernels import CellKernel, store_batch
+from repro.runtime.lowering import (
+    LOWERING_PROTOCOL,
+    PROTOCOL_BY_QUALNAME,
+    LoweredBase,
+    lowering_refusal,
+    overridden_hooks,
+    probe_refusal,
+    protocol_for,
+)
 from repro.runtime.single import consume_fallbacks, force_scalar, run_single
 from repro.runtime.montecarlo import (
     cmff_imbalance_draws,
@@ -63,6 +72,9 @@ __all__ = [
     "BatchModulator2",
     "BatchUnsupported",
     "CellKernel",
+    "LOWERING_PROTOCOL",
+    "LoweredBase",
+    "PROTOCOL_BY_QUALNAME",
     "ResultCache",
     "ShardContext",
     "SweepExecutor",
@@ -76,6 +88,10 @@ __all__ = [
     "consume_fallbacks",
     "force_scalar",
     "iter_cells",
+    "lowering_refusal",
+    "overridden_hooks",
+    "probe_refusal",
+    "protocol_for",
     "run_single",
     "run_sweep",
     "store_batch",

@@ -40,6 +40,14 @@ from repro.deltasigma.modulator2 import SIModulator2
 from repro.deltasigma.quantizer import CurrentQuantizer
 from repro.noise.streams import GaussianStream, UniformStream
 from repro.runtime.kernels import CellKernel, store_batch
+from repro.runtime.lowering import (
+    UNSEEDED_METASTABILITY_REFUSAL,
+    UNSEEDED_NOISE_REFUSAL,
+    UNSEEDED_REFERENCE_REFUSAL,
+    lowering_refusal,
+    probe_refusal,
+    subclass_refusal,
+)
 from repro.si.cascade import BiquadCascade
 from repro.si.cmff import CommonModeFeedforward
 from repro.si.delay_line import DelayLine
@@ -64,6 +72,49 @@ __all__ = [
 
 class BatchUnsupported(Exception):
     """The device configuration has no bit-exact batch lowering."""
+
+
+def _check_lowerable(*components: object) -> None:
+    """Refuse any component outside the declared lowering protocol.
+
+    ``None`` entries (absent CMFF stages, detached probes) are
+    skipped.  See :mod:`repro.runtime.lowering` for the protocol.
+    """
+    for component in components:
+        if component is None:
+            continue
+        reason = lowering_refusal(component)
+        if reason is not None:
+            raise BatchUnsupported(reason)
+
+
+def _check_stage(stage: object) -> None:
+    """Refuse an integrator/differentiator wired outside the protocol."""
+    cmff = stage.cmff  # type: ignore[attr-defined]
+    mirrors: tuple[object, ...] = ()
+    if cmff is not None:
+        mirrors = (
+            cmff.sense_pos,
+            cmff.sense_neg,
+            cmff.subtract_pos,
+            cmff.subtract_neg,
+        )
+    _check_lowerable(stage, stage._cell, cmff, *mirrors)  # type: ignore[attr-defined]
+
+
+def _check_loop_probes(modulator: object) -> None:
+    """Refuse pre-registered loop probes the replay cannot feed."""
+    session = getattr(modulator, "_telemetry", None)
+    if session is None:
+        return
+    name = modulator._telemetry_name  # type: ignore[attr-defined]
+    for suffix in ("input", "bitstream"):
+        probe = session.probes.get(f"{name}.{suffix}")
+        if probe is None:
+            continue
+        reason = probe_refusal(probe)
+        if reason is not None:
+            raise BatchUnsupported(reason)
 
 
 def _halves(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -98,10 +149,7 @@ class _FusedCellBank:
             raise BatchUnsupported("no cells to fuse")
         for config in configs:
             if config.seed is None and config.thermal_noise_rms > 0.0:
-                raise BatchUnsupported(
-                    "unseeded noise generator; a fresh batch feed cannot "
-                    "replay the device's stream"
-                )
+                raise BatchUnsupported(UNSEEDED_NOISE_REFUSAL)
         kernels = [CellKernel.from_config(config) for config in configs]
         if any(kernel != kernels[0] for kernel in kernels[1:]):
             raise BatchUnsupported(
@@ -151,6 +199,10 @@ class _FusedCellBank:
                     self._probe_specs.append((2 * index, cell_probe, False))
                 if cmff_probe is not None:
                     self._probe_specs.append((2 * index, cmff_probe, True))
+        for _row, spec_probe, _is_cm in self._probe_specs:
+            reason = probe_refusal(spec_probe)
+            if reason is not None:
+                raise BatchUnsupported(reason)
         self._probe_bufs = [
             np.empty((n_steps, n_lanes)) for _ in self._probe_specs
         ]
@@ -201,14 +253,11 @@ def _check_quantizer(quantizer: CurrentQuantizer) -> CurrentQuantizer:
     """
     if type(quantizer) is not CurrentQuantizer:
         raise BatchUnsupported(
-            f"no bit-exact lowering for quantizer subclass "
-            f"{type(quantizer).__name__}"
+            lowering_refusal(quantizer)
+            or subclass_refusal("quantizer", type(quantizer).__name__)
         )
     if quantizer.metastability_band > 0.0 and quantizer.seed is None:
-        raise BatchUnsupported(
-            "unseeded metastability randomness; a fresh batch stream "
-            "cannot replay the device's draws"
-        )
+        raise BatchUnsupported(UNSEEDED_METASTABILITY_REFUSAL)
     return quantizer
 
 
@@ -301,13 +350,11 @@ def _check_dac(dac: FeedbackDac) -> FeedbackDac:
     """
     if type(dac) is not FeedbackDac:
         raise BatchUnsupported(
-            f"no bit-exact lowering for DAC subclass {type(dac).__name__}"
+            lowering_refusal(dac)
+            or subclass_refusal("DAC", type(dac).__name__)
         )
     if dac.reference_noise_rms > 0.0 and dac.seed is None:
-        raise BatchUnsupported(
-            "unseeded reference noise; a fresh batch stream cannot "
-            "replay the device's draws"
-        )
+        raise BatchUnsupported(UNSEEDED_REFERENCE_REFUSAL)
     return dac
 
 
@@ -435,6 +482,7 @@ class BatchClassABCell:
         n_steps: int,
         lane_offset: int = 0,
     ) -> None:
+        _check_lowerable(cell)
         self.n_lanes = n_lanes
         self.n_steps = n_steps
         self.inverting = cell.config.inverting
@@ -489,6 +537,7 @@ class BatchDelayLine:
         n_steps: int,
         lane_offset: int = 0,
     ) -> None:
+        _check_lowerable(line, *line.cells)
         self.n_lanes = n_lanes
         self.n_steps = n_steps
         configs = [cell.config for cell in line.cells]
@@ -540,6 +589,7 @@ class BatchBiquadCascade:
         n_steps: int,
         lane_offset: int = 0,
     ) -> None:
+        _check_lowerable(cascade)
         self.n_lanes = n_lanes
         self.n_steps = n_steps
         configs: list[MemoryCellConfig] = []
@@ -549,6 +599,7 @@ class BatchBiquadCascade:
         for section in cascade.sections:
             self._coefficients.append((section.k1, section.k2, section.q))
             for integrator in (section._int1, section._int2):
+                _check_stage(integrator)
                 configs.append(integrator._cell.config)
                 stages.append((integrator.cmff, integrator.gain))
                 probes.append(_stage_probes(integrator))
@@ -610,6 +661,9 @@ class BatchModulator1:
         self._lane_offset = lane_offset
         self._modulator = modulator
         integrator = modulator._integrator
+        _check_lowerable(modulator)
+        _check_stage(integrator)
+        _check_loop_probes(modulator)
         self._bank = _FusedCellBank(
             [integrator._cell.config],
             n_lanes,
@@ -677,6 +731,10 @@ class BatchModulator2:
         self._modulator = modulator
         int1 = modulator._int1
         int2 = modulator._int2
+        _check_lowerable(modulator)
+        _check_stage(int1)
+        _check_stage(int2)
+        _check_loop_probes(modulator)
         self._bank = _FusedCellBank(
             [int1._cell.config, int2._cell.config],
             n_lanes,
@@ -749,6 +807,10 @@ class BatchChopper:
         self._modulator = modulator
         diff1 = modulator._diff1
         diff2 = modulator._diff2
+        _check_lowerable(modulator)
+        _check_stage(diff1)
+        _check_stage(diff2)
+        _check_loop_probes(modulator)
         self._bank = _FusedCellBank(
             [diff1._cell.config, diff2._cell.config],
             n_lanes,
@@ -892,6 +954,9 @@ def batch_runner_for(
         raise ValueError(
             f"n_lanes and n_steps must be >= 1, got {n_lanes!r}, {n_steps!r}"
         )
+    reason = lowering_refusal(device)
+    if reason is not None:
+        raise BatchUnsupported(reason)
     if isinstance(device, ClassABMemoryCell):
         return BatchClassABCell(device, n_lanes, n_steps, lane_offset)
     if isinstance(device, DelayLine):

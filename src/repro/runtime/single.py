@@ -44,6 +44,7 @@ import numpy as np
 from repro.deltasigma.dac import FeedbackDac
 from repro.deltasigma.quantizer import CurrentQuantizer
 from repro.devices.current_mirror import CurrentMirror
+from repro.runtime.lowering import probe_refusal
 from repro.si.cmff import CommonModeFeedforward
 from repro.si.differential import DifferentialSample
 from repro.si.memory_cell import ClassABMemoryCell, MemoryCellConfig
@@ -196,6 +197,10 @@ def _cmff_fn(cmff: CommonModeFeedforward) -> Callable[[float, float], tuple[floa
 def _cell_reason(cell: object) -> str | None:
     if type(cell) is not ClassABMemoryCell:
         return f"unsupported memory cell type {type(cell).__name__}"
+    if cell._probe is not None:
+        reason = probe_refusal(cell._probe)
+        if reason is not None:
+            return reason
     return None
 
 
@@ -211,6 +216,10 @@ def _stage_reason(stage: "SIIntegrator | SIDifferentiator") -> str | None:
     for mirror in (cmff.sense_pos, cmff.sense_neg, cmff.subtract_pos, cmff.subtract_neg):
         if type(mirror) is not CurrentMirror:
             return f"unsupported mirror type {type(mirror).__name__}"
+    if cmff._probe is not None:
+        reason = probe_refusal(cmff._probe)
+        if reason is not None:
+            return reason
     return None
 
 

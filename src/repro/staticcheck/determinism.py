@@ -1,0 +1,512 @@
+"""Determinism rules: SC001-SC007.
+
+The reproduction contract (``docs/RUNTIME.md``) is that every figure
+and metric is replayable from its manifest: all randomness flows from
+explicit seeds through the API seed boundary (:mod:`repro.config`),
+and cache keys are pure functions of configuration.  These rules catch
+the source patterns that silently break that contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.findings import Severity
+from repro.staticcheck.model import (
+    LintFinding,
+    ModuleContext,
+    can_be_none,
+    keyword_arg,
+)
+from repro.staticcheck.rules import LintRule
+
+__all__ = ["DETERMINISM_RULES"]
+
+#: Constructors that create a *generator*; unseeded construction is SC001.
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "random.Random",
+    }
+)
+
+#: numpy.random module-level sampling functions (the shared global RNG).
+_NP_GLOBAL_SAMPLERS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "exponential",
+        "gamma",
+        "integers",
+        "laplace",
+        "lognormal",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "seed",
+        "shuffle",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "uniform",
+    }
+)
+
+#: Stdlib ``random`` module-level functions (also one shared state).
+_PY_GLOBAL_SAMPLERS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+    }
+)
+
+#: Calls whose value changes between runs; feeding one into a seed is SC003.
+_NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "id",
+        "hash",
+        "os.getpid",
+        "os.urandom",
+        "secrets.randbits",
+        "secrets.token_bytes",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.time",
+        "time.time_ns",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: ndarray methods that mutate their receiver in place.
+_MUTATING_ARRAY_METHODS = frozenset(
+    {"fill", "itemset", "partition", "put", "resize", "setflags", "sort"}
+)
+
+
+def _imported_root(module: ModuleContext, node: ast.expr) -> bool:
+    """True when the attribute chain's root name is a real import.
+
+    Guards against a local variable that happens to be called ``np``
+    or ``random`` being mistaken for the module.
+    """
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        current = current.value
+    return isinstance(current, ast.Name) and current.id in module.imports
+
+
+def _calls(module: ModuleContext) -> Iterator[ast.Call]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+class UnseededRngRule(LintRule):
+    """SC001: RNG constructed without a seed."""
+
+    code = "SC001"
+    name = "unseeded-rng"
+    severity = Severity.ERROR
+    description = (
+        "RNG constructed without a seed (default_rng()/RandomState()); "
+        "runs are not replayable."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        for call in _calls(module):
+            qualified = module.resolve(call.func)
+            if qualified not in _RNG_CONSTRUCTORS:
+                continue
+            if qualified != "random.Random" and not _imported_root(
+                module, call.func
+            ):
+                continue
+            seed = call.args[0] if call.args else keyword_arg(call, "seed")
+            if seed is None:
+                message = (
+                    f"{qualified}() constructed without a seed; the stream "
+                    "cannot be replayed -- plumb an explicit seed through "
+                    "the API seed boundary (repro.config)"
+                )
+            elif can_be_none(seed):
+                message = (
+                    f"{qualified}() seed can be None on this path; the "
+                    "unseeded branch is not replayable"
+                )
+            else:
+                continue
+            yield self.finding(module, call, message)
+
+
+class GlobalRngRule(LintRule):
+    """SC002: draw from the process-global RNG."""
+
+    code = "SC002"
+    name = "global-rng-call"
+    severity = Severity.ERROR
+    description = (
+        "Module-level numpy.random/random sampling call; shares one "
+        "hidden global state across the whole process."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        for call in _calls(module):
+            qualified = module.resolve(call.func)
+            if qualified is None or not _imported_root(module, call.func):
+                continue
+            parts = qualified.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] in _NP_GLOBAL_SAMPLERS
+            ) or (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _PY_GLOBAL_SAMPLERS
+            ):
+                yield self.finding(
+                    module,
+                    call,
+                    f"{qualified}() draws from the shared global RNG; use a "
+                    "seeded Generator passed down from the caller",
+                )
+
+
+class NondeterministicSeedRule(LintRule):
+    """SC003: wall-clock values feed seeds; unordered iteration feeds keys."""
+
+    code = "SC003"
+    name = "nondeterministic-seed"
+    severity = Severity.ERROR
+    description = (
+        "Wall-clock/process-unique value feeds a seed, or unordered "
+        "iteration feeds cache-key construction."
+    )
+
+    def _nondet_call(self, module: ModuleContext, node: ast.expr) -> str | None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                qualified = module.resolve(sub.func)
+                if qualified in _NONDETERMINISTIC_CALLS:
+                    return qualified
+        return None
+
+    def _seed_sinks(self, module: ModuleContext) -> Iterable[LintFinding]:
+        for call in _calls(module):
+            seed = keyword_arg(call, "seed")
+            if seed is None:
+                continue
+            source = self._nondet_call(module, seed)
+            if source is not None:
+                yield self.finding(
+                    module,
+                    call,
+                    f"seed derived from {source}(); the run cannot be "
+                    "replayed from its manifest",
+                )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id
+                for t in node.targets
+                if isinstance(t, ast.Name) and "seed" in t.id.lower()
+            ]
+            if not targets:
+                continue
+            source = self._nondet_call(module, node.value)
+            if source is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{targets[0]} derived from {source}(); the run cannot "
+                    "be replayed from its manifest",
+                )
+
+    def _unordered_iteration(self, module: ModuleContext) -> Iterable[LintFinding]:
+        iters: list[ast.expr] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+        for candidate in iters:
+            unordered = isinstance(candidate, (ast.Set, ast.SetComp)) or (
+                isinstance(candidate, ast.Call)
+                and module.resolve(candidate.func) in {"set", "frozenset"}
+            )
+            if unordered:
+                yield self.finding(
+                    module,
+                    candidate,
+                    "iteration over an unordered set in a cache-key module; "
+                    "key bytes can differ between runs -- sort first",
+                )
+        for call in _calls(module):
+            if module.resolve(call.func) in {"os.listdir", "os.scandir"}:
+                yield self.finding(
+                    module,
+                    call,
+                    "directory listing order is filesystem-dependent in a "
+                    "cache-key module; wrap in sorted()",
+                )
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        yield from self._seed_sinks(module)
+        if module.is_cache_module:
+            yield from self._unordered_iteration(module)
+
+
+class InplaceParamMutationRule(LintRule):
+    """SC004: kernel-module function mutates an array parameter in place."""
+
+    code = "SC004"
+    name = "inplace-param-mutation"
+    severity = Severity.WARNING
+    description = (
+        "Kernel-module function writes into a parameter array; callers' "
+        "inputs (runner state, stimuli) would be silently corrupted."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        if not module.is_kernel_module:
+            return
+        for scope in module.functions():
+            params = scope.params
+            for node in ast.walk(scope.node):
+                yield from self._check_node(module, node, params)
+
+    def _subscript_root(self, node: ast.expr) -> str | None:
+        current: ast.expr = node
+        while isinstance(current, ast.Subscript):
+            current = current.value
+        if isinstance(current, ast.Name):
+            return current.id
+        return None
+
+    def _check_node(
+        self, module: ModuleContext, node: ast.AST, params: frozenset[str]
+    ) -> Iterable[LintFinding]:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    root = self._subscript_root(target)
+                    if root in params:
+                        yield self.finding(
+                            module,
+                            target,
+                            f"element assignment into parameter {root!r} "
+                            "mutates the caller's array in place",
+                        )
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id in params:
+                yield self.finding(
+                    module,
+                    node,
+                    f"augmented assignment to parameter {target.id!r} "
+                    "mutates the caller's array in place (ndarray += is "
+                    "in-place)",
+                )
+            elif isinstance(target, ast.Subscript):
+                root = self._subscript_root(target)
+                if root in params:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"augmented element assignment into parameter "
+                        f"{root!r} mutates the caller's array in place",
+                    )
+        elif isinstance(node, ast.Call):
+            out = keyword_arg(node, "out")
+            if isinstance(out, ast.Name) and out.id in params:
+                yield self.finding(
+                    module,
+                    node,
+                    f"out={out.id} writes the result into the caller's "
+                    "array in place",
+                )
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_ARRAY_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in params
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{func.value.id}.{func.attr}() mutates the caller's "
+                    "array in place",
+                )
+
+
+class DtypeUnstableArrayRule(LintRule):
+    """SC005: kernel-module array conversion without a pinned dtype."""
+
+    code = "SC005"
+    name = "dtype-unstable-array"
+    severity = Severity.WARNING
+    description = (
+        "Kernel-module np.array/np.asarray on a parameter without "
+        "dtype=; integer inputs would change the bit-exact float path."
+    )
+
+    _CONVERTERS = frozenset(
+        {"numpy.array", "numpy.asarray", "numpy.asanyarray"}
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        if not module.is_kernel_module:
+            return
+        for scope in module.functions():
+            for node in ast.walk(scope.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = module.resolve(node.func)
+                if qualified not in self._CONVERTERS:
+                    continue
+                if keyword_arg(node, "dtype") is not None:
+                    continue
+                first = node.args[0] if node.args else None
+                if isinstance(first, ast.Name) and first.id in scope.params:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{qualified}({first.id}) inherits the caller's "
+                        "dtype; pin dtype=float so integer stimuli cannot "
+                        "change the bit-exact pipeline",
+                    )
+
+
+class MutableDefaultRule(LintRule):
+    """SC006: mutable default argument shares state across calls."""
+
+    code = "SC006"
+    name = "mutable-default-arg"
+    severity = Severity.WARNING
+    description = (
+        "Mutable default argument (list/dict/set/array) is shared "
+        "across calls; results depend on call history."
+    )
+
+    _FACTORY_CALLS = frozenset(
+        {
+            "bytearray",
+            "dict",
+            "list",
+            "numpy.array",
+            "numpy.empty",
+            "numpy.ones",
+            "numpy.zeros",
+            "set",
+        }
+    )
+
+    def _is_mutable(self, module: ModuleContext, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            return module.resolve(node.func) in self._FACTORY_CALLS
+        return False
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        for scope in module.functions():
+            args = scope.node.args
+            defaults: list[ast.expr] = list(args.defaults)
+            defaults.extend(d for d in args.kw_defaults if d is not None)
+            for default in defaults:
+                if self._is_mutable(module, default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {scope.node.name}(); "
+                        "one object is shared by every call",
+                    )
+
+
+class StdlibRandomImportRule(LintRule):
+    """SC007: stdlib ``random`` imported in library code."""
+
+    code = "SC007"
+    name = "stdlib-random-import"
+    severity = Severity.WARNING
+    description = (
+        "Stdlib random imported; its global Mersenne state is outside "
+        "the numpy seed plumbing -- use a seeded Generator."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "stdlib random imported; route randomness "
+                            "through numpy Generators seeded at the API "
+                            "boundary instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    yield self.finding(
+                        module,
+                        node,
+                        "stdlib random imported; route randomness through "
+                        "numpy Generators seeded at the API boundary "
+                        "instead",
+                    )
+
+
+DETERMINISM_RULES: tuple[type[LintRule], ...] = (
+    UnseededRngRule,
+    GlobalRngRule,
+    NondeterministicSeedRule,
+    InplaceParamMutationRule,
+    DtypeUnstableArrayRule,
+    MutableDefaultRule,
+    StdlibRandomImportRule,
+)

@@ -1,0 +1,347 @@
+"""Lowerability rules: SC010-SC012.
+
+These rules predict, at class-definition or construction time, the
+exact :class:`~repro.runtime.batch.BatchUnsupported` refusal the
+runtime engine would raise -- every finding carries the forecast
+message in its ``predicts`` field, and
+``tests/staticcheck/test_cross_validation.py`` asserts analyzer and
+runtime never disagree.  The shared source of truth is the declared
+lowering protocol in :mod:`repro.runtime.lowering`: the rules import
+the very same protocol table and refusal-message helpers the batch
+engine enforces with.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.findings import Severity
+from repro.runtime.lowering import (
+    LOWERING_PROTOCOL,
+    PROTOCOL_BY_QUALNAME,
+    UNSEEDED_METASTABILITY_REFUSAL,
+    UNSEEDED_NOISE_REFUSAL,
+    UNSEEDED_REFERENCE_REFUSAL,
+    LoweredBase,
+    hook_refusal,
+    hooks_outside_protocol,
+    probe_pair_refusal,
+    subclass_refusal,
+)
+from repro.staticcheck.model import (
+    LintFinding,
+    ModuleContext,
+    can_be_none,
+    keyword_arg,
+    literal_number,
+)
+from repro.staticcheck.rules import LintRule
+
+__all__ = ["LOWERABILITY_RULES"]
+
+_BY_CLASSNAME: dict[str, LoweredBase] = {
+    entry.base.__name__: entry for entry in LOWERING_PROTOCOL
+}
+
+_PROBE_QUALNAME = "repro.telemetry.probes.SignalProbe"
+_PROBE_CLASSNAME = "SignalProbe"
+
+
+def _matches_repro_class(
+    module: ModuleContext,
+    base: ast.expr,
+    qualname: str,
+    classname: str,
+    defining_module: str,
+) -> bool:
+    """True when ``base`` resolves to the named repro class.
+
+    Accepts the canonical qualified name, any ``repro.``-prefixed
+    re-export ending in the class name, and the bare name inside the
+    class's own defining module.
+    """
+    resolved = module.resolve(base)
+    if resolved is None:
+        return False
+    if resolved == qualname:
+        return True
+    parts = resolved.split(".")
+    if parts[-1] != classname:
+        return False
+    if resolved.startswith("repro."):
+        return True
+    return len(parts) == 1 and module.dotted_name == defining_module
+
+
+def _entry_for_base(
+    module: ModuleContext, base: ast.expr
+) -> LoweredBase | None:
+    """Return the protocol entry a class-statement base refers to."""
+    resolved = module.resolve(base)
+    if resolved is None:
+        return None
+    entry = PROTOCOL_BY_QUALNAME.get(resolved)
+    if entry is not None:
+        return entry
+    name = resolved.split(".")[-1]
+    candidate = _BY_CLASSNAME.get(name)
+    if candidate is None:
+        return None
+    if _matches_repro_class(
+        module,
+        base,
+        candidate.qualname,
+        candidate.base.__name__,
+        candidate.base.__module__,
+    ):
+        return candidate
+    return None
+
+
+def _defined_names(node: ast.ClassDef) -> list[str]:
+    """Return the attribute names a class body binds."""
+    names: list[str] = []
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.append(statement.name)
+        elif isinstance(statement, ast.Assign):
+            names.extend(
+                target.id
+                for target in statement.targets
+                if isinstance(target, ast.Name)
+            )
+        elif isinstance(statement, ast.AnnAssign):
+            if statement.value is not None and isinstance(
+                statement.target, ast.Name
+            ):
+                names.append(statement.target.id)
+    return names
+
+
+class ProtocolOverrideRule(LintRule):
+    """SC010: subclass of a lowered base steps outside the protocol."""
+
+    code = "SC010"
+    name = "protocol-hook-override"
+    severity = Severity.ERROR
+    description = (
+        "Subclass of a lowered base overrides hooks outside the "
+        "declared lowering protocol; batch lowering will refuse."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for base in node.bases:
+                entry = _entry_for_base(module, base)
+                if entry is None:
+                    continue
+                finding = self._check_subclass(module, node, entry)
+                if finding is not None:
+                    yield finding
+                break
+
+    def _check_subclass(
+        self, module: ModuleContext, node: ast.ClassDef, entry: LoweredBase
+    ) -> LintFinding | None:
+        if entry.exact:
+            refusal = subclass_refusal(entry.kind, node.name)
+            return self.finding(
+                module,
+                node,
+                f"{node.name} subclasses exact-type-only "
+                f"{entry.base.__name__}; batch lowering will refuse with "
+                f"{refusal!r}",
+                predicts=refusal,
+            )
+        hooks = hooks_outside_protocol(entry, _defined_names(node))
+        if not hooks:
+            return None
+        refusal = hook_refusal(
+            entry.kind, node.name, hooks[0], entry.base.__name__
+        )
+        listed = ", ".join(f"{hook}()" for hook in hooks)
+        return self.finding(
+            module,
+            node,
+            f"{node.name} overrides {listed} outside the lowering protocol "
+            f"of {entry.base.__name__}; batch lowering will refuse with "
+            f"{refusal!r}",
+            predicts=refusal,
+        )
+
+
+class RefusingConfigRule(LintRule):
+    """SC011: construction that the batch engine will refuse to lower."""
+
+    code = "SC011"
+    name = "batch-refusing-config"
+    severity = Severity.WARNING
+    description = (
+        "Device construction combines active randomness with a missing "
+        "seed; every batch run of it will raise BatchUnsupported."
+    )
+
+    def _seed_missing(self, call: ast.Call) -> bool:
+        """True when the ``seed`` keyword is absent or can be None."""
+        seed = keyword_arg(call, "seed")
+        if seed is None:
+            return True
+        return can_be_none(seed)
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_call(module, node)
+            if finding is not None:
+                yield finding
+
+    def _check_call(
+        self, module: ModuleContext, call: ast.Call
+    ) -> LintFinding | None:
+        if _matches_repro_class(
+            module,
+            call.func,
+            "repro.si.memory_cell.MemoryCellConfig",
+            "MemoryCellConfig",
+            "repro.si.memory_cell",
+        ):
+            return self._check_cell_config(module, call)
+        if _matches_repro_class(
+            module,
+            call.func,
+            "repro.deltasigma.quantizer.CurrentQuantizer",
+            "CurrentQuantizer",
+            "repro.deltasigma.quantizer",
+        ):
+            return self._check_randomised(
+                module,
+                call,
+                "metastability_band",
+                UNSEEDED_METASTABILITY_REFUSAL,
+                "CurrentQuantizer",
+            )
+        if _matches_repro_class(
+            module,
+            call.func,
+            "repro.deltasigma.dac.FeedbackDac",
+            "FeedbackDac",
+            "repro.deltasigma.dac",
+        ):
+            return self._check_randomised(
+                module,
+                call,
+                "reference_noise_rms",
+                UNSEEDED_REFERENCE_REFUSAL,
+                "FeedbackDac",
+            )
+        return None
+
+    def _check_cell_config(
+        self, module: ModuleContext, call: ast.Call
+    ) -> LintFinding | None:
+        seed = keyword_arg(call, "seed")
+        noise = keyword_arg(call, "thermal_noise_rms")
+        noise_value = literal_number(noise) if noise is not None else None
+        noise_off = noise is not None and noise_value == 0.0
+        noise_unknown = noise is not None and noise_value is None
+        if noise_off or noise_unknown:
+            return None
+        # Noise is active: omitted -> the nonzero paper default, or an
+        # explicit positive literal.  Flag an explicitly-None seed; an
+        # omitted seed only when the noise level was spelled out (a bare
+        # MemoryCellConfig() is usually re-seeded via dataclasses.replace).
+        explicit_none = seed is not None and can_be_none(seed)
+        omitted_with_noise = (
+            seed is None
+            and noise_value is not None
+            and noise_value > 0.0
+        )
+        if not (explicit_none or omitted_with_noise):
+            return None
+        return self.finding(
+            module,
+            call,
+            "MemoryCellConfig with active thermal noise and no replayable "
+            "seed; batch lowering of any run using it will refuse with "
+            f"{UNSEEDED_NOISE_REFUSAL!r}",
+            predicts=UNSEEDED_NOISE_REFUSAL,
+        )
+
+    def _check_randomised(
+        self,
+        module: ModuleContext,
+        call: ast.Call,
+        knob: str,
+        refusal: str,
+        classname: str,
+    ) -> LintFinding | None:
+        level = keyword_arg(call, knob)
+        if level is None:
+            return None
+        value = literal_number(level)
+        if value is None or value <= 0.0:
+            return None
+        if not self._seed_missing(call):
+            return None
+        return self.finding(
+            module,
+            call,
+            f"{classname} with {knob} > 0 and no replayable seed; batch "
+            f"lowering of any loop using it will refuse with {refusal!r}",
+            predicts=refusal,
+        )
+
+
+class ProbePairRule(LintRule):
+    """SC012: probe subclass overrides observe() xor observe_array()."""
+
+    code = "SC012"
+    name = "probe-pair-override"
+    severity = Severity.ERROR
+    description = (
+        "SignalProbe subclass overrides observe()/observe_array() "
+        "unpaired; scalar and lowered runs would observe differently."
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[LintFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                _matches_repro_class(
+                    module,
+                    base,
+                    _PROBE_QUALNAME,
+                    _PROBE_CLASSNAME,
+                    "repro.telemetry.probes",
+                )
+                for base in node.bases
+            ):
+                continue
+            defined = set(_defined_names(node))
+            has_scalar = "observe" in defined
+            has_array = "observe_array" in defined
+            if has_scalar == has_array:
+                continue
+            missing = "observe_array" if has_scalar else "observe"
+            refusal = probe_pair_refusal(node.name)
+            yield self.finding(
+                module,
+                node,
+                f"{node.name} overrides one observation hook without "
+                f"{missing}(); the scalar loop and the lowered replay "
+                "would record different statistics -- batch lowering will "
+                f"refuse with {refusal!r}",
+                predicts=refusal,
+            )
+
+
+LOWERABILITY_RULES: tuple[type[LintRule], ...] = (
+    ProtocolOverrideRule,
+    RefusingConfigRule,
+    ProbePairRule,
+)

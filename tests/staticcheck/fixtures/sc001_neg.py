@@ -1,0 +1,20 @@
+"""SC001 negative fixture: seeded construction is always fine."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_literal():
+    return np.random.default_rng(7)
+
+
+def seeded_positional(seed):
+    return default_rng(seed)
+
+
+def seeded_keyword(seed):
+    return np.random.default_rng(seed=seed)
+
+
+def not_the_module(np_like):
+    return np_like.random.default_rng()

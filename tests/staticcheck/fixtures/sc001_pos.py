@@ -1,0 +1,20 @@
+"""SC001 positive fixture: RNGs constructed without a replayable seed."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh():
+    return np.random.default_rng()
+
+
+def aliased():
+    return default_rng()
+
+
+def explicit_none():
+    return np.random.default_rng(None)
+
+
+def fallback(seed=None):
+    return np.random.default_rng(seed if seed is not None else None)

@@ -1,0 +1,11 @@
+"""SC002 negative fixture: generator-method draws carry their own seed."""
+
+import numpy as np
+
+
+def draw(rng):
+    return rng.normal(0.0, 1.0)
+
+
+def draw_typed(rng: np.random.Generator):
+    return rng.standard_normal(4)

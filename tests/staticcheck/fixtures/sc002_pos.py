@@ -1,0 +1,12 @@
+"""SC002 positive fixture: draws from the shared global numpy RNG."""
+
+import numpy as np
+import numpy.random as npr
+
+
+def draw():
+    return np.random.normal(0.0, 1.0)
+
+
+def draw_alias():
+    return npr.uniform()

@@ -1,0 +1,11 @@
+# staticcheck: cache-key-module
+"""SC003 positive fixture: unordered iteration in a cache-key module."""
+
+import os
+
+
+def key_parts(flags):
+    parts = [flag for flag in {"noise", "mismatch"}]
+    for name in os.listdir("."):
+        parts.append(name)
+    return parts

@@ -1,0 +1,11 @@
+# staticcheck: cache-key-module
+"""SC003 negative fixture: sorted iteration and manifest-derived seeds."""
+
+
+def key_parts(flags):
+    return [flag for flag in sorted({"noise", "mismatch"})]
+
+
+def seeded_from_manifest(manifest):
+    run_seed = manifest["seed"]
+    return run_seed

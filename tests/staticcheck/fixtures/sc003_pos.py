@@ -1,0 +1,14 @@
+"""SC003 positive fixture: wall-clock values feeding seeds."""
+
+import time
+
+import numpy as np
+
+
+def stamped():
+    return np.random.default_rng(seed=int(time.time()))
+
+
+def derived():
+    run_seed = int(time.time_ns())
+    return run_seed

@@ -1,0 +1,12 @@
+# staticcheck: kernel-module
+"""SC004/SC005 negative fixture: kernels work on local copies."""
+
+import numpy as np
+
+
+def pure(state, values):
+    local = np.asarray(values, dtype=float).copy()
+    local[0] = state[0]
+    local += 1.0
+    local.sort()
+    return local

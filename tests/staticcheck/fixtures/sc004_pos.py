@@ -1,0 +1,12 @@
+# staticcheck: kernel-module
+"""SC004 positive fixture: kernel function mutates parameter arrays."""
+
+import numpy as np
+
+
+def corrupt(state, values):
+    state[0] = 1.0
+    values += 1.0
+    np.multiply(values, 2.0, out=values)
+    values.sort()
+    return values

@@ -1,0 +1,8 @@
+# staticcheck: kernel-module
+"""SC005 positive fixture: dtype-unstable conversion of a parameter."""
+
+import numpy as np
+
+
+def convert(samples):
+    return np.asarray(samples)

@@ -1,0 +1,7 @@
+"""SC005 negative fixture: same pattern outside a kernel module."""
+
+import numpy as np
+
+
+def convert(samples):
+    return np.asarray(samples)

@@ -1,0 +1,7 @@
+"""SC006 negative fixture: None default with in-function construction."""
+
+
+def accumulate(value, into=None):
+    into = [] if into is None else into
+    into.append(value)
+    return into

@@ -1,0 +1,16 @@
+"""SC006 positive fixture: mutable default arguments."""
+
+import numpy as np
+
+
+def accumulate(value, into=[]):
+    into.append(value)
+    return into
+
+
+def tabulate(rows, cache={}):
+    return cache
+
+
+def window(samples, weights=np.ones(4)):
+    return samples * weights

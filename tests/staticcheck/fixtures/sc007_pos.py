@@ -1,0 +1,7 @@
+"""SC007 positive fixture: stdlib random in library code."""
+
+import random
+
+
+def roll():
+    return random.random()

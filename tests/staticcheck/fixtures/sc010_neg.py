@@ -1,0 +1,15 @@
+"""SC010 negative fixture: subclasses inside the lowering protocol."""
+
+from repro.si.delay_line import DelayLine
+
+
+class LabeledLine(DelayLine):
+    def __init__(self, config=None, n_cells=2, label="line"):
+        super().__init__(config, n_cells)
+        self.label = label
+
+    def describe_graph(self):
+        return super().describe_graph()
+
+    def extra_report(self):
+        return self.label

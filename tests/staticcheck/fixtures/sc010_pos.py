@@ -1,0 +1,14 @@
+"""SC010 positive fixture: subclasses stepping outside the protocol."""
+
+from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.si.delay_line import DelayLine
+
+
+class TamperedLine(DelayLine):
+    def run(self, differential_input):
+        return differential_input
+
+
+class SoftQuantizer(CurrentQuantizer):
+    def decide(self, input_current):
+        return 1

@@ -1,0 +1,33 @@
+"""SC011 negative fixture: seeded or noiseless constructions lower fine."""
+
+from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.si.memory_cell import MemoryCellConfig
+
+
+def seeded_cell():
+    return MemoryCellConfig(seed=11)
+
+
+def quiet_cell():
+    return MemoryCellConfig(seed=None, thermal_noise_rms=0.0)
+
+
+def plain_default():
+    return MemoryCellConfig()
+
+
+def computed_noise(level):
+    return MemoryCellConfig(seed=None, thermal_noise_rms=level)
+
+
+def ideal_quantizer():
+    return CurrentQuantizer(metastability_band=0.0)
+
+
+def seeded_quantizer():
+    return CurrentQuantizer(metastability_band=5e-9, seed=3)
+
+
+def seeded_dac():
+    return FeedbackDac(reference_noise_rms=2e-9, seed=5)

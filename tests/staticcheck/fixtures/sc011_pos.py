@@ -1,0 +1,21 @@
+"""SC011 positive fixture: constructions every batch run will refuse."""
+
+from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.si.memory_cell import MemoryCellConfig
+
+
+def noisy_unseeded_cell():
+    return MemoryCellConfig(seed=None)
+
+
+def spelled_out_noise():
+    return MemoryCellConfig(thermal_noise_rms=33e-9)
+
+
+def jittery_quantizer():
+    return CurrentQuantizer(metastability_band=5e-9)
+
+
+def noisy_dac():
+    return FeedbackDac(reference_noise_rms=2e-9, seed=None)

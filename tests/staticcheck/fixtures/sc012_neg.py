@@ -1,0 +1,16 @@
+"""SC012 negative fixture: paired override, or no observation override."""
+
+from repro.telemetry.probes import SignalProbe
+
+
+class MirrorProbe(SignalProbe):
+    def observe(self, value):
+        super().observe(value)
+
+    def observe_array(self, values):
+        super().observe_array(values)
+
+
+class NamedProbe(SignalProbe):
+    def describe(self):
+        return self.name

@@ -1,0 +1,8 @@
+"""SC012 positive fixture: unpaired probe observation override."""
+
+from repro.telemetry.probes import SignalProbe
+
+
+class PeakProbe(SignalProbe):
+    def observe(self, value):
+        super().observe(value)

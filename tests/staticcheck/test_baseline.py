@@ -1,0 +1,121 @@
+"""Suppression-baseline behaviour: matching, staleness, malformed files."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.staticcheck import Baseline, BaselineEntry, run_lint
+
+SOURCE = '''"""Module with one deliberate unseeded fallback."""
+
+import numpy as np
+
+
+def fallback(rng=None):
+    return rng if rng is not None else np.random.default_rng()
+'''
+
+ANCHOR = "return rng if rng is not None else np.random.default_rng()"
+
+
+def _write_module(tmp_path):
+    target = tmp_path / "boundary.py"
+    target.write_text(SOURCE)
+    return target
+
+
+def _baseline_file(tmp_path, entries):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 1, "entries": entries}))
+    return path
+
+
+def _entry(**overrides):
+    entry = {
+        "rule": "SC001",
+        "path": "boundary.py",
+        "anchor": ANCHOR,
+        "reason": "API seed boundary; callers may opt out of replay.",
+    }
+    entry.update(overrides)
+    return entry
+
+
+def test_matching_entry_suppresses_the_finding(tmp_path):
+    module = _write_module(tmp_path)
+    baseline = _baseline_file(tmp_path, [_entry()])
+    report = run_lint([module], baseline=baseline)
+    assert report.findings == ()
+    assert [f.rule for f in report.suppressed] == ["SC001"]
+    assert report.exit_code(strict=True) == 0
+
+
+def test_without_baseline_the_finding_survives(tmp_path):
+    module = _write_module(tmp_path)
+    report = run_lint([module])
+    assert [f.rule for f in report.findings] == ["SC001"]
+    assert report.exit_code() == 1
+
+
+def test_stale_entry_raises_sc000(tmp_path):
+    module = _write_module(tmp_path)
+    baseline = _baseline_file(
+        tmp_path,
+        [_entry(), _entry(anchor="self._rng = np.random.default_rng()")],
+    )
+    report = run_lint([module], baseline=baseline)
+    assert [f.rule for f in report.findings] == ["SC000"]
+    assert "stale suppression" in report.findings[0].message
+    assert report.exit_code(strict=True) == 1
+    assert report.exit_code(strict=False) == 0
+
+
+def test_entry_for_unscanned_file_is_not_stale(tmp_path):
+    module = _write_module(tmp_path)
+    baseline = _baseline_file(
+        tmp_path, [_entry(), _entry(path="somewhere/else.py")]
+    )
+    report = run_lint([module], baseline=baseline)
+    assert report.findings == ()
+
+
+def test_baseline_path_may_be_a_suffix_of_the_scanned_path(tmp_path):
+    module = _write_module(tmp_path)
+    entry = BaselineEntry(
+        rule="SC001", path="boundary.py", anchor=ANCHOR, reason="boundary"
+    )
+    report = run_lint([module], baseline=Baseline([entry]))
+    assert report.findings == ()
+    assert len(report.suppressed) == 1
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    module = _write_module(tmp_path)
+    report = run_lint([module], baseline=tmp_path / "absent.json")
+    assert [f.rule for f in report.findings] == ["SC001"]
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all {",
+        json.dumps([1, 2, 3]),
+        json.dumps({"entries": "nope"}),
+        json.dumps({"entries": [{"rule": "SC001"}]}),
+        json.dumps({"entries": [42]}),
+    ],
+)
+def test_malformed_baseline_is_a_configuration_error(tmp_path, payload):
+    module = _write_module(tmp_path)
+    bad = tmp_path / "bad.json"
+    bad.write_text(payload)
+    with pytest.raises(ConfigurationError):
+        run_lint([module], baseline=bad)
+
+
+def test_entry_requires_a_nonempty_reason(tmp_path):
+    module = _write_module(tmp_path)
+    baseline = _baseline_file(tmp_path, [_entry(reason="   ")])
+    with pytest.raises(ConfigurationError, match="reason"):
+        run_lint([module], baseline=baseline)

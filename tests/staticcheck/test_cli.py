@@ -1,0 +1,100 @@
+"""CLI behaviour of ``repro lint``: exit codes, JSON output, the gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CLEAN = '''"""A module with nothing to report."""
+
+
+def double(value):
+    return 2.0 * value
+'''
+
+
+@pytest.fixture
+def clean_module(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    return target
+
+
+def test_clean_module_exits_zero(clean_module, capsys):
+    assert main(["lint", str(clean_module), "--no-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+    assert "LINT" in out
+
+
+def test_errors_exit_one(capsys):
+    code = main(["lint", str(FIXTURES / "sc001_pos.py"), "--no-baseline"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "SC001" in out
+
+
+def test_warnings_gate_only_under_strict(capsys):
+    fixture = str(FIXTURES / "sc006_pos.py")
+    assert main(["lint", fixture, "--no-baseline"]) == 0
+    assert main(["lint", fixture, "--no-baseline", "--strict"]) == 1
+
+
+def test_ignore_lifts_the_gate():
+    fixture = str(FIXTURES / "sc001_pos.py")
+    assert main(["lint", fixture, "--no-baseline", "--ignore", "SC001"]) == 0
+
+
+def test_unknown_select_code_exits_two(capsys):
+    code = main(["lint", str(FIXTURES), "--no-baseline", "--select", "SC999"])
+    assert code == 2
+    assert "SC999" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope"), "--no-baseline"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_non_python_file_exits_two(tmp_path, capsys):
+    target = tmp_path / "notes.txt"
+    target.write_text("hello")
+    assert main(["lint", str(target), "--no-baseline"]) == 2
+
+
+def test_json_report_written(clean_module, tmp_path, capsys):
+    out_path = tmp_path / "lint.json"
+    fixture = str(FIXTURES / "sc012_pos.py")
+    main(["lint", fixture, "--no-baseline", "--json", str(out_path)])
+    payload = json.loads(out_path.read_text())
+    assert payload["checked_files"] == 1
+    assert payload["counts"]["error"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "SC012"
+    assert finding["predicts"].startswith("no bit-exact lowering")
+
+
+def test_repo_gate_is_clean(monkeypatch, capsys):
+    """The CI gate: repo sources pass strict lint with the baseline."""
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "src/repro", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed" in out
+
+
+def test_repo_gate_fires_without_the_baseline(monkeypatch, capsys):
+    """Removing the baseline must surface the recorded exceptions."""
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "src/repro", "--strict", "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "SC001" in out and "SC010" in out
+
+
+def test_lint_listed_in_command_overview(capsys):
+    main(["--list"])
+    assert "lint" in capsys.readouterr().out
