@@ -14,6 +14,9 @@ Usage::
     python -m repro report mod2 --json out.json   # paper-metrics manifest
     python -m repro compare out.json --strict     # diff vs golden baseline
     python -m repro sweep mod2 --jobs 4           # parallel batched DR sweep
+    python -m repro stats mod2 --json s.json      # instrument counters
+    python -m repro stats --diff a.json b.json    # gate on counter changes
+    python -m repro profile mod2 --fast           # self/total-time profile
     python -m repro bench-gate                    # benchmark regression gate
     python -m repro --list       # list the commands
 
@@ -33,13 +36,25 @@ number of the paper as a typed, provenance-stamped record.  ``repro
 compare <manifest>`` diffs such a manifest against a committed golden
 baseline in ``baselines/`` and the paper's published values, exiting
 non-zero when a gated metric regressed past its tolerance.
+
+``repro stats <design>`` runs the sweep under a fresh instrument
+registry (:mod:`repro.observability`) and prints what the runtime
+layer did -- cache hits/misses, engine fallbacks, shard timings --
+with worker-process counts merged in; ``repro stats --diff`` gates two
+such snapshots with the manifest compare's verdict ladder.  ``repro
+profile <design|spec.json>`` collapses the traced span tree into a
+self/total-time table (and, with ``--json``, collapsed flamegraph
+stacks).  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep startup light
+    from repro.runtime.sweeps import SweepSpec
 
 import numpy as np
 
@@ -319,10 +334,12 @@ def cmd_sweep(
     cache: bool = True,
     cache_dir: str | None = None,
     json_path: str | None = None,
+    profile: bool = False,
 ) -> int:
     """Run a dynamic-range sweep through the parallel batch engine."""
     import json
 
+    from repro.observability.instruments import InstrumentRegistry, use_registry
     from repro.runtime import ResultCache, SweepExecutor
     from repro.runtime.sweeps import (
         DEFAULT_LEVELS_DB,
@@ -337,9 +354,21 @@ def cmd_sweep(
         levels_db=tuple(levels) if levels else DEFAULT_LEVELS_DB,
     )
     result_cache = ResultCache(cache_dir) if cache else None
-    result = run_sweep(
-        spec, executor=SweepExecutor(jobs=jobs), cache=result_cache
-    )
+    session = None
+    if profile:
+        from repro.telemetry.session import TelemetrySession
+
+        session = TelemetrySession(spec.design)
+    # A fresh registry isolates this sweep's instruments from whatever
+    # the process accumulated before; worker snapshots merge into it.
+    registry = InstrumentRegistry()
+    with use_registry(registry):
+        result = run_sweep(
+            spec,
+            executor=SweepExecutor(jobs=jobs),
+            cache=result_cache,
+            telemetry=session,
+        )
     table = Table(
         f"{spec.design}: SNDR vs input level "
         f"({spec.n_samples} samples/lane, {jobs} job(s))",
@@ -371,6 +400,11 @@ def cmd_sweep(
             f"cache: {result_cache.hits} hit(s), "
             f"{result_cache.misses} miss(es) in {result_cache.directory}"
         )
+    if session is not None:
+        # One merged tree: the parent sweep span with each worker's
+        # shard:<index> subtree grafted under it.
+        print(session.render_span_tree())
+        print(registry.render_table(title=f"instruments: {spec.design}"))
     if json_path is not None:
         payload = {
             "design": spec.design,
@@ -385,6 +419,192 @@ def cmd_sweep(
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"sweep written to {json_path}")
+    return 0
+
+
+def cmd_stats(
+    design: str | None = None,
+    fast: bool = False,
+    samples: int | None = None,
+    levels: list[float] | None = None,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: str | None = None,
+    json_path: str | None = None,
+    diff: list[str] | None = None,
+    strict: bool = False,
+    prometheus: bool = False,
+) -> int:
+    """Run a sweep and print its instrument counters, or diff two snapshots."""
+    from repro.errors import ConfigurationError, ObservabilityError
+    from repro.observability.instruments import InstrumentRegistry, use_registry
+    from repro.observability.stats import (
+        diff_snapshots,
+        load_stats_json,
+        write_stats_json,
+    )
+
+    if diff is not None:
+        try:
+            current = load_stats_json(diff[0])
+            baseline = load_stats_json(diff[1])
+            report = diff_snapshots(current, baseline)
+        except ObservabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.render_table())
+        print(report.summary())
+        return report.exit_code(strict=strict)
+
+    if design is None:
+        print(
+            "error: a design is required unless --diff is given",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.runtime import ResultCache, SweepExecutor
+    from repro.runtime.sweeps import (
+        DEFAULT_LEVELS_DB,
+        run_sweep,
+        sweep_spec_for_design,
+    )
+
+    n_samples = samples if samples is not None else (1 << 13 if fast else 1 << 15)
+    try:
+        spec = sweep_spec_for_design(
+            design,
+            n_samples=2 * n_samples,  # spec halves the main FFT length
+            levels_db=tuple(levels) if levels else DEFAULT_LEVELS_DB,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # A fresh registry means the printed counts describe exactly this
+    # run -- worker snapshots merge into it across the process boundary.
+    registry = InstrumentRegistry()
+    with use_registry(registry):
+        run_sweep(
+            spec,
+            executor=SweepExecutor(jobs=jobs),
+            cache=ResultCache(cache_dir) if cache else None,
+        )
+    print(registry.render_table(title=f"instruments: {spec.design}"))
+    if prometheus:
+        print(registry.to_prometheus_text(), end="")
+    if json_path is not None:
+        config: dict[str, object] = {
+            "design": spec.design,
+            "n_samples": spec.n_samples,
+            "levels_db": list(spec.levels_db),
+            "jobs": jobs,
+            "cache": cache,
+        }
+        target = write_stats_json(
+            json_path, registry.snapshot(), design=spec.design, config=config
+        )
+        print(f"stats written to {target}")
+    return 0
+
+
+def _sweep_spec_from_json(path: str) -> "SweepSpec":
+    """Load a SweepSpec from a JSON file of its constructor fields."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.runtime.sweeps import SweepSpec
+
+    try:
+        raw = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ConfigurationError(f"sweep spec not found: {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read sweep spec {path}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ConfigurationError(f"sweep spec {path} is not a JSON object")
+    if "levels_db" in raw and isinstance(raw["levels_db"], list):
+        raw["levels_db"] = tuple(float(level) for level in raw["levels_db"])
+    try:
+        return SweepSpec(**raw)
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid sweep spec {path}: {exc}") from exc
+
+
+def cmd_profile(
+    target: str,
+    fast: bool = False,
+    samples: int | None = None,
+    sweep: bool = True,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: str | None = None,
+    json_path: str | None = None,
+) -> int:
+    """Profile a design report (or a sweep-spec JSON): where time went."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError, MetricsError
+    from repro.observability.profile import (
+        aggregate_profile,
+        collapsed_stacks,
+        render_profile_table,
+    )
+    from repro.observability.spanio import span_to_dict
+    from repro.observability.stats import PROFILE_SCHEMA
+    from repro.telemetry.session import TelemetrySession
+
+    if target.endswith(".json"):
+        from repro.runtime import ResultCache, SweepExecutor
+        from repro.runtime.sweeps import run_sweep
+
+        try:
+            spec = _sweep_spec_from_json(target)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        session = TelemetrySession(spec.design)
+        run_sweep(
+            spec,
+            executor=SweepExecutor(jobs=jobs),
+            cache=ResultCache(cache_dir) if cache else None,
+            telemetry=session,
+        )
+    else:
+        from repro.metrics import build_report
+
+        n_samples = (
+            samples if samples is not None else (1 << 14 if fast else 1 << 16)
+        )
+        session = TelemetrySession(target)
+        try:
+            build_report(
+                target,
+                n_samples=n_samples,
+                sweep=sweep,
+                jobs=jobs,
+                use_cache=cache,
+                cache_dir=cache_dir,
+                session=session,
+            )
+        except (ConfigurationError, MetricsError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    rows = aggregate_profile(session.roots)
+    print(session.render_span_tree())
+    print(render_profile_table(rows))
+    if json_path is not None:
+        document: dict[str, object] = {
+            "schema": PROFILE_SCHEMA,
+            "target": target,
+            "rows": [row.as_dict() for row in rows],
+            "collapsed_stacks": collapsed_stacks(session.roots),
+            "spans": [span_to_dict(root) for root in session.roots],
+        }
+        Path(json_path).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"profile written to {json_path}")
     return 0
 
 
@@ -790,6 +1010,143 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the sweep table as JSON to PATH",
     )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the merged span tree (parent + grafted worker "
+        "shards) and the run's instrument counters",
+    )
+    stats = subparsers.add_parser(
+        "stats",
+        help=_first_doc_line(cmd_stats),
+        description=_first_doc_line(cmd_stats),
+    )
+    stats.add_argument(
+        "design",
+        nargs="?",
+        default=None,
+        help="design to sweep and account (omit with --diff)",
+    )
+    stats.add_argument(
+        "--fast",
+        action="store_true",
+        help="use shorter lanes (8K samples instead of 32K)",
+    )
+    stats.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="samples per lane (overrides --fast)",
+    )
+    stats.add_argument(
+        "--levels",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="DB",
+        help="input levels in dB re full scale (default: the report sweep)",
+    )
+    stats.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes sharding the lanes (default: 1)",
+    )
+    stats.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="skip the on-disk result cache",
+    )
+    stats.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    stats.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the instrument snapshot as a stats document to PATH",
+    )
+    stats.add_argument(
+        "--prom",
+        dest="prometheus",
+        action="store_true",
+        help="also print the Prometheus text exposition",
+    )
+    stats.add_argument(
+        "--diff",
+        nargs=2,
+        default=None,
+        metavar=("CURRENT", "BASELINE"),
+        help="diff two stats documents instead of running a sweep "
+        "(exit 1 when a gated counter increased)",
+    )
+    stats.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --diff, also exit non-zero on warnings",
+    )
+    profile = subparsers.add_parser(
+        "profile",
+        help=_first_doc_line(cmd_profile),
+        description=_first_doc_line(cmd_profile),
+    )
+    profile.add_argument(
+        "target",
+        help="design to profile, or a sweep-spec JSON file "
+        "(a file of SweepSpec fields; detected by the .json suffix)",
+    )
+    profile.add_argument(
+        "--fast",
+        action="store_true",
+        help="use a shorter run (16K samples instead of 64K)",
+    )
+    profile.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analysed sample count (overrides --fast)",
+    )
+    profile.add_argument(
+        "--no-sweep",
+        dest="sweep",
+        action="store_false",
+        help="skip the dynamic-range sweep (design targets)",
+    )
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (default: 1)",
+    )
+    profile.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="skip the on-disk sweep result cache",
+    )
+    profile.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    profile.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the profile document (rows, collapsed stacks, "
+        "span tree) as JSON to PATH",
+    )
     bench_gate = subparsers.add_parser(
         "bench-gate",
         help=_first_doc_line(cmd_bench_gate),
@@ -851,6 +1208,8 @@ def list_commands() -> str:
     lines.append(f"  {'report':10s} {_first_doc_line(cmd_report)}")
     lines.append(f"  {'compare':10s} {_first_doc_line(cmd_compare)}")
     lines.append(f"  {'sweep':10s} {_first_doc_line(cmd_sweep)}")
+    lines.append(f"  {'stats':10s} {_first_doc_line(cmd_stats)}")
+    lines.append(f"  {'profile':10s} {_first_doc_line(cmd_profile)}")
     lines.append(f"  {'bench-gate':10s} {_first_doc_line(cmd_bench_gate)}")
     return "\n".join(lines)
 
@@ -912,6 +1271,34 @@ def main(argv: list[str] | None = None) -> int:
             fast=args.fast,
             samples=args.samples,
             levels=args.levels,
+            jobs=args.jobs,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            json_path=args.json_path,
+            profile=args.profile,
+        )
+
+    if args.command == "stats":
+        return cmd_stats(
+            args.design,
+            fast=args.fast,
+            samples=args.samples,
+            levels=args.levels,
+            jobs=args.jobs,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+            json_path=args.json_path,
+            diff=args.diff,
+            strict=args.strict,
+            prometheus=args.prometheus,
+        )
+
+    if args.command == "profile":
+        return cmd_profile(
+            args.target,
+            fast=args.fast,
+            samples=args.samples,
+            sweep=args.sweep,
             jobs=args.jobs,
             cache=args.cache,
             cache_dir=args.cache_dir,

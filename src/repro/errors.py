@@ -61,6 +61,19 @@ class TelemetryError(ReproError):
     """
 
 
+class ObservabilityError(ReproError):
+    """The observability API was misused or fed malformed data.
+
+    Raised on invalid instrument names or kinds (re-registering a
+    counter as a gauge), negative counter increments, malformed
+    snapshot documents handed to merge/diff, and unparsable serialized
+    span records.  Instrument *values* are never exceptions -- drift
+    between two snapshots is an
+    :class:`~repro.observability.stats.InstrumentDiff`, surfaced as a
+    process exit code by ``repro stats --diff``.
+    """
+
+
 class MetricsError(ReproError):
     """The paper-metrics layer was misused or fed malformed data.
 

@@ -56,6 +56,13 @@ class RunManifest:
     provenance:
         Attribution block; collected from the current process when
         omitted.
+    instruments:
+        Optional instrument-snapshot delta
+        (:func:`repro.observability.instruments.snapshot_delta`):
+        what the run's runtime layer did -- cache hits/misses, engine
+        fallbacks, shard counts.  Stored verbatim; empty means "not
+        collected" and is omitted from the JSON document, so manifests
+        written before this section existed stay byte-compatible.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class RunManifest:
         metrics: Sequence[MetricRecord],
         config: Mapping[str, object] | None = None,
         provenance: Provenance | None = None,
+        instruments: Mapping[str, object] | None = None,
     ) -> None:
         if not design:
             raise MetricsError("manifest design must be non-empty")
@@ -73,6 +81,7 @@ class RunManifest:
         self.provenance = (
             provenance if provenance is not None else collect_provenance()
         )
+        self.instruments: dict[str, object] = dict(instruments or {})
 
     def get(self, name: str) -> MetricRecord | None:
         """Return the record for a metric name, or None."""
@@ -84,14 +93,23 @@ class RunManifest:
     # -- serialization -------------------------------------------------
 
     def as_dict(self) -> dict[str, object]:
-        """Return the manifest as a JSON-ready dictionary."""
-        return {
+        """Return the manifest as a JSON-ready dictionary.
+
+        The ``instruments`` section appears only when a snapshot delta
+        with at least one instrument was attached -- older manifests
+        (and runs that never collected instruments) round-trip without
+        the key.
+        """
+        out: dict[str, object] = {
             "schema": MANIFEST_SCHEMA,
             "design": self.design,
             "config": self.config,
             "provenance": self.provenance.as_dict(),
             "metrics": [record.as_dict() for record in self.metrics],
         }
+        if self.instruments.get("instruments"):
+            out["instruments"] = self.instruments
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "RunManifest":
@@ -115,6 +133,7 @@ class RunManifest:
             raise MetricsError("manifest metrics must be a list")
         config = data.get("config")
         provenance = data.get("provenance")
+        instruments = data.get("instruments")
         return cls(
             design=design,
             metrics=[
@@ -126,6 +145,7 @@ class RunManifest:
             provenance=Provenance.from_dict(
                 provenance if isinstance(provenance, dict) else {}
             ),
+            instruments=instruments if isinstance(instruments, dict) else None,
         )
 
     def write_json(self, path: str | Path) -> Path:
@@ -196,6 +216,7 @@ def manifest_from_registry(
     registry: MetricRegistry,
     config: Mapping[str, object] | None = None,
     provenance: Provenance | None = None,
+    instruments: Mapping[str, object] | None = None,
 ) -> RunManifest:
     """Build a manifest from a registry's filed records."""
     return RunManifest(
@@ -203,6 +224,7 @@ def manifest_from_registry(
         metrics=registry.records,
         config=config,
         provenance=provenance,
+        instruments=instruments,
     )
 
 

@@ -33,6 +33,7 @@ from repro.metrics.extractors import (
 from repro.metrics.manifest import RunManifest, manifest_from_registry
 from repro.metrics.provenance import Provenance
 from repro.metrics.registry import registry_for
+from repro.observability.instruments import get_registry, snapshot_delta
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import SweepExecutor
 from repro.runtime.sweeps import run_sweep, sweep_spec_for_design
@@ -149,6 +150,12 @@ def build_report(
     registry = registry_for(setup.name)
     transform = _degrade_transform(noise_scale, mismatch)
 
+    # Snapshot the process-wide instrument registry up front: the
+    # manifest embeds the *delta* -- what this run did, not what the
+    # process accumulated before it.
+    instrument_registry = get_registry()
+    instruments_before = instrument_registry.snapshot()
+
     if session is None:
         session = TelemetrySession(setup.name)
     device = setup.build(transform)
@@ -158,6 +165,7 @@ def build_report(
         n_samples=n_samples,
         bandwidth=setup.bandwidth,
         telemetry=session,
+        observe=instrument_registry,
     )
     result = bench.measure(
         device, amplitude=setup.amplitude, frequency=setup.frequency
@@ -248,4 +256,11 @@ def build_report(
 
     telemetry_event_records(registry, session)
     throughput_records(registry, session)
-    return manifest_from_registry(registry, config=config, provenance=provenance)
+    return manifest_from_registry(
+        registry,
+        config=config,
+        provenance=provenance,
+        instruments=snapshot_delta(
+            instruments_before, instrument_registry.snapshot()
+        ),
+    )

@@ -1,0 +1,104 @@
+"""Cross-process runtime observability.
+
+The legibility layer over :mod:`repro.runtime` and
+:mod:`repro.telemetry` (stdlib + numpy only):
+
+* :mod:`repro.observability.instruments` -- the process-wide registry
+  of named counters, gauges and fixed-bucket histograms with labeled
+  series, snapshot/merge semantics and JSON / Prometheus-style text
+  exposition;
+* :mod:`repro.observability.spanio` -- serializable span subtrees and
+  the :class:`WorkerTelemetry` payload sharded workers ship back, so
+  the parent's ``render_span_tree`` shows one merged tree;
+* :mod:`repro.observability.profile` -- collapse any span forest into
+  a self/total-time table and collapsed-stack flamegraph text;
+* :mod:`repro.observability.stats` -- provenance-stamped snapshot
+  documents and the ``repro stats --diff`` verdict gate.
+
+See ``docs/OBSERVABILITY.md`` for the instrument naming convention and
+the cross-process propagation contract.
+"""
+
+from repro.observability.instruments import (
+    DEFAULT_BUCKETS,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+    snapshot_delta,
+    use_registry,
+)
+from repro.observability.profile import (
+    ProfileRow,
+    aggregate_profile,
+    collapsed_stacks,
+    render_profile_table,
+)
+from repro.observability.spanio import (
+    WorkerTelemetry,
+    graft_spans,
+    span_from_dict,
+    span_to_dict,
+)
+
+#: Names re-exported lazily from :mod:`repro.observability.stats`.
+#: That module shares the verdict ladder with ``repro.metrics.compare``,
+#: and ``repro.metrics`` imports the runtime layer (which imports this
+#: package) -- an eager import here would be circular.  Import from
+#: ``repro.observability.stats`` directly for precise static types.
+_STATS_EXPORTS = frozenset(
+    {
+        "GATED_COUNTERS",
+        "PROFILE_SCHEMA",
+        "STATS_SCHEMA",
+        "InstrumentDiff",
+        "StatsDiffReport",
+        "diff_snapshots",
+        "load_stats_json",
+        "write_stats_json",
+    }
+)
+
+
+def __getattr__(name: str) -> object:
+    if name in _STATS_EXPORTS:
+        from repro.observability import stats
+
+        return getattr(stats, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "SNAPSHOT_SCHEMA",
+    "STATS_SCHEMA",
+    "PROFILE_SCHEMA",
+    "GATED_COUNTERS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentRegistry",
+    "InstrumentDiff",
+    "StatsDiffReport",
+    "ProfileRow",
+    "WorkerTelemetry",
+    "aggregate_profile",
+    "collapsed_stacks",
+    "diff_snapshots",
+    "get_registry",
+    "graft_spans",
+    "load_stats_json",
+    "render_profile_table",
+    "reset_registry",
+    "set_registry",
+    "snapshot_delta",
+    "span_from_dict",
+    "span_to_dict",
+    "use_registry",
+    "write_stats_json",
+]

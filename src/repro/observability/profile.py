@@ -1,0 +1,164 @@
+"""Profile aggregation: collapse a span tree into self/total time.
+
+A span tree answers "what happened, in order"; a profile answers
+"where did the time go".  :func:`aggregate_profile` collapses any span
+forest into per-name rows of call count, total (inclusive) time and
+self (exclusive) time -- self time being a span's duration minus its
+timed children's, clamped at zero for the rare clock-skew case.
+Untimed structural spans contribute call counts and samples but no
+time.
+
+:func:`collapsed_stacks` renders the same forest in the collapsed
+flamegraph format (``root;child;leaf <microseconds>``, one line per
+unique stack, self time as the value) that flamegraph.pl, speedscope
+and friends consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "ProfileRow",
+    "aggregate_profile",
+    "render_profile_table",
+    "collapsed_stacks",
+]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One span name's aggregated timing.
+
+    Attributes
+    ----------
+    name:
+        Span name (``measure``, ``device``, ``shard:0``...).
+    count:
+        How many spans carried this name.
+    total_s:
+        Inclusive wall time: the sum of these spans' durations.
+    self_s:
+        Exclusive wall time: duration minus timed children, summed.
+    samples:
+        Total samples the spans accounted, or None when none did.
+    """
+
+    name: str
+    count: int
+    total_s: float
+    self_s: float
+    samples: int | None
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the row as a JSON-ready dictionary."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "samples": self.samples,
+        }
+
+
+def _self_time(span: Span) -> float:
+    """Return a span's exclusive time (0 for untimed spans)."""
+    if span.duration_s is None:
+        return 0.0
+    children = sum(
+        child.duration_s
+        for child in span.children
+        if child.duration_s is not None
+    )
+    return max(0.0, span.duration_s - children)
+
+
+def aggregate_profile(roots: Iterable[Span]) -> list[ProfileRow]:
+    """Collapse a span forest into per-name profile rows.
+
+    Rows are sorted by self time descending, then name, so the table
+    reads top-down as "what to optimise next".
+    """
+    counts: dict[str, int] = {}
+    totals: dict[str, float] = {}
+    selves: dict[str, float] = {}
+    samples: dict[str, int | None] = {}
+    for root in roots:
+        for _, span in root.walk():
+            name = span.name
+            counts[name] = counts.get(name, 0) + 1
+            totals[name] = totals.get(name, 0.0) + (span.duration_s or 0.0)
+            selves[name] = selves.get(name, 0.0) + _self_time(span)
+            if span.samples is not None:
+                prior = samples.get(name)
+                samples[name] = (prior or 0) + span.samples
+            else:
+                samples.setdefault(name, None)
+    rows = [
+        ProfileRow(
+            name=name,
+            count=counts[name],
+            total_s=totals[name],
+            self_s=selves[name],
+            samples=samples[name],
+        )
+        for name in counts
+    ]
+    rows.sort(key=lambda row: (-row.self_s, row.name))
+    return rows
+
+
+def render_profile_table(rows: Sequence[ProfileRow]) -> str:
+    """Render profile rows as a paper-style text table."""
+    from repro.reporting.tables import render_table
+
+    grand_self = sum(row.self_s for row in rows)
+    body = []
+    for row in rows:
+        share = 100.0 * row.self_s / grand_self if grand_self > 0.0 else 0.0
+        body.append(
+            (
+                row.name,
+                str(row.count),
+                f"{row.total_s * 1e3:.1f}",
+                f"{row.self_s * 1e3:.1f}",
+                f"{share:.1f}%",
+                str(row.samples) if row.samples is not None else "-",
+            )
+        )
+    if not body:
+        body = [("-", "-", "-", "-", "-", "no spans recorded")]
+    return render_table(
+        "profile (self time, descending)",
+        ("span", "calls", "total [ms]", "self [ms]", "self %", "samples"),
+        body,
+    )
+
+
+def collapsed_stacks(roots: Iterable[Span]) -> str:
+    """Render a span forest as collapsed flamegraph stacks.
+
+    One line per unique stack: semicolon-joined span names from the
+    root, a space, then the stack's *self* time in integer
+    microseconds.  Untimed structural spans still appear as frames
+    (their children's time nests under them); stacks whose rounded
+    self time is zero are dropped.  Lines are sorted for determinism.
+    """
+    stacks: dict[str, int] = {}
+
+    def visit(span: Span, prefix: str) -> None:
+        frame = f"{prefix};{span.name}" if prefix else span.name
+        value = int(round(_self_time(span) * 1e6))
+        if value > 0:
+            stacks[frame] = stacks.get(frame, 0) + value
+        for child in span.children:
+            visit(child, frame)
+
+    for root in roots:
+        visit(root, "")
+    return "\n".join(
+        f"{frame} {value}" for frame, value in sorted(stacks.items())
+    ) + ("\n" if stacks else "")

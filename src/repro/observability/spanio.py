@@ -1,0 +1,124 @@
+"""Serializable span subtrees: telemetry across the process boundary.
+
+:class:`~repro.telemetry.spans.Span` objects hold wall-clock state and
+parent links, so they never travel through ``pickle`` to worker
+processes.  What *does* travel is this module's plain-dict encoding:
+
+* a worker finishes its spans, encodes them with :func:`span_to_dict`
+  and ships them (plus its instrument snapshot) back inside a
+  :class:`WorkerTelemetry` payload attached to the shard result;
+* the parent rebuilds the subtree with :func:`span_from_dict` and
+  grafts it under its own open span (:func:`graft_spans`), so
+  ``render_span_tree`` shows one merged tree: the parent's sweep span
+  with per-shard worker children carrying real worker-side wall time,
+  queue wait and chunk sizes.
+
+Rebuilt spans are *finished structural* spans: their ``duration_s`` is
+fixed to the worker's measurement and they can never be re-started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ObservabilityError
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "WorkerTelemetry",
+    "span_to_dict",
+    "span_from_dict",
+    "graft_spans",
+]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce an attribute value to something JSON/pickle friendly."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def span_to_dict(span: Span) -> dict[str, object]:
+    """Encode a span subtree as a plain JSON-ready dictionary."""
+    return {
+        "name": span.name,
+        "samples": span.samples,
+        "duration_s": span.duration_s,
+        "attrs": {key: _jsonable(value) for key, value in span.attrs.items()},
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def span_from_dict(data: Mapping[str, object]) -> Span:
+    """Rebuild a span subtree from :func:`span_to_dict` output.
+
+    Raises
+    ------
+    ObservabilityError
+        If the record is not a well-formed span encoding.
+    """
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ObservabilityError(
+            f"serialized span has no name (got {name!r})"
+        )
+    samples = data.get("samples")
+    if samples is not None and not isinstance(samples, int):
+        raise ObservabilityError(
+            f"serialized span {name!r} has non-integer samples {samples!r}"
+        )
+    duration = data.get("duration_s")
+    if duration is not None and not isinstance(duration, (int, float)):
+        raise ObservabilityError(
+            f"serialized span {name!r} has non-numeric duration {duration!r}"
+        )
+    attrs = data.get("attrs")
+    span = Span(name, samples=samples)
+    if isinstance(attrs, Mapping):
+        span.attrs.update({str(key): value for key, value in attrs.items()})
+    span.duration_s = float(duration) if duration is not None else None
+    children = data.get("children")
+    if isinstance(children, Iterable) and not isinstance(children, (str, bytes)):
+        for child in children:
+            if not isinstance(child, Mapping):
+                raise ObservabilityError(
+                    f"serialized span {name!r} has a non-object child"
+                )
+            span.children.append(span_from_dict(child))
+    return span
+
+
+def graft_spans(
+    parent: Span, records: Iterable[Mapping[str, object]]
+) -> list[Span]:
+    """Rebuild serialized spans and attach them under ``parent``.
+
+    Returns the grafted spans so the caller can annotate them (the
+    sweep runner stamps each shard's engine and lane accounting on its
+    grafted root).
+    """
+    grafted = [span_from_dict(record) for record in records]
+    parent.children.extend(grafted)
+    return grafted
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """One worker call's telemetry, shipped back with its result.
+
+    Attributes
+    ----------
+    spans:
+        Serialized finished span subtrees (:func:`span_to_dict`), in
+        creation order.  For an executor shard this is the single
+        ``shard:<index>`` root covering the whole worker call.
+    instruments:
+        The worker's instrument-registry snapshot
+        (:meth:`~repro.observability.instruments.InstrumentRegistry.snapshot`),
+        merged into the parent registry on receipt.
+    """
+
+    spans: tuple[dict[str, object], ...]
+    instruments: dict[str, object]

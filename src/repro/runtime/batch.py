@@ -954,19 +954,30 @@ def batch_runner_for(
         raise ValueError(
             f"n_lanes and n_steps must be >= 1, got {n_lanes!r}, {n_steps!r}"
         )
-    reason = lowering_refusal(device)
-    if reason is not None:
-        raise BatchUnsupported(reason)
-    if isinstance(device, ClassABMemoryCell):
-        return BatchClassABCell(device, n_lanes, n_steps, lane_offset)
-    if isinstance(device, DelayLine):
-        return BatchDelayLine(device, n_lanes, n_steps, lane_offset)
-    if isinstance(device, BiquadCascade):
-        return BatchBiquadCascade(device, n_lanes, n_steps, lane_offset)
-    if isinstance(device, SIModulator1):
-        return BatchModulator1(device, n_lanes, n_steps, lane_offset)
-    if isinstance(device, SIModulator2):
-        return BatchModulator2(device, n_lanes, n_steps, lane_offset)
-    if isinstance(device, ChopperStabilizedSIModulator):
-        return BatchChopper(device, n_lanes, n_steps, lane_offset)
-    raise BatchUnsupported(f"no batch lowering for {type(device).__name__}")
+    try:
+        reason = lowering_refusal(device)
+        if reason is not None:
+            raise BatchUnsupported(reason)
+        if isinstance(device, ClassABMemoryCell):
+            return BatchClassABCell(device, n_lanes, n_steps, lane_offset)
+        if isinstance(device, DelayLine):
+            return BatchDelayLine(device, n_lanes, n_steps, lane_offset)
+        if isinstance(device, BiquadCascade):
+            return BatchBiquadCascade(device, n_lanes, n_steps, lane_offset)
+        if isinstance(device, SIModulator1):
+            return BatchModulator1(device, n_lanes, n_steps, lane_offset)
+        if isinstance(device, SIModulator2):
+            return BatchModulator2(device, n_lanes, n_steps, lane_offset)
+        if isinstance(device, ChopperStabilizedSIModulator):
+            return BatchChopper(device, n_lanes, n_steps, lane_offset)
+        raise BatchUnsupported(f"no batch lowering for {type(device).__name__}")
+    except BatchUnsupported:
+        # Imported lazily: this module sits below the observability
+        # layer in the import graph and only pays for it on refusal.
+        from repro.observability.instruments import get_registry
+
+        get_registry().counter(
+            "repro.batch.refusals",
+            help="batch lowerings refused (scalar fallback taken)",
+        ).inc(device=type(device).__name__)
+        raise

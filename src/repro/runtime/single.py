@@ -100,6 +100,14 @@ def consume_fallbacks() -> list[str]:
 def _note(device: object, reason: str) -> None:
     if len(_fallbacks) < _MAX_FALLBACKS:
         _fallbacks.append(f"{type(device).__name__}: {reason}")
+    # Imported lazily to keep the fast path's module-import footprint
+    # (and the hot accept path) free of registry machinery.
+    from repro.observability.instruments import get_registry
+
+    get_registry().counter(
+        "repro.single.fallbacks",
+        help="single runs that refused the fast path",
+    ).inc(device=type(device).__name__)
     return None
 
 

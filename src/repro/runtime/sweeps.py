@@ -46,8 +46,11 @@ from repro.runtime.batch import (
     batch_runner_for,
     fast_forward_streams,
 )
+from repro.observability.instruments import get_registry
+from repro.observability.spanio import WorkerTelemetry, graft_spans
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import ShardContext, SweepExecutor
+from repro.telemetry.spans import Span
 from repro.si.memory_cell import MemoryCellConfig
 from repro.systems.stimulus import coherent_frequency
 from repro.telemetry.designs import build_trace_setup
@@ -262,6 +265,33 @@ def _metrics_from_arrays(
     )
 
 
+def _absorb_worker_telemetry(
+    spec: SweepSpec,
+    shards: Sequence[_ShardResult],
+    telemetries: Sequence[WorkerTelemetry],
+    span: Span | None,
+) -> None:
+    """Merge worker snapshots into this process; graft worker spans.
+
+    Snapshots always merge into the current process-wide registry --
+    that is the path that keeps cache/engine counters from dying with
+    the worker processes.  Span grafting needs a parent, so it only
+    happens when the sweep runs under a session; each grafted
+    ``shard:<index>`` root is stamped with the shard's engine and
+    sample count so the merged tree reads like the old flat records
+    but with real worker-side wall time and queue wait.
+    """
+    registry = get_registry()
+    for shard, telemetry in zip(shards, telemetries):
+        registry.merge(telemetry.instruments)
+        if span is None:
+            continue
+        for root in graft_spans(span, telemetry.spans):
+            root.attrs["engine"] = shard.engine
+            if root.samples is None:
+                root.samples = len(shard.metrics) * spec.n_samples
+
+
 def run_sweep(
     spec: SweepSpec,
     executor: SweepExecutor | None = None,
@@ -281,8 +311,15 @@ def run_sweep(
         the result bit for bit from the stored metric arrays.
     telemetry:
         Optional session; the sweep is wrapped in a ``sweep`` span with
-        per-shard child records, which existing manifest extractors
-        ignore (they read only ``measure``/``device`` spans).
+        the workers' ``shard:<index>`` subtrees grafted under it, which
+        existing manifest extractors ignore (they read only
+        ``measure``/``device`` spans).  Executor timeout/retry events
+        additionally appear as ``event:EXECxxx`` structural spans.
+
+    Whether or not a session is passed, each shard's instrument
+    snapshot (cache counters, engine choices, shard timings) is merged
+    into the process-wide registry of
+    :func:`repro.observability.instruments.get_registry`.
 
     Raises
     ------
@@ -319,16 +356,18 @@ def run_sweep(
             cache="miss" if cache is not None else "off",
             jobs=executor.jobs,
         ) as span:
-            shards = executor.map(worker, levels)
-            for index, shard in enumerate(shards):
+            shards, worker_telemetry = executor.map_instrumented(worker, levels)
+            _absorb_worker_telemetry(spec, shards, worker_telemetry, span)
+            for event in executor.events:
                 span.record(
-                    f"shard{index}",
-                    samples=len(shard.metrics) * spec.n_samples,
-                    wall_s=shard.wall_s,
-                    engine=shard.engine,
+                    f"event:{event.rule}",
+                    severity=event.severity.name,
+                    source=event.source,
+                    message=event.message,
                 )
     else:
-        shards = executor.map(worker, levels)
+        shards, worker_telemetry = executor.map_instrumented(worker, levels)
+        _absorb_worker_telemetry(spec, shards, worker_telemetry, None)
 
     metrics = tuple(m for shard in shards for m in shard.metrics)
     if cache is not None:

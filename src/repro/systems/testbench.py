@@ -21,6 +21,7 @@ untraced code path.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -37,8 +38,23 @@ from repro.analysis.metrics import ToneMetrics, measure_tone
 from repro.analysis.spectrum import Spectrum, compute_spectrum
 from repro.analysis.windows import WindowKind
 from repro.erc.checker import check_design
+from repro.observability.instruments import InstrumentRegistry
 from repro.systems.stimulus import SineStimulus, coherent_frequency
 from repro.telemetry.session import TelemetrySession
+
+#: Bench measurement wall-time buckets (seconds).
+_MEASURE_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+)
 
 __all__ = ["BenchMeasurement", "TestBench"]
 
@@ -125,6 +141,14 @@ class TestBench:
     cache:
         Optional :class:`~repro.runtime.cache.ResultCache`; sweep
         results are reconstructed bit for bit on a key hit.
+    observe:
+        Optional
+        :class:`~repro.observability.instruments.InstrumentRegistry`.
+        When set, every :meth:`measure` call accounts one
+        ``repro.bench.measurements`` increment and one
+        ``repro.bench.measure_seconds`` observation (labeled by device
+        type) into it.  None (the default) accounts nothing -- the
+        untraced path stays instrumentation-free.
     """
 
     __test__ = False
@@ -141,6 +165,7 @@ class TestBench:
         metrics: "MetricRegistry | None" = None,
         executor: "SweepExecutor | None" = None,
         cache: "ResultCache | None" = None,
+        observe: InstrumentRegistry | None = None,
     ) -> None:
         if sample_rate <= 0.0:
             raise AnalysisError(f"sample_rate must be positive, got {sample_rate!r}")
@@ -160,6 +185,7 @@ class TestBench:
         self.metrics = metrics
         self.executor = executor
         self.cache = cache
+        self.observe = observe
 
     def preflight(self, device: DeviceUnderTest) -> None:
         """Statically check a device before simulating it.
@@ -221,12 +247,14 @@ class TestBench:
         total = self.n_samples + self.settle_samples
         stimulus = self.make_stimulus(amplitude, frequency)
         session = self.telemetry
+        started = time.perf_counter()
 
         if session is None:
             drive = self._make_drive(stimulus, extra_input, total)
             output = self._run_device(device, drive, total)
             measurement = self._analyse(stimulus, output)
             self._file_metrics(measurement)
+            self._account_measurement(device, started)
             return measurement
 
         if hasattr(device, "attach_telemetry"):
@@ -246,6 +274,7 @@ class TestBench:
                 measurement = self._analyse(stimulus, output)
         session.evaluate_rules()
         self._file_metrics(measurement)
+        self._account_measurement(device, started)
         return measurement
 
     def measure_amplitude_sweep(
@@ -302,6 +331,22 @@ class TestBench:
             cache=self.cache,
             telemetry=self.telemetry,
         )
+
+    def _account_measurement(
+        self, device: DeviceUnderTest, started: float
+    ) -> None:
+        """Account one finished measurement into the observe registry."""
+        if self.observe is None:
+            return
+        name = type(device).__name__
+        self.observe.counter(
+            "repro.bench.measurements", help="completed bench measurements"
+        ).inc(device=name)
+        self.observe.histogram(
+            "repro.bench.measure_seconds",
+            buckets=_MEASURE_BUCKETS,
+            help="wall time per bench measurement",
+        ).observe(time.perf_counter() - started, device=name)
 
     def _file_metrics(self, measurement: BenchMeasurement) -> None:
         """File the tone numbers into the bench's metric registry."""

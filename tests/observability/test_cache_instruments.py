@@ -1,0 +1,113 @@
+"""ResultCache instrumentation: hit/miss/corruption counters, LRU budget."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.instruments import InstrumentRegistry, use_registry
+from repro.runtime.cache import ResultCache
+
+
+def _key(tag="a"):
+    return {"kind": "test-sweep", "tag": tag}
+
+
+def _arrays(n=64):
+    return {"values": np.arange(n, dtype=float)}
+
+
+@pytest.fixture
+def registry():
+    fresh = InstrumentRegistry()
+    with use_registry(fresh):
+        yield fresh
+
+
+class TestLookupCounters:
+    def test_miss_then_hit(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        assert cache.load(_key()) is None
+        cache.store(_key(), _arrays())
+        assert cache.load(_key()) is not None
+        assert registry.counter("repro.cache.misses").value(kind="test-sweep") == 1.0
+        assert registry.counter("repro.cache.hits").value(kind="test-sweep") == 1.0
+        assert registry.counter("repro.cache.corruption").total() == 0.0
+        histogram = registry.get("repro.cache.lookup_seconds")
+        assert histogram.count(kind="test-sweep") == 2
+
+    def test_corrupt_meta_counts_as_corruption(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        cache.store(_key(), _arrays())
+        digest = cache.key_digest(_key())
+        (tmp_path / f"{digest}.json").write_text("{not json")
+        assert cache.load(_key()) is None
+        assert registry.counter("repro.cache.misses").value(kind="test-sweep") == 1.0
+        assert (
+            registry.counter("repro.cache.corruption").value(kind="test-sweep")
+            == 1.0
+        )
+
+    def test_corrupt_payload_counts_as_corruption(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        cache.store(_key(), _arrays())
+        digest = cache.key_digest(_key())
+        (tmp_path / f"{digest}.npz").write_bytes(b"\x00" * 16)
+        assert cache.load(_key()) is None
+        assert (
+            registry.counter("repro.cache.corruption").value(kind="test-sweep")
+            == 1.0
+        )
+
+    def test_cold_miss_is_not_corruption(self, tmp_path, registry):
+        ResultCache(tmp_path).load(_key())
+        assert registry.counter("repro.cache.corruption").total() == 0.0
+
+    def test_instance_attributes_still_track(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        cache.load(_key())
+        cache.store(_key(), _arrays())
+        cache.load(_key())
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestStoreAccounting:
+    def test_bytes_stored_matches_disk(self, tmp_path, registry):
+        cache = ResultCache(tmp_path)
+        cache.store(_key(), _arrays())
+        stored = registry.counter("repro.cache.bytes_stored").value(
+            kind="test-sweep"
+        )
+        assert stored == cache.size_bytes() > 0
+
+
+class TestEviction:
+    def test_rejects_bad_max_bytes(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_oldest_entry_evicted_first(self, tmp_path, registry):
+        unbounded = ResultCache(tmp_path)
+        unbounded.store(_key("old"), _arrays())
+        unbounded.store(_key("mid"), _arrays())
+        # Pin distinct payload mtimes so LRU order is deterministic.
+        for tag, age in (("old", 200), ("mid", 100)):
+            path = tmp_path / f"{unbounded.key_digest(_key(tag))}.npz"
+            stamp = path.stat().st_mtime - age
+            os.utime(path, (stamp, stamp))
+        budget = unbounded.size_bytes() + 1  # room for ~two entries, not three
+        cache = ResultCache(tmp_path, max_bytes=budget)
+        cache.store(_key("new"), _arrays())
+        assert cache.evictions == 1
+        assert registry.counter("repro.cache.evictions").total() == 1.0
+        assert cache.load(_key("old")) is None
+        assert cache.load(_key("mid")) is not None
+        assert cache.load(_key("new")) is not None
+
+    def test_no_eviction_under_budget(self, tmp_path, registry):
+        cache = ResultCache(tmp_path, max_bytes=1 << 20)
+        cache.store(_key("a"), _arrays())
+        cache.store(_key("b"), _arrays())
+        assert cache.evictions == 0
+        assert registry.counter("repro.cache.evictions").total() == 0.0

@@ -1,0 +1,105 @@
+"""Profile aggregation: self-time math, clamping, collapsed stacks."""
+
+import pytest
+
+from repro.observability.profile import (
+    aggregate_profile,
+    collapsed_stacks,
+    render_profile_table,
+)
+from repro.telemetry.spans import Span
+
+
+def _span(name, duration, *children, samples=None):
+    span = Span(name, samples=samples)
+    span.duration_s = duration
+    span.children.extend(children)
+    return span
+
+
+class TestAggregate:
+    def test_self_time_excludes_timed_children(self):
+        tree = _span("root", 1.0, _span("child", 0.3), _span("child", 0.2))
+        rows = {row.name: row for row in aggregate_profile([tree])}
+        assert rows["root"].self_s == pytest.approx(0.5)
+        assert rows["root"].total_s == pytest.approx(1.0)
+        assert rows["child"].count == 2
+        assert rows["child"].total_s == pytest.approx(0.5)
+        assert rows["child"].self_s == pytest.approx(0.5)
+
+    def test_untimed_children_do_not_reduce_self_time(self):
+        tree = _span("root", 1.0, Span("structural"))
+        rows = {row.name: row for row in aggregate_profile([tree])}
+        assert rows["root"].self_s == pytest.approx(1.0)
+        assert rows["structural"].self_s == 0.0
+        assert rows["structural"].total_s == 0.0
+
+    def test_clock_skew_clamped_at_zero(self):
+        tree = _span("root", 0.1, _span("child", 0.3))
+        rows = {row.name: row for row in aggregate_profile([tree])}
+        assert rows["root"].self_s == 0.0
+
+    def test_samples_sum_per_name(self):
+        forest = [
+            _span("shard", 0.2, samples=100),
+            _span("shard", 0.3, samples=50),
+            _span("quiet", 0.1),
+        ]
+        rows = {row.name: row for row in aggregate_profile(forest)}
+        assert rows["shard"].samples == 150
+        assert rows["quiet"].samples is None
+
+    def test_rows_sorted_by_self_time_descending_then_name(self):
+        forest = [_span("b", 0.2), _span("a", 0.2), _span("big", 0.9)]
+        assert [row.name for row in aggregate_profile(forest)] == [
+            "big",
+            "a",
+            "b",
+        ]
+
+    def test_as_dict_is_json_ready(self):
+        (row,) = aggregate_profile([_span("x", 0.5, samples=10)])
+        assert row.as_dict() == {
+            "name": "x",
+            "count": 1,
+            "total_s": 0.5,
+            "self_s": 0.5,
+            "samples": 10,
+        }
+
+
+class TestRenderTable:
+    def test_shares_sum_to_hundred(self):
+        text = render_profile_table(
+            aggregate_profile([_span("root", 1.0, _span("child", 0.5))])
+        )
+        assert "50.0%" in text
+        assert "root" in text and "child" in text
+
+    def test_empty_forest(self):
+        assert "no spans recorded" in render_profile_table(aggregate_profile([]))
+
+
+class TestCollapsedStacks:
+    def test_format_and_sorting(self):
+        tree = _span(
+            "sweep", 0.002, _span("shard:1", 0.0005), _span("shard:0", 0.0005)
+        )
+        text = collapsed_stacks([tree])
+        assert text == (
+            "sweep 1000\n"
+            "sweep;shard:0 500\n"
+            "sweep;shard:1 500\n"
+        )
+
+    def test_untimed_frames_nest_but_carry_no_value(self):
+        root = Span("structural")
+        root.children.append(_span("leaf", 0.001))
+        assert collapsed_stacks([root]) == "structural;leaf 1000\n"
+
+    def test_zero_self_time_stacks_dropped(self):
+        tree = _span("root", 0.001, _span("child", 0.001))
+        assert collapsed_stacks([tree]) == "root;child 1000\n"
+
+    def test_empty_forest_is_empty_string(self):
+        assert collapsed_stacks([]) == ""

@@ -1,0 +1,90 @@
+"""Span serialization: round trips, malformed records, grafting."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability.spanio import (
+    WorkerTelemetry,
+    graft_spans,
+    span_from_dict,
+    span_to_dict,
+)
+from repro.telemetry.spans import Span
+
+
+def _tree() -> Span:
+    root = Span("shard:0", samples=1024, pid=1234, engine="batch")
+    root.start()
+    root.record("phase", samples=512, phase="PHI1")
+    root.finish()
+    return root
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_structure(self):
+        root = _tree()
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert rebuilt.name == "shard:0"
+        assert rebuilt.samples == 1024
+        assert rebuilt.duration_s == root.duration_s
+        assert rebuilt.attrs == {"pid": 1234, "engine": "batch"}
+        assert [c.name for c in rebuilt.children] == ["phase"]
+        assert rebuilt.children[0].attrs == {"phase": "PHI1"}
+
+    def test_rebuilt_span_is_finished_structural(self):
+        rebuilt = span_from_dict(span_to_dict(_tree()))
+        assert not rebuilt.running
+        # The duration is fixed to the worker's measurement; the span
+        # can never be re-timed in the parent.
+        from repro.errors import TelemetryError
+
+        with pytest.raises(TelemetryError):
+            rebuilt.finish()
+
+    def test_untimed_span_roundtrips_none_duration(self):
+        rebuilt = span_from_dict(span_to_dict(Span("structural")))
+        assert rebuilt.duration_s is None
+        assert rebuilt.samples is None
+
+    def test_non_jsonable_attrs_become_strings(self):
+        span = Span("x", where=object())
+        encoded = span_to_dict(span)
+        assert isinstance(encoded["attrs"]["where"], str)
+
+
+class TestMalformed:
+    def test_missing_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            span_from_dict({"samples": 1})
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            span_from_dict({"name": 7})
+
+    def test_non_integer_samples_rejected(self):
+        with pytest.raises(ObservabilityError):
+            span_from_dict({"name": "x", "samples": "many"})
+
+    def test_non_numeric_duration_rejected(self):
+        with pytest.raises(ObservabilityError):
+            span_from_dict({"name": "x", "duration_s": "fast"})
+
+    def test_non_object_child_rejected(self):
+        with pytest.raises(ObservabilityError):
+            span_from_dict({"name": "x", "children": ["oops"]})
+
+
+class TestGraft:
+    def test_graft_attaches_under_parent_and_returns_roots(self):
+        parent = Span("sweep")
+        records = [span_to_dict(_tree()), span_to_dict(Span("shard:1"))]
+        grafted = graft_spans(parent, records)
+        assert [s.name for s in grafted] == ["shard:0", "shard:1"]
+        assert parent.children == grafted
+
+    def test_worker_telemetry_shape(self):
+        telemetry = WorkerTelemetry(
+            spans=(span_to_dict(_tree()),),
+            instruments={"schema": "x", "instruments": {}},
+        )
+        assert telemetry.spans[0]["name"] == "shard:0"

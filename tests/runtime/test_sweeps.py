@@ -99,14 +99,24 @@ class TestCacheIntegration:
 
 
 class TestTelemetry:
-    def test_sweep_span_records_shards(self):
+    def test_sweep_span_grafts_shards(self):
         session = TelemetrySession("sweep-span")
         run_sweep(_spec(), telemetry=session)
         sweep_spans = [s for s in session.roots if s.name == "sweep"]
         assert sweep_spans
         assert sweep_spans[0].attrs.get("cache") == "off"
-        shard_names = [child.name for child in sweep_spans[0].children]
-        assert "shard0" in shard_names
+        shards = [
+            child
+            for child in sweep_spans[0].children
+            if child.name.startswith("shard:")
+        ]
+        assert shards and shards[0].name == "shard:0"
+        # Grafted worker spans carry real worker-side wall time plus
+        # the engine/queue-wait/lane bookkeeping.
+        assert shards[0].duration_s is not None and shards[0].duration_s > 0.0
+        assert shards[0].attrs.get("engine") in {"batch", "scalar"}
+        assert "queue_wait_ms" in shards[0].attrs
+        assert shards[0].attrs.get("n_lanes") == len(_spec().levels_db)
 
     def test_cache_hit_span(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -126,3 +126,60 @@ class TestRendering:
         with session.span("run"):
             pass
         assert session.render_span_tree() == render_span_tree(session.roots)
+
+
+class TestRenderingEdgeCases:
+    """Golden strings for the renderer's corner cases."""
+
+    def test_empty_roots(self):
+        assert render_span_tree([]) == (
+            "span tree\n"
+            "-------------------------------------------------------\n"
+            "span  wall [ms]  samples  ksamples/s  attributes\n"
+            "-------------------------------------------------------\n"
+            "-     -          -        -           no spans recorded\n"
+            "-------------------------------------------------------"
+        )
+
+    def test_running_span_renders_dashes(self):
+        span = Span("running", samples=10)
+        span.start()
+        assert render_span_tree([span]) == (
+            "span tree\n"
+            "---------------------------------------------------\n"
+            "span     wall [ms]  samples  ksamples/s  attributes\n"
+            "---------------------------------------------------\n"
+            "running  -          10       -\n"
+            "---------------------------------------------------"
+        )
+
+    def test_zero_duration_span_with_samples(self):
+        # A degenerate (clock-resolution) measurement must not divide
+        # by zero; throughput renders as "-".
+        span = Span("instant", samples=512, engine="batch")
+        span.duration_s = 0.0
+        assert render_span_tree([span]) == (
+            "span tree\n"
+            "-----------------------------------------------------\n"
+            "span     wall [ms]  samples  ksamples/s  attributes\n"
+            "-----------------------------------------------------\n"
+            "instant  0.0        512      -           engine=batch\n"
+            "-----------------------------------------------------"
+        )
+
+    def test_depth_beyond_twenty_keeps_indenting(self):
+        root = Span("d0")
+        tip = root
+        for depth in range(1, 23):
+            child = Span(f"d{depth}")
+            tip.children.append(child)
+            tip = child
+        lines = render_span_tree([root]).splitlines()
+        rows = lines[4:-1]  # between the header rule and the footer
+        assert len(rows) == 23
+        assert rows[0] == (
+            "d0                                               -          -        -"
+        )
+        assert rows[-1] == (
+            "                                            d22  -          -        -"
+        )
