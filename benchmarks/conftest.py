@@ -108,8 +108,24 @@ def record_extra(benchmark_name: str, **fields: object) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Merge the session's telemetry records into BENCH_telemetry.json."""
+    """Merge the session's telemetry into BENCH_telemetry.json + ledger.
+
+    Besides the merged telemetry document, every record of this session
+    is appended to the persistent run ledger (one ``bench`` entry per
+    benchmark), so ``repro trend`` can watch wall times drift across
+    sessions.  Ledger failures never fail the bench run.
+    """
     if not _TELEMETRY_RECORDS:
         return
     target = Path(session.config.rootpath) / "BENCH_telemetry.json"
     write_bench_telemetry(target, _TELEMETRY_RECORDS)
+    try:
+        from repro.metrics.provenance import collect_provenance
+        from repro.observability.ledger import RunLedger
+
+        ledger = RunLedger()
+        provenance = collect_provenance().as_dict()
+        for record in _TELEMETRY_RECORDS:
+            ledger.append("bench", record, provenance=provenance)
+    except Exception as exc:  # pragma: no cover - best-effort bookkeeping
+        print(f"ledger: bench records not recorded ({exc})")

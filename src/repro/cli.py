@@ -18,6 +18,8 @@ Usage::
     python -m repro stats --diff a.json b.json    # gate on counter changes
     python -m repro profile mod2 --fast           # self/total-time profile
     python -m repro bench-gate                    # benchmark regression gate
+    python -m repro history mod2                  # run-ledger trajectory
+    python -m repro trend --strict                # cross-run drift gate
     python -m repro --list       # list the commands
 
 Each measurement command prints the paper-style table.  Full FFT
@@ -45,6 +47,18 @@ such snapshots with the manifest compare's verdict ladder.  ``repro
 profile <design|spec.json>`` collapses the traced span tree into a
 self/total-time table (and, with ``--json``, collapsed flamegraph
 stacks).  See ``docs/OBSERVABILITY.md``.
+
+Every ``report``, ``sweep`` and ``bench-gate`` run additionally appends
+one content-addressed entry to the run ledger
+(``.repro/ledger/ledger.jsonl`` or ``$REPRO_LEDGER_DIR``; disable with
+``--no-ledger``).  ``repro history <design>`` renders a design's
+ledger trajectory as sparkline tables; ``repro trend`` judges every
+recorded series for sustained drift against its own rolling
+median/MAD history, exiting non-zero on drift sustained over the last
+runs -- single noisy runs only warn.  ``report`` and ``sweep`` also
+take ``--events PATH`` / ``--follow`` to tail span-level progress as
+JSONL while the run executes (workers' events are merged into one
+monotonically-ordered timeline).
 """
 
 from __future__ import annotations
@@ -85,6 +99,31 @@ __all__ = ["main"]
 
 def _fft_length(fast: bool) -> int:
     return 1 << 14 if fast else 1 << 16
+
+
+def _ledger_append(
+    kind: str,
+    payload: dict[str, object],
+    design: str | None = None,
+    provenance: dict[str, object] | None = None,
+    ledger_dir: str | None = None,
+) -> None:
+    """Append one run-ledger entry; never fail the run over bookkeeping."""
+    from repro.errors import ObservabilityError
+    from repro.observability.ledger import RunLedger
+
+    ledger = RunLedger(ledger_dir)
+    try:
+        entry = ledger.append(
+            kind, payload, design=design, provenance=provenance
+        )
+    except (ObservabilityError, OSError) as exc:
+        print(f"ledger: not recorded ({exc})", file=sys.stderr)
+        return
+    if entry is None:
+        print(f"ledger: identical entry already in {ledger.path}")
+    else:
+        print(f"ledger: {entry.entry_id[:19]} appended to {ledger.path}")
 
 
 def cmd_table1(fast: bool) -> None:
@@ -335,11 +374,16 @@ def cmd_sweep(
     cache_dir: str | None = None,
     json_path: str | None = None,
     profile: bool = False,
+    events: str | None = None,
+    follow: bool = False,
+    ledger: bool = True,
+    ledger_dir: str | None = None,
 ) -> int:
     """Run a dynamic-range sweep through the parallel batch engine."""
     import json
 
     from repro.observability.instruments import InstrumentRegistry, use_registry
+    from repro.observability.live import open_event_stream
     from repro.runtime import ResultCache, SweepExecutor
     from repro.runtime.sweeps import (
         DEFAULT_LEVELS_DB,
@@ -354,21 +398,26 @@ def cmd_sweep(
         levels_db=tuple(levels) if levels else DEFAULT_LEVELS_DB,
     )
     result_cache = ResultCache(cache_dir) if cache else None
+    stream = open_event_stream(events, follow=follow, source=spec.design)
     session = None
-    if profile:
+    if profile or stream is not None:
         from repro.telemetry.session import TelemetrySession
 
-        session = TelemetrySession(spec.design)
+        session = TelemetrySession(spec.design, stream=stream)
     # A fresh registry isolates this sweep's instruments from whatever
     # the process accumulated before; worker snapshots merge into it.
     registry = InstrumentRegistry()
-    with use_registry(registry):
-        result = run_sweep(
-            spec,
-            executor=SweepExecutor(jobs=jobs),
-            cache=result_cache,
-            telemetry=session,
-        )
+    try:
+        with use_registry(registry):
+            result = run_sweep(
+                spec,
+                executor=SweepExecutor(jobs=jobs),
+                cache=result_cache,
+                telemetry=session,
+            )
+    finally:
+        if stream is not None:
+            stream.close()
     table = Table(
         f"{spec.design}: SNDR vs input level "
         f"({spec.n_samples} samples/lane, {jobs} job(s))",
@@ -400,25 +449,29 @@ def cmd_sweep(
             f"cache: {result_cache.hits} hit(s), "
             f"{result_cache.misses} miss(es) in {result_cache.directory}"
         )
-    if session is not None:
+    if profile and session is not None:
         # One merged tree: the parent sweep span with each worker's
         # shard:<index> subtree grafted under it.
         print(session.render_span_tree())
         print(registry.render_table(title=f"instruments: {spec.design}"))
+    payload: dict[str, object] = {
+        "design": spec.design,
+        "levels_db": list(spec.levels_db),
+        "n_samples": spec.n_samples,
+        "snr_db": [m.snr_db for m in result.metrics],
+        "thd_db": [m.thd_db for m in result.metrics],
+        "sndr_db": [m.sndr_db for m in result.metrics],
+        "dynamic_range_db": dr,
+    }
     if json_path is not None:
-        payload = {
-            "design": spec.design,
-            "levels_db": list(spec.levels_db),
-            "n_samples": spec.n_samples,
-            "snr_db": [m.snr_db for m in result.metrics],
-            "thd_db": [m.thd_db for m in result.metrics],
-            "sndr_db": [m.sndr_db for m in result.metrics],
-            "dynamic_range_db": dr,
-        }
         with open(json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"sweep written to {json_path}")
+    if ledger:
+        _ledger_append(
+            "sweep", payload, design=spec.design, ledger_dir=ledger_dir
+        )
     return 0
 
 
@@ -612,6 +665,8 @@ def cmd_bench_gate(
     telemetry_path: str = "BENCH_telemetry.json",
     baseline_path: str = "baselines/bench.json",
     tolerance: float | None = None,
+    ledger: bool = True,
+    ledger_dir: str | None = None,
 ) -> int:
     """Check benchmark telemetry against the committed wall-time baseline."""
     from repro.errors import MetricsError
@@ -631,7 +686,75 @@ def cmd_bench_gate(
             f"(not gated: {len(report.extra_benchmarks)} benchmark(s) "
             "without a baseline entry)"
         )
+    if ledger:
+        payload: dict[str, object] = {
+            "tolerance": report.tolerance,
+            "ok": report.ok,
+            "failures": list(report.failures),
+            "rows": [
+                {
+                    "benchmark": row.benchmark,
+                    "wall_s": row.wall_s,
+                    "limit_s": row.limit_s,
+                    "speedup": row.speedup,
+                    "min_speedup": row.min_speedup,
+                    "ok": row.ok,
+                }
+                for row in report.rows
+            ],
+        }
+        _ledger_append("bench-gate", payload, ledger_dir=ledger_dir)
     return report.exit_code()
+
+
+def cmd_history(
+    design: str,
+    limit: int = 10,
+    ledger_dir: str | None = None,
+) -> int:
+    """Show a design's run-ledger trajectory (metrics and entries)."""
+    from repro.observability.ledger import RunLedger
+    from repro.observability.trend import render_history
+
+    ledger = RunLedger(ledger_dir)
+    print(render_history(ledger, design, limit=limit))
+    known = ledger.designs()
+    if design not in known and known:
+        print(f"(designs with history: {', '.join(known)})")
+    return 0
+
+
+def cmd_trend(
+    design: str | None = None,
+    window: int | None = None,
+    sustain: int | None = None,
+    threshold: float | None = None,
+    strict: bool = False,
+    json_path: str | None = None,
+    ledger_dir: str | None = None,
+) -> int:
+    """Gate on sustained cross-run drift in the run ledger."""
+    from repro.observability.ledger import RunLedger
+    from repro.observability.trend import (
+        DEFAULT_SUSTAIN,
+        DEFAULT_THRESHOLD,
+        DEFAULT_WINDOW,
+        analyze_ledger,
+    )
+
+    report = analyze_ledger(
+        RunLedger(ledger_dir),
+        design=design,
+        window=window if window is not None else DEFAULT_WINDOW,
+        sustain=sustain if sustain is not None else DEFAULT_SUSTAIN,
+        threshold=threshold if threshold is not None else DEFAULT_THRESHOLD,
+    )
+    print(report.render_table())
+    print(report.summary())
+    if json_path is not None:
+        target = report.write_json(json_path)
+        print(f"trend report written to {target}")
+    return report.exit_code(strict=strict)
 
 
 def cmd_report(
@@ -647,31 +770,41 @@ def cmd_report(
     json_path: str | None = None,
     markdown_path: str | None = None,
     profile: bool = False,
+    events: str | None = None,
+    follow: bool = False,
+    ledger: bool = True,
+    ledger_dir: str | None = None,
     argv: list[str] | None = None,
 ) -> int:
     """Measure a design and emit its paper-metrics run manifest."""
     from repro.metrics import build_report, collect_provenance
+    from repro.observability.live import open_event_stream
 
     n_samples = samples if samples is not None else (1 << 14 if fast else 1 << 16)
+    stream = open_event_stream(events, follow=follow, source=design)
     session = None
-    if profile:
+    if profile or stream is not None:
         from repro.telemetry.session import TelemetrySession
 
-        session = TelemetrySession(design)
-    manifest = build_report(
-        design,
-        n_samples=n_samples,
-        sweep=sweep,
-        noise_scale=noise_scale,
-        mismatch=mismatch,
-        jobs=jobs,
-        use_cache=cache,
-        cache_dir=cache_dir,
-        provenance=collect_provenance(argv=argv),
-        session=session,
-    )
+        session = TelemetrySession(design, stream=stream)
+    try:
+        manifest = build_report(
+            design,
+            n_samples=n_samples,
+            sweep=sweep,
+            noise_scale=noise_scale,
+            mismatch=mismatch,
+            jobs=jobs,
+            use_cache=cache,
+            cache_dir=cache_dir,
+            provenance=collect_provenance(argv=argv),
+            session=session,
+        )
+    finally:
+        if stream is not None:
+            stream.close()
     print(manifest.render_table())
-    if session is not None:
+    if profile and session is not None:
         print(session.render_span_tree())
     if json_path is not None:
         target = manifest.write_json(json_path)
@@ -681,6 +814,19 @@ def cmd_report(
 
         Path(markdown_path).write_text(manifest.render_markdown())
         print(f"markdown report written to {markdown_path}")
+    if ledger:
+        # The manifest's own provenance block becomes the entry's
+        # provenance; keeping it out of the payload lets an identical
+        # re-measurement content-address to the same entry.
+        payload = manifest.as_dict()
+        provenance = payload.pop("provenance", None)
+        _ledger_append(
+            "report",
+            payload,
+            design=manifest.design,
+            provenance=provenance if isinstance(provenance, dict) else None,
+            ledger_dir=ledger_dir,
+        )
     return 0
 
 
@@ -724,6 +870,38 @@ def _first_doc_line(func: Callable[..., object]) -> str:
     """Return the first docstring line, for --list and --help output."""
     doc = func.__doc__ or ""
     return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def _add_ledger_options(sub: argparse.ArgumentParser) -> None:
+    """Add the run-ledger options shared by the recording commands."""
+    sub.add_argument(
+        "--no-ledger",
+        dest="ledger",
+        action="store_false",
+        help="do not append this run to the run ledger",
+    )
+    sub.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default: $REPRO_LEDGER_DIR or .repro/ledger)",
+    )
+
+
+def _add_live_ledger_options(sub: argparse.ArgumentParser) -> None:
+    """Add the live-event-stream plus ledger options (report/sweep)."""
+    sub.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="stream span/instrument events as JSONL to PATH ('-' = stdout)",
+    )
+    sub.add_argument(
+        "--follow",
+        action="store_true",
+        help="mirror the live event stream to stderr while running",
+    )
+    _add_ledger_options(sub)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -954,6 +1132,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write a Markdown report to PATH",
     )
+    _add_live_ledger_options(report)
     sweep = subparsers.add_parser(
         "sweep",
         help=_first_doc_line(cmd_sweep),
@@ -1016,6 +1195,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the merged span tree (parent + grafted worker "
         "shards) and the run's instrument counters",
     )
+    _add_live_ledger_options(sweep)
     stats = subparsers.add_parser(
         "stats",
         help=_first_doc_line(cmd_stats),
@@ -1173,6 +1353,79 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRAC",
         help="fractional wall-time headroom (default: the baseline's, 0.25)",
     )
+    _add_ledger_options(bench_gate)
+    history = subparsers.add_parser(
+        "history",
+        help=_first_doc_line(cmd_history),
+        description=_first_doc_line(cmd_history),
+    )
+    history.add_argument(
+        "design",
+        help="design whose ledger trajectory to show",
+    )
+    history.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the last N entries (default: 10)",
+    )
+    history.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default: $REPRO_LEDGER_DIR or .repro/ledger)",
+    )
+    trend = subparsers.add_parser(
+        "trend",
+        help=_first_doc_line(cmd_trend),
+        description=_first_doc_line(cmd_trend),
+    )
+    trend.add_argument(
+        "design",
+        nargs="?",
+        default=None,
+        help="restrict the gate to one design's series (default: all)",
+    )
+    trend.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rolling history window per series (default: 10)",
+    )
+    trend.add_argument(
+        "--sustain",
+        type=int,
+        default=None,
+        metavar="N",
+        help="runs that must all drift before REGRESS (default: 3)",
+    )
+    trend.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="X",
+        help="drift threshold in robust scale units (default: 4.0)",
+    )
+    trend.add_argument(
+        "--strict",
+        action="store_true",
+        help="also exit non-zero on single-run warnings",
+    )
+    trend.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the trend report as JSON to PATH",
+    )
+    trend.add_argument(
+        "--ledger-dir",
+        default=None,
+        metavar="DIR",
+        help="ledger directory (default: $REPRO_LEDGER_DIR or .repro/ledger)",
+    )
     compare = subparsers.add_parser(
         "compare",
         help=_first_doc_line(cmd_compare),
@@ -1211,6 +1464,8 @@ def list_commands() -> str:
     lines.append(f"  {'stats':10s} {_first_doc_line(cmd_stats)}")
     lines.append(f"  {'profile':10s} {_first_doc_line(cmd_profile)}")
     lines.append(f"  {'bench-gate':10s} {_first_doc_line(cmd_bench_gate)}")
+    lines.append(f"  {'history':10s} {_first_doc_line(cmd_history)}")
+    lines.append(f"  {'trend':10s} {_first_doc_line(cmd_trend)}")
     return "\n".join(lines)
 
 
@@ -1262,6 +1517,10 @@ def main(argv: list[str] | None = None) -> int:
             json_path=args.json_path,
             markdown_path=args.markdown_path,
             profile=args.profile,
+            events=args.events,
+            follow=args.follow,
+            ledger=args.ledger,
+            ledger_dir=args.ledger_dir,
             argv=["repro", *argv] if argv is not None else None,
         )
 
@@ -1276,6 +1535,10 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
             json_path=args.json_path,
             profile=args.profile,
+            events=args.events,
+            follow=args.follow,
+            ledger=args.ledger,
+            ledger_dir=args.ledger_dir,
         )
 
     if args.command == "stats":
@@ -1310,6 +1573,24 @@ def main(argv: list[str] | None = None) -> int:
             telemetry_path=args.telemetry_path,
             baseline_path=args.baseline_path,
             tolerance=args.tolerance,
+            ledger=args.ledger,
+            ledger_dir=args.ledger_dir,
+        )
+
+    if args.command == "history":
+        return cmd_history(
+            args.design, limit=args.limit, ledger_dir=args.ledger_dir
+        )
+
+    if args.command == "trend":
+        return cmd_trend(
+            design=args.design,
+            window=args.window,
+            sustain=args.sustain,
+            threshold=args.threshold,
+            strict=args.strict,
+            json_path=args.json_path,
+            ledger_dir=args.ledger_dir,
         )
 
     if args.command == "compare":

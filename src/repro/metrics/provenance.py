@@ -9,6 +9,7 @@ line, and the interpreter/numpy versions that produced it.
 
 from __future__ import annotations
 
+import os
 import platform
 import subprocess
 import sys
@@ -48,7 +49,7 @@ def _git_dirty(cwd: str | None = None) -> bool | None:
     """
     try:
         result = subprocess.run(
-            ["git", "status", "--porcelain"],
+            ["git", "status", "--porcelain", "--untracked-files=no"],
             capture_output=True,
             text=True,
             timeout=5.0,
@@ -79,6 +80,14 @@ class Provenance:
         The numpy release the numbers were computed with.
     platform:
         ``platform.platform()`` of the producing machine.
+    hostname:
+        ``platform.node()`` of the producing machine (``"unknown"``
+        when the host does not report one) -- the run ledger uses it
+        to distinguish runs merged from different machines.
+    cpu_count:
+        ``os.cpu_count()`` of the producing machine (None if
+        unknowable); bench wall times are only comparable between
+        runs with the same core count.
     argv:
         The command line that produced the artifact.
     """
@@ -90,6 +99,8 @@ class Provenance:
     numpy_version: str
     platform: str
     argv: tuple[str, ...]
+    hostname: str = "unknown"
+    cpu_count: int | None = None
 
     def as_dict(self) -> dict[str, object]:
         """Return the provenance as a JSON-ready dictionary."""
@@ -100,6 +111,8 @@ class Provenance:
             "python_version": self.python_version,
             "numpy_version": self.numpy_version,
             "platform": self.platform,
+            "hostname": self.hostname,
+            "cpu_count": self.cpu_count,
             "argv": list(self.argv),
         }
 
@@ -112,6 +125,7 @@ class Provenance:
         """
         dirty = data.get("git_dirty")
         argv = data.get("argv")
+        cpus = data.get("cpu_count")
         return cls(
             git_sha=str(data.get("git_sha", "unknown")),
             git_dirty=dirty if isinstance(dirty, bool) else None,
@@ -120,6 +134,8 @@ class Provenance:
             numpy_version=str(data.get("numpy_version", "unknown")),
             platform=str(data.get("platform", "unknown")),
             argv=tuple(str(a) for a in argv) if isinstance(argv, list) else (),
+            hostname=str(data.get("hostname", "unknown")),
+            cpu_count=cpus if isinstance(cpus, int) else None,
         )
 
 
@@ -140,4 +156,6 @@ def collect_provenance(argv: list[str] | None = None) -> Provenance:
         numpy_version=str(np.__version__),
         platform=platform.platform(),
         argv=tuple(sys.argv if argv is None else argv),
+        hostname=platform.node() or "unknown",
+        cpu_count=os.cpu_count(),
     )

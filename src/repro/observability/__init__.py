@@ -13,7 +13,13 @@ The legibility layer over :mod:`repro.runtime` and
 * :mod:`repro.observability.profile` -- collapse any span forest into
   a self/total-time table and collapsed-stack flamegraph text;
 * :mod:`repro.observability.stats` -- provenance-stamped snapshot
-  documents and the ``repro stats --diff`` verdict gate.
+  documents and the ``repro stats --diff`` verdict gate;
+* :mod:`repro.observability.ledger` -- the append-only, content-
+  addressed JSONL run ledger every report/sweep/bench run appends to;
+* :mod:`repro.observability.trend` -- rolling median/MAD drift
+  detection over the ledger, behind ``repro history`` / ``repro trend``;
+* :mod:`repro.observability.live` -- bounded-overhead live event
+  streaming (span/instrument JSONL), across process boundaries.
 
 See ``docs/OBSERVABILITY.md`` for the instrument naming convention and
 the cross-process propagation contract.
@@ -37,6 +43,19 @@ from repro.observability.profile import (
     aggregate_profile,
     collapsed_stacks,
     render_profile_table,
+)
+from repro.observability.ledger import (
+    LEDGER_SCHEMA,
+    LedgerEntry,
+    RunLedger,
+    entry_id_for,
+)
+from repro.observability.live import (
+    EVENT_SCHEMA,
+    EventRecorder,
+    EventSink,
+    EventStream,
+    open_event_stream,
 )
 from repro.observability.spanio import (
     WorkerTelemetry,
@@ -63,42 +82,80 @@ _STATS_EXPORTS = frozenset(
     }
 )
 
+#: Names re-exported lazily from :mod:`repro.observability.trend`,
+#: which imports ``repro.metrics.compare`` for the same reason.
+_TREND_EXPORTS = frozenset(
+    {
+        "TREND_SCHEMA",
+        "MetricSeries",
+        "TrendFinding",
+        "TrendReport",
+        "analyze_ledger",
+        "analyze_series",
+        "collect_series",
+        "render_history",
+        "sparkline",
+    }
+)
+
 
 def __getattr__(name: str) -> object:
     if name in _STATS_EXPORTS:
         from repro.observability import stats
 
         return getattr(stats, name)
+    if name in _TREND_EXPORTS:
+        from repro.observability import trend
+
+        return getattr(trend, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "EVENT_SCHEMA",
+    "LEDGER_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "STATS_SCHEMA",
     "PROFILE_SCHEMA",
     "GATED_COUNTERS",
+    "TREND_SCHEMA",
     "Counter",
+    "EventRecorder",
+    "EventSink",
+    "EventStream",
     "Gauge",
     "Histogram",
     "InstrumentRegistry",
     "InstrumentDiff",
+    "LedgerEntry",
+    "MetricSeries",
+    "RunLedger",
     "StatsDiffReport",
     "ProfileRow",
+    "TrendFinding",
+    "TrendReport",
     "WorkerTelemetry",
     "aggregate_profile",
+    "analyze_ledger",
+    "analyze_series",
     "collapsed_stacks",
+    "collect_series",
     "diff_snapshots",
+    "entry_id_for",
     "get_registry",
     "graft_spans",
     "load_stats_json",
+    "open_event_stream",
+    "render_history",
     "render_profile_table",
     "reset_registry",
     "set_registry",
     "snapshot_delta",
     "span_from_dict",
     "span_to_dict",
+    "sparkline",
     "use_registry",
     "write_stats_json",
 ]

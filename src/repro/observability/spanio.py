@@ -118,7 +118,16 @@ class WorkerTelemetry:
         The worker's instrument-registry snapshot
         (:meth:`~repro.observability.instruments.InstrumentRegistry.snapshot`),
         merged into the parent registry on receipt.
+    events:
+        Live progress events the worker buffered
+        (:class:`~repro.observability.live.EventRecorder` records:
+        span start/finish plus one instrument-delta event per chunk),
+        replayed into the parent's
+        :class:`~repro.observability.live.EventStream` sorted by the
+        worker's wall clock, so a ``--jobs N`` sweep tails one merged,
+        monotonically-ordered timeline.
     """
 
     spans: tuple[dict[str, object], ...]
     instruments: dict[str, object]
+    events: tuple[dict[str, object], ...] = ()

@@ -44,10 +44,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.observability.instruments import (
+    Counter,
     InstrumentRegistry,
     get_registry,
     use_registry,
 )
+from repro.observability.live import EventRecorder
 from repro.observability.spanio import WorkerTelemetry, span_to_dict
 from repro.telemetry.events import Severity, TelemetryEvent
 from repro.telemetry.spans import Span
@@ -142,6 +144,7 @@ def _instrumented_call(
     comparable across processes, while same-host wall clocks are.
     """
     registry = InstrumentRegistry()
+    recorder = EventRecorder()
     with use_registry(registry):
         queue_wait_s = max(0.0, time.time() - submitted_unix)
         span = Span(
@@ -151,11 +154,24 @@ def _instrumented_call(
             n_lanes=context.n_lanes,
             queue_wait_ms=round(queue_wait_s * 1e3, 3),
         )
+        recorder.emit(
+            "span_start",
+            span.name,
+            pid=os.getpid(),
+            lane_offset=context.lane_offset,
+            n_lanes=context.n_lanes,
+        )
         span.start()
         try:
             result = worker(payload, context)
         finally:
             span.finish()
+            recorder.emit(
+                "span_finish",
+                span.name,
+                pid=os.getpid(),
+                duration_s=span.duration_s,
+            )
         registry.counter(
             "repro.executor.shards", help="worker chunk calls completed"
         ).inc()
@@ -170,10 +186,32 @@ def _instrumented_call(
             help="worker-side wall time per chunk",
         ).observe(span.duration_s or 0.0)
         snapshot = registry.snapshot()
+        recorder.emit(
+            "instruments",
+            span.name,
+            pid=os.getpid(),
+            **_counter_deltas(registry),
+        )
     telemetry = WorkerTelemetry(
-        spans=(span_to_dict(span),), instruments=snapshot
+        spans=(span_to_dict(span),),
+        instruments=snapshot,
+        events=tuple(recorder.events),
     )
     return result, telemetry
+
+
+def _counter_deltas(registry: InstrumentRegistry) -> dict[str, float]:
+    """Flatten a fresh worker registry's counters for the delta event.
+
+    The registry was created for this one chunk, so every counter
+    total *is* the chunk's delta; dots become underscores so the
+    fields stay valid as flat JSON keys next to ``event``/``name``.
+    """
+    out: dict[str, float] = {}
+    for instrument in registry.instruments():
+        if isinstance(instrument, Counter):
+            out[instrument.name.replace(".", "_")] = instrument.total()
+    return out
 
 
 class SweepExecutor:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import functools
 import time
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
@@ -56,6 +56,7 @@ from repro.systems.stimulus import coherent_frequency
 from repro.telemetry.designs import build_trace_setup
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.live import EventSink
     from repro.telemetry.session import TelemetrySession
 
 __all__ = ["SweepSpec", "run_sweep", "sweep_spec_for_design"]
@@ -270,6 +271,7 @@ def _absorb_worker_telemetry(
     shards: Sequence[_ShardResult],
     telemetries: Sequence[WorkerTelemetry],
     span: Span | None,
+    stream: "EventSink | None" = None,
 ) -> None:
     """Merge worker snapshots into this process; graft worker spans.
 
@@ -279,17 +281,24 @@ def _absorb_worker_telemetry(
     happens when the sweep runs under a session; each grafted
     ``shard:<index>`` root is stamped with the shard's engine and
     sample count so the merged tree reads like the old flat records
-    but with real worker-side wall time and queue wait.
+    but with real worker-side wall time and queue wait.  When the
+    session carries a live event stream, the workers' buffered events
+    are replayed into it in one wall-clock-sorted pass, so a
+    ``--jobs N`` sweep tails a single coherent timeline.
     """
     registry = get_registry()
+    worker_events: list[Mapping[str, object]] = []
     for shard, telemetry in zip(shards, telemetries):
         registry.merge(telemetry.instruments)
+        worker_events.extend(telemetry.events)
         if span is None:
             continue
         for root in graft_spans(span, telemetry.spans):
             root.attrs["engine"] = shard.engine
             if root.samples is None:
                 root.samples = len(shard.metrics) * spec.n_samples
+    if stream is not None and worker_events:
+        stream.emit_merged(worker_events)
 
 
 def run_sweep(
@@ -357,7 +366,9 @@ def run_sweep(
             jobs=executor.jobs,
         ) as span:
             shards, worker_telemetry = executor.map_instrumented(worker, levels)
-            _absorb_worker_telemetry(spec, shards, worker_telemetry, span)
+            _absorb_worker_telemetry(
+                spec, shards, worker_telemetry, span, stream=telemetry.stream
+            )
             for event in executor.events:
                 span.record(
                     f"event:{event.rule}",

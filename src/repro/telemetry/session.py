@@ -20,8 +20,9 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.erc.rules import Severity
 from repro.errors import TelemetryError
@@ -29,6 +30,9 @@ from repro.telemetry.events import TelemetryEvent
 from repro.telemetry.monitor import DynamicRuleMonitor, default_monitor
 from repro.telemetry.probes import SignalProbe
 from repro.telemetry.spans import Span, render_span_tree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.live import EventSink
 
 __all__ = ["TelemetrySession"]
 
@@ -43,15 +47,25 @@ class TelemetrySession:
     monitor:
         Dynamic-rule monitor evaluated by :meth:`evaluate_rules`; the
         default four-rule monitor when omitted.
+    stream:
+        Optional live event sink
+        (:class:`~repro.observability.live.EventStream`): every span
+        opened on the session additionally emits ``span_start`` /
+        ``span_finish`` events as it happens, so long sweeps show
+        progress before they finish.  None (the default) emits
+        nothing and costs nothing.
     """
 
     def __init__(
         self,
         name: str = "telemetry",
         monitor: DynamicRuleMonitor | None = None,
+        stream: "EventSink | None" = None,
     ) -> None:
         self.name = name
         self.monitor = monitor if monitor is not None else default_monitor()
+        #: Live event sink; span open/close mirror into it when set.
+        self.stream = stream
         #: Root spans, in creation order.
         self.roots: list[Span] = []
         #: Probes by name, in registration order.
@@ -78,12 +92,24 @@ class TelemetrySession:
         else:
             self.roots.append(span)
         self._stack.append(span)
+        if self.stream is not None:
+            self.stream.emit(
+                "span_start", span.name, pid=os.getpid(), depth=len(self._stack)
+            )
         span.start()
         try:
             yield span
         finally:
             span.finish()
             self._stack.pop()
+            if self.stream is not None:
+                self.stream.emit(
+                    "span_finish",
+                    span.name,
+                    pid=os.getpid(),
+                    duration_s=span.duration_s,
+                    samples=span.samples,
+                )
 
     @property
     def current_span(self) -> Span | None:

@@ -19,6 +19,17 @@ from repro.config import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory.
+
+    CLI-level tests exercise commands that append to the persistent
+    run ledger; without this they would pollute the repository's real
+    ``.repro/ledger`` history with test entries.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A seeded random generator for test-local randomness."""

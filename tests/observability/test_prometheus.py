@@ -1,0 +1,115 @@
+"""Prometheus text exposition: escaping, metadata lines, histograms."""
+
+from repro.observability.instruments import InstrumentRegistry
+
+
+def _lines(registry):
+    text = registry.to_prometheus_text()
+    assert text == "" or text.endswith("\n")
+    return text.splitlines()
+
+
+class TestMetadata:
+    def test_help_and_type_lines(self):
+        registry = InstrumentRegistry()
+        registry.counter("repro.cache.hits", help="cache lookups that hit").inc()
+        lines = _lines(registry)
+        assert "# HELP repro_cache_hits cache lookups that hit" in lines
+        assert "# TYPE repro_cache_hits counter" in lines
+        assert lines.index(
+            "# HELP repro_cache_hits cache lookups that hit"
+        ) < lines.index("# TYPE repro_cache_hits counter")
+
+    def test_no_help_line_without_help(self):
+        registry = InstrumentRegistry()
+        registry.counter("repro.cache.hits").inc()
+        lines = _lines(registry)
+        assert not any(line.startswith("# HELP") for line in lines)
+        assert "# TYPE repro_cache_hits counter" in lines
+
+    def test_dotted_names_become_underscores(self):
+        registry = InstrumentRegistry()
+        registry.gauge("repro.executor.effective_jobs").set(4)
+        assert "repro_executor_effective_jobs 4" in _lines(registry)
+
+    def test_empty_registry_is_empty_text(self):
+        assert InstrumentRegistry().to_prometheus_text() == ""
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_escaped(self):
+        registry = InstrumentRegistry()
+        registry.counter("repro.cache.hits").inc(
+            1, kind='we"ird\\path\nline'
+        )
+        [sample] = [
+            line for line in _lines(registry) if not line.startswith("#")
+        ]
+        assert sample == (
+            'repro_cache_hits{kind="we\\"ird\\\\path\\nline"} 1'
+        )
+
+    def test_plain_labels_untouched(self):
+        registry = InstrumentRegistry()
+        registry.counter("repro.cache.hits").inc(2, kind="amplitude-sweep")
+        assert 'repro_cache_hits{kind="amplitude-sweep"} 2' in _lines(registry)
+
+    def test_labels_sorted_deterministically(self):
+        registry = InstrumentRegistry()
+        registry.counter("repro.cache.hits").inc(1, zeta="z", alpha="a")
+        [sample] = [
+            line for line in _lines(registry) if not line.startswith("#")
+        ]
+        assert sample.index('alpha="a"') < sample.index('zeta="z"')
+
+
+class TestHistogramExposition:
+    def _histogram_lines(self, observations, buckets=(0.1, 1.0, 10.0)):
+        registry = InstrumentRegistry()
+        histogram = registry.histogram("repro.shard.seconds", buckets=buckets)
+        for value in observations:
+            histogram.observe(value)
+        return [
+            line for line in _lines(registry) if not line.startswith("#")
+        ]
+
+    def test_buckets_are_cumulative_with_le_labels(self):
+        lines = self._histogram_lines([0.05, 0.5, 0.5, 5.0])
+        assert 'repro_shard_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_shard_seconds_bucket{le="1"} 3' in lines
+        assert 'repro_shard_seconds_bucket{le="10"} 4' in lines
+
+    def test_inf_bucket_counts_everything(self):
+        # 100.0 overflows every finite bound; only +Inf catches it.
+        lines = self._histogram_lines([0.05, 100.0])
+        assert 'repro_shard_seconds_bucket{le="10"} 1' in lines
+        assert 'repro_shard_seconds_bucket{le="+Inf"} 2' in lines
+
+    def test_sum_and_count_consistent_with_observations(self):
+        observations = [0.05, 0.5, 0.5, 5.0, 100.0]
+        lines = self._histogram_lines(observations)
+        assert f"repro_shard_seconds_sum {sum(observations):g}" in lines
+        assert f"repro_shard_seconds_count {len(observations)}" in lines
+        # +Inf bucket and _count must agree -- the exposition contract
+        # scrapers rely on.
+        [inf_line] = [line for line in lines if '+Inf' in line]
+        assert inf_line.endswith(f" {len(observations)}")
+
+    def test_type_line_says_histogram(self):
+        registry = InstrumentRegistry()
+        registry.histogram("repro.shard.seconds", buckets=(1.0,)).observe(0.5)
+        assert "# TYPE repro_shard_seconds histogram" in _lines(registry)
+
+    def test_labeled_series_expose_independently(self):
+        registry = InstrumentRegistry()
+        histogram = registry.histogram("repro.shard.seconds", buckets=(1.0,))
+        histogram.observe(0.5, engine="batch")
+        histogram.observe(0.5, engine="scalar")
+        lines = _lines(registry)
+        assert (
+            'repro_shard_seconds_bucket{engine="batch",le="1"} 1' in lines
+        )
+        assert (
+            'repro_shard_seconds_bucket{engine="scalar",le="1"} 1' in lines
+        )
+        assert 'repro_shard_seconds_count{engine="batch"} 1' in lines

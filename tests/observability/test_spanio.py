@@ -88,3 +88,48 @@ class TestGraft:
             instruments={"schema": "x", "instruments": {}},
         )
         assert telemetry.spans[0]["name"] == "shard:0"
+
+    def test_worker_telemetry_events_default_empty(self):
+        # Payloads pickled by older workers carry no events field; the
+        # default keeps them loadable.
+        telemetry = WorkerTelemetry(spans=(), instruments={})
+        assert telemetry.events == ()
+
+
+class TestGraftEdgeCases:
+    def test_duplicate_shard_names_all_attach(self):
+        # A retried chunk can ship two subtrees with the same shard
+        # name; both must survive (grafting never dedupes by name).
+        parent = Span("sweep")
+        records = [span_to_dict(_tree()), span_to_dict(_tree())]
+        grafted = graft_spans(parent, records)
+        assert [s.name for s in grafted] == ["shard:0", "shard:0"]
+        assert len(parent.children) == 2
+        assert parent.children[0] is not parent.children[1]
+
+    def test_out_of_order_arrival_preserves_arrival_order(self):
+        # Workers finish in any order; the graft keeps arrival order
+        # (the caller zips shards/telemetries in chunk order anyway).
+        parent = Span("sweep")
+        late = span_to_dict(Span("shard:2"))
+        early = span_to_dict(Span("shard:0"))
+        graft_spans(parent, [late])
+        graft_spans(parent, [early])
+        assert [c.name for c in parent.children] == ["shard:2", "shard:0"]
+
+    def test_graft_onto_finished_parent(self):
+        # Absorbing telemetry after the parent span closed (e.g. a
+        # straggler worker) still attaches, and does not re-time or
+        # corrupt the finished parent.
+        parent = Span("sweep")
+        parent.start()
+        parent.finish()
+        duration = parent.duration_s
+        grafted = graft_spans(parent, [span_to_dict(_tree())])
+        assert parent.duration_s == duration
+        assert not parent.running
+        assert parent.children == grafted
+        from repro.telemetry.spans import render_span_tree
+
+        tree = render_span_tree([parent])
+        assert "shard:0" in tree
