@@ -20,6 +20,8 @@ Usage::
     python -m repro bench-gate                    # benchmark regression gate
     python -m repro history mod2                  # run-ledger trajectory
     python -m repro trend --strict                # cross-run drift gate
+    python -m repro serve --port 8765             # simulation service (HTTP)
+    python -m repro submit mod2 --wait            # submit a job, get manifest
     python -m repro --list       # list the commands
 
 Each measurement command prints the paper-style table.  Full FFT
@@ -59,6 +61,12 @@ runs -- single noisy runs only warn.  ``report`` and ``sweep`` also
 take ``--events PATH`` / ``--follow`` to tail span-level progress as
 JSONL while the run executes (workers' events are merged into one
 monotonically-ordered timeline).
+
+``repro serve`` boots the simulation service (:mod:`repro.service`):
+an HTTP job queue over the same engines, deduplicating identical
+requests onto one execution and one byte-identical manifest.
+``repro submit <design|spec.json> --wait`` is its client.  See
+``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
@@ -566,7 +574,7 @@ def _sweep_spec_from_json(path: str) -> "SweepSpec":
     from pathlib import Path
 
     from repro.errors import ConfigurationError
-    from repro.runtime.sweeps import SweepSpec
+    from repro.runtime.sweeps import sweep_spec_from_mapping
 
     try:
         raw = json.loads(Path(path).read_text())
@@ -576,12 +584,10 @@ def _sweep_spec_from_json(path: str) -> "SweepSpec":
         raise ConfigurationError(f"cannot read sweep spec {path}: {exc}") from exc
     if not isinstance(raw, dict):
         raise ConfigurationError(f"sweep spec {path} is not a JSON object")
-    if "levels_db" in raw and isinstance(raw["levels_db"], list):
-        raw["levels_db"] = tuple(float(level) for level in raw["levels_db"])
     try:
-        return SweepSpec(**raw)
-    except TypeError as exc:
-        raise ConfigurationError(f"invalid sweep spec {path}: {exc}") from exc
+        return sweep_spec_from_mapping(raw)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{path}: {exc}") from exc
 
 
 def cmd_profile(
@@ -853,6 +859,110 @@ def cmd_compare(
     print(report.render_table())
     print(report.summary())
     return report.exit_code(strict=strict)
+
+
+def cmd_serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    jobs: int = 1,
+    workers: int = 1,
+    max_pending: int = 64,
+    cache_dir: str | None = None,
+    max_bytes: int | None = None,
+    ledger: bool = True,
+    ledger_dir: str | None = None,
+) -> int:
+    """Run the simulation service over HTTP until interrupted."""
+    from repro.errors import ConfigurationError, ServiceError
+    from repro.service import ServiceConfig, serve
+
+    try:
+        return serve(
+            ServiceConfig(
+                host=host,
+                port=port,
+                jobs=jobs,
+                workers=workers,
+                max_pending=max_pending,
+                cache_dir=cache_dir,
+                max_bytes=max_bytes,
+                ledger=ledger,
+                ledger_dir=ledger_dir,
+            )
+        )
+    except (ConfigurationError, ServiceError, OSError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_submit(
+    target: str,
+    url: str = "http://127.0.0.1:8765",
+    samples: int | None = None,
+    sweep: bool = True,
+    noise_scale: float = 1.0,
+    mismatch: float = 0.0,
+    wait: bool = False,
+    timeout: float = 300.0,
+    output: str | None = None,
+) -> int:
+    """Submit a design (or sweep-spec JSON) to a running service."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import QueueFullError, ServiceError
+    from repro.service import ServiceClient
+
+    # A target that exists on disk (or ends in .json) is a sweep spec;
+    # anything else is a design name for a report job.
+    request: dict[str, object]
+    if target.endswith(".json") or Path(target).exists():
+        try:
+            spec = json.loads(Path(target).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"submit: cannot read sweep spec {target}: {exc}",
+                  file=sys.stderr)
+            return 2
+        request = {"kind": "sweep", "spec": spec}
+    else:
+        request = {
+            "kind": "report",
+            "design": target,
+            "sweep": sweep,
+            "noise_scale": noise_scale,
+            "mismatch": mismatch,
+        }
+        if samples is not None:
+            request["n_samples"] = samples
+
+    client = ServiceClient(url)
+    try:
+        descriptor = client.submit(request)
+    except (QueueFullError, ServiceError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    job_id = str(descriptor["id"])
+    # Status goes to stderr: stdout carries only the job id (no --wait)
+    # or the result document, so scripts can consume it directly.
+    print(
+        f"job {job_id[:12]} {descriptor['state']}"
+        f" ({descriptor['disposition']})",
+        file=sys.stderr,
+    )
+    if not wait:
+        print(job_id)
+        return 0
+    try:
+        payload = client.result_bytes(job_id, timeout_s=timeout)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    if output is not None:
+        Path(output).write_bytes(payload)
+        print(f"result written to {output}", file=sys.stderr)
+    else:
+        sys.stdout.write(payload.decode("utf-8"))
+    return 0
 
 
 #: Measurement commands: name -> callable taking the --fast flag.
@@ -1447,6 +1557,118 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also exit non-zero on warnings and config mismatches",
     )
+    serve = subparsers.add_parser(
+        "serve",
+        help=_first_doc_line(cmd_serve),
+        description=_first_doc_line(cmd_serve),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port; 0 picks a free one (default 8765)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per simulation sweep (bit-identical)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="queue worker threads (default 1: serialized simulations)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        dest="max_pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued-job backpressure limit (HTTP 429 past it)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        default=None,
+        metavar="DIR",
+        help="shared artifact store (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve.add_argument(
+        "--max-bytes",
+        dest="max_bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU byte budget of the artifact store (default: unbounded)",
+    )
+    _add_ledger_options(serve)
+    submit = subparsers.add_parser(
+        "submit",
+        help=_first_doc_line(cmd_submit),
+        description=_first_doc_line(cmd_submit),
+    )
+    submit.add_argument(
+        "target", help="design name, or a sweep-spec JSON path"
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="service base URL (default http://127.0.0.1:8765)",
+    )
+    submit.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="FFT length for a report job (server default 16K)",
+    )
+    submit.add_argument(
+        "--no-sweep",
+        dest="sweep",
+        action="store_false",
+        help="skip the dynamic-range sweep in a report job",
+    )
+    submit.add_argument(
+        "--noise-scale",
+        dest="noise_scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="thermal-noise degradation multiplier",
+    )
+    submit.add_argument(
+        "--mismatch",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="half-circuit gain mismatch to inject",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and emit its result",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="--wait deadline in seconds (default 300)",
+    )
+    submit.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="write the result bytes to PATH instead of stdout",
+    )
     return parser
 
 
@@ -1466,6 +1688,8 @@ def list_commands() -> str:
     lines.append(f"  {'bench-gate':10s} {_first_doc_line(cmd_bench_gate)}")
     lines.append(f"  {'history':10s} {_first_doc_line(cmd_history)}")
     lines.append(f"  {'trend':10s} {_first_doc_line(cmd_trend)}")
+    lines.append(f"  {'serve':10s} {_first_doc_line(cmd_serve)}")
+    lines.append(f"  {'submit':10s} {_first_doc_line(cmd_submit)}")
     return "\n".join(lines)
 
 
@@ -1596,6 +1820,32 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "compare":
         return cmd_compare(
             args.manifest, baseline_path=args.baseline, strict=args.strict
+        )
+
+    if args.command == "serve":
+        return cmd_serve(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            workers=args.workers,
+            max_pending=args.max_pending,
+            cache_dir=args.cache_dir,
+            max_bytes=args.max_bytes,
+            ledger=args.ledger,
+            ledger_dir=args.ledger_dir,
+        )
+
+    if args.command == "submit":
+        return cmd_submit(
+            args.target,
+            url=args.url,
+            samples=args.samples,
+            sweep=args.sweep,
+            noise_scale=args.noise_scale,
+            mismatch=args.mismatch,
+            wait=args.wait,
+            timeout=args.timeout,
+            output=args.output,
         )
 
     COMMANDS[args.command](args.fast)

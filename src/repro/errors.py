@@ -85,6 +85,26 @@ class MetricsError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The simulation service was misused or fed a malformed request.
+
+    Raised on invalid job requests (unknown kind, bad design name,
+    malformed spec fields), lookups of unknown job ids, and client-side
+    protocol failures.  A job that *fails while executing* is never an
+    exception at the API boundary -- it is a ``failed`` job state with
+    the error message recorded on the job descriptor.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service job queue rejected a submission (backpressure).
+
+    Raised by :meth:`repro.service.queue.JobQueue.submit` when the
+    pending backlog is at capacity; the HTTP layer maps it to a 429
+    response so clients retry instead of piling work up unboundedly.
+    """
+
+
 class AnalysisError(ReproError):
     """A measurement or spectral analysis could not be performed."""
 

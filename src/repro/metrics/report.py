@@ -92,6 +92,7 @@ def build_report(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir: str | None = None,
+    cache: ResultCache | None = None,
     session: TelemetrySession | None = None,
 ) -> RunManifest:
     """Measure a named design and return its run manifest.
@@ -126,6 +127,11 @@ def build_report(
     cache_dir:
         Cache directory (defaults to ``$REPRO_CACHE_DIR`` or
         ``.repro-cache``); only read when ``use_cache`` is set.
+    cache:
+        An existing :class:`~repro.runtime.cache.ResultCache` to use
+        directly, overriding ``use_cache``/``cache_dir``.  The
+        simulation service passes its shared, byte-budgeted artifact
+        store here so every job hits one cache instance.
     session:
         Telemetry session to trace the run into; a caller-supplied
         session (``repro report --profile``) keeps the recorded spans
@@ -232,10 +238,12 @@ def build_report(
                 noise_scale=noise_scale,
                 mismatch=mismatch,
             )
+            if cache is None and use_cache:
+                cache = ResultCache(cache_dir)
             sweep_result = run_sweep(
                 spec,
                 executor=SweepExecutor(jobs=jobs),
-                cache=ResultCache(cache_dir) if use_cache else None,
+                cache=cache,
                 telemetry=session,
             )
             sweep_records(registry, sweep_result)

@@ -33,6 +33,7 @@ from repro.observability.instruments import (
     Histogram,
     InstrumentRegistry,
     get_registry,
+    render_prometheus,
     reset_registry,
     set_registry,
     snapshot_delta,
@@ -52,6 +53,7 @@ from repro.observability.ledger import (
 )
 from repro.observability.live import (
     EVENT_SCHEMA,
+    EventBuffer,
     EventRecorder,
     EventSink,
     EventStream,
@@ -122,6 +124,7 @@ __all__ = [
     "GATED_COUNTERS",
     "TREND_SCHEMA",
     "Counter",
+    "EventBuffer",
     "EventRecorder",
     "EventSink",
     "EventStream",
@@ -150,6 +153,7 @@ __all__ = [
     "open_event_stream",
     "render_history",
     "render_profile_table",
+    "render_prometheus",
     "reset_registry",
     "set_registry",
     "snapshot_delta",

@@ -53,6 +53,7 @@ __all__ = [
     "set_registry",
     "use_registry",
     "reset_registry",
+    "render_prometheus",
     "snapshot_delta",
 ]
 
@@ -541,6 +542,25 @@ class InstrumentRegistry:
                 for key, value in instrument.series():
                     lines.append(f"{metric}{_prom_labels(key)} {value:g}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prometheus(snapshot: Mapping[str, object]) -> str:
+    """Render an instrument *snapshot* in Prometheus exposition format.
+
+    The live-registry path (``GET /statsz``, ``repro stats --prom``)
+    renders through :meth:`InstrumentRegistry.to_prometheus_text`
+    directly; this helper covers the serialized side -- a snapshot
+    document loaded from a stats JSON, a worker payload, or a merged
+    delta -- by folding it into a fresh registry first.
+
+    Raises
+    ------
+    ObservabilityError
+        If the snapshot document is malformed.
+    """
+    registry = InstrumentRegistry()
+    registry.merge(snapshot)
+    return registry.to_prometheus_text()
 
 
 def _snapshot_instruments(

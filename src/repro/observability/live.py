@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import IO, Iterable, Mapping, Protocol, Sequence
@@ -43,14 +44,28 @@ from repro.errors import ObservabilityError
 
 __all__ = [
     "EVENT_SCHEMA",
+    "EventBuffer",
     "EventSink",
     "EventStream",
+    "TextSink",
     "EventRecorder",
     "open_event_stream",
 ]
 
 #: Schema identifier stamped on the stream's header event.
 EVENT_SCHEMA = "repro.observability/event-stream/v1"
+
+
+class TextSink(Protocol):
+    """A writable text handle (open file, stderr, :class:`EventBuffer`)."""
+
+    def write(self, text: str) -> int:
+        """Write text; return the number of characters written."""
+        ...
+
+    def flush(self) -> None:
+        """Push buffered text through."""
+        ...
 
 
 class EventSink(Protocol):
@@ -120,6 +135,89 @@ class EventRecorder:
         return absorbed
 
 
+class EventBuffer:
+    """A thread-safe, tailable in-memory line buffer.
+
+    This is the sink the simulation service hangs each job's
+    :class:`EventStream` on: the stream writes JSONL lines into the
+    buffer from the worker thread, while any number of HTTP readers
+    tail it concurrently -- :meth:`wait` blocks until new lines arrive
+    or the buffer closes, so ``GET /jobs/<id>/events?follow=1``
+    streams a live run without polling.
+
+    The buffer implements the ``write``/``flush`` file-handle protocol
+    :class:`EventStream` expects, collecting *complete* lines only (a
+    partial write is held back until its newline lands), so readers
+    never observe a torn JSON object.
+    """
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._partial = ""
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # -- handle protocol (writer side) ---------------------------------
+
+    def write(self, text: str) -> int:
+        """Append text; complete lines become visible to readers.
+
+        Raises
+        ------
+        ObservabilityError
+            If the buffer was already closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise ObservabilityError("EventBuffer is closed")
+            self._partial += text
+            *complete, self._partial = self._partial.split("\n")
+            if complete:
+                self._lines.extend(complete)
+                self._cond.notify_all()
+        return len(text)
+
+    def flush(self) -> None:
+        """No-op: lines are visible as soon as their newline lands."""
+
+    def close(self) -> None:
+        """Mark the buffer complete; wakes every blocked reader."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- reader side ---------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Return whether the writer finished the buffer."""
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._lines)
+
+    def lines(self, start: int = 0) -> list[str]:
+        """Return a snapshot of the buffered lines from ``start``."""
+        with self._cond:
+            return self._lines[start:]
+
+    def wait(self, start: int = 0, timeout: float | None = None) -> list[str]:
+        """Return lines from ``start``, blocking while none exist.
+
+        Returns immediately when lines past ``start`` are already
+        buffered or the buffer is closed; otherwise blocks up to
+        ``timeout`` seconds (forever when None) for the next write.
+        An empty list therefore means "no new lines yet" -- check
+        :attr:`closed` to distinguish a quiet stream from a finished
+        one.
+        """
+        with self._cond:
+            if len(self._lines) <= start and not self._closed:
+                self._cond.wait(timeout=timeout)
+            return self._lines[start:]
+
+
 class EventStream:
     """Append JSONL events to one or more open text handles.
 
@@ -143,7 +241,7 @@ class EventStream:
     """
 
     def __init__(
-        self, handles: Sequence[IO[str]], source: str = "run"
+        self, handles: Sequence[TextSink], source: str = "run"
     ) -> None:
         if not handles:
             raise ObservabilityError("EventStream needs at least one handle")
@@ -215,7 +313,7 @@ class _OwnedEventStream(EventStream):
 
     def __init__(
         self,
-        handles: Sequence[IO[str]],
+        handles: Sequence[TextSink],
         owned: Sequence[IO[str]],
         source: str,
     ) -> None:

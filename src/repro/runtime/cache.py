@@ -25,7 +25,12 @@ sweep's counts sum correctly in the parent -- see
 
 An optional ``max_bytes`` budget turns the cache into a bounded LRU:
 after each store, the oldest entries (by payload mtime) are evicted
-until the directory fits the budget.
+until the directory fits the budget.  Hits re-touch the payload's
+mtime, so eviction order is least recently *used*, not least recently
+written -- the behaviour the simulation service relies on when the
+cache serves as its shared artifact store (``repro serve
+--max-bytes``): a figure every client keeps requesting stays resident
+while one-off runs age out.
 """
 
 from __future__ import annotations
@@ -91,10 +96,10 @@ class ResultCache:
         ``.repro-cache`` under the current working directory.
     max_bytes:
         Optional size budget.  After each store the oldest entries (by
-        payload mtime -- LRU in the "least recently written" sense) are
-        evicted until the cache fits, each eviction incrementing the
-        ``repro.cache.evictions`` counter.  ``None`` (the default)
-        never evicts.
+        payload mtime, which hits re-touch -- true least-recently-used
+        order) are evicted until the cache fits, each eviction
+        incrementing the ``repro.cache.evictions`` counter.  ``None``
+        (the default) never evicts.
     """
 
     def __init__(
@@ -185,6 +190,13 @@ class ResultCache:
             registry.counter(
                 "repro.cache.hits", help="cache lookups served from disk"
             ).inc(kind=kind)
+            # Touch the payload so the max_bytes eviction order is true
+            # LRU (least recently *used*): a hot entry served to many
+            # service requests must outlive a cold one stored later.
+            try:
+                os.utime(data_path)
+            except OSError:
+                pass
             return arrays
         self.misses += 1
         registry.counter(

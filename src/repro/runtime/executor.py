@@ -358,6 +358,16 @@ class SweepExecutor:
             items[offset : offset + length] for offset, length in chunks
         ]
         n_processes = self.effective_jobs(len(chunks))
+        if instrument:
+            # A last-value gauge, not a counter: dashboards tailing
+            # /statsz want "what parallelism is this host actually
+            # getting" -- the clamped count, which can silently differ
+            # from the requested ``jobs`` on small hosts or short item
+            # lists.  Plain map() stays instrument-free by contract.
+            get_registry().gauge(
+                "repro.executor.effective_jobs",
+                help="process count actually used by the latest map call",
+            ).set(float(n_processes), requested=str(self.jobs))
         results: list[_ResultT] = []
         telemetries: list[WorkerTelemetry] = []
         if n_processes <= 1:

@@ -59,7 +59,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observability.live import EventSink
     from repro.telemetry.session import TelemetrySession
 
-__all__ = ["SweepSpec", "run_sweep", "sweep_spec_for_design"]
+__all__ = [
+    "SweepSpec",
+    "run_sweep",
+    "sweep_spec_for_design",
+    "sweep_spec_from_mapping",
+]
 
 #: Default input levels (dB re full scale) -- the compact Table 2
 #: dynamic-range sweep of ``repro report``.
@@ -144,6 +149,35 @@ def sweep_spec_for_design(
         noise_scale=noise_scale,
         mismatch=mismatch,
     )
+
+
+def sweep_spec_from_mapping(raw: Mapping[str, Any]) -> SweepSpec:
+    """Build a :class:`SweepSpec` from a JSON-ready field mapping.
+
+    This is the deserialization side of the spec-as-cache-key contract,
+    shared by ``repro profile <spec.json>`` and the simulation
+    service's ``sweep`` job kind: the same mapping always normalizes to
+    the same spec, so its canonical digest dedups identical requests.
+
+    Raises
+    ------
+    ConfigurationError
+        If the mapping is not a valid set of ``SweepSpec`` fields.
+    """
+    from repro.errors import ConfigurationError
+
+    if not isinstance(raw, Mapping):
+        raise ConfigurationError(
+            f"sweep spec must be a mapping of SweepSpec fields, got {type(raw).__name__}"
+        )
+    data = dict(raw)
+    levels = data.get("levels_db")
+    if isinstance(levels, (list, tuple)):
+        data["levels_db"] = tuple(float(level) for level in levels)
+    try:
+        return SweepSpec(**data)
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid sweep spec: {exc}") from exc
 
 
 def _build_device(spec: SweepSpec) -> Any:

@@ -1,0 +1,187 @@
+"""A stdlib HTTP client for the simulation service.
+
+``repro submit`` (and the tests) talk to ``repro serve`` through this
+thin :mod:`urllib.request` wrapper.  Results are exposed as *bytes*
+(:meth:`ServiceClient.result_bytes`): the service serializes each
+job's single stored result object canonically, so two clients of a
+deduplicated job can compare payloads with ``cmp`` -- the byte-identity
+contract the CI smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+from repro.errors import QueueFullError, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Client for one service base URL (``http://127.0.0.1:8765``)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        timeout_s: float | None = None,
+    ) -> tuple[int, bytes]:
+        """Issue one request; return ``(status, body)``.
+
+        Raises
+        ------
+        QueueFullError
+            On HTTP 429 (queue backpressure) -- callers can retry.
+        ServiceError
+            On any other non-2xx status or a connection failure; the
+            server's JSON ``error`` message is surfaced when present.
+        """
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request,
+                timeout=timeout_s if timeout_s is not None else self.timeout_s,
+            ) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            message = self._error_message(payload, f"HTTP {exc.code}")
+            if exc.code == 429:
+                raise QueueFullError(message) from exc
+            if exc.code == 202:  # pragma: no cover - 2xx never raises
+                return exc.code, payload
+            raise ServiceError(f"HTTP {exc.code}: {message}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _error_message(payload: bytes, fallback: str) -> str:
+        try:
+            parsed = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return fallback
+        if isinstance(parsed, dict) and isinstance(parsed.get("error"), str):
+            return parsed["error"]
+        return fallback
+
+    @staticmethod
+    def _json(payload: bytes) -> dict[str, Any]:
+        parsed = json.loads(payload)
+        if not isinstance(parsed, dict):
+            raise ServiceError(
+                f"service returned a non-object response: {parsed!r}"
+            )
+        return parsed
+
+    # -- API -----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Return the ``/healthz`` document."""
+        return self._json(self._request("GET", "/healthz")[1])
+
+    def stats(self) -> dict[str, Any]:
+        """Return the raw instrument snapshot (``/statsz?format=json``)."""
+        return self._json(self._request("GET", "/statsz?format=json")[1])
+
+    def stats_text(self) -> str:
+        """Return the Prometheus exposition text of ``/statsz``."""
+        return self._request("GET", "/statsz")[1].decode("utf-8")
+
+    def submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        """POST a request; return the job descriptor (with disposition)."""
+        return self._json(self._request("POST", "/jobs", body=request)[1])
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """Return one job descriptor."""
+        return self._json(self._request("GET", f"/jobs/{job_id}")[1])
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Return every job descriptor the service knows."""
+        listing = self._json(self._request("GET", "/jobs")[1])
+        jobs = listing.get("jobs", [])
+        return jobs if isinstance(jobs, list) else []
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a queued job; raises :class:`ServiceError` otherwise."""
+        return self._json(self._request("DELETE", f"/jobs/{job_id}")[1])
+
+    def result_bytes(
+        self, job_id: str, timeout_s: float = 300.0
+    ) -> bytes:
+        """Block until the job finishes; return its canonical result bytes.
+
+        Long-polls ``/jobs/<id>/result?wait=`` in bounded slices until
+        the job reaches a terminal state or ``timeout_s`` elapses.
+
+        Raises
+        ------
+        ServiceError
+            If the job failed, was cancelled, or the deadline passed.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                raise ServiceError(
+                    f"timed out after {timeout_s:g}s waiting for job "
+                    f"{job_id[:12]}"
+                )
+            slice_s = min(remaining, 30.0)
+            status, payload = self._request(
+                "GET",
+                f"/jobs/{job_id}/result?wait={slice_s:g}",
+                timeout_s=slice_s + self.timeout_s,
+            )
+            if status == 200:
+                return payload
+            # 202: still queued/running -- poll again until the deadline.
+
+    def result(self, job_id: str, timeout_s: float = 300.0) -> dict[str, Any]:
+        """Like :meth:`result_bytes` but parsed into a dict."""
+        return self._json(self.result_bytes(job_id, timeout_s=timeout_s))
+
+    def events(self, job_id: str, follow: bool = False) -> Iterator[dict[str, Any]]:
+        """Yield the job's event records (``follow`` streams until done)."""
+        path = f"/jobs/{job_id}/events" + ("?follow=1" if follow else "")
+        request = urllib.request.Request(f"{self.base_url}{path}")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=None if follow else self.timeout_s
+            ) as response:
+                for line in response:
+                    text = line.decode("utf-8").strip()
+                    if not text:
+                        continue
+                    record = json.loads(text)
+                    if isinstance(record, dict):
+                        yield record
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"HTTP {exc.code}: "
+                f"{self._error_message(exc.read(), 'events unavailable')}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc

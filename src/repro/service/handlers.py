@@ -1,0 +1,275 @@
+"""HTTP routes of the simulation service.
+
+One :class:`~http.server.BaseHTTPRequestHandler` subclass, running on
+the threading server of :mod:`repro.service.app`, implements the whole
+API (reference: ``docs/SERVICE.md``):
+
+==========  =========================  =====================================
+method      path                       purpose
+==========  =========================  =====================================
+``GET``     ``/healthz``               liveness + uptime
+``GET``     ``/statsz``                instrument snapshot (Prometheus
+                                       exposition; ``?format=json`` for raw)
+``POST``    ``/jobs``                  submit a request (201 new/retried,
+                                       200 deduplicated, 400 invalid,
+                                       429 queue full)
+``GET``     ``/jobs``                  list job descriptors
+``GET``     ``/jobs/<id>``             one job descriptor
+``GET``     ``/jobs/<id>/result``      the result document;
+                                       ``?wait=SECONDS`` long-polls
+``GET``     ``/jobs/<id>/events``      NDJSON event tail;
+                                       ``?follow=1`` streams until done
+``DELETE``  ``/jobs/<id>``             cancel a queued job
+==========  =========================  =====================================
+
+Result bytes are canonical: ``json.dumps(result, indent=2,
+sort_keys=True) + "\\n"``, computed from the single stored result
+object -- every client of a deduplicated job receives byte-identical
+manifests.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler
+from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import QueueFullError, ServiceError
+from repro.observability.instruments import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.app import SimulationService
+    from repro.service.queue import Job
+
+__all__ = ["ServiceHandler", "result_bytes"]
+
+#: Cap on ``?wait=`` long-polls (seconds); clients re-poll past it.
+MAX_WAIT_S = 60.0
+
+#: Per-read block on a followed event tail (seconds); bounds how long a
+#: dead connection can hold its handler thread.
+FOLLOW_POLL_S = 1.0
+
+
+def result_bytes(result: dict[str, Any]) -> bytes:
+    """Serialize a job result to its canonical byte form."""
+    return (json.dumps(result, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Route HTTP requests to the owning :class:`SimulationService`."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> "SimulationService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (instruments cover it)."""
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        self._send(
+            status,
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _query(self) -> dict[str, list[str]]:
+        return parse_qs(urlparse(self.path).query)
+
+    def _route(self) -> list[str]:
+        return [part for part in urlparse(self.path).path.split("/") if part]
+
+    def _job_or_404(self, job_id: str) -> "Job | None":
+        job = self.service.queue.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id!r}")
+        return job
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        parts = self._route()
+        if parts == ["healthz"]:
+            self._handle_health()
+        elif parts == ["statsz"]:
+            self._handle_stats()
+        elif parts == ["jobs"]:
+            self._send_json(
+                200,
+                {
+                    "jobs": [
+                        job.descriptor() for job in self.service.queue.jobs()
+                    ]
+                },
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                self._send_json(200, job.descriptor())
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                self._handle_result(job)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                self._handle_events(job)
+        else:
+            self._error(404, f"no route for GET {urlparse(self.path).path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self._route() != ["jobs"]:
+            self._error(404, f"no route for POST {urlparse(self.path).path}")
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            raw = json.loads(self.rfile.read(length) or b"{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"request body is not valid JSON: {exc}")
+            return
+        try:
+            job, disposition = self.service.submit(raw)
+        except QueueFullError as exc:
+            self._error(429, str(exc))
+            return
+        except ServiceError as exc:
+            self._error(400, str(exc))
+            return
+        descriptor = job.descriptor()
+        descriptor["disposition"] = disposition
+        self._send_json(
+            201 if disposition in ("new", "retried") else 200, descriptor
+        )
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parts = self._route()
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._error(404, f"no route for DELETE {urlparse(self.path).path}")
+            return
+        job = self._job_or_404(parts[1])
+        if job is None:
+            return
+        if self.service.queue.cancel(job.id):
+            self._send_json(200, job.descriptor())
+        else:
+            self._error(
+                409,
+                f"job {job.id[:12]} is {job.state.value}; "
+                "only queued jobs can be cancelled",
+            )
+
+    # -- route bodies --------------------------------------------------
+
+    def _handle_health(self) -> None:
+        import time
+
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "uptime_s": round(time.time() - self.service.started_at, 3),
+                "jobs": len(self.service.queue.jobs()),
+                "queue_depth": self.service.queue.depth(),
+            },
+        )
+
+    def _handle_stats(self) -> None:
+        registry = get_registry()
+        if self._query().get("format", [""])[0] == "json":
+            self._send_json(200, dict(registry.snapshot()))
+            return
+        self._send(
+            200,
+            registry.to_prometheus_text().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _handle_result(self, job: "Job") -> None:
+        from repro.service.queue import JobState
+
+        query = self._query()
+        wait_raw = query.get("wait", ["0"])[0]
+        try:
+            wait_s = min(max(float(wait_raw), 0.0), MAX_WAIT_S)
+        except ValueError:
+            self._error(400, f"wait must be a number, got {wait_raw!r}")
+            return
+        if wait_s > 0.0:
+            job.wait(wait_s)
+        if job.state is JobState.DONE and job.result is not None:
+            self._send(200, result_bytes(job.result))
+        elif job.state is JobState.FAILED:
+            self._send_json(
+                500, {"error": job.error or "job failed", "id": job.id}
+            )
+        elif job.state is JobState.CANCELLED:
+            self._send_json(
+                410, {"error": job.error or "job cancelled", "id": job.id}
+            )
+        else:
+            # Still queued/running: 202 tells the client to poll again.
+            self._send_json(202, job.descriptor())
+
+    def _handle_events(self, job: "Job") -> None:
+        """Serve the job's event log as NDJSON, optionally following.
+
+        A follow reads the job's :class:`EventBuffer` in bounded waits
+        until the buffer closes (the job reached a terminal state), so
+        ``curl .../events?follow=1`` behaves like ``tail -f`` that
+        exits when the run completes.
+        """
+        follow = self._query().get("follow", ["0"])[0] in ("1", "true")
+        if not follow:
+            body = "".join(
+                line + "\n" for line in job.events.lines()
+            ).encode("utf-8")
+            self._send(200, body, content_type="application/x-ndjson")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # Chunked framing: the total length is unknown while following.
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        cursor = 0
+        try:
+            while True:
+                lines = job.events.wait(cursor, timeout=FOLLOW_POLL_S)
+                for line in lines:
+                    self._write_chunk(line + "\n")
+                cursor += len(lines)
+                if job.events.closed and not job.events.lines(cursor):
+                    break
+            self._write_chunk("")
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _write_chunk(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data + b"\r\n")
+        self.wfile.flush()

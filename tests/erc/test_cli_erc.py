@@ -47,16 +47,17 @@ class TestListing:
         out = capsys.readouterr().out
         for name in list(COMMANDS) + [
             "erc", "lint", "trace", "report", "compare", "sweep",
-            "stats", "profile", "bench-gate", "history", "trend"
+            "stats", "profile", "bench-gate", "history", "trend",
+            "serve", "submit"
         ]:
             assert name in out
 
     def test_list_has_one_line_descriptions(self):
         lines = [line for line in list_commands().splitlines() if line.strip()]
         # One line per measurement command plus the erc, lint, trace,
-        # report, compare, sweep, stats, profile, bench-gate, history
-        # and trend commands.
-        assert len(lines) == len(COMMANDS) + 11
+        # report, compare, sweep, stats, profile, bench-gate, history,
+        # trend, serve and submit commands.
+        assert len(lines) == len(COMMANDS) + 13
         for line in lines:
             name, _, description = line.strip().partition(" ")
             assert description.strip(), f"{name} has no description"

@@ -1,0 +1,101 @@
+"""Request normalization: the canonical form behind service dedup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.app import DEFAULT_REPORT_SAMPLES, normalize_request
+
+
+class TestReportRequests:
+    def test_defaults_are_materialized(self):
+        request = normalize_request({"design": "modulator2"})
+        assert request.kind == "report"
+        assert request.params == {
+            "design": "modulator2",
+            "n_samples": DEFAULT_REPORT_SAMPLES,
+            "sweep": True,
+            "noise_scale": 1.0,
+            "mismatch": 0.0,
+        }
+
+    def test_aliases_digest_identically(self):
+        short = normalize_request({"design": "mod2", "n_samples": 8192})
+        long = normalize_request({"design": "modulator2", "n_samples": 8192})
+        assert short.params["design"] == long.params["design"]
+        assert short.digest() == long.digest()
+
+    def test_spelled_out_defaults_digest_identically(self):
+        bare = normalize_request({"design": "mod2"})
+        explicit = normalize_request(
+            {
+                "design": "mod2",
+                "n_samples": DEFAULT_REPORT_SAMPLES,
+                "sweep": True,
+                "noise_scale": 1,
+                "mismatch": 0,
+            }
+        )
+        assert bare.digest() == explicit.digest()
+
+    def test_different_params_digest_differently(self):
+        a = normalize_request({"design": "mod2"})
+        b = normalize_request({"design": "mod2", "noise_scale": 2.0})
+        assert a.digest() != b.digest()
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            {},
+            {"design": ""},
+            {"design": 7},
+            {"design": "no-such-design"},
+            {"design": "mod2", "n_samples": "many"},
+            {"design": "mod2", "n_samples": True},
+            {"design": "mod2", "n_samples": 1024},
+            {"design": "mod2", "noise_scale": "loud"},
+            {"kind": "unknown", "design": "mod2"},
+            "not-a-mapping",
+        ],
+    )
+    def test_invalid_requests_raise_service_error(self, raw):
+        with pytest.raises(ServiceError):
+            normalize_request(raw)
+
+
+class TestSweepRequests:
+    SPEC = {
+        "design": "modulator2",
+        "levels_db": [-40.0, -20.0],
+        "full_scale": 2e-6,
+        "signal_frequency": 1953.125,
+        "sample_rate": 1_000_000.0,
+        "n_samples": 8192,
+        "bandwidth": 3400.0,
+    }
+
+    def test_spec_normalizes_to_its_cache_key(self):
+        request = normalize_request({"kind": "sweep", "spec": self.SPEC})
+        assert request.kind == "sweep"
+        assert request.params["kind"] == "amplitude-sweep"
+        assert request.params["design"] == "modulator2"
+        assert request.params["levels_db"] == [-40.0, -20.0]
+
+    def test_levels_coerce_before_digesting(self):
+        ints = dict(self.SPEC, levels_db=[-40, -20])
+        a = normalize_request({"kind": "sweep", "spec": self.SPEC})
+        b = normalize_request({"kind": "sweep", "spec": ints})
+        assert a.digest() == b.digest()
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            {"kind": "sweep"},
+            {"kind": "sweep", "spec": "not-a-mapping"},
+            {"kind": "sweep", "spec": {"design": "mod2", "bogus": 1}},
+        ],
+    )
+    def test_invalid_specs_raise_service_error(self, raw):
+        with pytest.raises(ServiceError):
+            normalize_request(raw)
