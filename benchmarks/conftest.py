@@ -35,6 +35,7 @@ import pytest
 
 from repro.config import MODULATOR_CLOCK, delay_line_cell_config, paper_cell_config
 from repro.metrics.manifest import write_bench_telemetry
+from repro.observability.instruments import get_registry, snapshot_delta
 
 #: Telemetry records accumulated by run_once during this session.
 _TELEMETRY_RECORDS: list[dict[str, object]] = []
@@ -76,10 +77,19 @@ def run_once(
     fields (e.g. a vectorized-vs-scalar ``speedup``) are merged into
     the bench's telemetry record, where the CI benchmark gate
     (``repro bench-gate``) can enforce floors on them.
+
+    The record also carries the dominant execution engine tier
+    (``"kernel"``, ``"batch"``, ``"single"`` or ``"scalar"``, from the
+    ``repro.engine.runs`` instrument delta around the timed section;
+    None for analysis-only benches), so ``repro trend`` series never
+    silently mix scalar and kernel timings.
     """
+    registry = get_registry()
+    instruments_before = registry.snapshot()
     start = time.perf_counter()
     result = benchmark.pedantic(func, rounds=1, iterations=1)
     wall_s = time.perf_counter() - start
+    delta = snapshot_delta(instruments_before, registry.snapshot())
     record: dict[str, object] = {
         "benchmark": getattr(benchmark, "name", None) or func.__qualname__,
         "wall_s": wall_s,
@@ -87,11 +97,32 @@ def run_once(
         "samples_per_second": (
             n_samples / wall_s if n_samples and wall_s > 0.0 else None
         ),
+        "engine": _dominant_engine(delta),
     }
     if extra:
         record.update(extra)
     _TELEMETRY_RECORDS.append(record)
     return result
+
+
+def _dominant_engine(delta: dict[str, object]) -> str | None:
+    """Return the engine tier that executed most runs in the delta.
+
+    Sums the ``repro.engine.runs`` counter series by engine label; a
+    bench that ran no devices (pure analysis) yields None.
+    """
+    instruments = delta.get("instruments")
+    entry = instruments.get("repro.engine.runs") if isinstance(instruments, dict) else None
+    if not isinstance(entry, dict):
+        return None
+    totals: dict[str, float] = {}
+    for series in entry.get("series", ()):
+        labels = series.get("labels", {})
+        engine = str(labels.get("engine", "unknown"))
+        totals[engine] = totals.get(engine, 0.0) + float(series.get("value", 0.0))
+    if not totals:
+        return None
+    return max(totals, key=lambda name: totals[name])
 
 
 def record_extra(benchmark_name: str, **fields: object) -> None:

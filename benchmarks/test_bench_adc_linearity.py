@@ -38,7 +38,7 @@ def test_bench_adc_linearity(benchmark):
         digital = adc.convert(x)
         return code_density_test(digital[8:], n_bits=N_BITS, full_scale=1.0)
 
-    result = run_once(benchmark, experiment)
+    result = run_once(benchmark, experiment, n_samples=1 << 20)
 
     comparison = PaperComparison()
     comparison.add(

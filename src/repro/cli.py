@@ -780,6 +780,7 @@ def cmd_report(
     follow: bool = False,
     ledger: bool = True,
     ledger_dir: str | None = None,
+    engine: str = "auto",
     argv: list[str] | None = None,
 ) -> int:
     """Measure a design and emit its paper-metrics run manifest."""
@@ -805,6 +806,7 @@ def cmd_report(
             cache_dir=cache_dir,
             provenance=collect_provenance(argv=argv),
             session=session,
+            engine=engine,
         )
     finally:
         if stream is not None:
@@ -1209,6 +1211,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the dynamic-range sweep "
         "(bit-identical manifests at any value; default: 1)",
+    )
+    report.add_argument(
+        "--engine",
+        choices=["auto", "scalar", "batch", "kernel"],
+        default="auto",
+        help="execution engine for the measurement and sweep "
+        "(bit-identical values on every rung; stamped into the "
+        "manifest's provenance so timings stay attributable; "
+        "default: auto)",
     )
     report.add_argument(
         "--profile",
@@ -1745,6 +1756,7 @@ def main(argv: list[str] | None = None) -> int:
             follow=args.follow,
             ledger=args.ledger,
             ledger_dir=args.ledger_dir,
+            engine=args.engine,
             argv=["repro", *argv] if argv is not None else None,
         )
 

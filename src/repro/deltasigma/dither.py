@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import AnalysisError, ConfigurationError
 from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.noise.streams import GaussianStream
 
 __all__ = ["DitheredQuantizer", "idle_tone_power_ratio"]
 
@@ -29,6 +30,14 @@ class DitheredQuantizer(CurrentQuantizer):
     The dither adds to the comparator input *inside the loop*, so the
     decisions decorrelate from the input while the injected noise is
     shaped out of band like quantisation noise.
+
+    Parameters
+    ----------
+    The dither draws from a replayable
+    :class:`~repro.noise.streams.GaussianStream` (one draw per decision
+    whenever ``dither_rms > 0``), so the stream position is a pure
+    function of the step count and the lowered engines (batch, kernel)
+    can slice or drain it exactly like the metastability stream.
 
     Parameters
     ----------
@@ -61,15 +70,15 @@ class DitheredQuantizer(CurrentQuantizer):
                 f"dither_rms must be non-negative, got {dither_rms!r}"
             )
         self.dither_rms = dither_rms
-        self._dither_rng = np.random.default_rng(
-            None if seed is None else seed + 1
+        self._dither = GaussianStream(
+            dither_rms, None if seed is None else seed + 1
         )
 
     def decide(self, input_current: float) -> int:
         """Return the dithered decision for one input sample."""
         dithered = input_current
         if self.dither_rms > 0.0:
-            dithered += float(self._dither_rng.normal(0.0, self.dither_rms))
+            dithered += self._dither.next()
         return super().decide(dithered)
 
 

@@ -74,6 +74,9 @@ class PelgromMismatch:
     rng:
         NumPy random generator; pass a seeded generator for
         reproducible Monte-Carlo runs.
+    seed:
+        Seed for the fallback generator when ``rng`` is omitted, so a
+        bare construction is still replayable.
     """
 
     def __init__(
@@ -81,6 +84,7 @@ class PelgromMismatch:
         avt: float = 10e-9,
         abeta: float = 0.02e-6,
         rng: np.random.Generator | None = None,
+        seed: int = 0,
     ) -> None:
         if avt < 0.0:
             raise ConfigurationError(f"avt must be non-negative, got {avt!r}")
@@ -88,7 +92,7 @@ class PelgromMismatch:
             raise ConfigurationError(f"abeta must be non-negative, got {abeta!r}")
         self.avt = avt
         self.abeta = abeta
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     @property
     def rng(self) -> np.random.Generator:

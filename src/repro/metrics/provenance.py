@@ -90,6 +90,12 @@ class Provenance:
         runs with the same core count.
     argv:
         The command line that produced the artifact.
+    engine:
+        Execution engine the numbers were produced on (``"auto"``,
+        ``"scalar"``, ``"batch"`` or ``"kernel"``; None for artifacts
+        that predate engine selection or do not run devices).  All
+        engines are bit-identical, so this attributes *timings*, not
+        values.
     """
 
     git_sha: str
@@ -101,6 +107,7 @@ class Provenance:
     argv: tuple[str, ...]
     hostname: str = "unknown"
     cpu_count: int | None = None
+    engine: str | None = None
 
     def as_dict(self) -> dict[str, object]:
         """Return the provenance as a JSON-ready dictionary."""
@@ -114,6 +121,7 @@ class Provenance:
             "hostname": self.hostname,
             "cpu_count": self.cpu_count,
             "argv": list(self.argv),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -126,6 +134,7 @@ class Provenance:
         dirty = data.get("git_dirty")
         argv = data.get("argv")
         cpus = data.get("cpu_count")
+        engine = data.get("engine")
         return cls(
             git_sha=str(data.get("git_sha", "unknown")),
             git_dirty=dirty if isinstance(dirty, bool) else None,
@@ -136,6 +145,7 @@ class Provenance:
             argv=tuple(str(a) for a in argv) if isinstance(argv, list) else (),
             hostname=str(data.get("hostname", "unknown")),
             cpu_count=cpus if isinstance(cpus, int) else None,
+            engine=engine if isinstance(engine, str) else None,
         )
 
 

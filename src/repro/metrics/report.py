@@ -35,6 +35,7 @@ from repro.metrics.provenance import Provenance
 from repro.metrics.registry import registry_for
 from repro.observability.instruments import get_registry, snapshot_delta
 from repro.runtime.cache import ResultCache
+from repro.runtime.engine import ENGINES, use_engine
 from repro.runtime.executor import SweepExecutor
 from repro.runtime.sweeps import run_sweep, sweep_spec_for_design
 from repro.si.memory_cell import MemoryCellConfig
@@ -94,6 +95,7 @@ def build_report(
     cache_dir: str | None = None,
     cache: ResultCache | None = None,
     session: TelemetrySession | None = None,
+    engine: str = "auto",
 ) -> RunManifest:
     """Measure a named design and return its run manifest.
 
@@ -137,6 +139,13 @@ def build_report(
         session (``repro report --profile``) keeps the recorded spans
         readable after the report returns.  A fresh internal session is
         used when omitted.
+    engine:
+        Execution engine for the measurement and the sweep: ``auto``
+        (default, compiled kernel where it lowers), or a pinned
+        ``scalar``/``batch``/``kernel`` rung.  Every engine is
+        bit-identical, so the manifest's metric values do not change
+        with this knob -- it is stamped into the config block and the
+        provenance so *timings* stay attributable.
 
     Raises
     ------
@@ -151,6 +160,12 @@ def build_report(
         )
     if not -1.0 < mismatch < 1.0:
         raise MetricsError(f"mismatch must be in (-1, 1), got {mismatch!r}")
+    if engine not in ENGINES:
+        raise MetricsError(
+            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+        )
+    if provenance is not None:
+        provenance = replace(provenance, engine=engine)
 
     setup = build_trace_setup(design)
     registry = registry_for(setup.name)
@@ -173,9 +188,10 @@ def build_report(
         telemetry=session,
         observe=instrument_registry,
     )
-    result = bench.measure(
-        device, amplitude=setup.amplitude, frequency=setup.frequency
-    )
+    with use_engine(engine):
+        result = bench.measure(
+            device, amplitude=setup.amplitude, frequency=setup.frequency
+        )
     tone_records(registry, result.metrics, provenance="span:measure/analysis")
 
     config: dict[str, object] = {
@@ -187,6 +203,7 @@ def build_report(
         "frequency": setup.frequency,
         "noise_scale": noise_scale,
         "mismatch": mismatch,
+        "engine": engine,
     }
 
     # The device's (possibly transformed) cell configuration drives the
@@ -245,6 +262,7 @@ def build_report(
                 executor=SweepExecutor(jobs=jobs),
                 cache=cache,
                 telemetry=session,
+                engine=engine,
             )
             sweep_records(registry, sweep_result)
             config["sweep_levels_db"] = list(SWEEP_LEVELS_DB)

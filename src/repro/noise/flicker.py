@@ -47,7 +47,11 @@ class FlickerNoiseSource(NoiseSource):
     sample_rate:
         Sampling frequency in hertz.
     rng:
-        NumPy random generator for reproducibility.
+        NumPy random generator; pass one to share a stream with other
+        sources (the memory cell passes its own seeded generator).
+    seed:
+        Seed for the fallback generator when ``rng`` is omitted, so a
+        bare construction is still replayable.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class FlickerNoiseSource(NoiseSource):
         corner_frequency: float,
         sample_rate: float,
         rng: np.random.Generator | None = None,
+        seed: int = 0,
     ) -> None:
         if white_rms < 0.0:
             raise ConfigurationError(
@@ -72,7 +77,7 @@ class FlickerNoiseSource(NoiseSource):
         self.white_rms = white_rms
         self.corner_frequency = corner_frequency
         self.sample_rate = sample_rate
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def sample(self, n_samples: int) -> np.ndarray:
         """Return ``n_samples`` of 1/f-shaped noise in amperes.

@@ -52,18 +52,25 @@ class WhiteNoiseSource(NoiseSource):
         Standard deviation of each sample in amperes.  Zero disables
         the source.
     rng:
-        NumPy random generator for reproducibility.
+        NumPy random generator; pass one to share a stream with other
+        sources.
+    seed:
+        Seed for the fallback generator when ``rng`` is omitted, so a
+        bare construction is still replayable.
     """
 
     def __init__(
-        self, rms_current: float, rng: np.random.Generator | None = None
+        self,
+        rms_current: float,
+        rng: np.random.Generator | None = None,
+        seed: int = 0,
     ) -> None:
         if rms_current < 0.0:
             raise ConfigurationError(
                 f"rms_current must be non-negative, got {rms_current!r}"
             )
         self.rms_current = rms_current
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def sample(self, n_samples: int) -> np.ndarray:
         if n_samples < 0:

@@ -17,9 +17,9 @@ replicate exactly that slicing (``lane_offset`` shifts it for sharded
 execution), which is what makes the batch output bit-identical to the
 scalar loop.
 
-Randomised loop elements (quantiser metastability, DAC reference
-noise) lower through the same pre-drawn stream slicing as the cell
-noise, and attached :class:`~repro.telemetry.probes.SignalProbe`\\ s
+Randomised loop elements (quantiser metastability, quantiser dither,
+DAC reference noise) lower through the same pre-drawn stream slicing
+as the cell noise, and attached :class:`~repro.telemetry.probes.SignalProbe`\\ s
 are fed lane-major through ``observe_array`` after the run.  Only
 configurations the kernel genuinely cannot reproduce -- unseeded
 randomness, which a fresh batch stream cannot replay -- raise
@@ -35,12 +35,14 @@ import numpy as np
 
 from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
 from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.dither import DitheredQuantizer
 from repro.deltasigma.modulator1 import SIModulator1
 from repro.deltasigma.modulator2 import SIModulator2
 from repro.deltasigma.quantizer import CurrentQuantizer
 from repro.noise.streams import GaussianStream, UniformStream
 from repro.runtime.kernels import CellKernel, store_batch
 from repro.runtime.lowering import (
+    UNSEEDED_DITHER_REFUSAL,
     UNSEEDED_METASTABILITY_REFUSAL,
     UNSEEDED_NOISE_REFUSAL,
     UNSEEDED_REFERENCE_REFUSAL,
@@ -249,15 +251,24 @@ def _check_quantizer(quantizer: CurrentQuantizer) -> CurrentQuantizer:
     refuses before any lane work starts, not mid-run.  A seeded
     metastability band lowers exactly (the scalar quantiser consumes
     one uniform draw per decision unconditionally, so the stream slices
-    per lane); only *unseeded* randomness has no replayable stream.
+    per lane), and so does seeded :class:`DitheredQuantizer` dither
+    (one Gaussian draw per decision); only *unseeded* randomness has no
+    replayable stream.
     """
-    if type(quantizer) is not CurrentQuantizer:
+    qtype = type(quantizer)
+    if qtype is not CurrentQuantizer and qtype is not DitheredQuantizer:
         raise BatchUnsupported(
             lowering_refusal(quantizer)
-            or subclass_refusal("quantizer", type(quantizer).__name__)
+            or subclass_refusal("quantizer", qtype.__name__)
         )
     if quantizer.metastability_band > 0.0 and quantizer.seed is None:
         raise BatchUnsupported(UNSEEDED_METASTABILITY_REFUSAL)
+    if (
+        qtype is DitheredQuantizer
+        and quantizer.dither_rms > 0.0
+        and quantizer.seed is None
+    ):
+        raise BatchUnsupported(UNSEEDED_DITHER_REFUSAL)
     return quantizer
 
 
@@ -290,11 +301,32 @@ class _BatchQuantizer:
             self._draws = stream.take(n_lanes * n_steps).reshape(
                 n_lanes, n_steps
             )
+        # Dither replays through a fresh GaussianStream with the same
+        # seed derivation as the scalar quantiser's constructor, sliced
+        # lane-major like every other per-decision stream.
+        self._dither_draws: np.ndarray | None = None
+        if (
+            type(quantizer) is DitheredQuantizer
+            and quantizer.dither_rms > 0.0
+        ):
+            dither = GaussianStream(
+                quantizer.dither_rms,
+                None if quantizer.seed is None else quantizer.seed + 1,
+            )
+            if lane_offset:
+                dither.skip(lane_offset * n_steps)
+            self._dither_draws = dither.take(n_lanes * n_steps).reshape(
+                n_lanes, n_steps
+            )
 
     def decide(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Return (decision array of +/-1.0, boolean positive mask)."""
         threshold = self.offset - self.hysteresis * self.last
-        effective = values - threshold
+        if self._dither_draws is not None:
+            # Scalar association: (value + draw) - threshold.
+            effective = (values + self._dither_draws[:, self._step]) - threshold
+        else:
+            effective = values - threshold
         mask = effective >= 0.0
         decisions = np.where(mask, 1.0, -1.0)
         if self._draws is not None:
@@ -916,6 +948,11 @@ def _device_streams(device: object) -> list[object]:
         and quantizer.metastability_band > 0.0
     ):
         streams.append(quantizer._stream)
+    if (
+        isinstance(quantizer, DitheredQuantizer)
+        and quantizer.dither_rms > 0.0
+    ):
+        streams.append(quantizer._dither)
     dac = getattr(device, "dac", None)
     if isinstance(dac, FeedbackDac) and dac.reference_noise_rms > 0.0:
         streams.append(dac._stream)

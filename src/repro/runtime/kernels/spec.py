@@ -1,0 +1,454 @@
+"""Kernel specs: frozen state-space descriptions of lowered designs.
+
+The compiled kernel tier executes a device by *transliterating* its
+configuration, never its Python methods -- the same contract the batch
+engine and the single-run fast path already honour.  This module is
+the lowering step: :func:`build_spec` walks a freshly built device,
+re-checks the declared lowering protocol
+(:mod:`repro.runtime.lowering`), and freezes every constant the run
+needs into a hashable :class:`KernelSpec`.  The spec is the *only*
+input to code generation (:mod:`repro.runtime.kernels.codegen`), so
+two devices with identical electrical configuration share one compiled
+kernel.
+
+The linear part of each design is also exposed as explicit state-space
+matrices (:func:`state_matrices`) -- the A/B/C/D formulation of the
+loop filter around the nonlinear quantizer/clip taps.  Execution keeps
+the *factored* per-step form instead of a matmul: the bit-exactness
+contract fixes the IEEE-754 association of every intermediate (e.g.
+``(x_pos - fb_pos) * a1`` must round exactly like the scalar loop), and
+a fused ``A @ state`` would re-associate those sums.  The matrices are
+the documentation and analysis view; the generated source is the
+executable one.
+
+Unlike the batch engine, the kernel tier consumes the device's **live**
+random streams (the cell noise feeds, the quantiser metastability and
+dither streams, the DAC reference-noise stream), so it does not need
+seeds to be byte-identical with the scalar loop on the same device
+instance -- unseeded configurations lower too.  Only protocol
+violations refuse: behavioural subclasses outside the declared hook
+allowlist, unpaired probe overrides, and device types without a
+transliteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
+from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.dither import DitheredQuantizer
+from repro.deltasigma.modulator1 import SIModulator1
+from repro.deltasigma.modulator2 import SIModulator2
+from repro.deltasigma.quantizer import CurrentQuantizer
+from repro.runtime.lowering import (
+    lowering_refusal,
+    probe_refusal,
+    subclass_refusal,
+)
+from repro.si.cascade import BiquadCascade
+from repro.si.delay_line import DelayLine
+from repro.si.memory_cell import ClassABMemoryCell
+
+__all__ = [
+    "KernelUnsupported",
+    "CellSpec",
+    "CmffSpec",
+    "StageSpec",
+    "SectionSpec",
+    "LoopSpec",
+    "KernelSpec",
+    "build_spec",
+    "state_matrices",
+]
+
+
+class KernelUnsupported(Exception):
+    """The device has no bit-exact compiled-kernel lowering."""
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Constants of one class-AB memory cell's store pipeline.
+
+    Every field is computed with the same expression the scalar model
+    evaluates per sample, so literals inlined from the spec start from
+    identical 64-bit values.
+    """
+
+    iq_squared: float
+    trans_ratio: float
+    trans_iq: float
+    trans_floor: float
+    inj_residual: float
+    inj_iq: float
+    inj_floor: float
+    kick: float
+    bias: float
+    tau_fraction: float
+    margin_floor: float
+    mismatch: float
+    inverting: bool
+    probed: bool
+
+    @classmethod
+    def from_cell(cls, cell: ClassABMemoryCell) -> "CellSpec":
+        config = cell.config
+        iq = config.quiescent_current
+        trans = config.transmission
+        inj = config.injection
+        gga = config.gga
+        return cls(
+            iq_squared=iq * iq,
+            trans_ratio=trans.effective_ratio,
+            trans_iq=trans.quiescent_current,
+            trans_floor=1e-3 * trans.quiescent_current,
+            inj_residual=inj.residual_at_quiescent,
+            inj_iq=inj.quiescent_current,
+            inj_floor=1e-3 * inj.quiescent_current,
+            kick=gga.phase_kick_fraction,
+            bias=gga.bias_current,
+            tau_fraction=gga.settling_tau_fraction,
+            margin_floor=gga.drive_margin_floor,
+            mismatch=config.half_gain_mismatch,
+            inverting=config.inverting,
+            probed=cell._probe is not None,
+        )
+
+
+@dataclass(frozen=True)
+class CmffSpec:
+    """Common-mode feedforward mirror gains and +/-0.0 bias terms."""
+
+    sense_pos_gain: float
+    sense_neg_gain: float
+    subtract_pos_gain: float
+    subtract_neg_gain: float
+    sense_pos_bias: float
+    sense_neg_bias: float
+    subtract_pos_bias: float
+    subtract_neg_bias: float
+    probed: bool
+
+    @classmethod
+    def from_cmff(cls, cmff: Any) -> "CmffSpec":
+        return cls(
+            sense_pos_gain=cmff.sense_pos.gain,
+            sense_neg_gain=cmff.sense_neg.gain,
+            subtract_pos_gain=cmff.subtract_pos.gain,
+            subtract_neg_gain=cmff.subtract_neg.gain,
+            sense_pos_bias=cmff.sense_pos.output_conductance * 0.0,
+            sense_neg_bias=cmff.sense_neg.output_conductance * 0.0,
+            subtract_pos_bias=cmff.subtract_pos.output_conductance * 0.0,
+            subtract_neg_bias=cmff.subtract_neg.output_conductance * 0.0,
+            probed=cmff._probe is not None,
+        )
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One integrator/differentiator stage: cell + gain + wiring."""
+
+    cell: CellSpec
+    gain: float
+    crossed: bool
+    cmff: CmffSpec | None
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """One biquad section: coefficients plus its two stages."""
+
+    k1: float
+    k2: float
+    q: float
+    first: StageSpec
+    second: StageSpec
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """Quantiser + DAC constants of a one-bit feedback loop."""
+
+    offset: float
+    hysteresis: float
+    band: float
+    dither_rms: float
+    level_pos: float
+    level_neg: float
+    dac_rms: float
+    full_scale: float
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Complete, hashable description of one compiled device kernel.
+
+    ``kind`` selects the loop shape; the remaining fields carry the
+    constants that shape uses.  Two devices with equal specs share one
+    generated (and one JIT-compiled) kernel.
+    """
+
+    kind: str  # "cell" | "delay" | "cascade" | "mod1" | "mod2" | "chopper"
+    stages: tuple[StageSpec, ...] = ()
+    sections: tuple[SectionSpec, ...] = ()
+    loop: LoopSpec | None = None
+    a1: float = 0.0
+    a2: float = 0.0
+    b2: float = 0.0
+
+    @property
+    def all_stages(self) -> tuple[StageSpec, ...]:
+        """Return every stage in kernel emission order."""
+        if self.sections:
+            return tuple(
+                stage
+                for section in self.sections
+                for stage in (section.first, section.second)
+            )
+        return self.stages
+
+
+def _refuse(component: object) -> None:
+    """Raise :class:`KernelUnsupported` if ``component`` refuses lowering."""
+    if component is None:
+        return
+    reason = lowering_refusal(component)
+    if reason is not None:
+        raise KernelUnsupported(reason)
+
+
+def _check_probe(probe: object) -> None:
+    if probe is None:
+        return
+    reason = probe_refusal(probe)
+    if reason is not None:
+        raise KernelUnsupported(reason)
+
+
+def _cell_spec(cell: Any) -> CellSpec:
+    _refuse(cell)
+    if not isinstance(cell, ClassABMemoryCell):
+        raise KernelUnsupported(
+            f"unsupported memory cell type {type(cell).__name__}"
+        )
+    _check_probe(cell._probe)
+    return CellSpec.from_cell(cell)
+
+
+def _stage_spec(stage: Any, crossed: bool) -> StageSpec:
+    _refuse(stage)
+    cmff = stage.cmff
+    cmff_spec: CmffSpec | None = None
+    if cmff is not None:
+        _refuse(cmff)
+        for mirror in (
+            cmff.sense_pos,
+            cmff.sense_neg,
+            cmff.subtract_pos,
+            cmff.subtract_neg,
+        ):
+            _refuse(mirror)
+        _check_probe(cmff._probe)
+        cmff_spec = CmffSpec.from_cmff(cmff)
+    return StageSpec(
+        cell=_cell_spec(stage._cell),
+        gain=stage.gain,
+        crossed=crossed,
+        cmff=cmff_spec,
+    )
+
+
+def _loop_spec(quantizer: Any, dac: Any, full_scale: float) -> LoopSpec:
+    qtype = type(quantizer)
+    if qtype is CurrentQuantizer:
+        dither_rms = 0.0
+    elif qtype is DitheredQuantizer:
+        dither_rms = quantizer.dither_rms
+    else:
+        raise KernelUnsupported(
+            lowering_refusal(quantizer)
+            or subclass_refusal("quantizer", qtype.__name__)
+        )
+    if type(dac) is not FeedbackDac:
+        raise KernelUnsupported(
+            lowering_refusal(dac)
+            or subclass_refusal("DAC", type(dac).__name__)
+        )
+    return LoopSpec(
+        offset=quantizer.offset,
+        hysteresis=quantizer.hysteresis,
+        band=quantizer.metastability_band,
+        dither_rms=dither_rms,
+        level_pos=dac._level_pos,
+        level_neg=dac._level_neg,
+        dac_rms=dac.reference_noise_rms,
+        full_scale=full_scale,
+    )
+
+
+def _check_loop_probes(modulator: Any) -> None:
+    """Refuse pre-registered top-level probes the replay cannot feed."""
+    session = getattr(modulator, "_telemetry", None)
+    if session is None:
+        return
+    name = modulator._telemetry_name
+    for suffix in ("input", "bitstream"):
+        probe = session.probes.get(f"{name}.{suffix}")
+        if probe is not None:
+            _check_probe(probe)
+
+
+def build_spec(device: object) -> KernelSpec:
+    """Lower ``device`` to its kernel spec, or raise :class:`KernelUnsupported`.
+
+    Re-checks the declared lowering protocol on the device and every
+    sub-component exactly like the batch runner constructors do, so the
+    kernel tier and the batch engine agree on which subclasses lower.
+    Seeds are *not* required: the kernel runner consumes the device's
+    live streams (see the module docstring).
+    """
+    _refuse(device)
+    if isinstance(device, ClassABMemoryCell):
+        return KernelSpec(
+            kind="cell",
+            stages=(
+                StageSpec(
+                    cell=_cell_spec(device), gain=1.0, crossed=False, cmff=None
+                ),
+            ),
+        )
+    if isinstance(device, DelayLine):
+        return KernelSpec(
+            kind="delay",
+            stages=tuple(
+                StageSpec(
+                    cell=_cell_spec(cell), gain=1.0, crossed=False, cmff=None
+                )
+                for cell in device.cells
+            ),
+        )
+    if isinstance(device, BiquadCascade):
+        return KernelSpec(
+            kind="cascade",
+            sections=tuple(
+                SectionSpec(
+                    k1=section.k1,
+                    k2=section.k2,
+                    q=section.q,
+                    first=_stage_spec(section._int1, crossed=False),
+                    second=_stage_spec(section._int2, crossed=False),
+                )
+                for section in device.sections
+            ),
+        )
+    if isinstance(device, SIModulator1):
+        _check_loop_probes(device)
+        return KernelSpec(
+            kind="mod1",
+            stages=(_stage_spec(device._integrator, crossed=False),),
+            loop=_loop_spec(device.quantizer, device.dac, device.full_scale),
+            a1=device.a,
+        )
+    if isinstance(device, SIModulator2):
+        _check_loop_probes(device)
+        return KernelSpec(
+            kind="mod2",
+            stages=(
+                _stage_spec(device._int1, crossed=False),
+                _stage_spec(device._int2, crossed=False),
+            ),
+            loop=_loop_spec(device.quantizer, device.dac, device.full_scale),
+            a1=device.a1,
+            a2=device.a2,
+            b2=device.b2,
+        )
+    if isinstance(device, ChopperStabilizedSIModulator):
+        _check_loop_probes(device)
+        return KernelSpec(
+            kind="chopper",
+            stages=(
+                _stage_spec(device._diff1, crossed=True),
+                _stage_spec(device._diff2, crossed=True),
+            ),
+            loop=_loop_spec(device.quantizer, device.dac, device.full_scale),
+            a1=device.a1,
+            a2=device.a2,
+            b2=device.b2,
+        )
+    raise KernelUnsupported(
+        f"no kernel lowering for {type(device).__name__}"
+    )
+
+
+def state_matrices(
+    spec: KernelSpec,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Return the (A, B, C, D) matrices of the spec's linear core.
+
+    The state vector holds the differential stored value of each cell
+    in kernel order; inputs are ``[x, y_fb]`` for the feedback loops and
+    ``[x]`` for the open-loop structures; the output taps the signal the
+    nonlinear element (quantiser) or the device output reads.  This is
+    the analysis/documentation view of the recurrence -- execution uses
+    the factored per-step source precisely so IEEE-754 association
+    matches the scalar loop (see the module docstring).
+    """
+    if spec.kind in ("cell", "delay"):
+        n = len(spec.stages)
+        a = np.zeros((n, n))
+        b = np.zeros((n, 1))
+        signs = [-1.0 if s.cell.inverting else 1.0 for s in spec.stages]
+        b[0, 0] = 1.0
+        for j in range(1, n):
+            a[j, j - 1] = signs[j - 1]
+        c = np.zeros((1, n))
+        c[0, n - 1] = signs[n - 1]
+        return a, b, c, np.zeros((1, 1))
+    if spec.kind == "cascade":
+        n = 2 * len(spec.sections)
+        a = np.eye(n)
+        b = np.zeros((n, 1))
+        chain_gain = 1.0
+        for index, section in enumerate(spec.sections):
+            r = 2 * index
+            g1 = section.first.gain
+            g2 = section.second.gain
+            a[r, r] = 1.0 - section.k1 * section.q * g1
+            a[r, r + 1] = -section.k1 * g1
+            a[r + 1, r] = section.k2 * g2
+            if index == 0:
+                b[r, 0] = section.k1 * g1 * chain_gain
+            else:
+                # Later sections are driven by the previous w1 state.
+                a[r, r - 2] += section.k1 * g1
+        c = np.zeros((1, n))
+        c[0, n - 2] = 1.0
+        return a, b, c, np.zeros((1, 1))
+    if spec.kind == "mod1":
+        g = spec.stages[0].gain
+        a = np.array([[1.0]])
+        b = np.array([[spec.a1 * g, -spec.a1 * g]])
+        return a, b, np.array([[1.0]]), np.zeros((1, 2))
+    if spec.kind == "mod2":
+        g1 = spec.stages[0].gain
+        g2 = spec.stages[1].gain
+        a = np.array([[1.0, 0.0], [spec.a2 * g2, 1.0]])
+        b = np.array(
+            [[spec.a1 * g1, -spec.a1 * g1], [0.0, -spec.b2 * g2]]
+        )
+        return a, b, np.array([[0.0, 1.0]]), np.zeros((1, 2))
+    if spec.kind == "chopper":
+        g1 = spec.stages[0].gain
+        g2 = spec.stages[1].gain
+        # Differentiator stages feed the crossed (negated differential)
+        # state back, so the diagonal is -1 in the differential basis.
+        a = np.array([[-1.0, 0.0], [-spec.a2 * g2, -1.0]])
+        b = np.array(
+            [[-spec.a1 * g1, spec.a1 * g1], [0.0, spec.b2 * g2]]
+        )
+        return a, b, np.array([[0.0, 1.0]]), np.zeros((1, 2))
+    raise KernelUnsupported(f"no state-space view for kind {spec.kind!r}")

@@ -19,13 +19,18 @@ allowlist of hooks a subclass may override while keeping its lowering:
 * everything else the base class defines is part of the simulated
   behaviour: overriding it refuses lowering with a named reason.
 
-Quantiser and DAC stay **exact-type-only**: their subclasses exist
-precisely to draw extra randomness (e.g.
-:class:`~repro.deltasigma.dither.DitheredQuantizer`), which no
-replayed stream can reproduce.  Telemetry probes have a paired-hook
-rule: the scalar loops feed :meth:`SignalProbe.observe` per sample
-while the lowered paths feed :meth:`SignalProbe.observe_array` once,
-so a subclass must override both or neither.
+Quantiser and DAC bases stay **exact-type-only** -- their behaviour is
+sampled so tightly that arbitrary overrides cannot be proven safe --
+but subclasses that draw their extra randomness from the replayable
+streams in :mod:`repro.noise.streams` join the protocol as lowered
+bases of their own:
+:class:`~repro.deltasigma.dither.DitheredQuantizer` consumes one
+:class:`~repro.noise.streams.GaussianStream` draw per decision, so
+the lowered engines slice or drain its dither stream exactly like the
+metastability stream.  Telemetry probes have a paired-hook rule: the
+scalar loops feed :meth:`SignalProbe.observe` per sample while the
+lowered paths feed :meth:`SignalProbe.observe_array` once, so a
+subclass must override both or neither.
 
 The refusal messages are exported as helpers so the static analyzer
 (:mod:`repro.staticcheck`, rules SC010-SC012) can *predict* at
@@ -41,6 +46,7 @@ from typing import Iterable
 
 from repro.deltasigma.chopper_modulator import ChopperStabilizedSIModulator
 from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.dither import DitheredQuantizer
 from repro.deltasigma.modulator1 import SIModulator1
 from repro.deltasigma.modulator2 import SIModulator2
 from repro.deltasigma.quantizer import CurrentQuantizer
@@ -60,6 +66,7 @@ __all__ = [
     "UNSEEDED_NOISE_REFUSAL",
     "UNSEEDED_METASTABILITY_REFUSAL",
     "UNSEEDED_REFERENCE_REFUSAL",
+    "UNSEEDED_DITHER_REFUSAL",
     "protocol_for",
     "overridden_hooks",
     "hooks_outside_protocol",
@@ -87,6 +94,12 @@ UNSEEDED_METASTABILITY_REFUSAL = (
 UNSEEDED_REFERENCE_REFUSAL = (
     "unseeded reference noise; a fresh batch stream cannot replay the "
     "device's draws"
+)
+
+#: Refusal raised for unseeded quantiser dither.
+UNSEEDED_DITHER_REFUSAL = (
+    "unseeded dither randomness; a fresh batch stream cannot replay "
+    "the device's draws"
 )
 
 #: Hook names never counted as behavioural overrides (interpreter and
@@ -174,6 +187,12 @@ LOWERING_PROTOCOL: tuple[LoweredBase, ...] = (
     ),
     LoweredBase(CurrentMirror, "current mirror", overridable=_COMMON_OVERRIDABLE),
     LoweredBase(CurrentQuantizer, "quantizer", exact=True),
+    # DitheredQuantizer precedes its exact-only base in every MRO walk:
+    # its extra randomness comes from a replayable GaussianStream, so it
+    # lowers as a protocol base of its own.
+    LoweredBase(
+        DitheredQuantizer, "quantizer", overridable=_COMMON_OVERRIDABLE
+    ),
     LoweredBase(FeedbackDac, "DAC", exact=True),
 )
 

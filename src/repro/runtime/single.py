@@ -42,8 +42,10 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.deltasigma.dac import FeedbackDac
+from repro.deltasigma.dither import DitheredQuantizer
 from repro.deltasigma.quantizer import CurrentQuantizer
 from repro.devices.current_mirror import CurrentMirror
+from repro.runtime.engine import current_engine, record_engine_run
 from repro.runtime.lowering import probe_refusal
 from repro.si.cmff import CommonModeFeedforward
 from repro.si.differential import DifferentialSample
@@ -232,11 +234,23 @@ def _stage_reason(stage: "SIIntegrator | SIDifferentiator") -> str | None:
 
 
 def _loop_reason(quantizer: object, dac: object) -> str | None:
-    if type(quantizer) is not CurrentQuantizer:
-        return f"unsupported quantizer type {type(quantizer).__name__}"
+    qtype = type(quantizer)
+    if qtype is not CurrentQuantizer and qtype is not DitheredQuantizer:
+        return f"unsupported quantizer type {qtype.__name__}"
     if type(dac) is not FeedbackDac:
         return f"unsupported DAC type {type(dac).__name__}"
     return None
+
+
+def _dither_draws(quantizer: object, n: int) -> tuple[float, list[float]]:
+    """Return ``(dither_rms, n pre-drawn dither values)`` for a loop run.
+
+    Zero RMS (including the plain :class:`CurrentQuantizer`) draws
+    nothing, exactly like the scalar ``decide``.
+    """
+    if type(quantizer) is DitheredQuantizer and quantizer.dither_rms > 0.0:
+        return quantizer.dither_rms, quantizer._dither.take(n).tolist()
+    return 0.0, []
 
 
 # ---------------------------------------------------------------------------
@@ -509,6 +523,7 @@ def _run_modulator1(device: "SIModulator1", data: np.ndarray) -> np.ndarray | No
     band = quantizer.metastability_band
     last = quantizer._last_decision
     meta: list[float] = quantizer._stream.take(n).tolist() if band > 0.0 else []
+    drms, dith = _dither_draws(quantizer, n)
     dac = device.dac
     level_pos = dac._level_pos
     level_neg = dac._level_neg
@@ -535,7 +550,10 @@ def _run_modulator1(device: "SIModulator1", data: np.ndarray) -> np.ndarray | No
     out: list[float] = []
     append = out.append
     for i in range(n):
-        effective = (pos - neg) - (offset - hyst * last)
+        base = pos - neg
+        if drms > 0.0:
+            base = base + dith[i]
+        effective = base - (offset - hyst * last)
         if band > 0.0:
             draw = meta[i]
             if abs(effective) < band:
@@ -602,6 +620,7 @@ def _run_modulator2(device: "SIModulator2", data: np.ndarray) -> np.ndarray | No
     band = quantizer.metastability_band
     last = quantizer._last_decision
     meta: list[float] = quantizer._stream.take(n).tolist() if band > 0.0 else []
+    drms, dith = _dither_draws(quantizer, n)
     dac = device.dac
     level_pos = dac._level_pos
     level_neg = dac._level_neg
@@ -644,7 +663,10 @@ def _run_modulator2(device: "SIModulator2", data: np.ndarray) -> np.ndarray | No
     out: list[float] = []
     append = out.append
     for i in range(n):
-        effective = (p2 - n2) - (offset - hyst * last)
+        base = p2 - n2
+        if drms > 0.0:
+            base = base + dith[i]
+        effective = base - (offset - hyst * last)
         if band > 0.0:
             draw = meta[i]
             if abs(effective) < band:
@@ -749,6 +771,7 @@ def _run_chopper(
     band = quantizer.metastability_band
     last = quantizer._last_decision
     meta: list[float] = quantizer._stream.take(n).tolist() if band > 0.0 else []
+    drms, dith = _dither_draws(quantizer, n)
     dac = device.dac
     level_pos = dac._level_pos
     level_neg = dac._level_neg
@@ -793,7 +816,10 @@ def _run_chopper(
     chop = 1.0
     for i in range(n):
         u = chop * xs[i]
-        effective = (p2 - n2) - (offset - hyst * last)
+        base = p2 - n2
+        if drms > 0.0:
+            base = base + dith[i]
+        effective = base - (offset - hyst * last)
         if band > 0.0:
             draw = meta[i]
             if abs(effective) < band:
@@ -900,23 +926,143 @@ def _runners() -> dict[type, Callable[[Any, np.ndarray], "np.ndarray | None"]]:
 _RUNNER_TABLE: dict[type, Callable[[Any, np.ndarray], "np.ndarray | None"]] | None = None
 
 
-def run_single(device: object, data: np.ndarray) -> np.ndarray | None:
-    """Run ``device`` over 1-D ``data`` on the fused fast path.
-
-    Returns the output array (bit-identical to the device's scalar
-    loop, with device state and random streams advanced identically),
-    or ``None`` when the fast path does not apply -- an exotic
-    subclass, a non-1-D input, or an active :func:`force_scalar`
-    block.  On ``None`` the caller must fall through to its scalar
-    loop; the refusal reason (if not forced) is retrievable via
-    :func:`consume_fallbacks`.
-    """
+def _fast_path(device: object, data: np.ndarray) -> np.ndarray | None:
+    """Run the fused pure-Python fast path, or None with a noted refusal."""
     global _RUNNER_TABLE
-    if _force_depth > 0:
-        return None
     if _RUNNER_TABLE is None:
         _RUNNER_TABLE = _runners()
     runner = _RUNNER_TABLE.get(type(device))
     if runner is None:
         return _note(device, "no single-run fast path for this device type")
     return runner(device, data)
+
+
+def _run_kernel_single(
+    device: object, data: np.ndarray, noted: bool
+) -> np.ndarray | None:
+    from repro.runtime.kernels import KernelUnsupported, run_kernel
+
+    try:
+        return run_kernel(device, data)
+    except KernelUnsupported as error:
+        if noted:
+            _note(device, str(error))
+        return None
+
+
+def _run_batch_single(device: object, data: np.ndarray) -> np.ndarray | None:
+    """Run one device through the batch engine at ``n_lanes == 1``.
+
+    The batch engine replays every random stream from its origin with a
+    fresh :class:`~repro.noise.streams` instance, so this rung only
+    applies to devices whose streams are still at the origin (no prior
+    steps).  After the run the device's own streams are fast-forwarded
+    and its cell/quantiser state written back, leaving the device in
+    exactly the state the scalar loop would have produced.
+    """
+    from repro.runtime.batch import (
+        BatchUnsupported,
+        batch_runner_for,
+        fast_forward_streams,
+        iter_cells,
+    )
+
+    if data.ndim != 1:
+        return _note(device, "input is not 1-D")
+    n = int(data.shape[0])
+    if n == 0:
+        return _note(device, "batch single-run needs at least one sample")
+    try:
+        cells = list(iter_cells(device))
+    except BatchUnsupported as error:
+        return _note(device, str(error))
+    if any(cell._steps != 0 for cell in cells):
+        return _note(
+            device,
+            "batch single-run replays streams from origin and needs a "
+            "fresh device",
+        )
+    # The device's own run() feeds its loop probes after we return, so
+    # detach telemetry for the replay to avoid feeding them twice.
+    session = getattr(device, "_telemetry", None)
+    if session is not None:
+        device._telemetry = None
+    try:
+        runner = batch_runner_for(device, 1, n)
+        output = runner.run(data[np.newaxis, :])
+    except BatchUnsupported as error:
+        return _note(device, str(error))
+    finally:
+        if session is not None:
+            device._telemetry = session
+    bank = runner._bank
+    for index, cell in enumerate(cells):
+        cell._stored = DifferentialSample(
+            float(bank.state[2 * index, 0]), float(bank.state[2 * index + 1, 0])
+        )
+        cell._steps += n
+        cell._slew_events += int(bank.slew_counts[index, 0])
+    fast_forward_streams(device, n)
+    out = np.ascontiguousarray(output[0])
+    quantizer = getattr(device, "quantizer", None)
+    if isinstance(quantizer, CurrentQuantizer):
+        # The bitstream is decision * full_scale (chopped back to the
+        # input frame for the chopper), so the final decision is
+        # recoverable from the last output sample's sign.
+        from repro.deltasigma.chopper_modulator import (
+            ChopperStabilizedSIModulator,
+        )
+
+        last_value = float(out[-1])
+        if (
+            isinstance(device, ChopperStabilizedSIModulator)
+            and (n - 1) % 2 == 1
+        ):
+            last_value = -last_value
+        quantizer._last_decision = 1 if last_value > 0.0 else -1
+    return out
+
+
+def run_single(device: object, data: np.ndarray) -> np.ndarray | None:
+    """Run ``device`` over 1-D ``data`` on the selected engine.
+
+    The engine comes from :func:`repro.runtime.engine.use_engine`:
+    ``auto`` (the default) climbs the refusal ladder compiled kernel ->
+    fused fast path -> scalar, while ``kernel``/``batch`` pin one
+    lowered rung and ``scalar`` always declines.  Whatever rung runs is
+    bit-identical to the device's scalar loop, with device state and
+    random streams advanced identically.
+
+    Returns the output array, or ``None`` when no lowered rung applies
+    -- an exotic subclass, a non-1-D input, a pinned ``scalar`` engine,
+    or an active :func:`force_scalar` block.  On ``None`` the caller
+    must fall through to its scalar loop; the refusal reason (if not
+    forced) is retrievable via :func:`consume_fallbacks`.  Each
+    executed run is counted in the ``repro.engine.runs`` instrument
+    under the rung that actually ran (forced-scalar parity runs are
+    not recorded).
+    """
+    if _force_depth > 0:
+        return None
+    engine = current_engine()
+    if engine == "scalar":
+        record_engine_run("scalar", device)
+        return None
+    if engine == "kernel":
+        result = _run_kernel_single(device, data, noted=True)
+        record_engine_run("kernel" if result is not None else "scalar", device)
+        return result
+    if engine == "batch":
+        result = _run_batch_single(device, data)
+        record_engine_run("batch" if result is not None else "scalar", device)
+        return result
+    # The auto ladder: try the compiled kernel silently (its refusals
+    # are expected for unsupported shapes), then the fused fast path
+    # (whose refusal is the one worth surfacing), then scalar.
+    result = _run_kernel_single(device, data, noted=False)
+    if result is not None:
+        record_engine_run("kernel", device)
+        return result
+    result = _fast_path(device, data)
+    record_engine_run("single" if result is not None else "scalar", device)
+    return result

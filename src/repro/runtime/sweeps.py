@@ -209,10 +209,47 @@ class _ShardResult:
     engine: str
 
 
+#: Measured crossover between the compiled kernel run lane-by-lane and
+#: the NumPy batch engine running all lanes at once: below this many
+#: lanes the kernel's per-sample fusion beats the batch's lane
+#: vectorisation, above it the lanes amortise the Python dispatch.
+_KERNEL_CROSSOVER_LANES = 16
+
+
+def _sequential_lanes(
+    device: Any, stimuli: np.ndarray, engine: str
+) -> np.ndarray:
+    """Run lanes one by one against a single device on a pinned engine.
+
+    Lane ``k`` consumes the ``k``-th slice of every random stream,
+    exactly like the scalar reference sweep; the pinned engine only
+    changes *how* each lane executes, never what it computes.
+    """
+    from repro.runtime.engine import use_engine
+
+    outputs = np.empty(stimuli.shape)
+    with use_engine(engine):
+        for lane in range(stimuli.shape[0]):
+            outputs[lane] = np.asarray(device(stimuli[lane]), dtype=float)
+    return outputs
+
+
 def _run_lane_chunk(
-    spec: SweepSpec, levels: Sequence[float], context: ShardContext
+    spec: SweepSpec,
+    levels: Sequence[float],
+    context: ShardContext,
+    engine: str = "auto",
 ) -> _ShardResult:
-    """Run one contiguous block of sweep lanes; module-level for pickling."""
+    """Run one contiguous block of sweep lanes; module-level for pickling.
+
+    ``engine`` selects the rung: ``auto`` uses the compiled kernel for
+    narrow shards (``<= _KERNEL_CROSSOVER_LANES`` lanes) when the
+    design lowers, the batch engine otherwise, and the scalar device
+    as the last resort; ``kernel``/``batch``/``scalar`` pin one rung
+    (a pinned rung that refuses falls down the remaining ladder).
+    All rungs are bit-identical, so ``engine`` is deliberately not
+    part of the cache key.
+    """
     started = time.perf_counter()
     total = spec.n_samples + spec.settle_samples
     t = np.arange(total) / spec.sample_rate
@@ -225,21 +262,39 @@ def _run_lane_chunk(
         stimuli[lane] = amplitude * carrier
 
     device = _build_device(spec)
-    try:
-        runner = batch_runner_for(
-            device,
-            n_lanes=len(levels),
-            n_steps=total,
-            lane_offset=context.lane_offset,
-        )
-        outputs = runner.run(stimuli)
-        engine = "batch"
-    except BatchUnsupported:
+    outputs: np.ndarray | None = None
+    if engine == "scalar":
         fast_forward_streams(device, context.lane_offset * total)
-        outputs = np.empty((len(levels), total))
-        for lane in range(stimuli.shape[0]):
-            outputs[lane] = np.asarray(device(stimuli[lane]), dtype=float)
-        engine = "scalar"
+        outputs = _sequential_lanes(device, stimuli, "scalar")
+        engine_used = "scalar"
+    else:
+        want_kernel = engine == "kernel" or (
+            engine == "auto" and len(levels) <= _KERNEL_CROSSOVER_LANES
+        )
+        if want_kernel:
+            from repro.runtime.kernels import kernel_refusal
+
+            if kernel_refusal(device) is None:
+                fast_forward_streams(device, context.lane_offset * total)
+                outputs = _sequential_lanes(device, stimuli, "kernel")
+                engine_used = "kernel"
+    if outputs is None:
+        try:
+            runner = batch_runner_for(
+                device,
+                n_lanes=len(levels),
+                n_steps=total,
+                lane_offset=context.lane_offset,
+            )
+            outputs = runner.run(stimuli)
+            engine_used = "batch"
+            from repro.runtime.engine import record_engine_run
+
+            record_engine_run("batch", device, count=len(levels))
+        except BatchUnsupported:
+            fast_forward_streams(device, context.lane_offset * total)
+            outputs = _sequential_lanes(device, stimuli, "auto")
+            engine_used = "scalar"
 
     window = WindowKind(spec.window)
     metrics = []
@@ -259,7 +314,7 @@ def _run_lane_chunk(
     return _ShardResult(
         metrics=tuple(metrics),
         wall_s=time.perf_counter() - started,
-        engine=engine,
+        engine=engine_used,
     )
 
 
@@ -340,8 +395,9 @@ def run_sweep(
     executor: SweepExecutor | None = None,
     cache: ResultCache | None = None,
     telemetry: "TelemetrySession | None" = None,
+    engine: str = "auto",
 ) -> AmplitudeSweepResult:
-    """Run an amplitude sweep through the batch engine.
+    """Run an amplitude sweep through the lowered engines.
 
     Parameters
     ----------
@@ -352,6 +408,12 @@ def run_sweep(
     cache:
         Result cache; a hit skips computation entirely and reconstructs
         the result bit for bit from the stored metric arrays.
+    engine:
+        Execution rung per shard: ``auto`` (default) picks the compiled
+        kernel for narrow shards and the batch engine otherwise;
+        ``kernel``/``batch``/``scalar`` pin one rung.  All rungs are
+        bit-identical, so the choice does not enter the cache key and a
+        cache hit is valid for every engine.
     telemetry:
         Optional session; the sweep is wrapped in a ``sweep`` span with
         the workers' ``shard:<index>`` subtrees grafted under it, which
@@ -371,6 +433,10 @@ def run_sweep(
     """
     if len(spec.levels_db) == 0:
         raise AnalysisError("spec.levels_db must contain at least one level")
+    if engine not in ("auto", "scalar", "batch", "kernel"):
+        raise AnalysisError(
+            f"unknown engine {engine!r}; expected auto, scalar, batch or kernel"
+        )
     if executor is None:
         executor = SweepExecutor(jobs=1)
 
@@ -389,7 +455,7 @@ def run_sweep(
                         pass
                 return _result_from_metrics(spec, metrics)
 
-    worker = functools.partial(_run_lane_chunk, spec)
+    worker = functools.partial(_run_lane_chunk, spec, engine=engine)
     levels = list(spec.levels_db)
     if telemetry is not None:
         with telemetry.span(

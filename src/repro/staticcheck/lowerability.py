@@ -20,6 +20,7 @@ from repro.findings import Severity
 from repro.runtime.lowering import (
     LOWERING_PROTOCOL,
     PROTOCOL_BY_QUALNAME,
+    UNSEEDED_DITHER_REFUSAL,
     UNSEEDED_METASTABILITY_REFUSAL,
     UNSEEDED_NOISE_REFUSAL,
     UNSEEDED_REFERENCE_REFUSAL,
@@ -134,6 +135,11 @@ class ProtocolOverrideRule(LintRule):
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef):
                 continue
+            # A class that is itself a declared protocol base carries
+            # its own lowering (the runtime MRO walk stops at it), so
+            # subclassing rules of its parents do not apply to it.
+            if f"{module.dotted_name}.{node.name}" in PROTOCOL_BY_QUALNAME:
+                continue
             for base in node.bases:
                 entry = _entry_for_base(module, base)
                 if entry is None:
@@ -238,7 +244,36 @@ class RefusingConfigRule(LintRule):
                 UNSEEDED_REFERENCE_REFUSAL,
                 "FeedbackDac",
             )
+        if _matches_repro_class(
+            module,
+            call.func,
+            "repro.deltasigma.dither.DitheredQuantizer",
+            "DitheredQuantizer",
+            "repro.deltasigma.dither",
+        ):
+            return self._check_dithered(module, call)
         return None
+
+    def _check_dithered(
+        self, module: ModuleContext, call: ast.Call
+    ) -> LintFinding | None:
+        # dither_rms is the first positional parameter.
+        level = call.args[0] if call.args else keyword_arg(call, "dither_rms")
+        if level is None:
+            return None
+        value = literal_number(level)
+        if value is None or value <= 0.0:
+            return None
+        if not self._seed_missing(call):
+            return None
+        return self.finding(
+            module,
+            call,
+            "DitheredQuantizer with dither_rms > 0 and no replayable "
+            "seed; batch lowering of any loop using it will refuse with "
+            f"{UNSEEDED_DITHER_REFUSAL!r}",
+            predicts=UNSEEDED_DITHER_REFUSAL,
+        )
 
     def _check_cell_config(
         self, module: ModuleContext, call: ast.Call

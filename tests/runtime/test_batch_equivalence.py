@@ -261,16 +261,42 @@ class TestRefusals:
         with pytest.raises(BatchUnsupported):
             batch_runner_for(modulator, 2, 16)
 
-    def test_quantizer_subclass_refused(self):
-        # Exact-type checks: a DitheredQuantizer draws extra randomness
-        # the lowering does not model, so it must refuse rather than
-        # silently drop the dither.
+    def test_seeded_dither_lowers(self):
+        # A DitheredQuantizer joins the protocol: its dither comes from
+        # a replayable GaussianStream, so the batch engine slices it
+        # like the metastability stream instead of refusing.
         from repro.deltasigma.dither import DitheredQuantizer
 
         config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
         modulator = SIModulator2(
             cell_config=config,
             quantizer=DitheredQuantizer(dither_rms=1e-8, seed=3),
+        )
+        batch_runner_for(modulator, 2, 16)
+
+    def test_unseeded_dither_refused(self):
+        # ... but only when seeded: a fresh batch stream cannot replay
+        # an unseeded quantiser's dither draws.
+        from repro.deltasigma.dither import DitheredQuantizer
+
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        modulator = SIModulator2(
+            cell_config=config,
+            quantizer=DitheredQuantizer(dither_rms=1e-8, seed=None),
+        )
+        with pytest.raises(BatchUnsupported):
+            batch_runner_for(modulator, 2, 16)
+
+    def test_quantizer_subclass_refused(self):
+        # Exact-type checks: an arbitrary quantiser subclass changes
+        # behaviour the lowering does not model, so it must refuse.
+        class SaturatingQuantizer(CurrentQuantizer):
+            def decide(self, input_current: float) -> int:
+                return super().decide(min(input_current, 1e-6))
+
+        config = paper_cell_config(sample_rate=MODULATOR_CLOCK)
+        modulator = SIModulator2(
+            cell_config=config, quantizer=SaturatingQuantizer()
         )
         with pytest.raises(BatchUnsupported):
             batch_runner_for(modulator, 2, 16)

@@ -114,7 +114,7 @@ class TestTelemetry:
         # Grafted worker spans carry real worker-side wall time plus
         # the engine/queue-wait/lane bookkeeping.
         assert shards[0].duration_s is not None and shards[0].duration_s > 0.0
-        assert shards[0].attrs.get("engine") in {"batch", "scalar"}
+        assert shards[0].attrs.get("engine") in {"kernel", "batch", "scalar"}
         assert "queue_wait_ms" in shards[0].attrs
         assert shards[0].attrs.get("n_lanes") == len(_spec().levels_db)
 
@@ -162,12 +162,14 @@ class TestWorker:
 
         spec = _spec()
         context = ShardContext(0, 1, 0, len(LEVELS), seed_entropy=(0, 0, 0))
-        whole = _run_lane_chunk(spec, list(LEVELS), context)
+        whole = _run_lane_chunk(spec, list(LEVELS), context, engine="batch")
         assert whole.engine == "batch"
         tail_context = ShardContext(
             1, 2, 1, len(LEVELS) - 1, seed_entropy=(0, 0, 1)
         )
-        tail = _run_lane_chunk(spec, list(LEVELS[1:]), tail_context)
+        tail = _run_lane_chunk(
+            spec, list(LEVELS[1:]), tail_context, engine="batch"
+        )
         assert tail.metrics == whole.metrics[1:]
 
     def test_scalar_fallback_with_lane_offset(self, monkeypatch):
@@ -180,18 +182,20 @@ class TestWorker:
 
         spec = _spec()
         context = ShardContext(0, 1, 0, len(LEVELS), seed_entropy=(0, 0, 0))
-        batch = _run_lane_chunk(spec, list(LEVELS), context)
+        batch = _run_lane_chunk(spec, list(LEVELS), context, engine="batch")
 
         def refuse(*args, **kwargs):
             raise BatchUnsupported("forced scalar path")
 
         monkeypatch.setattr(sweeps_module, "batch_runner_for", refuse)
-        scalar = _run_lane_chunk(spec, list(LEVELS), context)
+        scalar = _run_lane_chunk(spec, list(LEVELS), context, engine="batch")
         assert scalar.engine == "scalar"
         assert scalar.metrics == batch.metrics
         tail_context = ShardContext(
             1, 2, 1, len(LEVELS) - 1, seed_entropy=(0, 0, 1)
         )
-        tail = _run_lane_chunk(spec, list(LEVELS[1:]), tail_context)
+        tail = _run_lane_chunk(
+            spec, list(LEVELS[1:]), tail_context, engine="batch"
+        )
         assert tail.engine == "scalar"
         assert tail.metrics == batch.metrics[1:]

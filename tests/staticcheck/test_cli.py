@@ -84,15 +84,17 @@ def test_repo_gate_is_clean(monkeypatch, capsys):
     monkeypatch.chdir(REPO_ROOT)
     assert main(["lint", "src/repro", "--strict"]) == 0
     out = capsys.readouterr().out
-    assert "suppressed" in out
+    assert "LINT PASS" in out
 
 
-def test_repo_gate_fires_without_the_baseline(monkeypatch, capsys):
-    """Removing the baseline must surface the recorded exceptions."""
+def test_repo_gate_is_clean_without_the_baseline(monkeypatch, capsys):
+    """Every RNG site is now seeded at the API boundary and every
+    shipped subclass is in the lowering protocol, so the gate holds
+    even with the (empty) baseline disabled."""
     monkeypatch.chdir(REPO_ROOT)
-    assert main(["lint", "src/repro", "--strict", "--no-baseline"]) == 1
+    assert main(["lint", "src/repro", "--strict", "--no-baseline"]) == 0
     out = capsys.readouterr().out
-    assert "SC001" in out and "SC010" in out
+    assert "LINT PASS" in out
 
 
 def test_lint_listed_in_command_overview(capsys):

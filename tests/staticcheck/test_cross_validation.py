@@ -214,5 +214,7 @@ def test_repo_sources_predict_no_unbaselined_refusals(monkeypatch):
     )
     codes = {f.rule for f in report.findings}
     assert not codes & {"SC010", "SC011", "SC012"}
-    suppressed = {f.rule for f in report.suppressed}
-    assert "SC010" in suppressed
+    # The baseline is empty: nothing in the shipped sources needs a
+    # suppression any more (DitheredQuantizer joined the protocol and
+    # every RNG site is seeded at the API boundary).
+    assert not report.suppressed
